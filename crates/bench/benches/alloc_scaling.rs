@@ -1,0 +1,60 @@
+//! Algorithm 1 (TAR/CAR greedy) vs exhaustive subset search across pool
+//! sizes — the §4.5.3 complexity result as a measured benchmark.
+
+use cap_cloud::{catalog, InstanceType};
+use cap_core::{
+    allocate, caffenet_version_grid, exhaustive_search, AccuracyMetric, AllocationRequest,
+};
+use cap_pruning::caffenet_profile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn pool(g_size: usize) -> Vec<InstanceType> {
+    let cat = catalog();
+    (0..g_size)
+        .map(|i| if i % 2 == 0 { cat[0].clone() } else { cat[3].clone() })
+        .collect()
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let versions = caffenet_version_grid(&caffenet_profile());
+    let mut group = c.benchmark_group("allocation");
+    for g_size in [4usize, 8, 12] {
+        let p = pool(g_size);
+        group.bench_with_input(BenchmarkId::new("greedy_tar_car", g_size), &p, |b, p| {
+            b.iter(|| {
+                allocate(
+                    &versions,
+                    p,
+                    &AllocationRequest {
+                        w: 200_000,
+                        batch: 512,
+                        deadline_s: 4.0 * 3600.0,
+                        budget_usd: 60.0,
+                        metric: AccuracyMetric::Top1,
+                    },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive_2_pow_g", g_size), &p, |b, p| {
+            b.iter(|| {
+                exhaustive_search(
+                    &versions,
+                    p,
+                    200_000,
+                    512,
+                    4.0 * 3600.0,
+                    60.0,
+                    AccuracyMetric::Top1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_alloc
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end inference throughput of the implemented CNN framework:
+//! TinyNet batches and single Caffenet / Googlenet forward passes.
+
+use cap_cnn::models::{caffenet, googlenet, TinyNet, WeightInit};
+use cap_data::SyntheticImageNet;
+use cap_tensor::Tensor4;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_tinynet(c: &mut Criterion) {
+    let data = SyntheticImageNet::tiny(5);
+    let net = TinyNet::new(data.image_shape, 8, 12, data.classes, 3).unwrap();
+    let (x, _) = data.batch(0, 64);
+    c.bench_function("tinynet_batch64_dense", |b| {
+        b.iter(|| net.logits(&x).unwrap())
+    });
+    c.bench_function("tinynet_batch64_sparse_path", |b| {
+        b.iter(|| net.logits_sparse(&x).unwrap())
+    });
+}
+
+fn bench_big_models(c: &mut Criterion) {
+    let input = Tensor4::from_fn(1, 3, 224, 224, |_, ci, h, w| {
+        ((ci * 7 + h + w) % 9) as f32 / 9.0 - 0.5
+    });
+    let caffe = caffenet(WeightInit::Gaussian { std: 0.01, seed: 1 }).unwrap();
+    let mut group = c.benchmark_group("full_models");
+    group.sample_size(10);
+    group.bench_function("caffenet_single_forward", |b| {
+        b.iter(|| caffe.forward(&input).unwrap())
+    });
+    let goog = googlenet(WeightInit::Gaussian { std: 0.01, seed: 2 }).unwrap();
+    group.bench_function("googlenet_single_forward", |b| {
+        b.iter(|| goog.forward(&input).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tinynet, bench_big_models
+}
+criterion_main!(benches);

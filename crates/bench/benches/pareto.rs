@@ -1,0 +1,40 @@
+//! Sort-based Pareto filter vs naive O(n²) dominance check — the filter
+//! sits on the explorer's hot path for large configuration spaces.
+
+use cap_core::pareto::{pareto_indices, pareto_indices_naive, ParetoPoint};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn points(n: usize) -> Vec<ParetoPoint> {
+    (0..n)
+        .map(|i| {
+            let h = (i * 2654435761) % 1_000_003;
+            ParetoPoint {
+                accuracy: (h % 1000) as f64 / 1000.0,
+                objective: ((h / 1000) % 1000) as f64,
+            }
+        })
+        .collect()
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_filter");
+    for n in [100usize, 1000, 10_000] {
+        let pts = points(n);
+        group.bench_with_input(BenchmarkId::new("sorted_sweep", n), &pts, |b, pts| {
+            b.iter(|| pareto_indices(pts))
+        });
+        if n <= 1000 {
+            group.bench_with_input(BenchmarkId::new("naive_n2", n), &pts, |b, pts| {
+                b.iter(|| pareto_indices_naive(pts))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pareto
+}
+criterion_main!(benches);

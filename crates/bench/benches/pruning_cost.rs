@@ -1,0 +1,60 @@
+//! Cost of the pruning algorithms themselves on realistic layer sizes —
+//! pruning is an offline step in the paper, but its cost bounds how many
+//! degrees of pruning a consumer can explore.
+
+use cap_pruning::{prune_filters_l1, prune_magnitude, prune_structured};
+use cap_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn layer(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c * 7) % 101) as f32 / 101.0 - 0.5)
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune_caffenet_conv2_shape");
+    // conv2: 256 x 1200.
+    let base = layer(256, 1200);
+    for ratio in [0.3f64, 0.7] {
+        group.bench_with_input(
+            BenchmarkId::new("magnitude", format!("{ratio}")),
+            &ratio,
+            |b, &r| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut w| prune_magnitude(&mut w, r).unwrap(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("filter_l1", format!("{ratio}")),
+            &ratio,
+            |b, &r| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut w| prune_filters_l1(&mut w, r).unwrap(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("structured", format!("{ratio}")),
+            &ratio,
+            |b, &r| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut w| prune_structured(&mut w, r).unwrap(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pruning
+}
+criterion_main!(benches);

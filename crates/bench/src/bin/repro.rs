@@ -1,0 +1,89 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p cap-bench --bin repro -- --list
+//! cargo run --release -p cap-bench --bin repro -- --exp fig8
+//! cargo run --release -p cap-bench --bin repro -- --exp all
+//! cargo run --release -p cap-bench --bin repro -- --exp all --out results/
+//! ```
+
+use cap_bench::{run_experiment, EXPERIMENTS};
+use std::path::Path;
+
+fn usage() -> ! {
+    eprintln!("usage: repro --exp <id>|all [--out DIR] | --list");
+    eprintln!("experiments:");
+    for (id, desc, _) in EXPERIMENTS {
+        eprintln!("  {id:<15} {desc}");
+    }
+    std::process::exit(2);
+}
+
+fn emit(id: &str, report: &str, out_dir: Option<&str>) {
+    match out_dir {
+        Some(dir) => {
+            let path = Path::new(dir).join(format!("{id}.txt"));
+            if let Err(e) = std::fs::write(&path, report) {
+                eprintln!("failed writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("wrote {}", path.display());
+        }
+        None => println!("{report}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+    let mut list = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => list = true,
+            "--exp" => {
+                exp = args.get(i + 1).cloned();
+                i += 1;
+            }
+            "--out" => {
+                out_dir = args.get(i + 1).cloned();
+                i += 1;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if list {
+        for (id, desc, _) in EXPERIMENTS {
+            println!("{id:<15} {desc}");
+        }
+        return;
+    }
+    let Some(exp) = exp else { usage() };
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("failed creating {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if exp == "all" {
+        for (id, _, _) in EXPERIMENTS {
+            if out_dir.is_none() {
+                println!("{}", "=".repeat(72));
+            }
+            match run_experiment(id) {
+                Some(report) => emit(id, &report, out_dir.as_deref()),
+                None => eprintln!("experiment {id} failed to run"),
+            }
+        }
+    } else {
+        match run_experiment(&exp) {
+            Some(report) => emit(&exp, &report, out_dir.as_deref()),
+            None => {
+                eprintln!("unknown experiment: {exp}");
+                usage();
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Extension experiments beyond the paper's evaluation: the Googlenet
+//! configuration space (the paper restricts Figures 9–12 to Caffenet
+//! "for simplicity"), what-if consumer queries, and the joint
+//! three-objective frontier.
+
+use cap_cloud::{catalog, enumerate_configs, InstanceType};
+use cap_core::explorer::tri_frontier_indices;
+use cap_core::{
+    evaluate_grid, feasible_by_deadline, frontier_indices, googlenet_version_grid,
+    max_accuracy_within, min_cost_for_accuracy, min_time_for_accuracy, min_time_spec,
+    AccuracyMetric, EvaluatedConfig, Floor, Objective,
+};
+use cap_pruning::{caffenet_profile, googlenet_profile};
+use std::fmt::Write;
+
+fn googlenet_space() -> Vec<EvaluatedConfig> {
+    let profile = googlenet_profile();
+    let versions = googlenet_version_grid(&profile);
+    let g3: Vec<InstanceType> = catalog()
+        .into_iter()
+        .filter(|i| i.family() == "g3")
+        .collect();
+    let configs = enumerate_configs(&g3, 3);
+    evaluate_grid(&versions, &configs, 1_000_000, &[48, 160, 512])
+}
+
+/// Figure 9 analogue for Googlenet on the g3 family.
+pub fn fig9g() -> String {
+    let evals = googlenet_space();
+    let feasible = feasible_by_deadline(&evals, 10.0 * 3600.0);
+    let mut out = String::new();
+    writeln!(out, "# Extension: Googlenet time-accuracy space (g3 family)").unwrap();
+    writeln!(
+        out,
+        "space: 72 versions x 63 g3 configs x 3 batch settings = {} candidates; {} feasible under 10 h",
+        evals.len(),
+        feasible.len()
+    )
+    .unwrap();
+    let front = frontier_indices(&feasible, AccuracyMetric::Top5, Objective::Time);
+    writeln!(out, "\nTop5 time-accuracy Pareto frontier ({} points, top 10):", front.len()).unwrap();
+    for &i in front.iter().take(10) {
+        let e = &feasible[i];
+        writeln!(
+            out,
+            "  acc {:>5.1}%  {:>6.2} h  {} on {} @b{}",
+            e.top5 * 100.0,
+            e.time_s / 3600.0,
+            e.version_label,
+            e.config_label,
+            e.batch
+        )
+        .unwrap();
+    }
+    // Joint three-objective frontier (accuracy, time, cost at once).
+    let tri = tri_frontier_indices(&feasible, AccuracyMetric::Top5);
+    writeln!(
+        out,
+        "\njoint (accuracy, time, cost) frontier: {} points — the paper's two 2-D\nfrontiers overlap because time and cost are proportional within one family;\nmixing families/batches adds genuinely tri-objective trade-offs.",
+        tri.len()
+    )
+    .unwrap();
+    out
+}
+
+/// What-if consumer queries over the Caffenet space.
+pub fn whatif() -> String {
+    let profile = caffenet_profile();
+    let versions = cap_core::caffenet_version_grid(&profile);
+    let p2: Vec<InstanceType> = catalog()
+        .into_iter()
+        .filter(|i| i.family() == "p2")
+        .collect();
+    let configs = enumerate_configs(&p2, 3);
+    let evals = evaluate_grid(&versions, &configs, 1_000_000, &[48, 160, 512]);
+
+    let mut out = String::new();
+    writeln!(out, "# Extension: what-if queries (1M Caffenet inferences, p2 family)").unwrap();
+    for floor in [0.55, 0.50, 0.45] {
+        if let Some(a) = min_cost_for_accuracy(&evals, AccuracyMetric::Top1, floor) {
+            writeln!(
+                out,
+                "cheapest way to top1 >= {:.0}%: ${:.2} in {:.2} h (acc {:.1}%)",
+                floor * 100.0,
+                a.cost_usd,
+                a.time_s / 3600.0,
+                a.accuracy * 100.0
+            )
+            .unwrap();
+        }
+    }
+    for floor in [0.55, 0.45] {
+        if let Some(a) = min_time_for_accuracy(&evals, AccuracyMetric::Top1, floor) {
+            writeln!(
+                out,
+                "fastest way to top1 >= {:.0}%: {:.2} h at ${:.2}",
+                floor * 100.0,
+                a.time_s / 3600.0,
+                a.cost_usd
+            )
+            .unwrap();
+        }
+    }
+    for (h, budget) in [(2.0, 10.0), (1.0, 4.0), (0.25, 2.0)] {
+        match max_accuracy_within(&evals, AccuracyMetric::Top1, h * 3600.0, budget) {
+            Some(a) => writeln!(
+                out,
+                "best accuracy within {h} h and ${budget}: {:.1}% (${:.2}, {:.2} h)",
+                a.accuracy * 100.0,
+                a.cost_usd,
+                a.time_s / 3600.0
+            )
+            .unwrap(),
+            None => writeln!(out, "best accuracy within {h} h and ${budget}: infeasible").unwrap(),
+        }
+    }
+    // Degree-of-pruning search.
+    for floor in [0.75, 0.65] {
+        if let Some(r) = min_time_spec(&profile, Floor::Top5(floor)) {
+            writeln!(
+                out,
+                "min-time spec for top5 >= {:.0}%: {} (time factor {:.3})",
+                floor * 100.0,
+                r.spec.label(),
+                r.time_factor
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whatif_report_contains_all_query_kinds() {
+        let t = whatif();
+        assert!(t.contains("cheapest way"));
+        assert!(t.contains("fastest way"));
+        assert!(t.contains("best accuracy within"));
+        assert!(t.contains("min-time spec"));
+    }
+}

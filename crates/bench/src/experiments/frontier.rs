@@ -1,0 +1,165 @@
+//! Figures 9 and 10: the configuration space and its Pareto frontiers.
+
+use cap_cloud::{catalog, enumerate_configs, InstanceType};
+use cap_core::{
+    caffenet_version_grid, evaluate_grid, feasible_by_budget, feasible_by_deadline,
+    frontier_indices, savings_at_best_accuracy, AccuracyMetric, EvaluatedConfig, Objective,
+};
+use cap_pruning::caffenet_profile;
+use std::fmt::Write;
+
+/// Batch settings forming the configuration space's parallel-inference
+/// dimension: one saturated, two below saturation.
+const BATCH_GRID: [u32; 3] = [48, 160, 512];
+
+fn space() -> Vec<EvaluatedConfig> {
+    let profile = caffenet_profile();
+    let versions = caffenet_version_grid(&profile);
+    let p2: Vec<InstanceType> = catalog()
+        .into_iter()
+        .filter(|i| i.family() == "p2")
+        .collect();
+    let configs = enumerate_configs(&p2, 3);
+    evaluate_grid(&versions, &configs, 1_000_000, &BATCH_GRID)
+}
+
+fn frontier_block(
+    out: &mut String,
+    feasible: &[EvaluatedConfig],
+    metric: AccuracyMetric,
+    objective: Objective,
+) {
+    let front = frontier_indices(feasible, metric, objective);
+    writeln!(out, "\n{metric:?} Pareto frontier: {} points", front.len()).unwrap();
+    for &i in &front {
+        let e = &feasible[i];
+        match objective {
+            Objective::Time => writeln!(
+                out,
+                "  acc {:>5.1}%  {:>6.2} h  {} on {} @b{}",
+                e.accuracy(metric) * 100.0,
+                e.time_s / 3600.0,
+                e.version_label,
+                e.config_label,
+                e.batch
+            )
+            .unwrap(),
+            Objective::Cost => writeln!(
+                out,
+                "  acc {:>5.1}%  ${:>7.2}  {} on {} @b{}",
+                e.accuracy(metric) * 100.0,
+                e.cost_usd,
+                e.version_label,
+                e.config_label,
+                e.batch
+            )
+            .unwrap(),
+        }
+    }
+}
+
+/// Figure 9: feasible configurations under a 10-hour deadline, with
+/// time-accuracy Pareto frontiers for Top-1 and Top-5.
+pub fn fig9() -> String {
+    let evals = space();
+    let feasible = feasible_by_deadline(&evals, 10.0 * 3600.0);
+    let mut out = String::new();
+    writeln!(out, "# Figure 9: impact of accuracy on cloud execution time").unwrap();
+    writeln!(
+        out,
+        "space: 60 versions x 63 p2 configs x {} batch settings = {} candidates",
+        BATCH_GRID.len(),
+        evals.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "feasible under 10 h deadline: {} (paper: 7654 of its larger space)",
+        feasible.len()
+    )
+    .unwrap();
+    frontier_block(&mut out, &feasible, AccuracyMetric::Top1, Objective::Time);
+    frontier_block(&mut out, &feasible, AccuracyMetric::Top5, Objective::Time);
+    if let Some((best, worst, saving)) =
+        savings_at_best_accuracy(&feasible, AccuracyMetric::Top1, Objective::Time, 1e-9)
+    {
+        writeln!(
+            out,
+            "\nat the highest Pareto accuracy ({:.1}% top1): {:.2} h vs worst {:.2} h -> {:.0}% time saved (paper: 50%)",
+            best.top1 * 100.0,
+            best.time_s / 3600.0,
+            worst.time_s / 3600.0,
+            saving * 100.0
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Figure 10: feasible configurations under a cost budget, with
+/// cost-accuracy Pareto frontiers.
+///
+/// Scale note: our calibrated simulator executes 1 M Caffenet images in
+/// 6.3 GPU-hours on a K80 (consistent with the paper's own Figure 6
+/// anchor of 19 min per 50 000 images), which prices the whole space far
+/// below the paper's $300 budget — the paper's Figures 9/10 cost scale
+/// is not self-consistent with its Figure 6 timing. We therefore report
+/// the $300 filter (everything fits) *and* a proportionally scaled $4
+/// budget that actually binds, preserving the figure's character.
+pub fn fig10() -> String {
+    let evals = space();
+    let mut out = String::new();
+    writeln!(out, "# Figure 10: impact of accuracy on cloud cost").unwrap();
+    let feasible300 = feasible_by_budget(&evals, 300.0);
+    writeln!(
+        out,
+        "feasible under $300: {} of {} (paper: 1042 of its larger space)",
+        feasible300.len(),
+        evals.len()
+    )
+    .unwrap();
+    let binding = 4.0;
+    let feasible = feasible_by_budget(&evals, binding);
+    writeln!(
+        out,
+        "feasible under scaled ${binding} budget (binding at our cost scale): {} of {}",
+        feasible.len(),
+        evals.len()
+    )
+    .unwrap();
+    frontier_block(&mut out, &feasible, AccuracyMetric::Top1, Objective::Cost);
+    frontier_block(&mut out, &feasible, AccuracyMetric::Top5, Objective::Cost);
+    if let Some((best, worst, saving)) =
+        savings_at_best_accuracy(&feasible300, AccuracyMetric::Top1, Objective::Cost, 1e-9)
+    {
+        writeln!(
+            out,
+            "\nat the highest Pareto accuracy ({:.1}% top1): ${:.2} vs worst ${:.2} -> {:.0}% cost saved (paper: 55%)",
+            best.top1 * 100.0,
+            best.cost_usd,
+            worst.cost_usd,
+            saving * 100.0
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_frontier_exists_and_deadline_binds() {
+        let t = fig9();
+        assert!(t.contains("Pareto frontier"));
+        assert!(t.contains("time saved"));
+    }
+
+    #[test]
+    fn fig10_reports_both_budgets() {
+        let t = fig10();
+        assert!(t.contains("$300"));
+        assert!(t.contains("cost saved"));
+    }
+}

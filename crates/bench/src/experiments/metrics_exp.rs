@@ -1,0 +1,145 @@
+//! Figures 11 and 12: quantifying accuracy performance with TAR and CAR.
+
+use cap_cloud::{by_name, catalog, cost_usd};
+use cap_core::{car, tar};
+use cap_pruning::{caffenet_profile, PruneSpec};
+use std::fmt::Write;
+
+/// Figure 11: TAR over the conv1 × conv2 sweet-spot grid — conv1
+/// 0–40 %, conv2 0–50 % in 10 % steps (30 degrees of pruning), 50 000
+/// images on the reference GPU.
+pub fn fig11() -> String {
+    let profile = caffenet_profile();
+    let mut out = String::new();
+    writeln!(out, "# Figure 11: time-accuracy of degrees of pruning with TAR").unwrap();
+    writeln!(
+        out,
+        "{:>8} {:>8} {:>10} {:>8} {:>8} {:>10} {:>10}",
+        "conv1", "conv2", "time min", "top1", "top5", "TAR(top1)", "TAR(top5)"
+    )
+    .unwrap();
+    for i in 0..=4u32 {
+        for j in 0..=5u32 {
+            let r1 = i as f64 / 10.0;
+            let r2 = j as f64 / 10.0;
+            let mut spec = PruneSpec::none();
+            spec.set("conv1", r1);
+            spec.set("conv2", r2);
+            let (top1, top5) = profile.accuracy(&spec);
+            let time_s = profile.batched_s_per_image(&spec) * 50_000.0;
+            writeln!(
+                out,
+                "{:>7.0}% {:>7.0}% {:>10.2} {:>7.1}% {:>7.1}% {:>10.1} {:>10.1}",
+                r1 * 100.0,
+                r2 * 100.0,
+                time_s / 60.0,
+                top1 * 100.0,
+                top5 * 100.0,
+                tar(time_s, top1),
+                tar(time_s, top5)
+            )
+            .unwrap();
+        }
+    }
+    writeln!(
+        out,
+        "\nreading: at equal accuracy, the configuration with lower TAR is the faster choice"
+    )
+    .unwrap();
+    out
+}
+
+/// Figure 12: CAR across the six resource types for Caffenet with conv1
+/// and conv2 pruned 20 %, when all GPUs are utilized vs only one GPU
+/// (paying for the whole instance either way).
+pub fn fig12() -> String {
+    let profile = caffenet_profile();
+    let spec = PruneSpec::single("conv1", 0.2).with("conv2", 0.2);
+    let (top1, _top5) = profile.accuracy(&spec);
+    let s_per_image = profile.batched_s_per_image(&spec);
+    let w = 50_000.0;
+
+    let mut out = String::new();
+    writeln!(out, "# Figure 12: Caffenet CAR across resource types (conv1-2 @20%)").unwrap();
+    writeln!(
+        out,
+        "{:<14} {:>16} {:>16}",
+        "instance", "CAR all GPUs $", "CAR one GPU $"
+    )
+    .unwrap();
+    for inst in catalog() {
+        let per_gpu_rate = inst.gpu.relative_throughput() / s_per_image;
+        // All GPUs: time shrinks with GPU count, full instance price.
+        let t_all = w / (per_gpu_rate * inst.gpus as f64);
+        let car_all = car(cost_usd(inst.price_per_hour, t_all), top1);
+        // One GPU: single-GPU time, still full instance price.
+        let t_one = w / per_gpu_rate;
+        let car_one = car(cost_usd(inst.price_per_hour, t_one), top1);
+        writeln!(out, "{:<14} {:>16.3} {:>16.3}", inst.name, car_all, car_one).unwrap();
+    }
+    // Category flatness check.
+    let car_for = |name: &str| {
+        let inst = by_name(name).unwrap();
+        let per_gpu_rate = inst.gpu.relative_throughput() / s_per_image;
+        let t_all = w / (per_gpu_rate * inst.gpus as f64);
+        car(cost_usd(inst.price_per_hour, t_all), top1)
+    };
+    writeln!(
+        out,
+        "\nwithin-category flatness: p2 {:.3} vs {:.3}; g3 {:.3} vs {:.3}",
+        car_for("p2.xlarge"),
+        car_for("p2.16xlarge"),
+        car_for("g3.4xlarge"),
+        car_for("g3.16xlarge")
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "g3/p2 CAR ratio (all GPUs): {:.2} (paper: 0.35/0.57 = 0.61)",
+        car_for("g3.4xlarge") / car_for("p2.xlarge")
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_grid_is_30_rows() {
+        let t = fig11();
+        // 5 conv1 x 6 conv2 = 30 data rows.
+        let rows = t.lines().filter(|l| l.trim_start().ends_with(|c: char| c.is_ascii_digit()) && l.contains('%')).count();
+        assert!(rows >= 30, "rows {rows}");
+    }
+
+    #[test]
+    fn fig12_g3_cheaper_per_accuracy_than_p2() {
+        let t = fig12();
+        assert!(t.contains("g3/p2 CAR ratio"));
+        // Parse the ratio and check it is below 1 (g3 wins).
+        let line = t.lines().find(|l| l.contains("g3/p2 CAR ratio")).unwrap();
+        let ratio: f64 = line
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(ratio < 0.8, "ratio {ratio}");
+    }
+
+    #[test]
+    fn fig12_one_gpu_car_grows_with_instance_size() {
+        let t = fig12();
+        // p2.16xlarge one-GPU CAR must exceed p2.xlarge one-GPU CAR.
+        let get = |name: &str| -> f64 {
+            let line = t.lines().find(|l| l.starts_with(name)).unwrap();
+            line.split_whitespace().last().unwrap().parse().unwrap()
+        };
+        assert!(get("p2.16xlarge") > 10.0 * get("p2.xlarge"));
+    }
+}

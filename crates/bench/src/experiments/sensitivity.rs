@@ -1,0 +1,142 @@
+//! Figures 6–8: pruning sensitivity, single- and multi-layer.
+
+use cap_cnn::models::GOOGLENET_SELECTED_LAYERS;
+use cap_pruning::sensitivity::{standard_ratio_grid, sweep_layers};
+use cap_pruning::{caffenet_profile, googlenet_profile, AppProfile, PruneSpec};
+use std::fmt::Write;
+
+fn sweep_report(profile: &AppProfile, layers: &[&str], title: &str) -> String {
+    let grid = standard_ratio_grid();
+    let sweeps = sweep_layers(profile, layers, &grid);
+    let base_minutes = profile.base_batched_s_per_image * 50_000.0 / 60.0;
+    let mut out = String::new();
+    writeln!(out, "# {title}").unwrap();
+    writeln!(out, "(50 000 images on the reference GPU; base {base_minutes:.1} min)").unwrap();
+    for sweep in &sweeps {
+        writeln!(out, "\n## {}", sweep.layer).unwrap();
+        writeln!(out, "{:>7} {:>10} {:>8} {:>8}", "ratio", "time min", "top1", "top5").unwrap();
+        for p in &sweep.points {
+            writeln!(
+                out,
+                "{:>6.0}% {:>10.2} {:>7.1}% {:>7.1}%",
+                p.ratio * 100.0,
+                base_minutes * p.time_factor,
+                p.top1 * 100.0,
+                p.top5 * 100.0
+            )
+            .unwrap();
+        }
+        // Sweet-spot line.
+        if let Some(ss) =
+            cap_pruning::sweet_spot(&sweep.top5_curve(), &sweep.time_curve(), 1e-9)
+        {
+            writeln!(
+                out,
+                "sweet spot: up to {:.0}% pruning at unchanged accuracy ({:.2} min)",
+                ss.last_ratio * 100.0,
+                base_minutes * ss.time_factor_at_last
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Figure 6: Caffenet per-layer pruning sweeps (all five conv layers).
+pub fn fig6() -> String {
+    let profile = caffenet_profile();
+    let layers = profile.conv_layer_names();
+    let mut out = sweep_report(
+        &profile,
+        &layers,
+        "Figure 6: Caffenet single-layer pruning",
+    );
+    writeln!(
+        out,
+        "\npaper anchors: conv1@90 -> 16.6 min, conv2@90 -> 14 min; conv1 top5 -> 0%, others -> ~25%"
+    )
+    .unwrap();
+    out
+}
+
+/// Figure 7: Googlenet per-layer pruning sweeps (the paper's six
+/// selected layers).
+pub fn fig7() -> String {
+    let profile = googlenet_profile();
+    let mut out = sweep_report(
+        &profile,
+        &GOOGLENET_SELECTED_LAYERS,
+        "Figure 7: Googlenet single-layer pruning (selected layers)",
+    );
+    writeln!(
+        out,
+        "\npaper anchors: conv2-3x3@90 -> ~9 min (from 13); accuracy flat to ~60% pruning"
+    )
+    .unwrap();
+    out
+}
+
+/// Figure 8: multi-layer pruning — nonpruned vs conv1-2 vs all-conv.
+pub fn fig8() -> String {
+    let profile = caffenet_profile();
+    let configs = [
+        ("nonpruned", PruneSpec::none()),
+        (
+            "conv1-2",
+            PruneSpec::single("conv1", 0.3).with("conv2", 0.5),
+        ),
+        ("all-conv", profile.all_knees_spec()),
+    ];
+    let mut out = String::new();
+    writeln!(out, "# Figure 8: Caffenet multi-layer pruning").unwrap();
+    writeln!(out, "{:<12} {:>10} {:>8} {:>8}", "config", "time min", "top1", "top5").unwrap();
+    for (name, spec) in configs {
+        let minutes = profile.batched_s_per_image(&spec) * 50_000.0 / 60.0;
+        let (top1, top5) = profile.accuracy(&spec);
+        writeln!(
+            out,
+            "{:<12} {:>10.1} {:>7.1}% {:>7.1}%",
+            name,
+            minutes,
+            top1 * 100.0,
+            top5 * 100.0
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "\npaper anchors: 19 / 13 / 11 min and top5 80 / 70 / 62 %"
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_covers_all_five_layers() {
+        let t = fig6();
+        for l in ["conv1", "conv2", "conv3", "conv4", "conv5"] {
+            assert!(t.contains(&format!("## {l}")), "missing {l}");
+        }
+        assert!(t.contains("sweet spot"));
+    }
+
+    #[test]
+    fn fig7_covers_selected_layers() {
+        let t = fig7();
+        for l in GOOGLENET_SELECTED_LAYERS {
+            assert!(t.contains(l), "missing {l}");
+        }
+    }
+
+    #[test]
+    fn fig8_matches_paper_minutes() {
+        let t = fig8();
+        assert!(t.contains("19.0"));
+        assert!(t.contains("13.0"));
+        assert!(t.contains("11.0"));
+    }
+}

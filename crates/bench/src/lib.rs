@@ -1,0 +1,15 @@
+//! # cap-bench
+//!
+//! The reproduction harness: one experiment module per table and figure
+//! of the paper's evaluation section, each emitting the same rows/series
+//! the paper reports, plus the Criterion benchmark suite (see
+//! `benches/`). Run experiments with
+//!
+//! ```sh
+//! cargo run --release -p cap-bench --bin repro -- --exp fig8
+//! cargo run --release -p cap-bench --bin repro -- --exp all
+//! ```
+
+pub mod experiments;
+
+pub use experiments::{run_experiment, EXPERIMENTS};

@@ -1,0 +1,177 @@
+//! Resource configurations `R` and enumeration of the configuration
+//! space `G` (Table 2 symbols).
+
+use crate::instance::InstanceType;
+use serde::{Deserialize, Serialize};
+
+/// A cloud resource configuration: a multiset of instances, stored as
+/// `(instance type, count)` pairs in catalog order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceConfig {
+    /// Instance types with their allocated counts (counts ≥ 1).
+    pub entries: Vec<(InstanceType, u32)>,
+}
+
+impl ResourceConfig {
+    /// Empty configuration.
+    pub fn empty() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    /// Configuration of `count` instances of a single type.
+    pub fn of(instance: InstanceType, count: u32) -> Self {
+        let mut c = Self::empty();
+        c.add(instance, count);
+        c
+    }
+
+    /// Add `count` instances of a type (merging with an existing entry).
+    pub fn add(&mut self, instance: InstanceType, count: u32) {
+        if count == 0 {
+            return;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|(i, _)| i.name == instance.name) {
+            e.1 += count;
+        } else {
+            self.entries.push((instance, count));
+        }
+    }
+
+    /// Total number of instances `|R|`.
+    pub fn instance_count(&self) -> u32 {
+        self.entries.iter().map(|(_, n)| n).sum()
+    }
+
+    /// True if no instances are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.instance_count() == 0
+    }
+
+    /// Total GPUs across all instances.
+    pub fn total_gpus(&self) -> u32 {
+        self.entries.iter().map(|(i, n)| i.gpus * n).sum()
+    }
+
+    /// Combined hourly price `Σ cᵢ` (Eq. 1).
+    pub fn total_price_per_hour(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(i, n)| i.price_per_hour * *n as f64)
+            .sum()
+    }
+
+    /// Iterate individual instances (flattening counts).
+    pub fn iter_instances(&self) -> impl Iterator<Item = &InstanceType> {
+        self.entries
+            .iter()
+            .flat_map(|(i, n)| std::iter::repeat_n(i, *n as usize))
+    }
+
+    /// Short label, e.g. `2×p2.xlarge+1×p2.8xlarge`.
+    pub fn label(&self) -> String {
+        if self.is_empty() {
+            return "∅".to_string();
+        }
+        self.entries
+            .iter()
+            .map(|(i, n)| format!("{n}x{}", i.name))
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// Enumerate every configuration drawing 0..=`max_per_type` instances of
+/// each given type, excluding the empty configuration.
+///
+/// This is the exponential space the paper's §4.5.3 complexity argument
+/// refers to: its size is `(max_per_type + 1)^types − 1`.
+pub fn enumerate_configs(types: &[InstanceType], max_per_type: u32) -> Vec<ResourceConfig> {
+    let mut out = Vec::new();
+    let mut counts = vec![0u32; types.len()];
+    loop {
+        // Advance the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == types.len() {
+                return out;
+            }
+            if counts[i] < max_per_type {
+                counts[i] += 1;
+                for c in counts.iter_mut().take(i) {
+                    *c = 0;
+                }
+                break;
+            }
+            i += 1;
+        }
+        let mut cfg = ResourceConfig::empty();
+        for (t, &n) in types.iter().zip(counts.iter()) {
+            if n > 0 {
+                cfg.add(t.clone(), n);
+            }
+        }
+        out.push(cfg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::catalog;
+
+    #[test]
+    fn add_merges_same_type() {
+        let cat = catalog();
+        let mut c = ResourceConfig::of(cat[0].clone(), 2);
+        c.add(cat[0].clone(), 1);
+        c.add(cat[1].clone(), 1);
+        assert_eq!(c.entries.len(), 2);
+        assert_eq!(c.instance_count(), 4);
+        assert_eq!(c.total_gpus(), 3 + 8);
+    }
+
+    #[test]
+    fn price_sums_eq1_style() {
+        let cat = catalog();
+        let mut c = ResourceConfig::of(cat[0].clone(), 3); // 3 × $0.9
+        c.add(cat[3].clone(), 1); // $1.14
+        assert!((c.total_price_per_hour() - (2.7 + 1.14)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enumeration_count_is_exponential_formula() {
+        let cat = catalog();
+        // Paper Figure 9 setup: 3 p2 types, up to 3 instances each
+        // -> 4^3 − 1 = 63 resource configurations.
+        let p2: Vec<InstanceType> = cat.into_iter().filter(|i| i.family() == "p2").collect();
+        let cfgs = enumerate_configs(&p2, 3);
+        assert_eq!(cfgs.len(), 63);
+        assert!(cfgs.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn enumeration_distinct() {
+        let cat = catalog();
+        let cfgs = enumerate_configs(&cat[..2], 2);
+        assert_eq!(cfgs.len(), 8);
+        let labels: std::collections::HashSet<String> =
+            cfgs.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn iter_instances_flattens_counts() {
+        let cat = catalog();
+        let c = ResourceConfig::of(cat[0].clone(), 3);
+        assert_eq!(c.iter_instances().count(), 3);
+    }
+
+    #[test]
+    fn label_formats() {
+        let cat = catalog();
+        let mut c = ResourceConfig::of(cat[0].clone(), 2);
+        c.add(cat[1].clone(), 1);
+        assert_eq!(c.label(), "2xp2.xlarge+1xp2.8xlarge");
+        assert_eq!(ResourceConfig::empty().label(), "∅");
+    }
+}

@@ -1,0 +1,306 @@
+//! Execution simulation — the paper's analytical model (Eqs. 1–4).
+//!
+//! Given an application's reference-GPU timing, a resource configuration
+//! and a workload of `W` images:
+//!
+//! * Eq. 4 distributes images across instances (`Wᵢ = W / |R|`) — the
+//!   paper's equal split; a throughput-proportional mode is provided as
+//!   an extension and used by the allocation algorithm's workload
+//!   distribution step.
+//! * Eqs. 2–3 give per-instance time: `n = Wᵢ / b` batches at the
+//!   batch-saturation rate of the instance's GPUs.
+//! * Eq. 1 gives cost: `C = T · Σ cᵢ` with per-second pro-rating.
+
+use crate::config::ResourceConfig;
+use crate::gpu::BatchModel;
+use crate::instance::InstanceType;
+use crate::pricing::cost_usd;
+use serde::{Deserialize, Serialize};
+
+/// Reference-GPU (K80) timing of one application version (one degree of
+/// pruning). Produced upstream from a calibrated profile or a real
+/// measurement; consumed here hardware-independently.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AppExecModel {
+    /// Seconds per image at saturated batch on the reference K80.
+    pub s_per_image_batched_ref: f64,
+    /// Single-inference latency on the reference K80, seconds.
+    pub single_latency_ref: f64,
+}
+
+impl AppExecModel {
+    /// Batch-throughput curve of this application on one GPU of `kind`.
+    pub fn batch_model(&self, kind: crate::instance::GpuKind) -> BatchModel {
+        let f = kind.relative_throughput();
+        BatchModel::new(
+            f / self.s_per_image_batched_ref,
+            f / self.single_latency_ref,
+        )
+    }
+
+    /// Saturated throughput of a whole instance (all its GPUs), images/s.
+    pub fn instance_rate(&self, inst: &InstanceType, gpus_used: u32, batch_per_gpu: u32) -> f64 {
+        let gpus = gpus_used.min(inst.gpus);
+        let batch = batch_per_gpu.min(inst.max_batch_per_gpu());
+        self.batch_model(inst.gpu).rate(batch) * gpus as f64
+    }
+}
+
+/// Workload distribution policy across instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// The paper's Eq. 4: every instance receives `W / |R|` images.
+    EqualSplit,
+    /// Extension: images proportional to instance throughput, so all
+    /// instances finish together (no straggler).
+    Proportional,
+}
+
+/// Result of simulating one execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionEstimate {
+    /// Total wall-clock inference time `T` (Eq. 2: the slowest instance).
+    pub time_s: f64,
+    /// Total cost `C` (Eq. 1, per-second pro-rated).
+    pub cost_usd: f64,
+    /// Per-instance `(name, images, time_s)` in configuration order.
+    pub per_instance: Vec<(String, u64, f64)>,
+}
+
+/// Simulate inferring `w` images on `config`.
+///
+/// `batch_per_gpu` is the parallel-inference count per GPU (the paper
+/// uses ≥300 for saturation, §4.2.3); all GPUs of every instance are
+/// used. Returns `None` for an empty configuration or zero workload
+/// capacity.
+pub fn simulate(
+    config: &ResourceConfig,
+    app: &AppExecModel,
+    w: u64,
+    batch_per_gpu: u32,
+    distribution: Distribution,
+) -> Option<ExecutionEstimate> {
+    if config.is_empty() || batch_per_gpu == 0 {
+        return None;
+    }
+    let instances: Vec<&InstanceType> = config.iter_instances().collect();
+    let rates: Vec<f64> = instances
+        .iter()
+        .map(|i| app.instance_rate(i, i.gpus, batch_per_gpu))
+        .collect();
+    if rates.iter().any(|&r| r <= 0.0) {
+        return None;
+    }
+    let shares: Vec<u64> = match distribution {
+        Distribution::EqualSplit => {
+            let k = instances.len() as u64;
+            let base = w / k;
+            let rem = (w % k) as usize;
+            (0..instances.len())
+                .map(|i| base + if i < rem { 1 } else { 0 })
+                .collect()
+        }
+        Distribution::Proportional => {
+            let total_rate: f64 = rates.iter().sum();
+            let mut shares: Vec<u64> = rates
+                .iter()
+                .map(|r| ((w as f64) * r / total_rate).floor() as u64)
+                .collect();
+            // Hand out the rounding remainder to the fastest instances.
+            let mut assigned: u64 = shares.iter().sum();
+            let mut order: Vec<usize> = (0..shares.len()).collect();
+            order.sort_by(|&a, &b| rates[b].partial_cmp(&rates[a]).unwrap());
+            let mut oi = 0;
+            while assigned < w {
+                shares[order[oi % order.len()]] += 1;
+                assigned += 1;
+                oi += 1;
+            }
+            shares
+        }
+    };
+    let per_instance: Vec<(String, u64, f64)> = instances
+        .iter()
+        .zip(shares.iter().zip(rates.iter()))
+        .map(|(inst, (&wi, &rate))| (inst.name.clone(), wi, wi as f64 / rate))
+        .collect();
+    let time_s = per_instance
+        .iter()
+        .map(|(_, _, t)| *t)
+        .fold(0.0_f64, f64::max);
+    // Eq. 1: all resources are held until the slowest finishes.
+    let cost = cost_usd(config.total_price_per_hour(), time_s);
+    Some(ExecutionEstimate {
+        time_s,
+        cost_usd: cost,
+        per_instance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{by_name, catalog};
+
+    /// Unpruned Caffenet: 19 min / 50 000 images saturated, 0.09 s single.
+    fn caffenet_exec() -> AppExecModel {
+        AppExecModel {
+            s_per_image_batched_ref: 19.0 * 60.0 / 50_000.0,
+            single_latency_ref: 0.09,
+        }
+    }
+
+    #[test]
+    fn single_p2_xlarge_matches_19_minutes() {
+        let cfg = ResourceConfig::of(by_name("p2.xlarge").unwrap(), 1);
+        let est = simulate(&cfg, &caffenet_exec(), 50_000, 512, Distribution::EqualSplit).unwrap();
+        assert!(
+            (est.time_s / 60.0 - 19.0).abs() < 0.6,
+            "time {} min",
+            est.time_s / 60.0
+        );
+        // Cost ≈ 19/60 h × $0.9.
+        assert!((est.cost_usd - 19.0 / 60.0 * 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn more_gpus_scale_throughput() {
+        let app = caffenet_exec();
+        let one = simulate(
+            &ResourceConfig::of(by_name("p2.xlarge").unwrap(), 1),
+            &app,
+            50_000,
+            512,
+            Distribution::EqualSplit,
+        )
+        .unwrap();
+        let eight = simulate(
+            &ResourceConfig::of(by_name("p2.8xlarge").unwrap(), 1),
+            &app,
+            50_000,
+            512,
+            Distribution::EqualSplit,
+        )
+        .unwrap();
+        let speedup = one.time_s / eight.time_s;
+        assert!((speedup - 8.0).abs() < 0.2, "speedup {speedup}");
+    }
+
+    #[test]
+    fn m60_faster_than_k80_per_gpu() {
+        let app = caffenet_exec();
+        let p2 = simulate(
+            &ResourceConfig::of(by_name("p2.xlarge").unwrap(), 1),
+            &app,
+            50_000,
+            512,
+            Distribution::EqualSplit,
+        )
+        .unwrap();
+        let g3 = simulate(
+            &ResourceConfig::of(by_name("g3.4xlarge").unwrap(), 1),
+            &app,
+            50_000,
+            341,
+            Distribution::EqualSplit,
+        )
+        .unwrap();
+        let ratio = p2.time_s / g3.time_s;
+        assert!((ratio - 2.0).abs() < 0.15, "M60/K80 ratio {ratio}");
+    }
+
+    #[test]
+    fn equal_split_straggles_on_heterogeneous_config() {
+        let app = caffenet_exec();
+        let mut cfg = ResourceConfig::of(by_name("p2.xlarge").unwrap(), 1);
+        cfg.add(by_name("p2.8xlarge").unwrap(), 1);
+        let eq = simulate(&cfg, &app, 100_000, 512, Distribution::EqualSplit).unwrap();
+        let prop = simulate(&cfg, &app, 100_000, 512, Distribution::Proportional).unwrap();
+        // Equal split: the 1-GPU instance is the straggler; proportional
+        // finishes strictly faster.
+        assert!(prop.time_s < eq.time_s * 0.75, "{} vs {}", prop.time_s, eq.time_s);
+        // Both assign all images.
+        let total_eq: u64 = eq.per_instance.iter().map(|(_, w, _)| w).sum();
+        let total_prop: u64 = prop.per_instance.iter().map(|(_, w, _)| w).sum();
+        assert_eq!(total_eq, 100_000);
+        assert_eq!(total_prop, 100_000);
+    }
+
+    #[test]
+    fn proportional_split_balances_finish_times() {
+        let app = caffenet_exec();
+        let mut cfg = ResourceConfig::of(by_name("p2.xlarge").unwrap(), 1);
+        cfg.add(by_name("p2.16xlarge").unwrap(), 1);
+        let est = simulate(&cfg, &app, 1_000_000, 512, Distribution::Proportional).unwrap();
+        let times: Vec<f64> = est.per_instance.iter().map(|(_, _, t)| *t).collect();
+        let spread = (times[0] - times[1]).abs() / est.time_s;
+        assert!(spread < 0.01, "finish-time spread {spread}");
+    }
+
+    #[test]
+    fn empty_config_or_zero_batch_is_none() {
+        let app = caffenet_exec();
+        assert!(simulate(&ResourceConfig::empty(), &app, 100, 512, Distribution::EqualSplit).is_none());
+        let cfg = ResourceConfig::of(catalog()[0].clone(), 1);
+        assert!(simulate(&cfg, &app, 100, 0, Distribution::EqualSplit).is_none());
+    }
+
+    #[test]
+    fn small_batch_slower_than_saturated() {
+        let app = caffenet_exec();
+        let cfg = ResourceConfig::of(by_name("p2.xlarge").unwrap(), 1);
+        let small = simulate(&cfg, &app, 50_000, 8, Distribution::EqualSplit).unwrap();
+        let sat = simulate(&cfg, &app, 50_000, 512, Distribution::EqualSplit).unwrap();
+        assert!(small.time_s > 1.5 * sat.time_s);
+    }
+
+    #[test]
+    fn equal_split_time_set_by_slowest_instance() {
+        let app = caffenet_exec();
+        let mut cfg = ResourceConfig::of(by_name("p2.xlarge").unwrap(), 1);
+        cfg.add(by_name("p2.16xlarge").unwrap(), 2);
+        let est = simulate(&cfg, &app, 300_000, 512, Distribution::EqualSplit).unwrap();
+        // All three instances get 100k images; the single-GPU instance is
+        // the straggler and defines T (Eq. 2's max).
+        let slowest = est
+            .per_instance
+            .iter()
+            .map(|(_, _, t)| *t)
+            .fold(0.0_f64, f64::max);
+        assert_eq!(est.time_s, slowest);
+        let xl = est.per_instance.iter().find(|(n, _, _)| n == "p2.xlarge").unwrap();
+        assert_eq!(est.time_s, xl.2);
+    }
+
+    #[test]
+    fn proportional_adding_instance_never_slower() {
+        let app = caffenet_exec();
+        let mut prev_time = f64::INFINITY;
+        let mut cfg = ResourceConfig::empty();
+        for _ in 0..4 {
+            cfg.add(by_name("p2.xlarge").unwrap(), 1);
+            let est = simulate(&cfg, &app, 400_000, 512, Distribution::Proportional).unwrap();
+            assert!(est.time_s <= prev_time + 1e-6, "{} > {prev_time}", est.time_s);
+            prev_time = est.time_s;
+        }
+    }
+
+    #[test]
+    fn huge_workload_does_not_overflow() {
+        let app = caffenet_exec();
+        let cfg = ResourceConfig::of(by_name("p2.16xlarge").unwrap(), 1);
+        let est = simulate(&cfg, &app, u64::MAX / 1_000_000, 512, Distribution::EqualSplit)
+            .unwrap();
+        assert!(est.time_s.is_finite() && est.time_s > 0.0);
+        assert!(est.cost_usd.is_finite());
+    }
+
+    #[test]
+    fn zero_workload_costs_nothing() {
+        let app = caffenet_exec();
+        let cfg = ResourceConfig::of(by_name("p2.xlarge").unwrap(), 1);
+        let est = simulate(&cfg, &app, 0, 512, Distribution::EqualSplit).unwrap();
+        assert_eq!(est.time_s, 0.0);
+        assert_eq!(est.cost_usd, 0.0);
+    }
+}

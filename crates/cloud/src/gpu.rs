@@ -1,0 +1,162 @@
+//! GPU batch-saturation model — Figure 5's measurement in closed form.
+//!
+//! A GPU only reaches peak inference throughput when enough inferences
+//! run in parallel. The paper measures time for a fixed workload against
+//! the number of parallel inferences and finds saturation near 300 on a
+//! K80 (Figure 5). We model per-GPU throughput as
+//!
+//! ```text
+//! rate(b) = saturated_rate · (c + (1 − c) · (1 − e^(−b/τ)))
+//! ```
+//!
+//! where `c = single_rate / saturated_rate` anchors the `b = 1` point and
+//! `τ` sets the saturation scale (`τ = 75` puts ~98 % of peak at
+//! `b = 300`).
+
+use serde::{Deserialize, Serialize};
+
+/// Default saturation scale: ≈98 % of peak at 300 parallel inferences.
+pub const DEFAULT_TAU: f64 = 75.0;
+
+/// Batch-size throughput curve of one application on one GPU.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BatchModel {
+    /// Throughput at full saturation, images/second.
+    pub saturated_rate: f64,
+    /// Throughput at batch size 1 (the reciprocal of single-inference
+    /// latency), images/second.
+    pub single_rate: f64,
+    /// Saturation scale τ.
+    pub tau: f64,
+}
+
+impl BatchModel {
+    /// Build from saturated and single-inference rates with the default τ.
+    pub fn new(saturated_rate: f64, single_rate: f64) -> Self {
+        Self {
+            saturated_rate,
+            single_rate,
+            tau: DEFAULT_TAU,
+        }
+    }
+
+    /// Throughput in images/second at `batch` parallel inferences.
+    pub fn rate(&self, batch: u32) -> f64 {
+        if batch == 0 {
+            return 0.0;
+        }
+        let c = (self.single_rate / self.saturated_rate).clamp(0.0, 1.0);
+        let fill = 1.0 - (-(batch as f64) / self.tau).exp();
+        self.saturated_rate * (c + (1.0 - c) * fill)
+    }
+
+    /// Time in seconds to infer `w` images at `batch` parallel inferences.
+    pub fn time_s(&self, w: u64, batch: u32) -> f64 {
+        if w == 0 {
+            return 0.0;
+        }
+        w as f64 / self.rate(batch)
+    }
+
+    /// Smallest batch size reaching `fraction` of saturated throughput —
+    /// the experiment of §4.2.3 in closed form.
+    pub fn saturation_batch(&self, fraction: f64) -> u32 {
+        let c = (self.single_rate / self.saturated_rate).clamp(0.0, 1.0);
+        if fraction <= c {
+            return 1;
+        }
+        if fraction >= 1.0 {
+            return u32::MAX;
+        }
+        // fraction = c + (1-c)(1 - e^{-b/tau})  =>  b = -tau ln(1 - (fraction-c)/(1-c))
+        let inner = 1.0 - (fraction - c) / (1.0 - c);
+        (-self.tau * inner.ln()).ceil() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Caffenet on K80: 19 min per 50 000 images saturated, 0.09 s single.
+    fn caffenet_k80() -> BatchModel {
+        BatchModel::new(50_000.0 / (19.0 * 60.0), 1.0 / 0.09)
+    }
+
+    #[test]
+    fn rate_at_one_is_single_rate() {
+        let m = caffenet_k80();
+        // At b=1 the fill term is tiny; rate ≈ single rate.
+        assert!((m.rate(1) - m.single_rate).abs() / m.single_rate < 0.05);
+    }
+
+    #[test]
+    fn saturates_near_300_as_in_fig5() {
+        let m = caffenet_k80();
+        let b95 = m.saturation_batch(0.95);
+        assert!(
+            (150..=350).contains(&b95),
+            "95% saturation at batch {b95}"
+        );
+        // Beyond 300 the gain is marginal.
+        assert!(m.rate(2000) / m.rate(300) < 1.03);
+    }
+
+    #[test]
+    fn rate_monotone_in_batch() {
+        let m = caffenet_k80();
+        let mut prev = 0.0;
+        for b in [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2000] {
+            let r = m.rate(b);
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn time_for_fixed_workload_decreases_then_flattens() {
+        // The Figure 5 curve: y = time for W images, x = parallel inferences.
+        let m = caffenet_k80();
+        let t1 = m.time_s(50_000, 1);
+        let t300 = m.time_s(50_000, 300);
+        let t2000 = m.time_s(50_000, 2000);
+        assert!(t1 > 2.0 * t300, "batching should at least halve time");
+        assert!((t300 - t2000) / t300 < 0.03, "flat beyond saturation");
+        // Saturated time ≈ 19 minutes.
+        assert!((t2000 / 60.0 - 19.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn zero_cases() {
+        let m = caffenet_k80();
+        assert_eq!(m.rate(0), 0.0);
+        assert_eq!(m.time_s(0, 128), 0.0);
+    }
+
+    #[test]
+    fn saturation_batch_edges() {
+        let m = caffenet_k80();
+        assert_eq!(m.saturation_batch(0.0), 1);
+        assert_eq!(m.saturation_batch(1.0), u32::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rate_bounded_by_saturated(b in 1u32..5000) {
+            let m = caffenet_k80();
+            let r = m.rate(b);
+            prop_assert!(r > 0.0 && r <= m.saturated_rate + 1e-9);
+        }
+
+        #[test]
+        fn prop_saturation_batch_consistent(frac in 0.1f64..0.99) {
+            let m = caffenet_k80();
+            let b = m.saturation_batch(frac);
+            prop_assert!(m.rate(b) >= frac * m.saturated_rate - 1e-6);
+            if b > 1 {
+                prop_assert!(m.rate(b - 1) < frac * m.saturated_rate + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The cloud resource catalog — Table 3 of the paper, verbatim.
+
+use serde::{Deserialize, Serialize};
+
+/// GPU silicon families present in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuKind {
+    /// NVIDIA K80 (Kepler), 2 496 parallel cores — p2 family.
+    K80,
+    /// NVIDIA M60 (Maxwell), 2 048 parallel cores — g3 family.
+    M60,
+}
+
+impl GpuKind {
+    /// Parallel processing core count (§4.1.2).
+    pub fn cores(&self) -> u32 {
+        match self {
+            GpuKind::K80 => 2496,
+            GpuKind::M60 => 2048,
+        }
+    }
+
+    /// Inference throughput relative to the K80 reference.
+    ///
+    /// The M60's newer architecture outruns its lower core count; the
+    /// factor is calibrated so the g3/p2 CAR ratio matches Figure 12
+    /// (g3 ≈ 0.61× the CAR of p2 despite a higher per-GPU price).
+    pub fn relative_throughput(&self) -> f64 {
+        match self {
+            GpuKind::K80 => 1.0,
+            GpuKind::M60 => 2.0,
+        }
+    }
+
+    /// Marketing name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GpuKind::K80 => "NVIDIA K80",
+            GpuKind::M60 => "NVIDIA M60",
+        }
+    }
+}
+
+/// One EC2 instance type (a row of Table 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceType {
+    /// API name, e.g. `p2.xlarge`.
+    pub name: String,
+    /// vCPU count.
+    pub vcpus: u32,
+    /// Number of (virtual) GPUs attached.
+    pub gpus: u32,
+    /// Host memory, GB.
+    pub mem_gb: u32,
+    /// Total GPU memory, GB.
+    pub gpu_mem_gb: u32,
+    /// On-demand price, $/hour (Oregon region, as in the paper).
+    pub price_per_hour: f64,
+    /// GPU silicon.
+    pub gpu: GpuKind,
+}
+
+impl InstanceType {
+    /// Price per GPU-hour — constant within a family ($0.90 for p2,
+    /// $1.14 for g3), which is why Figure 12's CAR is flat within a
+    /// resource category.
+    pub fn price_per_gpu_hour(&self) -> f64 {
+        self.price_per_hour / self.gpus as f64
+    }
+
+    /// Instance family prefix (`p2` / `g3`).
+    pub fn family(&self) -> &str {
+        self.name.split('.').next().unwrap_or(&self.name)
+    }
+
+    /// Maximum parallel inferences (batch size) per GPU, bounded by GPU
+    /// memory; comfortably above the ~300 saturation point of Figure 5.
+    pub fn max_batch_per_gpu(&self) -> u32 {
+        // ~12 GB K80 board fits ~512 concurrent 224×224×3 inferences of
+        // Caffenet-sized activations; scale linearly with per-GPU memory.
+        let per_gpu_mem = self.gpu_mem_gb as f64 / self.gpus as f64;
+        ((per_gpu_mem / 12.0) * 512.0).round() as u32
+    }
+}
+
+/// The six-type catalog of Table 3.
+pub fn catalog() -> Vec<InstanceType> {
+    let row = |name: &str, vcpus, gpus, mem_gb, gpu_mem_gb, price, gpu| InstanceType {
+        name: name.to_string(),
+        vcpus,
+        gpus,
+        mem_gb,
+        gpu_mem_gb,
+        price_per_hour: price,
+        gpu,
+    };
+    vec![
+        row("p2.xlarge", 4, 1, 61, 12, 0.9, GpuKind::K80),
+        row("p2.8xlarge", 32, 8, 488, 96, 7.2, GpuKind::K80),
+        row("p2.16xlarge", 64, 16, 732, 192, 14.4, GpuKind::K80),
+        row("g3.4xlarge", 16, 1, 122, 8, 1.14, GpuKind::M60),
+        row("g3.8xlarge", 32, 2, 244, 16, 2.28, GpuKind::M60),
+        row("g3.16xlarge", 64, 4, 488, 32, 4.56, GpuKind::M60),
+    ]
+}
+
+/// Look up a catalog entry by name.
+pub fn by_name(name: &str) -> Option<InstanceType> {
+    catalog().into_iter().find(|i| i.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table3() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 6);
+        let p2x = &cat[0];
+        assert_eq!(p2x.name, "p2.xlarge");
+        assert_eq!((p2x.vcpus, p2x.gpus, p2x.mem_gb, p2x.gpu_mem_gb), (4, 1, 61, 12));
+        assert_eq!(p2x.price_per_hour, 0.9);
+        assert_eq!(p2x.gpu, GpuKind::K80);
+        let g316 = by_name("g3.16xlarge").unwrap();
+        assert_eq!((g316.vcpus, g316.gpus, g316.price_per_hour), (64, 4, 4.56));
+        assert_eq!(g316.gpu, GpuKind::M60);
+    }
+
+    #[test]
+    fn per_gpu_price_constant_within_family() {
+        for inst in catalog() {
+            let expect = match inst.family() {
+                "p2" => 0.9,
+                "g3" => 1.14,
+                other => panic!("unexpected family {other}"),
+            };
+            assert!(
+                (inst.price_per_gpu_hour() - expect).abs() < 1e-9,
+                "{}",
+                inst.name
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_core_counts_match_spec() {
+        assert_eq!(GpuKind::K80.cores(), 2496);
+        assert_eq!(GpuKind::M60.cores(), 2048);
+        assert!(GpuKind::M60.relative_throughput() > GpuKind::K80.relative_throughput());
+    }
+
+    #[test]
+    fn max_batch_exceeds_saturation_point() {
+        // Figure 5: saturation near 300 parallel inferences; every
+        // catalog GPU must admit at least that.
+        for inst in catalog() {
+            assert!(
+                inst.max_batch_per_gpu() >= 300,
+                "{}: {}",
+                inst.name,
+                inst.max_batch_per_gpu()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("p3.2xlarge").is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! # cap-cloud
+//!
+//! Cloud resource simulator standing in for the paper's Amazon EC2
+//! testbed. The paper's own modelling layer is analytic (Eqs. 1–4 over
+//! measured batch times); this crate supplies that layer plus the
+//! resource substrate it needs:
+//!
+//! * [`instance`] — the Table 3 catalog: six GPU instance types from the
+//!   p2 (NVIDIA K80) and g3 (NVIDIA M60) families, with vCPU/GPU/memory
+//!   specs and hourly prices.
+//! * [`gpu`] — a GPU batch-saturation model calibrated to Figure 5
+//!   (throughput saturates near 300 parallel inferences on a K80).
+//! * [`pricing`] — pay-per-use cost, pro-rated to the nearest second as
+//!   EC2 bills (§4.1.2).
+//! * [`config`] — resource configurations `R` (multisets of instances)
+//!   and bounded enumeration of the configuration space `G`.
+//! * [`execsim`] — execution simulation: distribute `W` images over a
+//!   configuration (Eq. 4), compute inference time (Eqs. 2–3) and cost
+//!   (Eq. 1).
+//! * [`measurement`] — the paper's §3.3 methodology: run each experiment
+//!   three times under simulated virtualization jitter, record the
+//!   minimum.
+
+pub mod config;
+pub mod execsim;
+pub mod gpu;
+pub mod instance;
+pub mod measurement;
+pub mod pricing;
+pub mod scaling;
+
+pub use config::{enumerate_configs, ResourceConfig};
+pub use execsim::{simulate, AppExecModel, Distribution, ExecutionEstimate};
+pub use gpu::BatchModel;
+pub use instance::{by_name, catalog, GpuKind, InstanceType};
+pub use measurement::MeasurementHarness;
+pub use pricing::{cost_usd, cost_usd_with, BillingModel};
+pub use scaling::{amdahl_speedup, fixed_workload_curve, gustafson_speedup, ScalingPoint};

@@ -1,0 +1,111 @@
+//! Pay-per-use pricing, pro-rated to the nearest second (§4.1.2), plus
+//! the legacy per-hour billing mode as an ablation axis — billing
+//! granularity changes which Pareto configurations win for short jobs.
+
+use serde::{Deserialize, Serialize};
+
+/// Billing granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BillingModel {
+    /// Modern EC2: hourly price pro-rated to the second, duration
+    /// rounded up to the next whole second (the paper's setting).
+    PerSecond,
+    /// Legacy EC2 (pre-2017): every started hour billed in full.
+    PerHour,
+}
+
+/// Cost in USD of holding a resource priced at `price_per_hour` for
+/// `seconds` of wall-clock time. EC2 pro-rates the hourly price to the
+/// second, rounding the duration *up* to the next whole second.
+pub fn cost_usd(price_per_hour: f64, seconds: f64) -> f64 {
+    cost_usd_with(BillingModel::PerSecond, price_per_hour, seconds)
+}
+
+/// Cost under a specific billing model.
+pub fn cost_usd_with(model: BillingModel, price_per_hour: f64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    match model {
+        BillingModel::PerSecond => price_per_hour * seconds.ceil() / 3600.0,
+        BillingModel::PerHour => price_per_hour * (seconds / 3600.0).ceil(),
+    }
+}
+
+/// Cost of a set of resources held for a common duration (Eq. 1:
+/// `C = T · Σ cᵢ`).
+pub fn cost_usd_multi(prices_per_hour: &[f64], seconds: f64) -> f64 {
+    prices_per_hour.iter().map(|&p| cost_usd(p, seconds)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_hour_costs_hourly_price() {
+        assert!((cost_usd(0.9, 3600.0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pro_rates_to_seconds() {
+        // 30 minutes at $7.2/hr = $3.6.
+        assert!((cost_usd(7.2, 1800.0) - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_partial_seconds_up() {
+        let a = cost_usd(3600.0, 0.2); // billed as 1 s at $1/s
+        assert!((a - 1.0).abs() < 1e-12);
+        assert_eq!(cost_usd(3600.0, 1.0), cost_usd(3600.0, 0.5));
+    }
+
+    #[test]
+    fn zero_or_negative_duration_is_free() {
+        assert_eq!(cost_usd(10.0, 0.0), 0.0);
+        assert_eq!(cost_usd(10.0, -5.0), 0.0);
+    }
+
+    #[test]
+    fn per_hour_bills_started_hours() {
+        assert!((cost_usd_with(BillingModel::PerHour, 0.9, 10.0) - 0.9).abs() < 1e-12);
+        assert!((cost_usd_with(BillingModel::PerHour, 0.9, 3600.0) - 0.9).abs() < 1e-12);
+        assert!((cost_usd_with(BillingModel::PerHour, 0.9, 3601.0) - 1.8).abs() < 1e-12);
+        assert_eq!(cost_usd_with(BillingModel::PerHour, 0.9, 0.0), 0.0);
+    }
+
+    #[test]
+    fn per_hour_never_cheaper_than_per_second() {
+        for s in [1.0, 100.0, 1800.0, 3599.0, 3600.0, 5000.0] {
+            assert!(
+                cost_usd_with(BillingModel::PerHour, 2.0, s) + 1e-12
+                    >= cost_usd_with(BillingModel::PerSecond, 2.0, s),
+                "at {s} s"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_sums_per_resource() {
+        let total = cost_usd_multi(&[0.9, 0.9, 7.2], 3600.0);
+        assert!((total - 9.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotone_in_duration(p in 0.1f64..20.0, s1 in 0.0f64..1e5, s2 in 0.0f64..1e5) {
+            let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+            prop_assert!(cost_usd(p, lo) <= cost_usd(p, hi) + 1e-12);
+        }
+
+        #[test]
+        fn prop_rounding_overcharge_bounded(p in 0.1f64..20.0, s in 1.0f64..1e5) {
+            // Billed cost never exceeds exact cost by more than one second.
+            let exact = p * s / 3600.0;
+            let billed = cost_usd(p, s);
+            prop_assert!(billed >= exact - 1e-12);
+            prop_assert!(billed <= exact + p / 3600.0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Classical scaling laws — the paper's §1 frames accuracy scaling as
+//! the third axis after Amdahl's fixed-workload and Gustafson's
+//! fixed-time scaling. This module supplies those two baselines so the
+//! examples can put all three on one chart: what resource scaling buys
+//! (and costs) versus what accuracy scaling buys.
+
+use crate::pricing::cost_usd;
+use serde::{Deserialize, Serialize};
+
+/// Amdahl's law: speedup of a workload whose parallelizable fraction is
+/// `p` on `n` workers — `1 / ((1 − p) + p/n)`.
+pub fn amdahl_speedup(p: f64, n: u32) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    if n == 0 {
+        return 0.0;
+    }
+    1.0 / ((1.0 - p) + p / n as f64)
+}
+
+/// Gustafson's law: scaled speedup when the problem grows with the
+/// machine — `(1 − p) + p·n`.
+pub fn gustafson_speedup(p: f64, n: u32) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    (1.0 - p) + p * n as f64
+}
+
+/// Cost-time point of running a fixed workload on `n` identical
+/// instances under Amdahl scaling.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Instance count.
+    pub n: u32,
+    /// Wall-clock time, seconds.
+    pub time_s: f64,
+    /// Total cost, USD (all `n` instances held for the wall-clock time).
+    pub cost_usd: f64,
+}
+
+/// Fixed-workload scaling curve: time shrinks by Amdahl's speedup while
+/// every added instance bills for the whole (shorter) run — the
+/// cost-time trade resource scaling offers, against which the paper's
+/// accuracy scaling competes.
+pub fn fixed_workload_curve(
+    base_time_s: f64,
+    parallel_fraction: f64,
+    price_per_instance_hour: f64,
+    max_instances: u32,
+) -> Vec<ScalingPoint> {
+    (1..=max_instances.max(1))
+        .map(|n| {
+            let time_s = base_time_s / amdahl_speedup(parallel_fraction, n);
+            ScalingPoint {
+                n,
+                time_s,
+                cost_usd: cost_usd(price_per_instance_hour * n as f64, time_s),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn amdahl_limits() {
+        // Fully serial: no speedup. Fully parallel: linear.
+        assert_eq!(amdahl_speedup(0.0, 64), 1.0);
+        assert!((amdahl_speedup(1.0, 64) - 64.0).abs() < 1e-12);
+        // Classic: 95% parallel caps at 20x.
+        assert!(amdahl_speedup(0.95, u32::MAX) <= 20.0 + 1e-6);
+        assert!(amdahl_speedup(0.95, 1_000_000) > 19.0);
+    }
+
+    #[test]
+    fn gustafson_limits() {
+        assert_eq!(gustafson_speedup(0.0, 64), 1.0);
+        assert!((gustafson_speedup(1.0, 64) - 64.0).abs() < 1e-12);
+        // Gustafson is always at least Amdahl for the same (p, n).
+        for n in [2u32, 8, 64] {
+            assert!(gustafson_speedup(0.9, n) >= amdahl_speedup(0.9, n));
+        }
+    }
+
+    #[test]
+    fn fixed_workload_curve_time_falls_cost_rises_when_serial_part_exists() {
+        // CNN inference is embarrassingly parallel across images but the
+        // per-batch pipeline keeps a small serial share.
+        let curve = fixed_workload_curve(19.0 * 60.0, 0.95, 0.9, 16);
+        assert_eq!(curve.len(), 16);
+        for w in curve.windows(2) {
+            assert!(w[1].time_s < w[0].time_s, "time monotone down");
+        }
+        // With a serial fraction, cost eventually rises with n.
+        assert!(curve[15].cost_usd > curve[0].cost_usd);
+    }
+
+    #[test]
+    fn perfectly_parallel_workload_costs_constant() {
+        let curve = fixed_workload_curve(3600.0, 1.0, 1.0, 8);
+        for p in &curve {
+            assert!((p.cost_usd - 1.0).abs() < 0.01, "n={}: {}", p.n, p.cost_usd);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_amdahl_bounded_by_n_and_serial_limit(p in 0.0f64..1.0, n in 1u32..1000) {
+            let s = amdahl_speedup(p, n);
+            prop_assert!(s >= 1.0 - 1e-12);
+            prop_assert!(s <= n as f64 + 1e-9);
+            if p < 1.0 {
+                prop_assert!(s <= 1.0 / (1.0 - p) + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Batched inference execution and throughput measurement — the
+//! measured counterpart of the paper's §4.2.3 parallel-inference
+//! experiment (Figure 5), at the scale of the implemented framework.
+//!
+//! "Parallel inferences" on our CPU substrate is the batch dimension:
+//! convolution layers fan images of a batch out across rayon workers, so
+//! throughput rises with batch size until the worker pool saturates —
+//! the same shape as the paper's GPU curve, with the saturation point
+//! set by core count instead of SM count.
+
+use crate::accuracy::{evaluate_topk_tensor, AccuracyReport};
+use crate::network::Network;
+use cap_tensor::{Tensor4, TensorResult};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Throughput measured over one batched run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Images processed.
+    pub images: usize,
+    /// Batch size used.
+    pub batch: usize,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Images per second.
+    pub images_per_s: f64,
+}
+
+/// Run inference over `images` in batches of `batch`, returning the
+/// network outputs per image (in order) and a throughput report.
+///
+/// A trailing partial batch is executed as-is.
+pub fn run_batched(
+    net: &Network,
+    images: &Tensor4,
+    batch: usize,
+) -> TensorResult<(Vec<Vec<f32>>, ThroughputReport)> {
+    let n = images.n();
+    let batch = batch.max(1);
+    let (c, h, w) = (images.c(), images.h(), images.w());
+    let mut outputs = Vec::with_capacity(n);
+    let start = Instant::now();
+    let mut i = 0;
+    while i < n {
+        let take = batch.min(n - i);
+        let mut chunk = Tensor4::zeros(take, c, h, w);
+        for j in 0..take {
+            chunk.image_mut(j).copy_from_slice(images.image(i + j));
+        }
+        let out = net.forward(&chunk)?;
+        for j in 0..take {
+            outputs.push(out.image(j).to_vec());
+        }
+        i += take;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    Ok((
+        outputs,
+        ThroughputReport {
+            images: n,
+            batch,
+            wall_s,
+            images_per_s: if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 },
+        },
+    ))
+}
+
+/// Run inference and score it against labels in one pass.
+pub fn run_and_score(
+    net: &Network,
+    images: &Tensor4,
+    labels: &[usize],
+    batch: usize,
+) -> TensorResult<(AccuracyReport, ThroughputReport)> {
+    let n = images.n();
+    let batch = batch.max(1);
+    let (c, h, w) = (images.c(), images.h(), images.w());
+    let mut acc = AccuracyReport {
+        top1: 0.0,
+        top5: 0.0,
+        n: 0,
+    };
+    let start = Instant::now();
+    let mut i = 0;
+    while i < n {
+        let take = batch.min(n - i);
+        let mut chunk = Tensor4::zeros(take, c, h, w);
+        for j in 0..take {
+            chunk.image_mut(j).copy_from_slice(images.image(i + j));
+        }
+        let out = net.forward(&chunk)?;
+        let batch_acc = evaluate_topk_tensor(&out, &labels[i..i + take])?;
+        acc = acc.merge(&batch_acc);
+        i += take;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    Ok((
+        acc,
+        ThroughputReport {
+            images: n,
+            batch,
+            wall_s,
+            images_per_s: if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 },
+        },
+    ))
+}
+
+/// Measure throughput across batch sizes — the Figure 5 experiment run
+/// for real on this framework. Returns `(batch, images_per_s)` series.
+pub fn parallel_scaling(
+    net: &Network,
+    images: &Tensor4,
+    batch_sizes: &[usize],
+) -> TensorResult<Vec<(usize, f64)>> {
+    // Warm-up to fault weights in.
+    let _ = run_batched(net, images, batch_sizes.first().copied().unwrap_or(1))?;
+    batch_sizes
+        .iter()
+        .map(|&b| {
+            // §3.3 protocol: three runs, keep the fastest.
+            let mut best = 0.0_f64;
+            for _ in 0..3 {
+                let (_, report) = run_batched(net, images, b)?;
+                best = best.max(report.images_per_s);
+            }
+            Ok((b, best))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvLayer, PoolLayer, PoolMode, ReluLayer};
+    use crate::network::Network;
+    use cap_tensor::{init::xavier_uniform, Conv2dParams};
+
+    fn small_net() -> Network {
+        let mut net = Network::new("t", (2, 8, 8));
+        let p = Conv2dParams::new(2, 4, 3, 1, 1);
+        net.add_sequential(Box::new(
+            ConvLayer::new("c1", p, xavier_uniform(4, 18, 3), vec![0.0; 4]).unwrap(),
+        ))
+        .unwrap();
+        net.add_sequential(Box::new(ReluLayer::new("r1"))).unwrap();
+        net.add_sequential(Box::new(PoolLayer::new("p1", PoolMode::Max, 2, 0, 2)))
+            .unwrap();
+        net
+    }
+
+    fn images(n: usize) -> Tensor4 {
+        Tensor4::from_fn(n, 2, 8, 8, |i, c, h, w| ((i * 5 + c * 3 + h + w) % 7) as f32 - 3.0)
+    }
+
+    #[test]
+    fn batched_output_matches_single_batch() {
+        let net = small_net();
+        let imgs = images(10);
+        let (chunked, _) = run_batched(&net, &imgs, 3).unwrap();
+        let (whole, _) = run_batched(&net, &imgs, 10).unwrap();
+        assert_eq!(chunked.len(), 10);
+        for (a, b) in chunked.iter().zip(whole.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_partial_batch_handled() {
+        let net = small_net();
+        let imgs = images(7);
+        let (out, report) = run_batched(&net, &imgs, 4).unwrap();
+        assert_eq!(out.len(), 7);
+        assert_eq!(report.images, 7);
+        assert_eq!(report.batch, 4);
+        assert!(report.images_per_s > 0.0);
+    }
+
+    #[test]
+    fn zero_batch_clamped_to_one() {
+        let net = small_net();
+        let imgs = images(3);
+        let (out, report) = run_batched(&net, &imgs, 0).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(report.batch, 1);
+    }
+
+    #[test]
+    fn scaling_series_has_requested_points() {
+        let net = small_net();
+        let imgs = images(16);
+        let series = parallel_scaling(&net, &imgs, &[1, 4, 16]).unwrap();
+        assert_eq!(series.len(), 3);
+        assert!(series.iter().all(|&(_, r)| r > 0.0));
+    }
+
+    #[test]
+    fn run_and_score_counts_all_images() {
+        // A softmax-free net won't produce meaningful classes; build a
+        // 1x1-spatial net for scoring.
+        let mut net = Network::new("s", (4, 1, 1));
+        let p = Conv2dParams::new(4, 3, 1, 0, 1);
+        net.add_sequential(Box::new(
+            ConvLayer::new("c", p, xavier_uniform(3, 4, 5), vec![0.0; 3]).unwrap(),
+        ))
+        .unwrap();
+        let imgs = Tensor4::from_fn(9, 4, 1, 1, |i, c, _, _| ((i + c) % 5) as f32 - 2.0);
+        let labels = vec![0usize, 1, 2, 0, 1, 2, 0, 1, 2];
+        let (acc, report) = run_and_score(&net, &imgs, &labels, 4).unwrap();
+        assert_eq!(acc.n, 9);
+        assert_eq!(report.images, 9);
+        assert!(acc.top5 >= acc.top1);
+    }
+}

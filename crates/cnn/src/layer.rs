@@ -1,0 +1,131 @@
+//! The [`Layer`] trait and all layer implementations.
+//!
+//! Layers are forward-only (inference is what the paper measures); the
+//! trainable path lives in [`crate::train`]. A layer consumes one or more
+//! NCHW tensors and produces one. Convolution and inner-product layers
+//! carry weights and support pruning: zeroed weights are detected and,
+//! above a sparsity threshold, execution switches to CSR sparse kernels —
+//! mirroring the sparse-Caffe fork the paper uses.
+
+mod concat;
+mod conv;
+mod dropout;
+mod inner_product;
+mod lrn;
+mod pool;
+mod relu;
+mod softmax;
+
+pub use concat::ConcatLayer;
+pub use conv::{ConvLayer, SPARSE_THRESHOLD};
+pub use dropout::DropoutLayer;
+pub use inner_product::InnerProductLayer;
+pub use lrn::LrnLayer;
+pub use pool::{PoolLayer, PoolMode};
+pub use relu::ReluLayer;
+pub use softmax::SoftmaxLayer;
+
+use cap_tensor::{Matrix, Tensor4, TensorResult};
+use serde::{Deserialize, Serialize};
+
+/// Per-image shape `(channels, height, width)` flowing between layers.
+pub type ChwShape = (usize, usize, usize);
+
+/// Coarse classification of a layer, used for reporting (Figure 3 groups
+/// time by layer) and for selecting prunable layers (the paper prunes
+/// convolution layers only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Convolution,
+    /// Fully-connected (Caffe "InnerProduct").
+    InnerProduct,
+    /// Rectified linear activation.
+    Relu,
+    /// Max or average pooling.
+    Pooling,
+    /// Local response normalization.
+    Lrn,
+    /// Channel-dimension concatenation (inception modules).
+    Concat,
+    /// Dropout (identity at inference time).
+    Dropout,
+    /// Softmax classifier head.
+    Softmax,
+}
+
+impl LayerKind {
+    /// Short lowercase tag used in reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LayerKind::Convolution => "conv",
+            LayerKind::InnerProduct => "fc",
+            LayerKind::Relu => "relu",
+            LayerKind::Pooling => "pool",
+            LayerKind::Lrn => "lrn",
+            LayerKind::Concat => "concat",
+            LayerKind::Dropout => "dropout",
+            LayerKind::Softmax => "softmax",
+        }
+    }
+}
+
+/// A forward-only CNN layer.
+pub trait Layer: Send + Sync {
+    /// Unique layer name (e.g. `conv1`, `inception-3a-3x3`).
+    fn name(&self) -> &str;
+
+    /// Layer kind for grouping and prunability checks.
+    fn kind(&self) -> LayerKind;
+
+    /// Execute the layer on its inputs (most layers take exactly one).
+    fn forward(&self, inputs: &[&Tensor4]) -> TensorResult<Tensor4>;
+
+    /// Per-image output shape given per-image input shapes.
+    fn out_shape(&self, in_shapes: &[ChwShape]) -> TensorResult<ChwShape>;
+
+    /// Multiply–accumulate operations per image (0 for shape-only layers).
+    fn macs_per_image(&self, in_shapes: &[ChwShape]) -> TensorResult<u64>;
+
+    /// Number of learnable parameters (weights + biases).
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Weight matrix, if this layer has one.
+    fn weights(&self) -> Option<&Matrix> {
+        None
+    }
+
+    /// Replace the weight matrix (used by pruning). Layers without
+    /// weights return an error.
+    fn set_weights(&mut self, _weights: Matrix) -> TensorResult<()> {
+        Err(cap_tensor::ShapeError::new(format!(
+            "layer {} has no weights",
+            self.name()
+        )))
+    }
+
+    /// Fraction of zero weights (0.0 for weightless layers).
+    fn weight_sparsity(&self) -> f64 {
+        self.weights().map_or(0.0, |w| w.sparsity(0.0))
+    }
+}
+
+/// FLOPs per image = 2 × MACs (one multiply + one add), the convention
+/// used throughout the evaluation.
+pub fn flops_per_image(layer: &dyn Layer, in_shapes: &[ChwShape]) -> TensorResult<u64> {
+    Ok(2 * layer.macs_per_image(in_shapes)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tags_are_stable() {
+        assert_eq!(LayerKind::Convolution.tag(), "conv");
+        assert_eq!(LayerKind::InnerProduct.tag(), "fc");
+        assert_eq!(LayerKind::Softmax.tag(), "softmax");
+    }
+}

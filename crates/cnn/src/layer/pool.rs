@@ -1,0 +1,89 @@
+//! Pooling layer (max or average).
+
+use super::{ChwShape, Layer, LayerKind};
+use cap_tensor::{avg_pool2d, max_pool2d, Pool2dParams, ShapeError, Tensor4, TensorResult};
+use serde::{Deserialize, Serialize};
+
+/// Pooling mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolMode {
+    /// Maximum over the window.
+    Max,
+    /// Mean over valid window cells.
+    Avg,
+}
+
+/// Spatial pooling layer.
+pub struct PoolLayer {
+    name: String,
+    mode: PoolMode,
+    params: Pool2dParams,
+}
+
+impl PoolLayer {
+    /// Create a pooling layer with window `k`, padding `pad`, stride `stride`.
+    pub fn new(name: impl Into<String>, mode: PoolMode, k: usize, pad: usize, stride: usize) -> Self {
+        Self {
+            name: name.into(),
+            mode,
+            params: Pool2dParams::new(k, pad, stride),
+        }
+    }
+
+    /// Pooling mode.
+    pub fn mode(&self) -> PoolMode {
+        self.mode
+    }
+}
+
+impl Layer for PoolLayer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pooling
+    }
+
+    fn forward(&self, inputs: &[&Tensor4]) -> TensorResult<Tensor4> {
+        let [input] = inputs else {
+            return Err(ShapeError::new("pool: expected exactly one input"));
+        };
+        match self.mode {
+            PoolMode::Max => max_pool2d(input, &self.params),
+            PoolMode::Avg => avg_pool2d(input, &self.params),
+        }
+    }
+
+    fn out_shape(&self, in_shapes: &[ChwShape]) -> TensorResult<ChwShape> {
+        let [(c, h, w)] = in_shapes else {
+            return Err(ShapeError::new("pool: expected exactly one input shape"));
+        };
+        let (oh, ow) = self.params.out_shape(*h, *w)?;
+        Ok((*c, oh, ow))
+    }
+
+    fn macs_per_image(&self, _in_shapes: &[ChwShape]) -> TensorResult<u64> {
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_layer_caffenet_pool1() {
+        // Caffenet pool1: 3x3 stride 2 on 96x55x55 -> 96x27x27.
+        let l = PoolLayer::new("pool1", PoolMode::Max, 3, 0, 2);
+        assert_eq!(l.out_shape(&[(96, 55, 55)]).unwrap(), (96, 27, 27));
+    }
+
+    #[test]
+    fn avg_pool_layer_forward() {
+        let l = PoolLayer::new("gap", PoolMode::Avg, 2, 0, 2);
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 6.0]).unwrap();
+        let y = l.forward(&[&x]).unwrap();
+        assert_eq!(y.as_slice(), &[3.0]);
+    }
+}

@@ -1,0 +1,60 @@
+//! ReLU activation layer.
+
+use super::{ChwShape, Layer, LayerKind};
+use cap_tensor::{ops::relu_inplace, ShapeError, Tensor4, TensorResult};
+
+/// Rectified linear unit: `y = max(0, x)`, elementwise.
+pub struct ReluLayer {
+    name: String,
+}
+
+impl ReluLayer {
+    /// Create a ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl Layer for ReluLayer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Relu
+    }
+
+    fn forward(&self, inputs: &[&Tensor4]) -> TensorResult<Tensor4> {
+        let [input] = inputs else {
+            return Err(ShapeError::new("relu: expected exactly one input"));
+        };
+        let mut out = (*input).clone();
+        relu_inplace(out.as_mut_slice());
+        Ok(out)
+    }
+
+    fn out_shape(&self, in_shapes: &[ChwShape]) -> TensorResult<ChwShape> {
+        let [shape] = in_shapes else {
+            return Err(ShapeError::new("relu: expected exactly one input shape"));
+        };
+        Ok(*shape)
+    }
+
+    fn macs_per_image(&self, _in_shapes: &[ChwShape]) -> TensorResult<u64> {
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_negatives_preserves_shape() {
+        let l = ReluLayer::new("relu_t");
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
+        let y = l.forward(&[&x]).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        assert_eq!(l.out_shape(&[(1, 2, 2)]).unwrap(), (1, 2, 2));
+    }
+}

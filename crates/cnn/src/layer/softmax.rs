@@ -1,0 +1,79 @@
+//! Softmax classifier head.
+
+use super::{ChwShape, Layer, LayerKind};
+use cap_tensor::{ops::softmax_inplace, ShapeError, Tensor4, TensorResult};
+
+/// Per-image softmax over the channel dimension (expects 1×1 spatial).
+pub struct SoftmaxLayer {
+    name: String,
+}
+
+impl SoftmaxLayer {
+    /// Create a softmax layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl Layer for SoftmaxLayer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Softmax
+    }
+
+    fn forward(&self, inputs: &[&Tensor4]) -> TensorResult<Tensor4> {
+        let [input] = inputs else {
+            return Err(ShapeError::new("softmax: expected exactly one input"));
+        };
+        if input.h() != 1 || input.w() != 1 {
+            return Err(ShapeError::new(format!(
+                "softmax {}: expected 1x1 spatial input, got {}x{}",
+                self.name,
+                input.h(),
+                input.w()
+            )));
+        }
+        let mut out = (*input).clone();
+        for n in 0..out.n() {
+            softmax_inplace(out.image_mut(n));
+        }
+        Ok(out)
+    }
+
+    fn out_shape(&self, in_shapes: &[ChwShape]) -> TensorResult<ChwShape> {
+        let [shape] = in_shapes else {
+            return Err(ShapeError::new("softmax: expected exactly one input shape"));
+        };
+        Ok(*shape)
+    }
+
+    fn macs_per_image(&self, _in_shapes: &[ChwShape]) -> TensorResult<u64> {
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_image_sums_to_one() {
+        let l = SoftmaxLayer::new("prob");
+        let x = Tensor4::from_fn(3, 5, 1, 1, |n, c, _, _| (n * c) as f32 * 0.3);
+        let y = l.forward(&[&x]).unwrap();
+        for n in 0..3 {
+            let s: f32 = y.image(n).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rejects_spatial_input() {
+        let l = SoftmaxLayer::new("prob");
+        let x = Tensor4::zeros(1, 5, 2, 2);
+        assert!(l.forward(&[&x]).is_err());
+    }
+}

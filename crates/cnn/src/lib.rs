@@ -1,0 +1,30 @@
+//! # cap-cnn
+//!
+//! A Caffe-like CNN inference framework built on [`cap_tensor`], providing
+//! the application substrate of the paper: Caffenet (Table 1 / Figure 1)
+//! and Googlenet, executed layer by layer with per-layer wall-clock
+//! timing — the instrument behind the paper's Figure 3 measurement.
+//!
+//! * [`layer`] — the [`Layer`] trait and every layer type
+//!   the two models need (convolution with a sparse fast path for pruned
+//!   weights, inner product, ReLU, max/avg pooling, LRN, channel concat,
+//!   dropout, softmax).
+//! * [`network`] — a DAG executor with topological scheduling and a
+//!   timing collector.
+//! * [`models`] — Caffenet, Googlenet and the small trainable `TinyNet`.
+//! * [`accuracy`] — top-1 / top-5 metrics as defined in §3.2.2 of the
+//!   paper.
+//! * [`train`] — SGD with momentum and backprop for the TinyNet path, so
+//!   accuracy-vs-pruning curves can be *measured*, not just modelled.
+
+pub mod accuracy;
+pub mod inference;
+pub mod layer;
+pub mod models;
+pub mod network;
+pub mod train;
+
+pub use accuracy::{evaluate_topk, AccuracyReport};
+pub use inference::{parallel_scaling, run_and_score, run_batched, ThroughputReport};
+pub use layer::{Layer, LayerKind};
+pub use network::{ForwardRecord, LayerTiming, Network, NodeId};

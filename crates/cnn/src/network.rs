@@ -1,0 +1,487 @@
+//! DAG network executor with per-layer wall-clock timing.
+//!
+//! A [`Network`] is a directed acyclic graph of layers. Nodes are added in
+//! topological order (each node may only reference earlier nodes or the
+//! network input), which is how Caffe prototxts are written too. The
+//! executor runs nodes in insertion order, records per-layer durations,
+//! and frees intermediate activations as soon as their last consumer has
+//! run — Googlenet at batch 32 would otherwise hold hundreds of MB.
+
+use crate::layer::{ChwShape, Layer, LayerKind};
+use cap_tensor::{Matrix, ShapeError, Tensor4, TensorResult};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Identifier of a node within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Sentinel input reference: the network's input tensor.
+pub const INPUT: NodeId = NodeId(usize::MAX);
+
+struct Node {
+    layer: Box<dyn Layer>,
+    inputs: Vec<NodeId>,
+}
+
+/// Wall-clock duration attributed to one layer during a forward pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerTiming {
+    /// Layer name.
+    pub name: String,
+    /// Layer kind tag (`conv`, `fc`, ...).
+    pub kind: String,
+    /// Time spent inside `Layer::forward`.
+    pub duration: Duration,
+}
+
+/// Result of a timed forward pass.
+#[derive(Debug)]
+pub struct ForwardRecord {
+    /// Final output tensor (the last node's output).
+    pub output: Tensor4,
+    /// Per-layer durations in execution order.
+    pub timings: Vec<LayerTiming>,
+}
+
+impl ForwardRecord {
+    /// Total time across all layers.
+    pub fn total_time(&self) -> Duration {
+        self.timings.iter().map(|t| t.duration).sum()
+    }
+
+    /// Fraction of total time spent in each layer, in execution order.
+    /// Returns `(name, kind, fraction)` triples; fractions sum to 1.
+    pub fn time_distribution(&self) -> Vec<(String, String, f64)> {
+        let total = self.total_time().as_secs_f64();
+        self.timings
+            .iter()
+            .map(|t| {
+                let f = if total > 0.0 {
+                    t.duration.as_secs_f64() / total
+                } else {
+                    0.0
+                };
+                (t.name.clone(), t.kind.clone(), f)
+            })
+            .collect()
+    }
+}
+
+/// A CNN expressed as a DAG of layers with a single input and a single
+/// output (the last node).
+pub struct Network {
+    name: String,
+    input_shape: ChwShape,
+    nodes: Vec<Node>,
+    by_name: HashMap<String, NodeId>,
+}
+
+impl Network {
+    /// Create an empty network for per-image input shape `(c, h, w)`.
+    pub fn new(name: impl Into<String>, input_shape: ChwShape) -> Self {
+        Self {
+            name: name.into(),
+            input_shape,
+            nodes: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Network name (e.g. `caffenet`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-image input shape `(c, h, w)`.
+    pub fn input_shape(&self) -> ChwShape {
+        self.input_shape
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Append a layer whose inputs are earlier nodes (or [`INPUT`]).
+    ///
+    /// Validates acyclicity (inputs must precede this node) and shape
+    /// compatibility, and returns the new node's id.
+    pub fn add_layer(
+        &mut self,
+        layer: Box<dyn Layer>,
+        inputs: &[NodeId],
+    ) -> TensorResult<NodeId> {
+        let id = NodeId(self.nodes.len());
+        for &inp in inputs {
+            if inp != INPUT && inp.0 >= id.0 {
+                return Err(ShapeError::new(format!(
+                    "network {}: node {} references later node {}",
+                    self.name,
+                    layer.name(),
+                    inp.0
+                )));
+            }
+        }
+        if self.by_name.contains_key(layer.name()) {
+            return Err(ShapeError::new(format!(
+                "network {}: duplicate layer name {}",
+                self.name,
+                layer.name()
+            )));
+        }
+        // Shape-check the whole prefix up to and including this layer.
+        let in_shapes = self.resolve_shapes(inputs)?;
+        layer.out_shape(&in_shapes)?;
+        self.by_name.insert(layer.name().to_string(), id);
+        self.nodes.push(Node {
+            layer,
+            inputs: inputs.to_vec(),
+        });
+        Ok(id)
+    }
+
+    /// Append a layer consuming the previous node's output (or the network
+    /// input if this is the first layer) — the common sequential case.
+    pub fn add_sequential(&mut self, layer: Box<dyn Layer>) -> TensorResult<NodeId> {
+        let prev = if self.nodes.is_empty() {
+            INPUT
+        } else {
+            NodeId(self.nodes.len() - 1)
+        };
+        self.add_layer(layer, &[prev])
+    }
+
+    fn resolve_shapes(&self, inputs: &[NodeId]) -> TensorResult<Vec<ChwShape>> {
+        inputs
+            .iter()
+            .map(|&id| {
+                if id == INPUT {
+                    Ok(self.input_shape)
+                } else {
+                    self.shape_of(id)
+                }
+            })
+            .collect()
+    }
+
+    /// Per-image output shape of node `id`, derived by walking the DAG.
+    pub fn shape_of(&self, id: NodeId) -> TensorResult<ChwShape> {
+        if id == INPUT {
+            return Ok(self.input_shape);
+        }
+        // Compute shapes for all nodes up to `id` (cheap: pure arithmetic).
+        let mut shapes: Vec<ChwShape> = Vec::with_capacity(id.0 + 1);
+        for node in &self.nodes[..=id.0] {
+            let in_shapes: Vec<ChwShape> = node
+                .inputs
+                .iter()
+                .map(|&i| if i == INPUT { self.input_shape } else { shapes[i.0] })
+                .collect();
+            shapes.push(node.layer.out_shape(&in_shapes)?);
+        }
+        Ok(shapes[id.0])
+    }
+
+    /// Per-image output shape of the network (last node).
+    pub fn output_shape(&self) -> TensorResult<ChwShape> {
+        if self.nodes.is_empty() {
+            return Ok(self.input_shape);
+        }
+        self.shape_of(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Look up a node id by layer name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Immutable access to a layer by name.
+    pub fn layer(&self, name: &str) -> Option<&dyn Layer> {
+        self.node_id(name).map(|id| self.nodes[id.0].layer.as_ref())
+    }
+
+    /// Mutable access to a layer by name (used by pruning to swap weights).
+    pub fn layer_mut(&mut self, name: &str) -> Option<&mut (dyn Layer + 'static)> {
+        let id = self.node_id(name)?;
+        Some(self.nodes[id.0].layer.as_mut())
+    }
+
+    /// Iterate layer names in execution order.
+    pub fn layer_names(&self) -> impl Iterator<Item = &str> {
+        self.nodes.iter().map(|n| n.layer.name())
+    }
+
+    /// Names of all layers of a given kind, in execution order. The paper
+    /// prunes `kind == Convolution` layers only.
+    pub fn layers_of_kind(&self, kind: LayerKind) -> Vec<String> {
+        self.nodes
+            .iter()
+            .filter(|n| n.layer.kind() == kind)
+            .map(|n| n.layer.name().to_string())
+            .collect()
+    }
+
+    /// Total learnable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.layer.param_count()).sum()
+    }
+
+    /// Total MACs per image, summed across layers.
+    pub fn macs_per_image(&self) -> TensorResult<u64> {
+        let mut shapes: Vec<ChwShape> = Vec::with_capacity(self.nodes.len());
+        let mut total = 0u64;
+        for node in &self.nodes {
+            let in_shapes: Vec<ChwShape> = node
+                .inputs
+                .iter()
+                .map(|&i| if i == INPUT { self.input_shape } else { shapes[i.0] })
+                .collect();
+            total += node.layer.macs_per_image(&in_shapes)?;
+            shapes.push(node.layer.out_shape(&in_shapes)?);
+        }
+        Ok(total)
+    }
+
+    /// Per-layer MACs per image, `(name, kind, macs)` in execution order.
+    pub fn macs_by_layer(&self) -> TensorResult<Vec<(String, LayerKind, u64)>> {
+        let mut shapes: Vec<ChwShape> = Vec::with_capacity(self.nodes.len());
+        let mut out = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let in_shapes: Vec<ChwShape> = node
+                .inputs
+                .iter()
+                .map(|&i| if i == INPUT { self.input_shape } else { shapes[i.0] })
+                .collect();
+            out.push((
+                node.layer.name().to_string(),
+                node.layer.kind(),
+                node.layer.macs_per_image(&in_shapes)?,
+            ));
+            shapes.push(node.layer.out_shape(&in_shapes)?);
+        }
+        Ok(out)
+    }
+
+    /// Run a forward pass, returning only the output tensor.
+    pub fn forward(&self, input: &Tensor4) -> TensorResult<Tensor4> {
+        Ok(self.forward_timed(input)?.output)
+    }
+
+    /// Run a forward pass and record per-layer wall-clock durations —
+    /// the measurement behind Figure 3.
+    pub fn forward_timed(&self, input: &Tensor4) -> TensorResult<ForwardRecord> {
+        if input.c() != self.input_shape.0
+            || input.h() != self.input_shape.1
+            || input.w() != self.input_shape.2
+        {
+            return Err(ShapeError::new(format!(
+                "network {}: input shape {:?}, expected {:?}",
+                self.name,
+                (input.c(), input.h(), input.w()),
+                self.input_shape
+            )));
+        }
+        if self.nodes.is_empty() {
+            return Ok(ForwardRecord {
+                output: input.clone(),
+                timings: Vec::new(),
+            });
+        }
+        // Last consumer index per node so activations free eagerly.
+        let mut last_use = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &inp in &node.inputs {
+                if inp != INPUT {
+                    last_use[inp.0] = i;
+                }
+            }
+        }
+        let mut activations: Vec<Option<Tensor4>> = (0..self.nodes.len()).map(|_| None).collect();
+        let mut timings = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            let input_refs: Vec<&Tensor4> = node
+                .inputs
+                .iter()
+                .map(|&id| {
+                    if id == INPUT {
+                        input
+                    } else {
+                        activations[id.0]
+                            .as_ref()
+                            .expect("topological order guarantees producer ran and is retained")
+                    }
+                })
+                .collect();
+            let start = Instant::now();
+            let out = node.layer.forward(&input_refs)?;
+            timings.push(LayerTiming {
+                name: node.layer.name().to_string(),
+                kind: node.layer.kind().tag().to_string(),
+                duration: start.elapsed(),
+            });
+            activations[i] = Some(out);
+            // Drop activations nobody will read again.
+            for (j, slot) in activations.iter_mut().enumerate().take(i) {
+                if last_use[j] <= i && j != self.nodes.len() - 1 {
+                    *slot = None;
+                }
+            }
+        }
+        let output = activations
+            .pop()
+            .flatten()
+            .expect("last node output retained");
+        Ok(ForwardRecord { output, timings })
+    }
+
+    /// Replace the weights of layer `name` (pruning entry point).
+    pub fn set_layer_weights(&mut self, name: &str, weights: Matrix) -> TensorResult<()> {
+        match self.layer_mut(name) {
+            Some(l) => l.set_weights(weights),
+            None => Err(ShapeError::new(format!(
+                "network {}: no layer named {}",
+                self.name, name
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConcatLayer, ConvLayer, PoolLayer, PoolMode, ReluLayer, SoftmaxLayer};
+    use cap_tensor::{init::xavier_uniform, Conv2dParams};
+
+    fn tiny_sequential() -> Network {
+        let mut net = Network::new("tiny", (3, 8, 8));
+        let p = Conv2dParams::new(3, 4, 3, 1, 1);
+        net.add_sequential(Box::new(
+            ConvLayer::new("conv1", p, xavier_uniform(4, 27, 1), vec![0.0; 4]).unwrap(),
+        ))
+        .unwrap();
+        net.add_sequential(Box::new(ReluLayer::new("relu1"))).unwrap();
+        net.add_sequential(Box::new(PoolLayer::new("pool1", PoolMode::Max, 2, 0, 2)))
+            .unwrap();
+        net
+    }
+
+    #[test]
+    fn sequential_shapes_propagate() {
+        let net = tiny_sequential();
+        assert_eq!(net.output_shape().unwrap(), (4, 4, 4));
+        assert_eq!(net.len(), 3);
+    }
+
+    #[test]
+    fn forward_produces_expected_shape() {
+        let net = tiny_sequential();
+        let x = Tensor4::from_fn(2, 3, 8, 8, |n, c, h, w| ((n + c + h + w) % 3) as f32 - 1.0);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape(), (2, 4, 4, 4));
+    }
+
+    #[test]
+    fn forward_timed_records_all_layers() {
+        let net = tiny_sequential();
+        let x = Tensor4::zeros(1, 3, 8, 8);
+        let rec = net.forward_timed(&x).unwrap();
+        assert_eq!(rec.timings.len(), 3);
+        assert_eq!(rec.timings[0].name, "conv1");
+        assert_eq!(rec.timings[0].kind, "conv");
+        let dist = rec.time_distribution();
+        let total: f64 = dist.iter().map(|(_, _, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dag_with_concat_branches() {
+        // input -> convA \
+        //                  concat -> softmax-ready shape checks
+        // input -> convB /
+        let mut net = Network::new("branchy", (3, 4, 4));
+        let p = Conv2dParams::new(3, 2, 1, 0, 1);
+        let a = net
+            .add_layer(
+                Box::new(ConvLayer::new("a", p, xavier_uniform(2, 3, 2), vec![0.0; 2]).unwrap()),
+                &[INPUT],
+            )
+            .unwrap();
+        let b = net
+            .add_layer(
+                Box::new(ConvLayer::new("b", p, xavier_uniform(2, 3, 3), vec![0.0; 2]).unwrap()),
+                &[INPUT],
+            )
+            .unwrap();
+        net.add_layer(Box::new(ConcatLayer::new("cat")), &[a, b]).unwrap();
+        assert_eq!(net.output_shape().unwrap(), (4, 4, 4));
+        let x = Tensor4::from_fn(1, 3, 4, 4, |_, c, h, w| (c + h + w) as f32 * 0.1);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape(), (1, 4, 4, 4));
+    }
+
+    #[test]
+    fn rejects_duplicate_names_and_forward_refs() {
+        let mut net = Network::new("bad", (3, 4, 4));
+        net.add_sequential(Box::new(ReluLayer::new("r"))).unwrap();
+        assert!(net.add_sequential(Box::new(ReluLayer::new("r"))).is_err());
+        assert!(net
+            .add_layer(Box::new(ReluLayer::new("r2")), &[NodeId(5)])
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_input_shape() {
+        let net = tiny_sequential();
+        let x = Tensor4::zeros(1, 3, 9, 9);
+        assert!(net.forward(&x).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_incompatible_layer_at_add_time() {
+        let mut net = Network::new("bad", (3, 4, 4));
+        // Softmax needs 1x1 spatial but out_shape passes anything through;
+        // use a conv with wrong in_channels instead.
+        let p = Conv2dParams::new(5, 2, 1, 0, 1);
+        let r = ConvLayer::new("c", p, xavier_uniform(2, 5, 4), vec![0.0; 2]).unwrap();
+        assert!(net.add_sequential(Box::new(r)).is_err());
+        // A softmax directly on spatial input is caught at forward time.
+        let mut net2 = Network::new("s", (3, 1, 1));
+        net2.add_sequential(Box::new(SoftmaxLayer::new("prob"))).unwrap();
+        let y = net2.forward(&Tensor4::zeros(1, 3, 1, 1)).unwrap();
+        assert_eq!(y.shape(), (1, 3, 1, 1));
+    }
+
+    #[test]
+    fn set_layer_weights_by_name() {
+        let mut net = tiny_sequential();
+        let zeros = Matrix::zeros(4, 27);
+        net.set_layer_weights("conv1", zeros).unwrap();
+        assert_eq!(net.layer("conv1").unwrap().weight_sparsity(), 1.0);
+        assert!(net.set_layer_weights("nope", Matrix::zeros(1, 1)).is_err());
+        assert!(net.set_layer_weights("relu1", Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn layers_of_kind_filters() {
+        let net = tiny_sequential();
+        assert_eq!(net.layers_of_kind(LayerKind::Convolution), vec!["conv1"]);
+        assert_eq!(net.layers_of_kind(LayerKind::Pooling), vec!["pool1"]);
+    }
+
+    #[test]
+    fn macs_accounting() {
+        let net = tiny_sequential();
+        let by_layer = net.macs_by_layer().unwrap();
+        assert_eq!(by_layer.len(), 3);
+        // conv: 4 out * 8*8 spatial * 3 in * 9 taps.
+        assert_eq!(by_layer[0].2, 4 * 64 * 27);
+        assert_eq!(net.macs_per_image().unwrap(), 4 * 64 * 27);
+    }
+}

@@ -1,0 +1,199 @@
+//! Exhaustive configuration search — the `O(2^|G|)` baseline of §4.5.3.
+//!
+//! Enumerates every non-empty subset of the instance pool `G` for every
+//! application version, and returns the feasible candidate with the
+//! highest accuracy (ties broken by lower cost, then lower time). The
+//! subset space is the source of the exponential bound the paper's
+//! TAR/CAR greedy algorithm avoids.
+
+use crate::metrics::AccuracyMetric;
+use crate::version::AppVersion;
+use cap_cloud::{simulate, Distribution, InstanceType, ResourceConfig};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the exhaustive search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExhaustiveResult {
+    /// Selected version index.
+    pub version_idx: usize,
+    /// Selected resource subset.
+    pub config: ResourceConfig,
+    /// Predicted time, seconds.
+    pub time_s: f64,
+    /// Predicted cost, USD.
+    pub cost_usd: f64,
+    /// Accuracy of the selected version under the requested metric.
+    pub accuracy: f64,
+    /// Total `(version, subset)` evaluations performed — grows as
+    /// `|P| · (2^|G|−1)`.
+    pub evaluations: u64,
+}
+
+/// Search every version × subset combination. `resources.len()` is capped
+/// at 24 to keep the enumeration addressable; larger pools are a caller
+/// bug (that's the point of the paper's heuristic).
+pub fn exhaustive_search(
+    versions: &[AppVersion],
+    resources: &[InstanceType],
+    w: u64,
+    batch: u32,
+    deadline_s: f64,
+    budget_usd: f64,
+    metric: AccuracyMetric,
+) -> Option<ExhaustiveResult> {
+    assert!(
+        resources.len() <= 24,
+        "exhaustive search over {} resources is intractable by design",
+        resources.len()
+    );
+    let mut best: Option<ExhaustiveResult> = None;
+    let mut evaluations = 0u64;
+    let subsets = (1u64 << resources.len()) - 1;
+    for (vi, v) in versions.iter().enumerate() {
+        let acc = v.accuracy(metric);
+        for mask in 1..=subsets {
+            evaluations += 1;
+            let mut config = ResourceConfig::empty();
+            for (i, inst) in resources.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    config.add(inst.clone(), 1);
+                }
+            }
+            let Some(est) = simulate(&config, &v.exec, w, batch, Distribution::Proportional)
+            else {
+                continue;
+            };
+            if est.time_s > deadline_s || est.cost_usd > budget_usd {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    acc > b.accuracy
+                        || (acc == b.accuracy && est.cost_usd < b.cost_usd)
+                        || (acc == b.accuracy
+                            && est.cost_usd == b.cost_usd
+                            && est.time_s < b.time_s)
+                }
+            };
+            if better {
+                best = Some(ExhaustiveResult {
+                    version_idx: vi,
+                    config,
+                    time_s: est.time_s,
+                    cost_usd: est.cost_usd,
+                    accuracy: acc,
+                    evaluations: 0, // patched below
+                });
+            }
+        }
+    }
+    best.map(|mut b| {
+        b.evaluations = evaluations;
+        b
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::{allocate, AllocationRequest};
+    use crate::version::caffenet_version_grid;
+    use cap_cloud::catalog;
+    use cap_pruning::caffenet_profile;
+
+    fn small_pool() -> Vec<InstanceType> {
+        // 2 × p2.xlarge + 2 × g3.4xlarge: 4 instances, 15 subsets.
+        let cat = catalog();
+        vec![
+            cat[0].clone(),
+            cat[0].clone(),
+            cat[3].clone(),
+            cat[3].clone(),
+        ]
+    }
+
+    #[test]
+    fn finds_optimum_and_counts_exponential_evaluations() {
+        let versions = caffenet_version_grid(&caffenet_profile());
+        let r = exhaustive_search(
+            &versions,
+            &small_pool(),
+            200_000,
+            512,
+            24.0 * 3600.0,
+            1000.0,
+            AccuracyMetric::Top1,
+        )
+        .unwrap();
+        assert_eq!(r.evaluations, 60 * 15);
+        let best_acc = versions.iter().map(|v| v.top1).fold(0.0, f64::max);
+        assert_eq!(r.accuracy, best_acc);
+    }
+
+    #[test]
+    fn infeasible_is_none() {
+        let versions = caffenet_version_grid(&caffenet_profile());
+        assert!(exhaustive_search(
+            &versions,
+            &small_pool(),
+            1_000_000,
+            512,
+            1.0,
+            0.01,
+            AccuracyMetric::Top1
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_accuracy() {
+        // The paper's claim: the TAR/CAR heuristic finds a configuration
+        // of the same (highest feasible) accuracy the exhaustive search
+        // finds — at polynomially many evaluations.
+        let versions = caffenet_version_grid(&caffenet_profile());
+        let pool = small_pool();
+        let deadline = 6.0 * 3600.0;
+        let budget = 50.0;
+        let ex = exhaustive_search(
+            &versions,
+            &pool,
+            200_000,
+            512,
+            deadline,
+            budget,
+            AccuracyMetric::Top1,
+        );
+        let greedy = allocate(
+            &versions,
+            &pool,
+            &AllocationRequest {
+                w: 200_000,
+                batch: 512,
+                deadline_s: deadline,
+                budget_usd: budget,
+                metric: AccuracyMetric::Top1,
+            },
+        );
+        let ex = ex.unwrap();
+        let greedy = greedy.unwrap();
+        assert_eq!(versions[greedy.version_idx].top1, ex.accuracy);
+        assert!(greedy.evaluations < ex.evaluations);
+    }
+
+    #[test]
+    #[should_panic(expected = "intractable")]
+    fn refuses_oversized_pools() {
+        let versions = caffenet_version_grid(&caffenet_profile());
+        let pool: Vec<InstanceType> = (0..25).map(|_| catalog()[0].clone()).collect();
+        let _ = exhaustive_search(
+            &versions,
+            &pool,
+            1000,
+            512,
+            1e9,
+            1e9,
+            AccuracyMetric::Top1,
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Time-Accuracy Ratio and Cost-Accuracy Ratio (§3.5).
+//!
+//! `TAR = t / a` and `CAR = c / a` express the time (cost) spent per unit
+//! of accuracy delivered. Lower is better; accuracy is in `[0, 1]`, time
+//! and cost in `(0, ∞)`. Comparing two configurations that reach the same
+//! accuracy, the one with lower TAR (CAR) is faster (cheaper) — which is
+//! what makes the ratios usable as greedy sort keys in Algorithm 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Which accuracy definition a metric is computed against (§3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccuracyMetric {
+    /// Highest-probability class is the label.
+    Top1,
+    /// Label is among the five highest classes.
+    Top5,
+}
+
+/// Time-Accuracy Ratio: seconds per unit accuracy. Returns `+∞` for
+/// non-positive accuracy (an application that achieves nothing has
+/// unbounded time-per-accuracy).
+pub fn tar(time_s: f64, accuracy: f64) -> f64 {
+    if accuracy <= 0.0 {
+        return f64::INFINITY;
+    }
+    time_s / accuracy
+}
+
+/// Cost-Accuracy Ratio: dollars per unit accuracy. Same conventions as
+/// [`tar`].
+pub fn car(cost_usd: f64, accuracy: f64) -> f64 {
+    if accuracy <= 0.0 {
+        return f64::INFINITY;
+    }
+    cost_usd / accuracy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lower_time_same_accuracy_means_lower_tar() {
+        assert!(tar(10.0, 0.8) < tar(12.0, 0.8));
+    }
+
+    #[test]
+    fn higher_accuracy_same_time_means_lower_tar() {
+        assert!(tar(10.0, 0.9) < tar(10.0, 0.5));
+    }
+
+    #[test]
+    fn zero_accuracy_is_infinite() {
+        assert!(tar(1.0, 0.0).is_infinite());
+        assert!(car(1.0, -0.1).is_infinite());
+    }
+
+    #[test]
+    fn car_example_from_fig12_scale() {
+        // Cost $0.27 at 57 % top-1 -> CAR ≈ 0.47 $/accuracy.
+        let v = car(0.27, 0.57);
+        assert!((v - 0.4737).abs() < 0.001);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tar_positive_and_scales(t in 0.001f64..1e6, a in 0.01f64..1.0, k in 1.1f64..10.0) {
+            prop_assert!(tar(t, a) > 0.0);
+            // TAR is linear in time and inverse in accuracy.
+            prop_assert!((tar(k * t, a) - k * tar(t, a)).abs() < 1e-6 * tar(t, a).max(1.0));
+            prop_assert!(tar(t, (a * k).min(1.0)) <= tar(t, a) + 1e-12);
+        }
+
+        #[test]
+        fn prop_car_order_consistent_with_cost(c1 in 0.0f64..100.0, c2 in 0.0f64..100.0, a in 0.01f64..1.0) {
+            prop_assert_eq!(car(c1, a) <= car(c2, a), c1 <= c2);
+        }
+    }
+}

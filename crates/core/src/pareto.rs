@@ -1,0 +1,216 @@
+//! Pareto optimization filter (§3.4's final stage).
+//!
+//! Points live in the (accuracy, objective) plane where accuracy is
+//! maximized and the objective (time or cost) minimized. A point is
+//! Pareto-optimal iff no other point is at least as accurate *and* at
+//! most as expensive, with at least one strict inequality.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the accuracy/objective plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Accuracy, higher is better.
+    pub accuracy: f64,
+    /// Time or cost, lower is better.
+    pub objective: f64,
+}
+
+/// Indices of Pareto-optimal points, in descending-accuracy order.
+///
+/// Runs in `O(n log n)`: sort by accuracy descending (objective ascending
+/// on ties), sweep keeping the running minimum objective. Duplicated
+/// points are reported once (the first occurrence wins).
+pub fn pareto_indices(points: &[ParetoPoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[b]
+            .accuracy
+            .partial_cmp(&points[a].accuracy)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                points[a]
+                    .objective
+                    .partial_cmp(&points[b].objective)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.cmp(&b))
+    });
+    let mut front = Vec::new();
+    let mut best_objective = f64::INFINITY;
+    let mut last_kept: Option<ParetoPoint> = None;
+    for &i in &order {
+        let p = points[i];
+        let duplicate = last_kept
+            .map(|k| k.accuracy == p.accuracy && k.objective == p.objective)
+            .unwrap_or(false);
+        if p.objective < best_objective && !duplicate {
+            front.push(i);
+            best_objective = p.objective;
+            last_kept = Some(p);
+        }
+    }
+    front
+}
+
+/// The Pareto-optimal points themselves, descending accuracy.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    pareto_indices(points).into_iter().map(|i| points[i]).collect()
+}
+
+/// Naive `O(n²)` dominance check — correctness oracle for tests and the
+/// baseline arm of the `pareto` ablation bench.
+pub fn pareto_indices_naive(points: &[ParetoPoint]) -> Vec<usize> {
+    let dominated = |i: usize| {
+        points.iter().enumerate().any(|(j, q)| {
+            j != i
+                && q.accuracy >= points[i].accuracy
+                && q.objective <= points[i].objective
+                && (q.accuracy > points[i].accuracy || q.objective < points[i].objective)
+        })
+    };
+    let mut keep: Vec<usize> = (0..points.len()).filter(|&i| !dominated(i)).collect();
+    // Deduplicate identical points, keep first occurrence; order by accuracy desc.
+    keep.sort_by(|&a, &b| {
+        points[b]
+            .accuracy
+            .partial_cmp(&points[a].accuracy)
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    keep.dedup_by(|&mut a, &mut b| {
+        points[a].accuracy == points[b].accuracy && points[a].objective == points[b].objective
+    });
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<ParetoPoint> {
+        v.iter()
+            .map(|&(accuracy, objective)| ParetoPoint {
+                accuracy,
+                objective,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_point_is_optimal() {
+        let p = pts(&[(0.5, 10.0)]);
+        assert_eq!(pareto_indices(&p), vec![0]);
+    }
+
+    #[test]
+    fn dominated_point_removed() {
+        // (0.8, 5) dominates (0.7, 6).
+        let p = pts(&[(0.7, 6.0), (0.8, 5.0)]);
+        assert_eq!(pareto_indices(&p), vec![1]);
+    }
+
+    #[test]
+    fn incomparable_points_both_kept() {
+        let p = pts(&[(0.9, 10.0), (0.5, 2.0)]);
+        let f = pareto_indices(&p);
+        assert_eq!(f, vec![0, 1]); // descending accuracy
+    }
+
+    #[test]
+    fn equal_accuracy_keeps_cheapest_only() {
+        let p = pts(&[(0.8, 5.0), (0.8, 4.0), (0.8, 6.0)]);
+        assert_eq!(pareto_indices(&p), vec![1]);
+    }
+
+    #[test]
+    fn equal_objective_keeps_most_accurate_only() {
+        let p = pts(&[(0.6, 5.0), (0.9, 5.0)]);
+        assert_eq!(pareto_indices(&p), vec![1]);
+    }
+
+    #[test]
+    fn duplicates_reported_once() {
+        let p = pts(&[(0.8, 5.0), (0.8, 5.0)]);
+        assert_eq!(pareto_indices(&p).len(), 1);
+    }
+
+    #[test]
+    fn staircase_front() {
+        let p = pts(&[
+            (0.9, 10.0),
+            (0.8, 7.0),
+            (0.7, 5.0),
+            (0.85, 9.0),
+            (0.75, 8.0), // dominated by (0.8, 7.0)
+            (0.6, 5.5),  // dominated by (0.7, 5.0)
+        ]);
+        let f = pareto_front(&p);
+        let accs: Vec<f64> = f.iter().map(|q| q.accuracy).collect();
+        assert_eq!(accs, vec![0.9, 0.85, 0.8, 0.7]);
+        // Objectives strictly decrease along descending accuracy.
+        for w in f.windows(2) {
+            assert!(w[1].objective < w[0].objective);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_indices(&[]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive(
+            raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..100.0), 0..60)
+        ) {
+            let p = pts(&raw);
+            let fast: std::collections::BTreeSet<usize> =
+                pareto_indices(&p).into_iter().collect();
+            let slow: std::collections::BTreeSet<usize> =
+                pareto_indices_naive(&p).into_iter().collect();
+            // Compare as point sets (duplicate points may pick different
+            // representative indices).
+            let fast_pts: std::collections::BTreeSet<(u64, u64)> = fast
+                .iter()
+                .map(|&i| (p[i].accuracy.to_bits(), p[i].objective.to_bits()))
+                .collect();
+            let slow_pts: std::collections::BTreeSet<(u64, u64)> = slow
+                .iter()
+                .map(|&i| (p[i].accuracy.to_bits(), p[i].objective.to_bits()))
+                .collect();
+            prop_assert_eq!(fast_pts, slow_pts);
+        }
+
+        #[test]
+        fn prop_front_is_mutually_nondominated(
+            raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..100.0), 1..40)
+        ) {
+            let p = pts(&raw);
+            let f = pareto_front(&p);
+            for a in &f {
+                for b in &f {
+                    let strictly_dominates = a.accuracy >= b.accuracy
+                        && a.objective <= b.objective
+                        && (a.accuracy > b.accuracy || a.objective < b.objective);
+                    prop_assert!(!strictly_dominates);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_every_point_dominated_by_or_on_front(
+            raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..100.0), 1..40)
+        ) {
+            let p = pts(&raw);
+            let f = pareto_front(&p);
+            for q in &p {
+                let covered = f.iter().any(|fp| {
+                    fp.accuracy >= q.accuracy && fp.objective <= q.objective
+                });
+                prop_assert!(covered);
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Tri-objective Pareto filtering — an extension beyond the paper's two
+//! separate (accuracy, time) and (accuracy, cost) planes: a candidate is
+//! kept only if no other candidate is simultaneously at least as
+//! accurate, as fast *and* as cheap. The paper observes its two
+//! frontiers overlap (§4.4); the joint frontier makes that statement
+//! precise and lets a consumer trade all three axes at once.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in (accuracy ↑, time ↓, cost ↓) space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TriPoint {
+    /// Accuracy, higher is better.
+    pub accuracy: f64,
+    /// Execution time, lower is better.
+    pub time: f64,
+    /// Cost, lower is better.
+    pub cost: f64,
+}
+
+impl TriPoint {
+    /// True if `self` dominates `other`: no worse on every axis and
+    /// strictly better on at least one.
+    pub fn dominates(&self, other: &TriPoint) -> bool {
+        self.accuracy >= other.accuracy
+            && self.time <= other.time
+            && self.cost <= other.cost
+            && (self.accuracy > other.accuracy
+                || self.time < other.time
+                || self.cost < other.cost)
+    }
+}
+
+/// Indices of tri-objective Pareto-optimal points, in descending
+/// accuracy order. Duplicate points are reported once.
+///
+/// Sort-accelerated: after sorting by accuracy descending, a point only
+/// needs to be checked against the 2-D (time, cost) skyline of the
+/// already-accepted prefix — `O(n·s)` with `s` the skyline size, versus
+/// the naive `O(n²)` all-pairs check kept as [`tri_pareto_indices_naive`].
+pub fn tri_pareto_indices(points: &[TriPoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[b]
+            .accuracy
+            .partial_cmp(&points[a].accuracy)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                points[a]
+                    .time
+                    .partial_cmp(&points[b].time)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(
+                points[a]
+                    .cost
+                    .partial_cmp(&points[b].cost)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.cmp(&b))
+    });
+    // Skylines per accuracy class: points with *strictly higher* accuracy
+    // dominate on any (time, cost) no worse; equal-accuracy points also
+    // compete among themselves.
+    let mut front: Vec<usize> = Vec::new();
+    let mut skyline: Vec<(f64, f64)> = Vec::new(); // non-dominated (time, cost) of accepted points
+    let mut seen: Vec<TriPoint> = Vec::new();
+    'outer: for &i in &order {
+        let p = points[i];
+        for &(t, c) in &skyline {
+            if t <= p.time && c <= p.cost {
+                // Some accepted point is no-worse on time and cost.
+                // It dominates unless it is the identical point (exact
+                // duplicates are dropped too — report once).
+                let equal_exists = seen
+                    .iter()
+                    .any(|q| q.accuracy == p.accuracy && q.time == p.time && q.cost == p.cost);
+                if equal_exists
+                    || seen.iter().any(|q| q.dominates(&p))
+                {
+                    continue 'outer;
+                }
+            }
+        }
+        // Accept; update skyline.
+        front.push(i);
+        seen.push(p);
+        skyline.retain(|&(t, c)| !(p.time <= t && p.cost <= c && (p.time < t || p.cost < c)));
+        if !skyline.iter().any(|&(t, c)| t <= p.time && c <= p.cost) {
+            skyline.push((p.time, p.cost));
+        }
+    }
+    front
+}
+
+/// Naive all-pairs tri-objective filter — correctness oracle.
+pub fn tri_pareto_indices_naive(points: &[TriPoint]) -> Vec<usize> {
+    let mut keep: Vec<usize> = (0..points.len())
+        .filter(|&i| !points.iter().enumerate().any(|(j, q)| j != i && q.dominates(&points[i])))
+        .collect();
+    keep.sort_by(|&a, &b| {
+        points[b]
+            .accuracy
+            .partial_cmp(&points[a].accuracy)
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    keep.dedup_by(|&mut a, &mut b| points[a] == points[b]);
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pts(v: &[(f64, f64, f64)]) -> Vec<TriPoint> {
+        v.iter()
+            .map(|&(accuracy, time, cost)| TriPoint {
+                accuracy,
+                time,
+                cost,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dominance_definition() {
+        let a = TriPoint { accuracy: 0.8, time: 1.0, cost: 1.0 };
+        let b = TriPoint { accuracy: 0.7, time: 2.0, cost: 2.0 };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a), "a point never dominates itself");
+    }
+
+    #[test]
+    fn incomparable_points_all_kept() {
+        // Each point wins on one axis.
+        let p = pts(&[(0.9, 5.0, 5.0), (0.5, 1.0, 5.0), (0.5, 5.0, 1.0)]);
+        assert_eq!(tri_pareto_indices(&p).len(), 3);
+    }
+
+    #[test]
+    fn dominated_in_three_axes_removed() {
+        let p = pts(&[(0.9, 1.0, 1.0), (0.8, 2.0, 2.0), (0.7, 0.5, 3.0)]);
+        let f = tri_pareto_indices(&p);
+        assert_eq!(f, vec![0, 2]); // point 1 dominated by 0; point 2 is faster
+    }
+
+    #[test]
+    fn two_objective_consistency() {
+        // With all costs equal, tri-Pareto equals the 2-D time frontier.
+        let p = pts(&[(0.9, 10.0, 1.0), (0.8, 7.0, 1.0), (0.85, 9.0, 1.0), (0.75, 8.0, 1.0)]);
+        let f = tri_pareto_indices(&p);
+        let accs: Vec<f64> = f.iter().map(|&i| p[i].accuracy).collect();
+        assert_eq!(accs, vec![0.9, 0.85, 0.8]);
+    }
+
+    #[test]
+    fn duplicates_reported_once() {
+        let p = pts(&[(0.8, 1.0, 1.0), (0.8, 1.0, 1.0), (0.8, 1.0, 1.0)]);
+        assert_eq!(tri_pareto_indices(&p).len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tri_pareto_indices(&[]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive(
+            raw in proptest::collection::vec(
+                (0.0f64..1.0, 0.0f64..10.0, 0.0f64..10.0), 0..50)
+        ) {
+            // Quantize coordinates so duplicates actually occur.
+            let p: Vec<TriPoint> = raw
+                .iter()
+                .map(|&(a, t, c)| TriPoint {
+                    accuracy: (a * 4.0).round() / 4.0,
+                    time: (t * 2.0).round() / 2.0,
+                    cost: (c * 2.0).round() / 2.0,
+                })
+                .collect();
+            let fast: std::collections::BTreeSet<(u64, u64, u64)> = tri_pareto_indices(&p)
+                .iter()
+                .map(|&i| (p[i].accuracy.to_bits(), p[i].time.to_bits(), p[i].cost.to_bits()))
+                .collect();
+            let slow: std::collections::BTreeSet<(u64, u64, u64)> = tri_pareto_indices_naive(&p)
+                .iter()
+                .map(|&i| (p[i].accuracy.to_bits(), p[i].time.to_bits(), p[i].cost.to_bits()))
+                .collect();
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn prop_front_mutually_nondominated(
+            raw in proptest::collection::vec(
+                (0.0f64..1.0, 0.0f64..10.0, 0.0f64..10.0), 1..40)
+        ) {
+            let p = pts(&raw);
+            let f = tri_pareto_indices(&p);
+            for &i in &f {
+                for &j in &f {
+                    if i != j {
+                        prop_assert!(!p[i].dominates(&p[j]), "{i} dominates {j}");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_every_point_covered(
+            raw in proptest::collection::vec(
+                (0.0f64..1.0, 0.0f64..10.0, 0.0f64..10.0), 1..40)
+        ) {
+            let p = pts(&raw);
+            let f = tri_pareto_indices(&p);
+            for q in &p {
+                let covered = f.iter().any(|&i| {
+                    let fp = p[i];
+                    fp.accuracy >= q.accuracy && fp.time <= q.time && fp.cost <= q.cost
+                });
+                prop_assert!(covered);
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Application versions: a degree of pruning resolved into accuracy and
+//! reference timing (the elements of the paper's set `P`).
+
+use cap_cloud::AppExecModel;
+use cap_pruning::{AppProfile, PruneSpec};
+use serde::{Deserialize, Serialize};
+
+/// One version of the application — a CNN pruned by a specific degree —
+/// with its accuracy and reference-GPU execution model attached.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppVersion {
+    /// The degree of pruning producing this version.
+    pub spec: PruneSpec,
+    /// Top-1 inference accuracy in `[0, 1]`.
+    pub top1: f64,
+    /// Top-5 inference accuracy in `[0, 1]`.
+    pub top5: f64,
+    /// Reference (K80) timing for the cloud execution simulator.
+    pub exec: AppExecModel,
+}
+
+impl AppVersion {
+    /// Resolve a prune spec against a calibrated profile.
+    pub fn from_profile(profile: &AppProfile, spec: PruneSpec) -> Self {
+        let (top1, top5) = profile.accuracy(&spec);
+        let exec = AppExecModel {
+            s_per_image_batched_ref: profile.batched_s_per_image(&spec),
+            single_latency_ref: profile.single_latency_s(&spec),
+        };
+        Self {
+            spec,
+            top1,
+            top5,
+            exec,
+        }
+    }
+
+    /// Accuracy under the chosen metric.
+    pub fn accuracy(&self, metric: crate::metrics::AccuracyMetric) -> f64 {
+        match metric {
+            crate::metrics::AccuracyMetric::Top1 => self.top1,
+            crate::metrics::AccuracyMetric::Top5 => self.top5,
+        }
+    }
+
+    /// Display label (the spec's label).
+    pub fn label(&self) -> String {
+        self.spec.label()
+    }
+}
+
+/// The paper's Figure 9/10 version set: "60 versions of Caffenet CNN
+/// pruned in different degrees spanning a wide accuracy range".
+///
+/// We realize it as a 5×4×3 grid: conv1 ∈ {0, 15, 30, 45, 60} %,
+/// conv2 ∈ {0, 20, 40, 60} %, conv3–5 jointly ∈ {0, 30, 60} %.
+pub fn caffenet_version_grid(profile: &AppProfile) -> Vec<AppVersion> {
+    let r1 = [0.0, 0.15, 0.30, 0.45, 0.60];
+    let r2 = [0.0, 0.20, 0.40, 0.60];
+    let r_rest = [0.0, 0.30, 0.60];
+    let mut out = Vec::with_capacity(60);
+    for &a in &r1 {
+        for &b in &r2 {
+            for &c in &r_rest {
+                let mut spec = PruneSpec::none();
+                spec.set("conv1", a);
+                spec.set("conv2", b);
+                spec.set("conv3", c);
+                spec.set("conv4", c);
+                spec.set("conv5", c);
+                out.push(AppVersion::from_profile(profile, spec));
+            }
+        }
+    }
+    out
+}
+
+/// A Googlenet version grid (extension — the paper restricts Figures
+/// 9–12 to Caffenet "for simplicity"): 72 versions over the stem and the
+/// inception branch families.
+///
+/// Axes: conv2-3x3 ∈ {0, 20, 40, 60} %, every inception 3×3 branch
+/// jointly ∈ {0, 30, 60} %, every inception 5×5 branch jointly ∈
+/// {0, 30, 60} %, conv1-7x7 ∈ {0, 30} %.
+pub fn googlenet_version_grid(profile: &AppProfile) -> Vec<AppVersion> {
+    let inception_3x3: Vec<String> = profile
+        .conv_layer_names()
+        .iter()
+        .filter(|n| n.starts_with("inception-") && n.ends_with("-3x3"))
+        .map(|s| s.to_string())
+        .collect();
+    let inception_5x5: Vec<String> = profile
+        .conv_layer_names()
+        .iter()
+        .filter(|n| n.starts_with("inception-") && n.ends_with("-5x5"))
+        .map(|s| s.to_string())
+        .collect();
+    let mut out = Vec::with_capacity(72);
+    for &r_stem in &[0.0, 0.20, 0.40, 0.60] {
+        for &r3 in &[0.0, 0.30, 0.60] {
+            for &r5 in &[0.0, 0.30, 0.60] {
+                for &r1 in &[0.0, 0.30] {
+                    let mut spec = PruneSpec::none();
+                    spec.set("conv2-3x3", r_stem);
+                    spec.set("conv1-7x7-s2", r1);
+                    for l in &inception_3x3 {
+                        spec.set(l.clone(), r3);
+                    }
+                    for l in &inception_5x5 {
+                        spec.set(l.clone(), r5);
+                    }
+                    out.push(AppVersion::from_profile(profile, spec));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::AccuracyMetric;
+    use cap_pruning::caffenet_profile;
+
+    #[test]
+    fn unpruned_version_matches_profile_base() {
+        let p = caffenet_profile();
+        let v = AppVersion::from_profile(&p, PruneSpec::none());
+        assert_eq!(v.top1, p.base_top1);
+        assert_eq!(v.top5, p.base_top5);
+        assert_eq!(v.exec.single_latency_ref, p.base_single_latency_s);
+        assert_eq!(v.accuracy(AccuracyMetric::Top1), v.top1);
+        assert_eq!(v.accuracy(AccuracyMetric::Top5), v.top5);
+    }
+
+    #[test]
+    fn pruned_version_is_faster_and_no_more_accurate() {
+        let p = caffenet_profile();
+        let base = AppVersion::from_profile(&p, PruneSpec::none());
+        let pruned = AppVersion::from_profile(&p, p.uniform_spec(0.6));
+        assert!(pruned.exec.s_per_image_batched_ref < base.exec.s_per_image_batched_ref);
+        assert!(pruned.top5 <= base.top5);
+        assert!(pruned.top1 <= base.top1);
+    }
+
+    #[test]
+    fn googlenet_grid_has_72_distinct_versions() {
+        use cap_pruning::googlenet_profile;
+        let p = googlenet_profile();
+        let grid = googlenet_version_grid(&p);
+        assert_eq!(grid.len(), 72);
+        let labels: std::collections::HashSet<String> =
+            grid.iter().map(|v| v.label()).collect();
+        assert_eq!(labels.len(), 72);
+        // Spans a wide accuracy range and includes the unpruned point.
+        let max5 = grid.iter().map(|v| v.top5).fold(0.0, f64::max);
+        let min5 = grid.iter().map(|v| v.top5).fold(1.0, f64::min);
+        assert_eq!(max5, p.base_top5);
+        assert!(min5 < 0.7 * p.base_top5, "min top5 {min5}");
+    }
+
+    #[test]
+    fn grid_has_60_distinct_versions_spanning_wide_accuracy() {
+        let p = caffenet_profile();
+        let grid = caffenet_version_grid(&p);
+        assert_eq!(grid.len(), 60);
+        let labels: std::collections::HashSet<String> =
+            grid.iter().map(|v| v.label()).collect();
+        assert_eq!(labels.len(), 60);
+        let max5 = grid.iter().map(|v| v.top5).fold(0.0, f64::max);
+        let min5 = grid.iter().map(|v| v.top5).fold(1.0, f64::min);
+        assert!(max5 >= 0.79, "max top5 {max5}");
+        assert!(min5 <= 0.55, "min top5 {min5}");
+    }
+}

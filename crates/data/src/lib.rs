@@ -1,0 +1,17 @@
+//! # cap-data
+//!
+//! Synthetic labeled image data — the stand-in for the paper's ImageNet
+//! subsets (1.2 M training images, 50 000 held-out inference images).
+//!
+//! Only two properties of the dataset matter to the paper's models: the
+//! image *count* `W` driving the time/cost equations, and the existence
+//! of class structure a CNN can actually learn so accuracy is
+//! measurable. [`SyntheticImageNet`] provides both: deterministic,
+//! procedurally generated class-patterned images at any resolution and
+//! class count.
+
+pub mod dataset;
+pub mod workload;
+
+pub use dataset::SyntheticImageNet;
+pub use workload::Workload;

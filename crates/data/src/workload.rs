@@ -1,0 +1,74 @@
+//! Inference workload definitions (paper symbols `W`, `n`, `b`).
+
+use serde::{Deserialize, Serialize};
+
+/// An inference workload: `W` images processed `batch_size` at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Total images to infer (`W`).
+    pub total_images: u64,
+    /// Parallel inferences per batch (`b`).
+    pub batch_size: u32,
+}
+
+impl Workload {
+    /// The paper's measurement workload: 50 000 held-out ImageNet images
+    /// at the GPU saturation batch size (§4.2.3: ≥300; we use 512).
+    pub fn paper_inference() -> Self {
+        Self {
+            total_images: 50_000,
+            batch_size: 512,
+        }
+    }
+
+    /// The paper's configuration-space workload (Figures 9/10): one
+    /// million images.
+    pub fn paper_million() -> Self {
+        Self {
+            total_images: 1_000_000,
+            batch_size: 512,
+        }
+    }
+
+    /// Number of batches `n = ⌈W / b⌉` (Eq. 3).
+    pub fn batches(&self) -> u64 {
+        if self.batch_size == 0 {
+            return 0;
+        }
+        self.total_images.div_ceil(self.batch_size as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workloads() {
+        assert_eq!(Workload::paper_inference().total_images, 50_000);
+        assert_eq!(Workload::paper_million().total_images, 1_000_000);
+    }
+
+    #[test]
+    fn batch_count_rounds_up() {
+        let w = Workload {
+            total_images: 1000,
+            batch_size: 300,
+        };
+        assert_eq!(w.batches(), 4);
+        let exact = Workload {
+            total_images: 1024,
+            batch_size: 512,
+        };
+        assert_eq!(exact.batches(), 2);
+    }
+
+    #[test]
+    fn zero_batch_size_is_zero_batches() {
+        let w = Workload {
+            total_images: 10,
+            batch_size: 0,
+        };
+        assert_eq!(w.batches(), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! L1-norm filter pruning (Li et al. \[17\]) — the algorithm the paper's
+//! measurement pipeline uses.
+//!
+//! Instead of zeroing individual elements, whole filters (rows of the
+//! weight matrix, i.e. entire output channels of a convolution) are
+//! ranked by their L1 norm and the weakest are removed. This produces
+//! *structured* sparsity: entire rows of the lowered weight matrix become
+//! zero, which sparse row kernels exploit directly.
+
+use cap_tensor::{Matrix, ShapeError, TensorResult};
+
+/// Zero out the `ratio` fraction of filters (rows) with the smallest L1
+/// norm. Returns the indices of pruned filters, sorted ascending.
+pub fn prune_filters_l1(weights: &mut Matrix, ratio: f64) -> TensorResult<Vec<usize>> {
+    if !(0.0..=1.0).contains(&ratio) {
+        return Err(ShapeError::new(format!(
+            "prune_filters_l1: ratio {ratio} outside [0, 1]"
+        )));
+    }
+    let rows = weights.rows();
+    if rows == 0 {
+        return Ok(Vec::new());
+    }
+    let k = ((rows as f64) * ratio).round() as usize;
+    let mut norms: Vec<(usize, f32)> = (0..rows)
+        .map(|r| (r, weights.row(r).iter().map(|v| v.abs()).sum()))
+        .collect();
+    norms.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    let mut pruned: Vec<usize> = norms.iter().take(k).map(|(r, _)| *r).collect();
+    pruned.sort_unstable();
+    for &r in &pruned {
+        weights.row_mut(r).fill(0.0);
+    }
+    Ok(pruned)
+}
+
+/// L1 norm of every filter (row), in row order — the ranking signal the
+/// algorithm uses, exposed for sensitivity reporting.
+pub fn filter_l1_norms(weights: &Matrix) -> Vec<f32> {
+    (0..weights.rows())
+        .map(|r| weights.row(r).iter().map(|v| v.abs()).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Matrix {
+        // Row L1 norms: 0.6, 3.0, 0.2, 1.5.
+        Matrix::from_vec(
+            4,
+            2,
+            vec![0.1, 0.5, -1.0, 2.0, 0.1, -0.1, 1.5, 0.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prunes_weakest_filters() {
+        let mut m = sample();
+        let pruned = prune_filters_l1(&mut m, 0.5).unwrap();
+        assert_eq!(pruned, vec![0, 2]);
+        assert!(m.row(0).iter().all(|&v| v == 0.0));
+        assert!(m.row(2).iter().all(|&v| v == 0.0));
+        assert_eq!(m.row(1), &[-1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms_reported_in_row_order() {
+        let norms = filter_l1_norms(&sample());
+        assert_eq!(norms, vec![0.6, 3.0, 0.2, 1.5]);
+    }
+
+    #[test]
+    fn zero_and_full_ratio() {
+        let mut m = sample();
+        assert!(prune_filters_l1(&mut m, 0.0).unwrap().is_empty());
+        assert_eq!(m, sample());
+        let all = prune_filters_l1(&mut m, 1.0).unwrap();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rejects_bad_ratio() {
+        let mut m = sample();
+        assert!(prune_filters_l1(&mut m, 2.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prunes_rounded_fraction_of_rows(rows in 1usize..12, ratio in 0.0f64..1.0) {
+            let mut m = Matrix::from_fn(rows, 3, |r, c| (r * 3 + c) as f32 * 0.1 + 0.05);
+            let pruned = prune_filters_l1(&mut m, ratio).unwrap();
+            prop_assert_eq!(pruned.len(), ((rows as f64) * ratio).round() as usize);
+        }
+
+        #[test]
+        fn prop_surviving_filters_have_ge_norms(ratio in 0.1f64..0.9) {
+            let base = Matrix::from_fn(8, 4, |r, c| ((r * 4 + c) as f32 * 0.73).cos());
+            let mut m = base.clone();
+            let pruned = prune_filters_l1(&mut m, ratio).unwrap();
+            let norms = filter_l1_norms(&base);
+            let max_pruned = pruned.iter().map(|&r| norms[r]).fold(0.0_f32, f32::max);
+            for (r, norm) in norms.iter().enumerate() {
+                if !pruned.contains(&r) {
+                    prop_assert!(norm + 1e-6 >= max_pruned);
+                }
+            }
+        }
+    }
+}

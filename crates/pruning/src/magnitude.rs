@@ -1,0 +1,151 @@
+//! Element-wise magnitude pruning.
+
+use cap_tensor::{Matrix, ShapeError, TensorResult};
+
+/// Zero out the `ratio` fraction of weights with the smallest absolute
+/// value. Returns the achieved sparsity (fraction of zeros after pruning,
+/// which can exceed `ratio` if the matrix already contained zeros).
+///
+/// `ratio` must be in `[0, 1]`. Ties at the threshold break by index
+/// order, so the operation is deterministic.
+pub fn prune_magnitude(weights: &mut Matrix, ratio: f64) -> TensorResult<f64> {
+    if !(0.0..=1.0).contains(&ratio) {
+        return Err(ShapeError::new(format!(
+            "prune_magnitude: ratio {ratio} outside [0, 1]"
+        )));
+    }
+    let len = weights.len();
+    if len == 0 {
+        return Ok(0.0);
+    }
+    let k = ((len as f64) * ratio).round() as usize;
+    if k > 0 {
+        // Select the k smallest |w| indices.
+        let mut idx: Vec<usize> = (0..len).collect();
+        let data = weights.as_mut_slice();
+        idx.sort_by(|&a, &b| {
+            data[a]
+                .abs()
+                .partial_cmp(&data[b].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for &i in idx.iter().take(k) {
+            data[i] = 0.0;
+        }
+    }
+    Ok(weights.sparsity(0.0))
+}
+
+/// 0/1 mask of the current non-zero pattern — multiplied into gradients
+/// during fine-tuning so pruned weights stay pruned.
+pub fn sparsity_mask(weights: &Matrix) -> Vec<f32> {
+    weights
+        .as_slice()
+        .iter()
+        .map(|&v| if v == 0.0 { 0.0 } else { 1.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_vec(2, 4, vec![0.5, -0.1, 0.9, 0.05, -0.7, 0.2, -0.02, 0.4]).unwrap()
+    }
+
+    #[test]
+    fn prunes_smallest_magnitudes_first() {
+        let mut m = sample();
+        let s = prune_magnitude(&mut m, 0.25).unwrap();
+        // Smallest two |w|: 0.02 and 0.05.
+        assert_eq!(m.get(0, 3), 0.0);
+        assert_eq!(m.get(1, 2), 0.0);
+        assert_eq!(m.get(0, 2), 0.9);
+        assert!((s - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_ratio_is_noop() {
+        let mut m = sample();
+        let before = m.clone();
+        prune_magnitude(&mut m, 0.0).unwrap();
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn full_ratio_zeroes_everything() {
+        let mut m = sample();
+        let s = prune_magnitude(&mut m, 1.0).unwrap();
+        assert_eq!(s, 1.0);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rejects_out_of_range_ratio() {
+        let mut m = sample();
+        assert!(prune_magnitude(&mut m, -0.1).is_err());
+        assert!(prune_magnitude(&mut m, 1.1).is_err());
+    }
+
+    #[test]
+    fn mask_tracks_zero_pattern() {
+        let mut m = sample();
+        prune_magnitude(&mut m, 0.5).unwrap();
+        let mask = sparsity_mask(&m);
+        for (v, k) in m.as_slice().iter().zip(mask.iter()) {
+            assert_eq!(*k == 0.0, *v == 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_on_ties() {
+        let mut a = Matrix::from_vec(1, 4, vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        let mut b = a.clone();
+        prune_magnitude(&mut a, 0.5).unwrap();
+        prune_magnitude(&mut b, 0.5).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.nnz(0.0), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sparsity_at_least_ratio(ratio in 0.0f64..1.0, seed in 0u64..100) {
+            let mut m = Matrix::from_fn(6, 7, |r, c| {
+                (((r * 7 + c) as u64 ^ seed) % 13) as f32 - 6.0
+            });
+            let s = prune_magnitude(&mut m, ratio).unwrap();
+            prop_assert!(s + 1e-9 >= (ratio * 42.0).round() / 42.0);
+        }
+
+        #[test]
+        fn prop_monotone_in_ratio(r1 in 0.0f64..0.5, r2 in 0.5f64..1.0) {
+            let base = Matrix::from_fn(5, 5, |r, c| ((r * 5 + c) % 11) as f32 - 5.0);
+            let mut a = base.clone();
+            let mut b = base;
+            let s1 = prune_magnitude(&mut a, r1).unwrap();
+            let s2 = prune_magnitude(&mut b, r2).unwrap();
+            prop_assert!(s2 >= s1);
+        }
+
+        #[test]
+        fn prop_survivors_dominate_pruned(ratio in 0.1f64..0.9) {
+            let base = Matrix::from_fn(4, 6, |r, c| ((r * 6 + c) as f32 * 0.37).sin());
+            let mut pruned = base.clone();
+            prune_magnitude(&mut pruned, ratio).unwrap();
+            // Every surviving |w| >= every pruned original |w|.
+            let mut max_pruned = 0.0_f32;
+            let mut min_kept = f32::INFINITY;
+            for (orig, now) in base.as_slice().iter().zip(pruned.as_slice().iter()) {
+                if *now == 0.0 && *orig != 0.0 {
+                    max_pruned = max_pruned.max(orig.abs());
+                } else if *now != 0.0 {
+                    min_kept = min_kept.min(now.abs());
+                }
+            }
+            prop_assert!(min_kept + 1e-9 >= max_pruned);
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! Calibrated application profiles — the measurement substitute.
+//!
+//! The paper's accuracy and time numbers come from running pruned
+//! Caffenet/Googlenet on real EC2 GPUs with models trained on 1.2 M
+//! ImageNet images. Neither the trained weights nor the hardware are
+//! available here, so this module supplies *calibrated analytic profiles*
+//! whose outputs match the paper's reported anchors (DESIGN.md §5):
+//!
+//! * Per-layer **accuracy damage curves** with a sweet-spot knee: flat
+//!   until the knee ratio, then a power-law drop (Figures 6, 7).
+//! * A **multi-layer interaction** term reproducing Figure 8: combining
+//!   individually-harmless sweet spots costs accuracy
+//!   (`nonpruned 80 % → conv1-2 70 % → all-conv 62 %` top-5).
+//! * Per-layer **batched time shares** calibrated so single-layer and
+//!   multi-layer pruning reproduce the paper's minute-level numbers
+//!   (19 → 18.4/16.7/13/11 min), and **single-inference shares** matching
+//!   Figure 3's 51/16/9/10/7 % distribution and Figure 4's
+//!   0.09 s → 0.05 s sweep.
+//!
+//! The same `PruneSpec` drives both this model (paper scale) and real
+//! pruned-weight execution (`cap_cnn::models::TinyNet` scale), so every
+//! downstream consumer is exercised against genuinely measured numbers
+//! too.
+
+use crate::spec::PruneSpec;
+use serde::{Deserialize, Serialize};
+
+/// Reference ratio at which `max_damage` is reached (the paper sweeps
+/// pruning up to 90 %).
+const DAMAGE_REF_RATIO: f64 = 0.9;
+
+/// Per-convolution-layer calibration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Layer name, matching the model's layer names.
+    pub name: String,
+    /// Share of single-inference latency (Figure 3 measurement).
+    pub single_time_share: f64,
+    /// Share of saturated-batch inference time (calibrated to Figure 6).
+    pub batched_time_share: f64,
+    /// Prune ratio up to which accuracy is unaffected (sweet-spot knee).
+    pub knee: f64,
+    /// Relative accuracy damage when pruned at the 90 % reference ratio.
+    pub max_damage: f64,
+    /// Exponent of the post-knee damage power law.
+    pub damage_exponent: f64,
+    /// Sensitivity weight in the multi-layer interaction term.
+    pub kappa: f64,
+}
+
+impl LayerProfile {
+    /// Relative accuracy damage from pruning this layer alone at `ratio`.
+    /// Zero below the knee; power-law growth beyond it, clamped to 1.
+    pub fn damage(&self, ratio: f64) -> f64 {
+        let ratio = ratio.clamp(0.0, 1.0);
+        if ratio <= self.knee {
+            return 0.0;
+        }
+        let span = (DAMAGE_REF_RATIO - self.knee).max(1e-9);
+        let x = (ratio - self.knee) / span;
+        (self.max_damage * x.powf(self.damage_exponent)).min(1.0)
+    }
+}
+
+/// Parameters of a saturating two-term interaction `η·(1 − e^(−λx))`
+/// (time) or power-law `γ·x^p` (accuracy).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Interaction {
+    /// Magnitude coefficient.
+    pub scale: f64,
+    /// Shape parameter (λ for saturating form, exponent for power form).
+    pub shape: f64,
+}
+
+/// Calibrated cost-accuracy profile of one CNN application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Application name (`caffenet`, `googlenet`).
+    pub name: String,
+    /// Unpruned top-1 accuracy in `[0, 1]`.
+    pub base_top1: f64,
+    /// Unpruned top-5 accuracy in `[0, 1]`.
+    pub base_top5: f64,
+    /// Unpruned single-inference latency on the reference GPU (K80), s.
+    pub base_single_latency_s: f64,
+    /// Unpruned per-image time at saturated batch on the reference GPU, s.
+    /// (Caffenet: 19 min for 50 000 images.)
+    pub base_batched_s_per_image: f64,
+    /// Per-layer calibrations (prunable convolution layers).
+    pub layers: Vec<LayerProfile>,
+    /// Fraction of a layer's time eliminated at prune ratio 1 (sparse
+    /// kernels have bookkeeping overhead, so < 1).
+    pub prune_efficiency_batched: f64,
+    /// Same, for single-inference latency (lower: small batches cannot
+    /// amortize sparse-format overheads as well).
+    pub prune_efficiency_single: f64,
+    /// Multi-layer *time* interaction: extra saving `scale·(1−e^(−shape·x))`
+    /// where `x` is the spec's excess ratio mass.
+    pub time_interaction: Interaction,
+    /// Multi-layer *accuracy* interaction: extra damage `scale·x^shape`.
+    pub accuracy_interaction: Interaction,
+}
+
+impl AppProfile {
+    /// Names of the prunable convolution layers, in order.
+    pub fn conv_layer_names(&self) -> Vec<&str> {
+        self.layers.iter().map(|l| l.name.as_str()).collect()
+    }
+
+    /// Look up a layer's calibration by name.
+    pub fn layer(&self, name: &str) -> Option<&LayerProfile> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// Kappa-weighted excess ratio mass: `Σ κ·r − max κ·r` over pruned
+    /// layers. Zero when at most one layer is pruned — interactions only
+    /// kick in for multi-layer pruning (§4.3.2).
+    fn excess(&self, spec: &PruneSpec) -> f64 {
+        let mut sum = 0.0;
+        let mut max = 0.0_f64;
+        for (layer, ratio) in spec.iter() {
+            let kappa = self.layer(layer).map_or(1.0, |l| l.kappa);
+            let s = kappa * ratio;
+            sum += s;
+            max = max.max(s);
+        }
+        (sum - max).max(0.0)
+    }
+
+    /// Total relative accuracy damage of a degree of pruning, in `[0, 1]`.
+    pub fn damage(&self, spec: &PruneSpec) -> f64 {
+        let mut d: f64 = spec
+            .iter()
+            .filter_map(|(name, ratio)| self.layer(name).map(|l| l.damage(ratio)))
+            .sum();
+        let x = self.excess(spec);
+        if x > 0.0 {
+            d += self.accuracy_interaction.scale * x.powf(self.accuracy_interaction.shape);
+        }
+        d.clamp(0.0, 1.0)
+    }
+
+    /// `(top1, top5)` inference accuracy for a degree of pruning.
+    pub fn accuracy(&self, spec: &PruneSpec) -> (f64, f64) {
+        let retention = 1.0 - self.damage(spec);
+        (self.base_top1 * retention, self.base_top5 * retention)
+    }
+
+    /// Multiplicative factor on *saturated-batch* inference time for a
+    /// degree of pruning (1.0 unpruned, decreasing with pruning).
+    pub fn batched_time_factor(&self, spec: &PruneSpec) -> f64 {
+        let mut saved = 0.0;
+        for (name, ratio) in spec.iter() {
+            if let Some(l) = self.layer(name) {
+                saved += l.batched_time_share * self.prune_efficiency_batched * ratio;
+            }
+        }
+        let linear = (1.0 - saved).max(0.0);
+        let x = self.excess(spec);
+        let interaction = if x > 0.0 {
+            1.0 - self.time_interaction.scale * (1.0 - (-self.time_interaction.shape * x).exp())
+        } else {
+            1.0
+        };
+        (linear * interaction).clamp(0.02, 1.0)
+    }
+
+    /// Multiplicative factor on *single-inference* latency (Figure 4).
+    pub fn single_time_factor(&self, spec: &PruneSpec) -> f64 {
+        let mut saved = 0.0;
+        for (name, ratio) in spec.iter() {
+            if let Some(l) = self.layer(name) {
+                saved += l.single_time_share * self.prune_efficiency_single * ratio;
+            }
+        }
+        (1.0 - saved).clamp(0.02, 1.0)
+    }
+
+    /// Per-image time at saturated batch on the reference GPU, seconds.
+    pub fn batched_s_per_image(&self, spec: &PruneSpec) -> f64 {
+        self.base_batched_s_per_image * self.batched_time_factor(spec)
+    }
+
+    /// Single-inference latency on the reference GPU, seconds.
+    pub fn single_latency_s(&self, spec: &PruneSpec) -> f64 {
+        self.base_single_latency_s * self.single_time_factor(spec)
+    }
+
+    /// Uniform-pruning spec over every prunable conv layer.
+    pub fn uniform_spec(&self, ratio: f64) -> PruneSpec {
+        PruneSpec::uniform(&self.conv_layer_names(), ratio)
+    }
+
+    /// Spec pruning every layer to its sweet-spot knee (the paper's
+    /// `all-conv` configuration when applied to Caffenet).
+    pub fn all_knees_spec(&self) -> PruneSpec {
+        let mut s = PruneSpec::none();
+        for l in &self.layers {
+            s.set(l.name.clone(), l.knee);
+        }
+        s
+    }
+}
+
+/// Calibrated Caffenet profile (anchors: Figures 3, 4, 6, 8).
+pub fn caffenet_profile() -> AppProfile {
+    let layer = |name: &str, single: f64, batched: f64, knee: f64, max_damage: f64| LayerProfile {
+        name: name.to_string(),
+        single_time_share: single,
+        batched_time_share: batched,
+        knee,
+        max_damage,
+        damage_exponent: 1.4,
+        kappa: 1.0,
+    };
+    AppProfile {
+        name: "caffenet".to_string(),
+        base_top1: 0.57,
+        base_top5: 0.80,
+        base_single_latency_s: 0.090,
+        // 19 minutes for 50 000 images on p2.xlarge.
+        base_batched_s_per_image: 19.0 * 60.0 / 50_000.0,
+        layers: vec![
+            // Figure 3 single shares: 51/16/9/10/7 %. Batched shares are
+            // calibrated from Figure 6's minute-level endpoints (conv1's
+            // huge surface is bandwidth-bound at batch, shrinking its share).
+            layer("conv1", 0.51, 0.108, 0.30, 1.00),
+            layer("conv2", 0.16, 0.250, 0.50, 0.6875),
+            layer("conv3", 0.09, 0.065, 0.50, 0.6875),
+            layer("conv4", 0.10, 0.065, 0.50, 0.6875),
+            layer("conv5", 0.07, 0.043, 0.50, 0.6875),
+        ],
+        prune_efficiency_batched: 0.97,
+        // Figure 4: 0.09 s -> 0.05 s at uniform 90 %: 1 − e·0.93·0.9 = 0.556.
+        prune_efficiency_single: 0.53,
+        // Calibrated to Figure 8: 19 -> 13 min (conv1-2) and 19 -> 11 min
+        // (all-conv) given the linear shares above.
+        time_interaction: Interaction {
+            scale: 0.241,
+            shape: 5.3,
+        },
+        // Calibrated to Figure 8 accuracy: 80 -> 70 % and 80 -> 62 % top-5.
+        accuracy_interaction: Interaction {
+            scale: 0.185,
+            shape: 0.328,
+        },
+    }
+}
+
+/// Calibrated Googlenet profile (anchors: Figures 4, 7).
+pub fn googlenet_profile() -> AppProfile {
+    let mut layers = Vec::new();
+    let mut push = |name: String, single: f64, batched: f64, max_damage: f64, kappa: f64| {
+        layers.push(LayerProfile {
+            name,
+            single_time_share: single,
+            batched_time_share: batched,
+            knee: 0.60,
+            max_damage,
+            damage_exponent: 1.4,
+            kappa,
+        });
+    };
+    // Stem. conv2-3x3 dominates batched time (Figure 7b: 13 -> 9 min).
+    push("conv1-7x7-s2".into(), 0.10, 0.05, 1.00, 1.2);
+    push("conv2-3x3-reduce".into(), 0.02, 0.01, 0.55, 1.0);
+    push("conv2-3x3".into(), 0.12, 0.34, 0.65, 1.0);
+    // Nine inception modules, six convs each. Shares decline with depth
+    // (spatial size shrinks); 5x5 branches are the heavier ones per tap.
+    let tags = ["3a", "3b", "4a", "4b", "4c", "4d", "4e", "5a", "5b"];
+    let module_single = [0.12, 0.13, 0.08, 0.08, 0.08, 0.09, 0.09, 0.02, 0.02];
+    let module_batched = [0.05, 0.09, 0.05, 0.05, 0.05, 0.06, 0.06, 0.045, 0.045];
+    let branch_split = [
+        ("1x1", 0.15),
+        ("3x3-reduce", 0.10),
+        ("3x3", 0.35),
+        ("5x5-reduce", 0.05),
+        ("5x5", 0.25),
+        ("pool-proj", 0.10),
+    ];
+    for (i, tag) in tags.iter().enumerate() {
+        for (branch, frac) in branch_split {
+            push(
+                format!("inception-{tag}-{branch}"),
+                module_single[i] * frac,
+                module_batched[i] * frac,
+                0.65,
+                1.0,
+            );
+        }
+    }
+    AppProfile {
+        name: "googlenet".to_string(),
+        base_top1: 0.66,
+        base_top5: 0.88,
+        base_single_latency_s: 0.160,
+        // ~13 minutes for 50 000 images (Figure 7 time axes).
+        base_batched_s_per_image: 13.0 * 60.0 / 50_000.0,
+        layers,
+        prune_efficiency_batched: 0.97,
+        // Figure 4: 0.16 s -> 0.10 s at uniform 90 %.
+        prune_efficiency_single: 0.44,
+        time_interaction: Interaction {
+            scale: 0.20,
+            shape: 4.0,
+        },
+        accuracy_interaction: Interaction {
+            scale: 0.16,
+            shape: 0.35,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn caffenet_unpruned_anchors() {
+        let p = caffenet_profile();
+        let none = PruneSpec::none();
+        assert_eq!(p.accuracy(&none), (0.57, 0.80));
+        assert!(close(p.single_latency_s(&none), 0.090, 1e-9));
+        assert!(close(p.batched_s_per_image(&none) * 50_000.0 / 60.0, 19.0, 1e-9));
+    }
+
+    #[test]
+    fn fig4_caffenet_single_inference_halves_at_90pct() {
+        let p = caffenet_profile();
+        let spec = p.uniform_spec(0.9);
+        let t = p.single_latency_s(&spec);
+        assert!(close(t, 0.050, 0.003), "0.09 -> {t}");
+    }
+
+    #[test]
+    fn fig4_googlenet_single_inference_drops_to_0_10() {
+        let p = googlenet_profile();
+        let spec = p.uniform_spec(0.9);
+        let t = p.single_latency_s(&spec);
+        assert!(close(t, 0.100, 0.008), "0.16 -> {t}");
+    }
+
+    #[test]
+    fn fig6_caffenet_single_layer_time_anchors() {
+        let p = caffenet_profile();
+        let minutes = |spec: &PruneSpec| p.batched_s_per_image(spec) * 50_000.0 / 60.0;
+        // conv1 @ 90 %: 19 -> ~16.6 min (paper); conv2 @ 90 %: 19 -> ~14 min.
+        assert!(close(minutes(&PruneSpec::single("conv1", 0.9)), 16.6, 0.8));
+        assert!(close(minutes(&PruneSpec::single("conv2", 0.9)), 14.0, 1.0));
+        // The individually-pruned sweet spots quoted in §4.3.2.
+        assert!(close(minutes(&PruneSpec::single("conv1", 0.3)), 18.4, 0.3));
+        assert!(close(minutes(&PruneSpec::single("conv2", 0.5)), 16.7, 0.3));
+    }
+
+    #[test]
+    fn fig6_sweet_spots_have_zero_accuracy_damage() {
+        let p = caffenet_profile();
+        assert_eq!(p.damage(&PruneSpec::single("conv1", 0.30)), 0.0);
+        assert_eq!(p.damage(&PruneSpec::single("conv2", 0.50)), 0.0);
+        assert!(p.damage(&PruneSpec::single("conv1", 0.50)) > 0.0);
+        assert!(p.damage(&PruneSpec::single("conv2", 0.70)) > 0.0);
+    }
+
+    #[test]
+    fn fig6_conv1_most_accuracy_sensitive() {
+        let p = caffenet_profile();
+        // conv1 @ 90 %: top-5 drops to ~0; others bottom out near 25 %.
+        let (_, top5_conv1) = p.accuracy(&PruneSpec::single("conv1", 0.9));
+        assert!(top5_conv1 < 0.02, "conv1@90 top5 {top5_conv1}");
+        let (_, top5_conv3) = p.accuracy(&PruneSpec::single("conv3", 0.9));
+        assert!(close(top5_conv3, 0.25, 0.02), "conv3@90 top5 {top5_conv3}");
+    }
+
+    #[test]
+    fn fig8_multi_layer_anchors() {
+        let p = caffenet_profile();
+        let conv12 = PruneSpec::single("conv1", 0.3).with("conv2", 0.5);
+        let all_conv = p.all_knees_spec();
+        let minutes = |spec: &PruneSpec| p.batched_s_per_image(spec) * 50_000.0 / 60.0;
+        // Time: 19 -> 13 -> 11 minutes.
+        assert!(close(minutes(&conv12), 13.0, 0.4), "{}", minutes(&conv12));
+        assert!(close(minutes(&all_conv), 11.0, 0.4), "{}", minutes(&all_conv));
+        // Top-5: 80 -> 70 -> 62 %.
+        let (_, t5_12) = p.accuracy(&conv12);
+        let (_, t5_all) = p.accuracy(&all_conv);
+        assert!(close(t5_12, 0.70, 0.01), "conv1-2 top5 {t5_12}");
+        assert!(close(t5_all, 0.62, 0.01), "all-conv top5 {t5_all}");
+    }
+
+    #[test]
+    fn fig7_googlenet_conv2_time_anchor() {
+        let p = googlenet_profile();
+        let minutes = |spec: &PruneSpec| p.batched_s_per_image(spec) * 50_000.0 / 60.0;
+        // conv2-3x3 @ 90 %: 13 -> ~9 min (≈30 % reduction).
+        let m = minutes(&PruneSpec::single("conv2-3x3", 0.9));
+        assert!(close(m, 9.0, 0.5), "conv2-3x3@90 -> {m}");
+    }
+
+    #[test]
+    fn googlenet_sweet_spots_extend_to_60pct() {
+        let p = googlenet_profile();
+        for name in ["conv2-3x3", "inception-3a-3x3", "inception-5a-3x3"] {
+            assert_eq!(p.damage(&PruneSpec::single(name, 0.60)), 0.0, "{name}");
+            assert!(p.damage(&PruneSpec::single(name, 0.75)) > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn googlenet_has_all_57_conv_layers() {
+        let p = googlenet_profile();
+        assert_eq!(p.layers.len(), 3 + 9 * 6);
+        // Layer names line up with the actual model.
+        use cap_cnn::models::{googlenet, WeightInit};
+        let net = googlenet(WeightInit::Zeros).unwrap();
+        let model_convs = net.layers_of_kind(cap_cnn::LayerKind::Convolution);
+        for l in &p.layers {
+            assert!(model_convs.contains(&l.name), "profile layer {} not in model", l.name);
+        }
+    }
+
+    #[test]
+    fn caffenet_layer_names_match_model() {
+        use cap_cnn::models::{caffenet, WeightInit};
+        let p = caffenet_profile();
+        let net = caffenet(WeightInit::Zeros).unwrap();
+        let model_convs = net.layers_of_kind(cap_cnn::LayerKind::Convolution);
+        assert_eq!(p.conv_layer_names(), model_convs.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_factor_monotone_in_ratio() {
+        let p = caffenet_profile();
+        let mut prev = 1.0;
+        for i in 0..=9 {
+            let r = i as f64 / 10.0;
+            let f = p.batched_time_factor(&PruneSpec::single("conv2", r));
+            assert!(f <= prev + 1e-12, "ratio {r}: {f} > {prev}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn damage_monotone_and_bounded() {
+        let p = caffenet_profile();
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let r = i as f64 / 10.0;
+            let d = p.damage(&p.uniform_spec(r));
+            assert!(d >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&d));
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn unknown_layers_in_spec_are_ignored_gracefully() {
+        let p = caffenet_profile();
+        let spec = PruneSpec::single("not-a-layer", 0.9);
+        assert_eq!(p.damage(&spec), 0.0);
+        assert_eq!(p.batched_time_factor(&spec), 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Gradual pruning schedules: instead of pruning to the target ratio in
+//! one shot, sparsity is raised step by step with fine-tuning between
+//! steps — the iterative protocol of the pruning literature the paper
+//! builds on (Li et al. \[17\] retrain after pruning; Han-style gradual
+//! schedules generalize it). One-shot vs gradual is an accuracy/effort
+//! trade the `train_prune_measure` example demonstrates.
+
+use serde::{Deserialize, Serialize};
+
+/// A gradual sparsity schedule: a sequence of increasing target ratios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PruneSchedule {
+    steps: Vec<f64>,
+}
+
+impl PruneSchedule {
+    /// One-shot schedule: jump straight to `target`.
+    pub fn one_shot(target: f64) -> Self {
+        Self {
+            steps: vec![target.clamp(0.0, 1.0)],
+        }
+    }
+
+    /// Linear schedule: `steps` equal increments from `initial` to
+    /// `target` (both clamped to `\[0, 1\]`; `steps ≥ 1`).
+    pub fn linear(initial: f64, target: f64, steps: usize) -> Self {
+        let steps_n = steps.max(1);
+        let (lo, hi) = (initial.clamp(0.0, 1.0), target.clamp(0.0, 1.0));
+        Self {
+            steps: (1..=steps_n)
+                .map(|i| lo + (hi - lo) * i as f64 / steps_n as f64)
+                .collect(),
+        }
+    }
+
+    /// Cubic schedule (Zhu–Gupta style): sparsity rises fast early and
+    /// flattens near the target — `s(t) = hi − (hi − lo)·(1 − t)³`.
+    pub fn cubic(initial: f64, target: f64, steps: usize) -> Self {
+        let steps_n = steps.max(1);
+        let (lo, hi) = (initial.clamp(0.0, 1.0), target.clamp(0.0, 1.0));
+        Self {
+            steps: (1..=steps_n)
+                .map(|i| {
+                    let t = i as f64 / steps_n as f64;
+                    hi - (hi - lo) * (1.0 - t).powi(3)
+                })
+                .collect(),
+        }
+    }
+
+    /// The schedule's target (final) ratio.
+    pub fn target(&self) -> f64 {
+        *self.steps.last().unwrap_or(&0.0)
+    }
+
+    /// Number of pruning steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the schedule has no steps (never constructed by the
+    /// public constructors, but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Iterate target ratios in order.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.steps.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_shot_is_single_step() {
+        let s = PruneSchedule::one_shot(0.7);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.target(), 0.7);
+    }
+
+    #[test]
+    fn linear_ends_at_target_with_equal_increments() {
+        let s = PruneSchedule::linear(0.0, 0.8, 4);
+        let steps: Vec<f64> = s.iter().collect();
+        assert_eq!(steps.len(), 4);
+        assert!((steps[0] - 0.2).abs() < 1e-12);
+        assert!((steps[3] - 0.8).abs() < 1e-12);
+        for w in steps.windows(2) {
+            assert!(((w[1] - w[0]) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cubic_front_loads_sparsity() {
+        let lin = PruneSchedule::linear(0.0, 0.9, 5);
+        let cub = PruneSchedule::cubic(0.0, 0.9, 5);
+        let l: Vec<f64> = lin.iter().collect();
+        let c: Vec<f64> = cub.iter().collect();
+        // Same endpoint...
+        assert!((l[4] - c[4]).abs() < 1e-12);
+        // ...but cubic is ahead at every interior step.
+        for i in 0..4 {
+            assert!(c[i] > l[i], "step {i}: cubic {} vs linear {}", c[i], l[i]);
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let s = PruneSchedule::linear(-0.5, 1.5, 3);
+        assert_eq!(s.target(), 1.0);
+        assert!(s.iter().all(|r| (0.0..=1.0).contains(&r)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_schedules_monotone_nondecreasing(
+            lo in 0.0f64..0.5, hi in 0.5f64..1.0, steps in 1usize..12
+        ) {
+            for s in [PruneSchedule::linear(lo, hi, steps), PruneSchedule::cubic(lo, hi, steps)] {
+                let v: Vec<f64> = s.iter().collect();
+                for w in v.windows(2) {
+                    prop_assert!(w[1] + 1e-12 >= w[0]);
+                }
+                prop_assert!((s.target() - hi).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-layer sensitivity sweeps — the experiment behind Figures 6 and 7:
+//! prune one layer at a time across a ratio grid and record time and
+//! accuracy.
+
+use crate::profile::AppProfile;
+use crate::spec::PruneSpec;
+use serde::{Deserialize, Serialize};
+
+/// One point of a sensitivity sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensitivityPoint {
+    /// Prune ratio applied to the swept layer.
+    pub ratio: f64,
+    /// Saturated-batch inference time factor relative to unpruned.
+    pub time_factor: f64,
+    /// Top-1 accuracy.
+    pub top1: f64,
+    /// Top-5 accuracy.
+    pub top5: f64,
+}
+
+/// Sweep of one layer across prune ratios.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerSweep {
+    /// Swept layer name.
+    pub layer: String,
+    /// Points in ascending ratio order.
+    pub points: Vec<SensitivityPoint>,
+}
+
+impl LayerSweep {
+    /// Accuracy curve as `(ratio, top5)` pairs — the input to sweet-spot
+    /// detection.
+    pub fn top5_curve(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.ratio, p.top5)).collect()
+    }
+
+    /// Time curve as `(ratio, time_factor)` pairs.
+    pub fn time_curve(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.ratio, p.time_factor)).collect()
+    }
+}
+
+/// Sweep a single layer of `profile` over `ratios`.
+pub fn sweep_layer(profile: &AppProfile, layer: &str, ratios: &[f64]) -> LayerSweep {
+    let points = ratios
+        .iter()
+        .map(|&ratio| {
+            let spec = PruneSpec::single(layer, ratio);
+            let (top1, top5) = profile.accuracy(&spec);
+            SensitivityPoint {
+                ratio,
+                time_factor: profile.batched_time_factor(&spec),
+                top1,
+                top5,
+            }
+        })
+        .collect();
+    LayerSweep {
+        layer: layer.to_string(),
+        points,
+    }
+}
+
+/// Sweep every prunable layer (Figure 6 = all Caffenet convs; Figure 7 =
+/// the six selected Googlenet layers, pass them explicitly).
+pub fn sweep_layers(profile: &AppProfile, layers: &[&str], ratios: &[f64]) -> Vec<LayerSweep> {
+    layers
+        .iter()
+        .map(|l| sweep_layer(profile, l, ratios))
+        .collect()
+}
+
+/// The standard 0–90 % grid in 10 % steps used throughout the paper.
+pub fn standard_ratio_grid() -> Vec<f64> {
+    (0..=9).map(|i| i as f64 / 10.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::caffenet_profile;
+
+    #[test]
+    fn grid_is_0_to_90_in_10s() {
+        let g = standard_ratio_grid();
+        assert_eq!(g.len(), 10);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(g[9], 0.9);
+    }
+
+    #[test]
+    fn sweep_time_decreases_accuracy_non_increasing() {
+        let p = caffenet_profile();
+        let sweep = sweep_layer(&p, "conv2", &standard_ratio_grid());
+        assert_eq!(sweep.points.len(), 10);
+        for w in sweep.points.windows(2) {
+            assert!(w[1].time_factor <= w[0].time_factor + 1e-12);
+            assert!(w[1].top5 <= w[0].top5 + 1e-12);
+            assert!(w[1].top1 <= w[0].top1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sweep_all_caffenet_layers() {
+        let p = caffenet_profile();
+        let names = p.conv_layer_names();
+        let sweeps = sweep_layers(&p, &names, &standard_ratio_grid());
+        assert_eq!(sweeps.len(), 5);
+        // conv1 loses the most accuracy at 90 %.
+        let final_top5: Vec<f64> = sweeps.iter().map(|s| s.points[9].top5).collect();
+        assert!(final_top5[0] < final_top5[1]);
+    }
+
+    #[test]
+    fn curves_extract_matching_axes() {
+        let p = caffenet_profile();
+        let sweep = sweep_layer(&p, "conv3", &[0.0, 0.5, 0.9]);
+        let acc = sweep.top5_curve();
+        let time = sweep.time_curve();
+        assert_eq!(acc.len(), 3);
+        assert_eq!(acc[1].0, 0.5);
+        assert_eq!(time[2].0, 0.9);
+    }
+}

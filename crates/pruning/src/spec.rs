@@ -1,0 +1,189 @@
+//! Degrees of pruning: per-layer prune ratios (paper symbol `p ∈ P`).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A *degree of pruning*: a mapping from layer name to prune ratio in
+/// `[0, 1]`. The set `P` of Table 2 is a collection of `PruneSpec`s; each
+/// spec, applied to a CNN, yields one application version with its own
+/// accuracy and inference time.
+///
+/// Layers are kept in a `BTreeMap` so iteration order, equality, display
+/// and hashing are deterministic.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PruneSpec {
+    ratios: BTreeMap<String, f64>,
+}
+
+impl PruneSpec {
+    /// The unpruned spec (paper's `nonpruned`).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Spec pruning a single layer at `ratio`.
+    pub fn single(layer: impl Into<String>, ratio: f64) -> Self {
+        let mut s = Self::default();
+        s.set(layer, ratio);
+        s
+    }
+
+    /// Spec pruning every listed layer at the same `ratio` (Figure 4's
+    /// uniform sweep).
+    pub fn uniform<S: AsRef<str>>(layers: &[S], ratio: f64) -> Self {
+        let mut s = Self::default();
+        for l in layers {
+            s.set(l.as_ref(), ratio);
+        }
+        s
+    }
+
+    /// Set one layer's ratio (clamped to `[0, 1]`; 0 removes the entry).
+    pub fn set(&mut self, layer: impl Into<String>, ratio: f64) {
+        let ratio = ratio.clamp(0.0, 1.0);
+        let name = layer.into();
+        if ratio == 0.0 {
+            self.ratios.remove(&name);
+        } else {
+            self.ratios.insert(name, ratio);
+        }
+    }
+
+    /// Builder-style [`Self::set`].
+    pub fn with(mut self, layer: impl Into<String>, ratio: f64) -> Self {
+        self.set(layer, ratio);
+        self
+    }
+
+    /// Prune ratio of `layer` (0 when unlisted).
+    pub fn ratio(&self, layer: &str) -> f64 {
+        self.ratios.get(layer).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate `(layer, ratio)` pairs with non-zero ratios, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.ratios.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of pruned layers.
+    pub fn pruned_layer_count(&self) -> usize {
+        self.ratios.len()
+    }
+
+    /// True if nothing is pruned.
+    pub fn is_none(&self) -> bool {
+        self.ratios.is_empty()
+    }
+
+    /// Sum of ratios across pruned layers.
+    pub fn total_ratio(&self) -> f64 {
+        self.ratios.values().sum()
+    }
+
+    /// Largest single-layer ratio (0 when unpruned).
+    pub fn max_ratio(&self) -> f64 {
+        self.ratios.values().copied().fold(0.0, f64::max)
+    }
+
+    /// Merge: take the per-layer maximum of two specs (combining
+    /// sweet-spots from multiple layers, §4.3.2).
+    pub fn combine(&self, other: &PruneSpec) -> PruneSpec {
+        let mut out = self.clone();
+        for (l, r) in other.iter() {
+            if r > out.ratio(l) {
+                out.set(l, r);
+            }
+        }
+        out
+    }
+
+    /// Stable short label, e.g. `nonpruned` or `conv1@30+conv2@50`.
+    pub fn label(&self) -> String {
+        if self.is_none() {
+            return "nonpruned".to_string();
+        }
+        self.ratios
+            .iter()
+            .map(|(l, r)| format!("{l}@{:.0}", r * 100.0))
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+impl fmt::Display for PruneSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn none_is_empty() {
+        let s = PruneSpec::none();
+        assert!(s.is_none());
+        assert_eq!(s.label(), "nonpruned");
+        assert_eq!(s.ratio("conv1"), 0.0);
+    }
+
+    #[test]
+    fn set_clamps_and_zero_removes() {
+        let mut s = PruneSpec::single("conv1", 1.5);
+        assert_eq!(s.ratio("conv1"), 1.0);
+        s.set("conv1", 0.0);
+        assert!(s.is_none());
+        s.set("conv2", -0.3);
+        assert!(s.is_none());
+    }
+
+    #[test]
+    fn uniform_covers_all_layers() {
+        let s = PruneSpec::uniform(&["conv1", "conv2", "conv3"], 0.4);
+        assert_eq!(s.pruned_layer_count(), 3);
+        assert!((s.total_ratio() - 1.2).abs() < 1e-12);
+        assert_eq!(s.max_ratio(), 0.4);
+    }
+
+    #[test]
+    fn combine_takes_per_layer_max() {
+        let a = PruneSpec::single("conv1", 0.3).with("conv2", 0.1);
+        let b = PruneSpec::single("conv2", 0.5).with("conv3", 0.2);
+        let c = a.combine(&b);
+        assert_eq!(c.ratio("conv1"), 0.3);
+        assert_eq!(c.ratio("conv2"), 0.5);
+        assert_eq!(c.ratio("conv3"), 0.2);
+    }
+
+    #[test]
+    fn label_is_deterministic_and_sorted() {
+        let s = PruneSpec::single("conv2", 0.5).with("conv1", 0.3);
+        assert_eq!(s.label(), "conv1@30+conv2@50");
+        assert_eq!(s.to_string(), s.label());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = PruneSpec::single("conv1", 0.25).with("conv5", 0.75);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: PruneSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_combine_is_commutative_and_idempotent(
+            r1 in 0.0f64..1.0, r2 in 0.0f64..1.0, r3 in 0.0f64..1.0
+        ) {
+            let a = PruneSpec::single("x", r1).with("y", r2);
+            let b = PruneSpec::single("y", r3);
+            prop_assert_eq!(a.combine(&b), b.combine(&a));
+            let ab = a.combine(&b);
+            prop_assert_eq!(ab.combine(&ab), ab.clone());
+            prop_assert!(ab.max_ratio() >= a.max_ratio().max(b.max_ratio()) - 1e-12);
+        }
+    }
+}

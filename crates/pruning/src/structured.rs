@@ -1,0 +1,122 @@
+//! Structured scored pruning in the spirit of Anwar et al. \[3\]: like
+//! L1-norm filter pruning, but filters are ranked by a richer score that
+//! weighs a filter's magnitude against its *distinctiveness* — filters
+//! similar to other surviving filters are cheaper to remove (the network
+//! retains a near-duplicate).
+
+use cap_tensor::{Matrix, ShapeError, TensorResult};
+
+/// Score of each filter: `l1_norm × (1 − max_cosine_similarity_to_others)`.
+///
+/// A filter with large weights but a near-duplicate elsewhere scores low;
+/// a small but unique filter scores higher than pure magnitude would give
+/// it.
+pub fn filter_scores(weights: &Matrix) -> Vec<f32> {
+    let rows = weights.rows();
+    let mut norms = vec![0.0_f32; rows];
+    let mut l2 = vec![0.0_f32; rows];
+    for r in 0..rows {
+        norms[r] = weights.row(r).iter().map(|v| v.abs()).sum();
+        l2[r] = weights.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+    }
+    (0..rows)
+        .map(|r| {
+            let mut max_sim = 0.0_f32;
+            if l2[r] > 0.0 {
+                for o in 0..rows {
+                    if o == r || l2[o] == 0.0 {
+                        continue;
+                    }
+                    let dot: f32 = weights
+                        .row(r)
+                        .iter()
+                        .zip(weights.row(o).iter())
+                        .map(|(a, b)| a * b)
+                        .sum();
+                    max_sim = max_sim.max((dot / (l2[r] * l2[o])).abs());
+                }
+            }
+            norms[r] * (1.0 - max_sim.min(1.0))
+        })
+        .collect()
+}
+
+/// Zero out the `ratio` fraction of filters with the lowest score.
+/// Returns pruned filter indices, sorted ascending.
+pub fn prune_structured(weights: &mut Matrix, ratio: f64) -> TensorResult<Vec<usize>> {
+    if !(0.0..=1.0).contains(&ratio) {
+        return Err(ShapeError::new(format!(
+            "prune_structured: ratio {ratio} outside [0, 1]"
+        )));
+    }
+    let rows = weights.rows();
+    if rows == 0 {
+        return Ok(Vec::new());
+    }
+    let k = ((rows as f64) * ratio).round() as usize;
+    let scores = filter_scores(weights);
+    let mut idx: Vec<usize> = (0..rows).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut pruned: Vec<usize> = idx.into_iter().take(k).collect();
+    pruned.sort_unstable();
+    for &r in &pruned {
+        weights.row_mut(r).fill(0.0);
+    }
+    Ok(pruned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_filters_score_near_zero() {
+        // Rows 0 and 1 identical (cos sim 1), row 2 orthogonal.
+        let m = Matrix::from_vec(3, 2, vec![1.0, 0.0, 1.0, 0.0, 0.0, 1.0]).unwrap();
+        let scores = filter_scores(&m);
+        assert!(scores[0] < 1e-6);
+        assert!(scores[1] < 1e-6);
+        assert!(scores[2] > 0.5);
+    }
+
+    #[test]
+    fn prunes_redundant_over_small_unique() {
+        // Row 2 is small but unique; rows 0/1 are big duplicates.
+        let mut m = Matrix::from_vec(3, 2, vec![2.0, 0.0, 2.0, 0.0, 0.0, 0.3]).unwrap();
+        let pruned = prune_structured(&mut m, 1.0 / 3.0).unwrap();
+        assert!(pruned == vec![0] || pruned == vec![1]);
+        assert_eq!(m.row(2), &[0.0, 0.3]);
+    }
+
+    #[test]
+    fn differs_from_pure_l1_ranking() {
+        // Pure L1 would prune row 2 (norm 0.3); the structured score
+        // prunes a duplicate instead.
+        let mut by_l1 = Matrix::from_vec(3, 2, vec![2.0, 0.0, 2.0, 0.0, 0.0, 0.3]).unwrap();
+        let mut by_score = by_l1.clone();
+        let p1 = crate::filter::prune_filters_l1(&mut by_l1, 1.0 / 3.0).unwrap();
+        let p2 = prune_structured(&mut by_score, 1.0 / 3.0).unwrap();
+        assert_eq!(p1, vec![2]);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn full_and_zero_ratio() {
+        let mut m = Matrix::from_fn(4, 3, |r, c| (r + c) as f32 + 1.0);
+        assert!(prune_structured(&mut m, 0.0).unwrap().is_empty());
+        let all = prune_structured(&mut m, 1.0).unwrap();
+        assert_eq!(all.len(), 4);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rejects_bad_ratio() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(prune_structured(&mut m, -0.5).is_err());
+    }
+}

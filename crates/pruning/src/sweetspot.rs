@@ -1,0 +1,103 @@
+//! Sweet-spot detection (paper Observation 1): the prune range where
+//! accuracy stays (nearly) flat while inference time falls.
+
+use serde::{Deserialize, Serialize};
+
+/// A detected sweet-spot region for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweetSpot {
+    /// Largest prune ratio with accuracy within tolerance of unpruned —
+    /// the paper's "last sweet-spot".
+    pub last_ratio: f64,
+    /// Accuracy at the last sweet-spot ratio.
+    pub accuracy_at_last: f64,
+    /// Time factor at the last sweet-spot ratio (relative to unpruned).
+    pub time_factor_at_last: f64,
+}
+
+/// Detect the sweet-spot region of an accuracy curve.
+///
+/// `accuracy_curve` and `time_curve` are `(ratio, value)` series over the
+/// same ascending ratio grid; `tolerance` is the maximum *absolute*
+/// accuracy drop (in accuracy units) still considered "unchanged".
+/// Returns `None` for empty input.
+pub fn sweet_spot(
+    accuracy_curve: &[(f64, f64)],
+    time_curve: &[(f64, f64)],
+    tolerance: f64,
+) -> Option<SweetSpot> {
+    let (_, base_acc) = *accuracy_curve.first()?;
+    let mut last = None;
+    for (i, &(ratio, acc)) in accuracy_curve.iter().enumerate() {
+        if base_acc - acc <= tolerance {
+            let time_factor = time_curve
+                .iter()
+                .find(|(r, _)| (*r - ratio).abs() < 1e-12)
+                .map(|&(_, t)| t)
+                .or_else(|| time_curve.get(i).map(|&(_, t)| t))
+                .unwrap_or(1.0);
+            last = Some(SweetSpot {
+                last_ratio: ratio,
+                accuracy_at_last: acc,
+                time_factor_at_last: time_factor,
+            });
+        } else {
+            break; // region is a prefix: stop at the first violation
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::caffenet_profile;
+    use crate::sensitivity::{standard_ratio_grid, sweep_layer};
+
+    #[test]
+    fn detects_flat_prefix() {
+        let acc = vec![(0.0, 0.8), (0.1, 0.8), (0.2, 0.79), (0.3, 0.6), (0.4, 0.3)];
+        let time = vec![(0.0, 1.0), (0.1, 0.95), (0.2, 0.9), (0.3, 0.85), (0.4, 0.8)];
+        let ss = sweet_spot(&acc, &time, 0.015).unwrap();
+        assert_eq!(ss.last_ratio, 0.2);
+        assert_eq!(ss.time_factor_at_last, 0.9);
+    }
+
+    #[test]
+    fn stops_at_first_violation_even_if_curve_recovers() {
+        let acc = vec![(0.0, 0.8), (0.1, 0.5), (0.2, 0.8)];
+        let time = vec![(0.0, 1.0), (0.1, 0.9), (0.2, 0.8)];
+        let ss = sweet_spot(&acc, &time, 0.01).unwrap();
+        assert_eq!(ss.last_ratio, 0.0);
+    }
+
+    #[test]
+    fn empty_curve_is_none() {
+        assert!(sweet_spot(&[], &[], 0.1).is_none());
+    }
+
+    #[test]
+    fn caffenet_conv_sweet_spots_match_paper() {
+        // §4.3.2: last sweet-spots are conv1 @ 30 % and conv2 @ 50 %.
+        let p = caffenet_profile();
+        let grid = standard_ratio_grid();
+        let s1 = sweep_layer(&p, "conv1", &grid);
+        let ss1 = sweet_spot(&s1.top5_curve(), &s1.time_curve(), 1e-9).unwrap();
+        assert_eq!(ss1.last_ratio, 0.3);
+        let s2 = sweep_layer(&p, "conv2", &grid);
+        let ss2 = sweet_spot(&s2.top5_curve(), &s2.time_curve(), 1e-9).unwrap();
+        assert_eq!(ss2.last_ratio, 0.5);
+        // Within the sweet spot, time already fell.
+        assert!(ss2.time_factor_at_last < 1.0);
+    }
+
+    #[test]
+    fn tolerance_extends_region() {
+        let p = caffenet_profile();
+        let grid = standard_ratio_grid();
+        let s = sweep_layer(&p, "conv2", &grid);
+        let strict = sweet_spot(&s.top5_curve(), &s.time_curve(), 1e-9).unwrap();
+        let loose = sweet_spot(&s.top5_curve(), &s.time_curve(), 0.10).unwrap();
+        assert!(loose.last_ratio >= strict.last_ratio);
+    }
+}

@@ -1,0 +1,198 @@
+//! Weight sharing — the paper's §2.1 alternative knob \[1\]: cluster
+//! weights by value and replace each by its cluster centroid, shrinking
+//! the distinct-value alphabet (and thus storage) without changing
+//! matrix shape. Implemented as deterministic 1-D k-means (Lloyd's
+//! algorithm on sorted values).
+
+use cap_tensor::{Matrix, ShapeError, TensorResult};
+use serde::{Deserialize, Serialize};
+
+/// Result of applying weight sharing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeightSharingReport {
+    /// Number of clusters requested.
+    pub clusters: usize,
+    /// Number of clusters actually used (≤ requested).
+    pub clusters_used: usize,
+    /// Root-mean-square reconstruction error.
+    pub rms_error: f64,
+    /// Effective bits per weight (`ceil(log2(clusters_used))`) for the
+    /// codebook encoding.
+    pub bits_per_weight: u8,
+}
+
+/// Cluster the matrix's values into at most `clusters` groups by 1-D
+/// k-means and replace every weight with its centroid, in place.
+///
+/// Initialization is deterministic (quantile seeding over the sorted
+/// values) and iteration runs to convergence or 50 rounds.
+pub fn share_weights(weights: &mut Matrix, clusters: usize) -> TensorResult<WeightSharingReport> {
+    if clusters == 0 {
+        return Err(ShapeError::new("share_weights: clusters must be >= 1"));
+    }
+    let n = weights.len();
+    if n == 0 {
+        return Ok(WeightSharingReport {
+            clusters,
+            clusters_used: 0,
+            rms_error: 0.0,
+            bits_per_weight: 0,
+        });
+    }
+    let data = weights.as_mut_slice();
+    let mut sorted: Vec<f32> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+    let k = clusters.min(n);
+    // Quantile seeding.
+    let mut centroids: Vec<f32> = (0..k)
+        .map(|i| sorted[(i * (n - 1)) / k.max(1)])
+        .collect();
+    centroids.dedup();
+
+    for _round in 0..50 {
+        // Assign: nearest centroid (centroids stay sorted).
+        let mut sums = vec![0.0_f64; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for &v in data.iter() {
+            let idx = nearest(&centroids, v);
+            sums[idx] += v as f64;
+            counts[idx] += 1;
+        }
+        let mut moved = 0.0_f32;
+        for (i, c) in centroids.iter_mut().enumerate() {
+            if counts[i] > 0 {
+                let new = (sums[i] / counts[i] as f64) as f32;
+                moved = moved.max((new - *c).abs());
+                *c = new;
+            }
+        }
+        centroids.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        centroids.dedup();
+        if moved < 1e-7 {
+            break;
+        }
+    }
+
+    let mut sq_err = 0.0_f64;
+    let mut used = vec![false; centroids.len()];
+    for v in data.iter_mut() {
+        let idx = nearest(&centroids, *v);
+        used[idx] = true;
+        let c = centroids[idx];
+        let e = (c - *v) as f64;
+        sq_err += e * e;
+        *v = c;
+    }
+    let clusters_used = used.iter().filter(|&&u| u).count();
+    Ok(WeightSharingReport {
+        clusters,
+        clusters_used,
+        rms_error: (sq_err / n as f64).sqrt(),
+        bits_per_weight: (usize::BITS - (clusters_used.max(1) - 1).leading_zeros()).max(1) as u8,
+    })
+}
+
+/// Index of the nearest centroid (binary search over sorted centroids).
+fn nearest(centroids: &[f32], v: f32) -> usize {
+    match centroids.binary_search_by(|c| c.partial_cmp(&v).unwrap_or(std::cmp::Ordering::Equal)) {
+        Ok(i) => i,
+        Err(i) => {
+            if i == 0 {
+                0
+            } else if i >= centroids.len() {
+                centroids.len() - 1
+            } else if (v - centroids[i - 1]).abs() <= (centroids[i] - v).abs() {
+                i - 1
+            } else {
+                i
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_fn(12, 12, |r, c| ((r * 12 + c) as f32 * 0.21).cos())
+    }
+
+    #[test]
+    fn reduces_distinct_values_to_at_most_k() {
+        let mut m = sample();
+        let r = share_weights(&mut m, 8).unwrap();
+        let distinct: std::collections::BTreeSet<u32> =
+            m.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert!(distinct.len() <= 8);
+        assert!(r.clusters_used <= 8);
+        assert!(r.bits_per_weight <= 3);
+    }
+
+    #[test]
+    fn many_clusters_is_near_lossless() {
+        let original = sample();
+        let mut m = original.clone();
+        let r = share_weights(&mut m, 144).unwrap();
+        assert!(r.rms_error < 1e-3, "rms {}", r.rms_error);
+    }
+
+    #[test]
+    fn one_cluster_collapses_to_mean() {
+        let mut m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 6.0]).unwrap();
+        share_weights(&mut m, 1).unwrap();
+        assert!(m.as_slice().iter().all(|&v| (v - 3.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn error_decreases_with_clusters() {
+        let mut prev = f64::INFINITY;
+        for k in [2usize, 4, 8, 16, 32] {
+            let mut m = sample();
+            let r = share_weights(&mut m, k).unwrap();
+            assert!(r.rms_error <= prev + 1e-9, "k={k}: {} > {prev}", r.rms_error);
+            prev = r.rms_error;
+        }
+    }
+
+    #[test]
+    fn zero_clusters_rejected_empty_ok() {
+        let mut m = sample();
+        assert!(share_weights(&mut m, 0).is_err());
+        let mut empty = Matrix::zeros(0, 0);
+        let r = share_weights(&mut empty, 4).unwrap();
+        assert_eq!(r.clusters_used, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = sample();
+        let mut b = sample();
+        share_weights(&mut a, 5).unwrap();
+        share_weights(&mut b, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_value_is_a_centroid(k in 1usize..20) {
+            let mut m = sample();
+            share_weights(&mut m, k).unwrap();
+            let distinct: std::collections::BTreeSet<u32> =
+                m.as_slice().iter().map(|v| v.to_bits()).collect();
+            prop_assert!(distinct.len() <= k);
+        }
+
+        #[test]
+        fn prop_rms_bounded_by_value_range(k in 1usize..10) {
+            let original = sample();
+            let mut m = original.clone();
+            let r = share_weights(&mut m, k).unwrap();
+            let min = original.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+            let max = original.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(r.rms_error <= (max - min) as f64 + 1e-9);
+        }
+    }
+}

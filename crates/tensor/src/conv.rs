@@ -1,0 +1,481 @@
+//! 2-D convolution kernels: im2col+GEMM (Caffe's scheme), a direct
+//! sliding-window reference, and a sparse-weight variant for pruned layers.
+
+use crate::dense::Matrix;
+use crate::error::{ShapeError, TensorResult};
+use crate::gemm::gemm_prealloc;
+use crate::im2col::{im2col_prealloc, out_spatial};
+use crate::sparse::CsrMatrix;
+use crate::tensor4::Tensor4;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a 2-D convolution.
+///
+/// `groups` implements AlexNet/Caffenet-style grouped convolution: input
+/// and output channels are split into `groups` equal slices convolved
+/// independently (Caffenet conv2/4/5 use `groups = 2`, which is why
+/// Table 1 lists conv2 filters as `5×5×48` against a 96-channel input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conv2dParams {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (number of filters).
+    pub out_channels: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Channel groups.
+    pub groups: usize,
+}
+
+impl Conv2dParams {
+    /// Convenience constructor for an ungrouped convolution.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        k: usize,
+        pad: usize,
+        stride: usize,
+    ) -> Self {
+        Self {
+            in_channels,
+            out_channels,
+            kh: k,
+            kw: k,
+            pad,
+            stride,
+            groups: 1,
+        }
+    }
+
+    /// Same, with channel groups.
+    pub fn grouped(
+        in_channels: usize,
+        out_channels: usize,
+        k: usize,
+        pad: usize,
+        stride: usize,
+        groups: usize,
+    ) -> Self {
+        Self {
+            in_channels,
+            out_channels,
+            kh: k,
+            kw: k,
+            pad,
+            stride,
+            groups,
+        }
+    }
+
+    /// Input channels per group.
+    pub fn in_per_group(&self) -> usize {
+        self.in_channels / self.groups.max(1)
+    }
+
+    /// Output channels per group.
+    pub fn out_per_group(&self) -> usize {
+        self.out_channels / self.groups.max(1)
+    }
+
+    /// Weight element count: `out_channels × in_per_group × kh × kw`.
+    pub fn weight_len(&self) -> usize {
+        self.out_channels * self.in_per_group() * self.kh * self.kw
+    }
+
+    /// Output spatial shape for an `h×w` input.
+    pub fn out_shape(&self, h: usize, w: usize) -> TensorResult<(usize, usize)> {
+        out_spatial(h, w, self.kh, self.kw, self.pad, self.stride)
+    }
+
+    /// Validate structural invariants (divisibility by groups, non-zero dims).
+    pub fn validate(&self) -> TensorResult<()> {
+        if self.groups == 0 {
+            return Err(ShapeError::new("conv: groups must be >= 1"));
+        }
+        if !self.in_channels.is_multiple_of(self.groups) || !self.out_channels.is_multiple_of(self.groups) {
+            return Err(ShapeError::new(format!(
+                "conv: channels ({} in, {} out) not divisible by groups {}",
+                self.in_channels, self.out_channels, self.groups
+            )));
+        }
+        if self.in_channels == 0 || self.out_channels == 0 {
+            return Err(ShapeError::new("conv: channel counts must be >= 1"));
+        }
+        Ok(())
+    }
+
+    /// Multiply–accumulate count for one image
+    /// (`2 × macs` gives FLOPs; the CNN crate's FLOP model builds on this).
+    pub fn macs(&self, h: usize, w: usize) -> TensorResult<u64> {
+        let (oh, ow) = self.out_shape(h, w)?;
+        Ok(self.out_channels as u64
+            * oh as u64
+            * ow as u64
+            * self.in_per_group() as u64
+            * self.kh as u64
+            * self.kw as u64)
+    }
+}
+
+fn check_weights(params: &Conv2dParams, weights: &Matrix) -> TensorResult<()> {
+    params.validate()?;
+    let expected = (
+        params.out_channels,
+        params.in_per_group() * params.kh * params.kw,
+    );
+    if weights.shape() != expected {
+        return Err(ShapeError::new(format!(
+            "conv: weights {:?}, expected {:?}",
+            weights.shape(),
+            expected
+        )));
+    }
+    Ok(())
+}
+
+fn check_input(params: &Conv2dParams, input: &Tensor4) -> TensorResult<()> {
+    if input.c() != params.in_channels {
+        return Err(ShapeError::new(format!(
+            "conv: input channels {} != {}",
+            input.c(),
+            params.in_channels
+        )));
+    }
+    Ok(())
+}
+
+fn check_bias(params: &Conv2dParams, bias: Option<&[f32]>) -> TensorResult<()> {
+    if let Some(b) = bias {
+        if b.len() != params.out_channels {
+            return Err(ShapeError::new(format!(
+                "conv: bias length {} != out_channels {}",
+                b.len(),
+                params.out_channels
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Convolution via im2col + GEMM — the production path, matching Caffe.
+///
+/// `weights` is `out_channels × (in_per_group*kh*kw)`; `bias`, when given,
+/// has one entry per output channel. Images in the batch are processed in
+/// parallel.
+pub fn conv2d_gemm(
+    input: &Tensor4,
+    weights: &Matrix,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+) -> TensorResult<Tensor4> {
+    check_weights(params, weights)?;
+    check_input(params, input)?;
+    check_bias(params, bias)?;
+    let (n, _c, h, w) = input.shape();
+    let (oh, ow) = params.out_shape(h, w)?;
+    let mut out = Tensor4::zeros(n, params.out_channels, oh, ow);
+
+    let cpg = params.in_per_group();
+    let opg = params.out_per_group();
+    let col_rows = cpg * params.kh * params.kw;
+    let n_out = oh * ow;
+    let out_image_len = params.out_channels * n_out;
+
+    let images: Vec<&[f32]> = (0..n).map(|i| input.image(i)).collect();
+    out.as_mut_slice()
+        .par_chunks_mut(out_image_len.max(1))
+        .zip(images.into_par_iter())
+        .try_for_each(|(out_img, in_img)| -> TensorResult<()> {
+            let mut cols = Matrix::zeros(col_rows, n_out);
+            let mut prod = Matrix::zeros(opg, n_out);
+            for g in 0..params.groups {
+                let in_slice = &in_img[g * cpg * h * w..(g + 1) * cpg * h * w];
+                im2col_prealloc(
+                    in_slice,
+                    cpg,
+                    h,
+                    w,
+                    params.kh,
+                    params.kw,
+                    params.pad,
+                    params.stride,
+                    &mut cols,
+                )?;
+                // Weight rows for this group form a contiguous band.
+                let wg = Matrix::from_vec(
+                    opg,
+                    col_rows,
+                    weights.as_slice()[g * opg * col_rows..(g + 1) * opg * col_rows].to_vec(),
+                )?;
+                gemm_prealloc(&wg, &cols, &mut prod)?;
+                let dst = &mut out_img[g * opg * n_out..(g + 1) * opg * n_out];
+                dst.copy_from_slice(prod.as_slice());
+            }
+            if let Some(b) = bias {
+                for (oc, bval) in b.iter().enumerate() {
+                    for v in &mut out_img[oc * n_out..(oc + 1) * n_out] {
+                        *v += bval;
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    Ok(out)
+}
+
+/// Convolution with CSR-sparse weights — the pruned-layer fast path.
+///
+/// Identical contract to [`conv2d_gemm`] but the filter matrix is sparse;
+/// cost scales with stored weights, which is how pruning turns into
+/// wall-clock savings.
+pub fn conv2d_sparse(
+    input: &Tensor4,
+    weights: &CsrMatrix,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+) -> TensorResult<Tensor4> {
+    params.validate()?;
+    check_input(params, input)?;
+    check_bias(params, bias)?;
+    let cpg = params.in_per_group();
+    let opg = params.out_per_group();
+    let col_rows = cpg * params.kh * params.kw;
+    if weights.shape() != (params.out_channels, col_rows) {
+        return Err(ShapeError::new(format!(
+            "conv_sparse: weights {:?}, expected {:?}",
+            weights.shape(),
+            (params.out_channels, col_rows)
+        )));
+    }
+    let (n, _c, h, w) = input.shape();
+    let (oh, ow) = params.out_shape(h, w)?;
+    let n_out = oh * ow;
+    let mut out = Tensor4::zeros(n, params.out_channels, oh, ow);
+    let out_image_len = params.out_channels * n_out;
+
+    // Pre-split the CSR weights per group (cheap: index arithmetic only).
+    let dense = weights.to_dense();
+    let group_csr: Vec<CsrMatrix> = (0..params.groups)
+        .map(|g| {
+            let band = Matrix::from_vec(
+                opg,
+                col_rows,
+                dense.as_slice()[g * opg * col_rows..(g + 1) * opg * col_rows].to_vec(),
+            )
+            .expect("band slice has exactly opg*col_rows elements");
+            CsrMatrix::from_dense(&band, 0.0)
+        })
+        .collect();
+
+    let images: Vec<&[f32]> = (0..n).map(|i| input.image(i)).collect();
+    out.as_mut_slice()
+        .par_chunks_mut(out_image_len.max(1))
+        .zip(images.into_par_iter())
+        .try_for_each(|(out_img, in_img)| -> TensorResult<()> {
+            let mut cols = Matrix::zeros(col_rows, n_out);
+            for (g, wg) in group_csr.iter().enumerate() {
+                let in_slice = &in_img[g * cpg * h * w..(g + 1) * cpg * h * w];
+                im2col_prealloc(
+                    in_slice,
+                    cpg,
+                    h,
+                    w,
+                    params.kh,
+                    params.kw,
+                    params.pad,
+                    params.stride,
+                    &mut cols,
+                )?;
+                let prod = wg.matmul_dense(&cols)?;
+                out_img[g * opg * n_out..(g + 1) * opg * n_out].copy_from_slice(prod.as_slice());
+            }
+            if let Some(b) = bias {
+                for (oc, bval) in b.iter().enumerate() {
+                    for v in &mut out_img[oc * n_out..(oc + 1) * n_out] {
+                        *v += bval;
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    Ok(out)
+}
+
+/// Direct (sliding-window) convolution — correctness oracle and the
+/// baseline arm of the `conv_strategy` ablation bench.
+pub fn conv2d_direct(
+    input: &Tensor4,
+    weights: &Matrix,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+) -> TensorResult<Tensor4> {
+    check_weights(params, weights)?;
+    check_input(params, input)?;
+    check_bias(params, bias)?;
+    let (n, _c, h, w) = input.shape();
+    let (oh, ow) = params.out_shape(h, w)?;
+    let mut out = Tensor4::zeros(n, params.out_channels, oh, ow);
+    let cpg = params.in_per_group();
+    let opg = params.out_per_group();
+    for ni in 0..n {
+        for oc in 0..params.out_channels {
+            let g = oc / opg;
+            let wrow = weights.row(oc);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.map_or(0.0, |b| b[oc]);
+                    for icg in 0..cpg {
+                        let ic = g * cpg + icg;
+                        for ky in 0..params.kh {
+                            let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..params.kw {
+                                let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let wv = wrow[(icg * params.kh + ky) * params.kw + kx];
+                                acc += wv * input.get(ni, ic, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                    out.set(ni, oc, oy, ox, acc);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn det_input(n: usize, c: usize, h: usize, w: usize) -> Tensor4 {
+        Tensor4::from_fn(n, c, h, w, |ni, ci, hi, wi| {
+            (((ni * 7 + ci * 5 + hi * 3 + wi) % 11) as f32 - 5.0) / 5.0
+        })
+    }
+
+    fn det_weights(params: &Conv2dParams, seed: usize) -> Matrix {
+        Matrix::from_fn(
+            params.out_channels,
+            params.in_per_group() * params.kh * params.kw,
+            |r, c| ((((r + seed) * 13 + c * 7) % 9) as f32 - 4.0) / 4.0,
+        )
+    }
+
+    #[test]
+    fn gemm_matches_direct_ungrouped() {
+        let params = Conv2dParams::new(3, 8, 3, 1, 2);
+        let input = det_input(2, 3, 9, 9);
+        let weights = det_weights(&params, 1);
+        let bias: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let a = conv2d_gemm(&input, &weights, Some(&bias), &params).unwrap();
+        let b = conv2d_direct(&input, &weights, Some(&bias), &params).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn gemm_matches_direct_grouped() {
+        let params = Conv2dParams::grouped(4, 6, 3, 1, 1, 2);
+        let input = det_input(2, 4, 7, 7);
+        let weights = det_weights(&params, 2);
+        let a = conv2d_gemm(&input, &weights, None, &params).unwrap();
+        let b = conv2d_direct(&input, &weights, None, &params).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        let params = Conv2dParams::grouped(4, 6, 3, 1, 1, 2);
+        let input = det_input(3, 4, 6, 6);
+        let mut weights = det_weights(&params, 3);
+        // Zero out ~half the weights to make it genuinely sparse.
+        for (i, v) in weights.as_mut_slice().iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let csr = CsrMatrix::from_dense(&weights, 0.0);
+        let bias = vec![0.5; 6];
+        let dense_out = conv2d_gemm(&input, &weights, Some(&bias), &params).unwrap();
+        let sparse_out = conv2d_sparse(&input, &csr, Some(&bias), &params).unwrap();
+        assert!(dense_out.max_abs_diff(&sparse_out).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn identity_1x1_conv() {
+        // 1x1 conv with identity weight matrix passes channels through.
+        let params = Conv2dParams::new(3, 3, 1, 0, 1);
+        let input = det_input(1, 3, 4, 4);
+        let weights = Matrix::identity(3);
+        let out = conv2d_gemm(&input, &weights, None, &params).unwrap();
+        assert!(out.max_abs_diff(&input).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn bias_only_applied_per_channel() {
+        let params = Conv2dParams::new(1, 2, 1, 0, 1);
+        let input = Tensor4::zeros(1, 1, 2, 2);
+        let weights = Matrix::zeros(2, 1);
+        let bias = vec![1.5, -2.5];
+        let out = conv2d_gemm(&input, &weights, Some(&bias), &params).unwrap();
+        assert!(out.image(0)[..4].iter().all(|&v| v == 1.5));
+        assert!(out.image(0)[4..].iter().all(|&v| v == -2.5));
+    }
+
+    #[test]
+    fn validates_shapes() {
+        let params = Conv2dParams::new(3, 8, 3, 1, 1);
+        let input = det_input(1, 4, 6, 6); // wrong channels
+        let weights = det_weights(&params, 0);
+        assert!(conv2d_gemm(&input, &weights, None, &params).is_err());
+
+        let input = det_input(1, 3, 6, 6);
+        let bad_weights = Matrix::zeros(8, 26); // wrong cols
+        assert!(conv2d_gemm(&input, &bad_weights, None, &params).is_err());
+        assert!(conv2d_gemm(&input, &weights, Some(&[0.0; 7]), &params).is_err());
+    }
+
+    #[test]
+    fn validates_groups() {
+        let params = Conv2dParams::grouped(3, 8, 3, 1, 1, 2); // 3 % 2 != 0
+        assert!(params.validate().is_err());
+        let params = Conv2dParams::grouped(4, 8, 3, 1, 1, 0);
+        assert!(params.validate().is_err());
+    }
+
+    #[test]
+    fn macs_counts_caffenet_conv1() {
+        // Caffenet conv1: 224x224x3 in, 96 filters 11x11, stride 4, pad 2 -> 55x55.
+        let p = Conv2dParams::new(3, 96, 11, 2, 4);
+        let macs = p.macs(224, 224).unwrap();
+        assert_eq!(macs, 96 * 55 * 55 * 3 * 11 * 11);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gemm_matches_direct(
+            c in 1usize..4, oc_half in 1usize..3, k in 1usize..4,
+            pad in 0usize..2, stride in 1usize..3, h in 4usize..8,
+        ) {
+            let params = Conv2dParams::new(c, oc_half * 2, k, pad, stride);
+            let input = det_input(1, c, h, h);
+            let weights = det_weights(&params, 5);
+            let a = conv2d_gemm(&input, &weights, None, &params).unwrap();
+            let b = conv2d_direct(&input, &weights, None, &params).unwrap();
+            prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Error types for shape-checked tensor operations.
+
+use std::fmt;
+
+/// Error raised when operand shapes are incompatible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable description of the mismatch.
+    pub message: String,
+}
+
+impl ShapeError {
+    /// Create a new shape error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Result alias for fallible tensor operations.
+pub type TensorResult<T> = Result<T, ShapeError>;
+
+/// Internal helper: build a `ShapeError` from format arguments.
+#[macro_export]
+macro_rules! shape_err {
+    ($($arg:tt)*) => {
+        $crate::error::ShapeError::new(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ShapeError::new("2x3 vs 4x5");
+        assert_eq!(e.to_string(), "shape error: 2x3 vs 4x5");
+    }
+
+    #[test]
+    fn macro_formats() {
+        let e = shape_err!("got {}x{}", 2, 3);
+        assert_eq!(e.message, "got 2x3");
+    }
+}

@@ -1,0 +1,220 @@
+//! Blocked, rayon-parallel dense GEMM.
+//!
+//! `C = A * B` with `A: m×k`, `B: k×n`, `C: m×n`. The kernel splits `C`
+//! into row bands that are computed in parallel (each output row is owned
+//! by exactly one task, so the result is deterministic), and uses a
+//! k-blocked inner loop with a column-contiguous accumulation over `B`
+//! rows, which vectorizes well.
+
+use crate::dense::Matrix;
+use crate::error::{ShapeError, TensorResult};
+use rayon::prelude::*;
+
+/// Row-band size for parallel splitting. One band is one rayon task.
+const ROW_BAND: usize = 32;
+
+/// Block size along the shared `k` dimension (cache blocking).
+const K_BLOCK: usize = 256;
+
+/// Multiply two dense matrices, returning a freshly allocated result.
+pub fn gemm(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_prealloc(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// Multiply two dense matrices into a preallocated output.
+///
+/// `c` must already have shape `(a.rows, b.cols)`; its prior contents are
+/// overwritten. Reusing `c` across calls avoids allocator traffic in hot
+/// inference loops.
+pub fn gemm_prealloc(a: &Matrix, b: &Matrix, c: &mut Matrix) -> TensorResult<()> {
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    if ka != kb {
+        return Err(ShapeError::new(format!(
+            "gemm: inner dims {}x{} * {}x{}",
+            m, ka, kb, n
+        )));
+    }
+    if c.shape() != (m, n) {
+        return Err(ShapeError::new(format!(
+            "gemm: output {:?}, expected {:?}",
+            c.shape(),
+            (m, n)
+        )));
+    }
+    let k = ka;
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let c_data = c.as_mut_slice();
+
+    // Parallelize over disjoint row bands of C.
+    c_data
+        .par_chunks_mut(ROW_BAND * n)
+        .enumerate()
+        .for_each(|(band, c_band)| {
+            let row0 = band * ROW_BAND;
+            let rows_here = c_band.len() / n.max(1);
+            c_band.fill(0.0);
+            let mut k0 = 0;
+            while k0 < k {
+                let k1 = (k0 + K_BLOCK).min(k);
+                for local_r in 0..rows_here {
+                    let r = row0 + local_r;
+                    let a_row = &a_data[r * k..(r + 1) * k];
+                    let c_row = &mut c_band[local_r * n..(local_r + 1) * n];
+                    for kk in k0..k1 {
+                        let aik = a_row[kk];
+                        if aik == 0.0 {
+                            continue; // skip zero weights: cheap sparsity win
+                        }
+                        let b_row = &b_data[kk * n..(kk + 1) * n];
+                        for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+                k0 = k1;
+            }
+        });
+    Ok(())
+}
+
+/// Naive triple-loop GEMM used as a correctness oracle in tests and as the
+/// baseline in the `conv_strategy` ablation bench.
+pub fn gemm_naive(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    if ka != kb {
+        return Err(ShapeError::new(format!(
+            "gemm_naive: inner dims {}x{} * {}x{}",
+            m, ka, kb, n
+        )));
+    }
+    let mut c = Matrix::zeros(m, n);
+    for r in 0..m {
+        for kk in 0..ka {
+            let aik = a.get(r, kk);
+            for cc in 0..n {
+                let v = c.get(r, cc) + aik * b.get(kk, cc);
+                c.set(r, cc, v);
+            }
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Simple deterministic fill; values small enough to avoid f32 blowup.
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = r
+                .wrapping_mul(31)
+                .wrapping_add(c.wrapping_mul(17))
+                .wrapping_add(seed as usize);
+            ((h % 13) as f32 - 6.0) / 6.0
+        })
+    }
+
+    #[test]
+    fn identity_left() {
+        let b = mat(4, 5, 1);
+        let i = Matrix::identity(4);
+        let c = gemm(&i, &b).unwrap();
+        assert!(c.max_abs_diff(&b).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn identity_right() {
+        let a = mat(4, 5, 2);
+        let i = Matrix::identity(5);
+        let c = gemm(&a, &i).unwrap();
+        assert!(c.max_abs_diff(&a).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn matches_naive_rectangular() {
+        let a = mat(37, 19, 3);
+        let b = mat(19, 53, 4);
+        let fast = gemm(&a, &b).unwrap();
+        let slow = gemm_naive(&a, &b).unwrap();
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn matches_naive_large_enough_for_multiple_bands() {
+        let a = mat(100, 70, 5);
+        let b = mat(70, 40, 6);
+        let fast = gemm(&a, &b).unwrap();
+        let slow = gemm_naive(&a, &b).unwrap();
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn inner_dim_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(gemm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn prealloc_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 2);
+        let mut c = Matrix::zeros(2, 3);
+        assert!(gemm_prealloc(&a, &b, &mut c).is_err());
+    }
+
+    #[test]
+    fn prealloc_overwrites_stale_contents() {
+        let a = Matrix::identity(3);
+        let b = mat(3, 3, 7);
+        let mut c = Matrix::full(3, 3, 99.0);
+        gemm_prealloc(&a, &b, &mut c).unwrap();
+        assert!(c.max_abs_diff(&b).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn zero_sized_dims() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        let c = gemm(&a, &b).unwrap();
+        assert_eq!(c.shape(), (0, 4));
+
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 4);
+        let c = gemm(&a, &b).unwrap();
+        assert_eq!(c.shape(), (2, 4));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive(m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000) {
+            let a = mat(m, k, seed);
+            let b = mat(k, n, seed.wrapping_add(1));
+            let fast = gemm(&a, &b).unwrap();
+            let slow = gemm_naive(&a, &b).unwrap();
+            prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+        }
+
+        #[test]
+        fn prop_distributes_over_addition(m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..500) {
+            // A*(B1+B2) == A*B1 + A*B2
+            let a = mat(m, k, seed);
+            let b1 = mat(k, n, seed.wrapping_add(10));
+            let b2 = mat(k, n, seed.wrapping_add(20));
+            let mut bsum = b1.clone();
+            bsum.axpy(1.0, &b2).unwrap();
+            let lhs = gemm(&a, &bsum).unwrap();
+            let mut rhs = gemm(&a, &b1).unwrap();
+            rhs.axpy(1.0, &gemm(&a, &b2).unwrap()).unwrap();
+            prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+        }
+    }
+}

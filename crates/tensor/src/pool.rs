@@ -1,0 +1,228 @@
+//! Max and average pooling kernels.
+
+use crate::error::{ShapeError, TensorResult};
+use crate::im2col::out_spatial;
+use crate::tensor4::Tensor4;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a 2-D pooling window sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pool2dParams {
+    /// Window size (square).
+    pub k: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl Pool2dParams {
+    /// Construct a pooling geometry.
+    pub fn new(k: usize, pad: usize, stride: usize) -> Self {
+        Self { k, pad, stride }
+    }
+
+    /// Output spatial shape for an `h×w` input, using Caffe's **ceil**
+    /// rounding: `ceil((dim + 2·pad − k) / stride) + 1`, with the last
+    /// window clamped to start inside the (padded) input. Ceil mode is
+    /// what makes Googlenet's 112→56→28→14→7 pooling chain come out.
+    pub fn out_shape(&self, h: usize, w: usize) -> TensorResult<(usize, usize)> {
+        // Validate via the floor-mode helper (catches stride 0 / oversize kernels).
+        out_spatial(h, w, self.k, self.k, self.pad, self.stride)?;
+        let dim = |d: usize| -> usize {
+            let mut o = (d + 2 * self.pad - self.k).div_ceil(self.stride) + 1;
+            // Caffe clamp: last pooling window must start strictly inside
+            // the input plus left padding.
+            if (o - 1) * self.stride >= d + self.pad {
+                o -= 1;
+            }
+            o
+        };
+        Ok((dim(h), dim(w)))
+    }
+}
+
+/// Max pooling. Padding cells never win (they are treated as `-inf`);
+/// an all-padding window yields 0.
+pub fn max_pool2d(input: &Tensor4, params: &Pool2dParams) -> TensorResult<Tensor4> {
+    let (out, _) = max_pool2d_indices(input, params)?;
+    Ok(out)
+}
+
+/// Max pooling that also returns, for each output cell, the flat NCHW index
+/// of the winning input element (`usize::MAX` for all-padding windows).
+/// The index map is what the backward pass routes gradients through.
+pub fn max_pool2d_indices(
+    input: &Tensor4,
+    params: &Pool2dParams,
+) -> TensorResult<(Tensor4, Vec<usize>)> {
+    let (n, c, h, w) = input.shape();
+    let (oh, ow) = params.out_shape(h, w)?;
+    let mut out = Tensor4::zeros(n, c, oh, ow);
+    let mut argmax = vec![usize::MAX; n * c * oh * ow];
+    let mut oi = 0;
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = usize::MAX;
+                    for ky in 0..params.k {
+                        let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..params.k {
+                            let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            let v = input.get(ni, ci, iy as usize, ix as usize);
+                            if v > best {
+                                best = v;
+                                best_idx = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                            }
+                        }
+                    }
+                    if best_idx == usize::MAX {
+                        best = 0.0;
+                    }
+                    out.set(ni, ci, oy, ox, best);
+                    argmax[oi] = best_idx;
+                    oi += 1;
+                }
+            }
+        }
+    }
+    Ok((out, argmax))
+}
+
+/// Average pooling over valid (non-padding) cells.
+pub fn avg_pool2d(input: &Tensor4, params: &Pool2dParams) -> TensorResult<Tensor4> {
+    let (n, c, h, w) = input.shape();
+    let (oh, ow) = params.out_shape(h, w)?;
+    if params.k == 0 {
+        return Err(ShapeError::new("avg_pool2d: window must be >= 1"));
+    }
+    let mut out = Tensor4::zeros(n, c, oh, ow);
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    let mut count = 0usize;
+                    for ky in 0..params.k {
+                        let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..params.k {
+                            let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            acc += input.get(ni, ci, iy as usize, ix as usize);
+                            count += 1;
+                        }
+                    }
+                    out.set(ni, ci, oy, ox, if count > 0 { acc / count as f32 } else { 0.0 });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn max_pool_known() {
+        let input = Tensor4::from_vec(
+            1,
+            1,
+            4,
+            4,
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap();
+        let out = max_pool2d(&input, &Pool2dParams::new(2, 0, 2)).unwrap();
+        assert_eq!(out.shape(), (1, 1, 2, 2));
+        assert_eq!(out.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn avg_pool_known() {
+        let input = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 3.0, 5.0, 7.0]).unwrap();
+        let out = avg_pool2d(&input, &Pool2dParams::new(2, 0, 2)).unwrap();
+        assert_eq!(out.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn max_pool_overlapping_caffenet_style() {
+        // Caffenet uses 3x3 stride-2 overlapping pooling: 55 -> 27.
+        let input = Tensor4::zeros(1, 1, 55, 55);
+        let out = max_pool2d(&input, &Pool2dParams::new(3, 0, 2)).unwrap();
+        assert_eq!(out.shape(), (1, 1, 27, 27));
+    }
+
+    #[test]
+    fn argmax_routes_to_winner() {
+        let input = Tensor4::from_vec(1, 1, 2, 2, vec![0.0, 9.0, 1.0, 2.0]).unwrap();
+        let (out, idx) = max_pool2d_indices(&input, &Pool2dParams::new(2, 0, 2)).unwrap();
+        assert_eq!(out.as_slice(), &[9.0]);
+        assert_eq!(idx, vec![1]);
+    }
+
+    #[test]
+    fn padding_never_wins_max() {
+        // Negative inputs with zero padding: the max must still be an
+        // input element, not the padding zero.
+        let input = Tensor4::from_vec(1, 1, 2, 2, vec![-5.0, -4.0, -3.0, -2.0]).unwrap();
+        let out = max_pool2d(&input, &Pool2dParams::new(2, 1, 1)).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn avg_pool_ignores_padding_cells() {
+        let input = Tensor4::from_vec(1, 1, 2, 2, vec![4.0, 4.0, 4.0, 4.0]).unwrap();
+        // 2x2 window with pad 1: corner windows see a single valid cell.
+        let out = avg_pool2d(&input, &Pool2dParams::new(2, 1, 1)).unwrap();
+        assert_eq!(out.get(0, 0, 0, 0), 4.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_max_ge_avg(h in 2usize..8, w in 2usize..8, k in 1usize..3, stride in 1usize..3) {
+            let input = Tensor4::from_fn(1, 2, h, w, |_, c, y, x| ((c * 3 + y * 2 + x) % 7) as f32);
+            let p = Pool2dParams::new(k, 0, stride);
+            if p.out_shape(h, w).is_ok() {
+                let mx = max_pool2d(&input, &p).unwrap();
+                let av = avg_pool2d(&input, &p).unwrap();
+                for (m, a) in mx.as_slice().iter().zip(av.as_slice().iter()) {
+                    prop_assert!(m >= a);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_max_pool_output_is_input_element(h in 2usize..6, w in 2usize..6) {
+            let input = Tensor4::from_fn(1, 1, h, w, |_, _, y, x| (y * w + x) as f32 - 3.0);
+            let p = Pool2dParams::new(2, 0, 1);
+            if p.out_shape(h, w).is_ok() {
+                let (out, idx) = max_pool2d_indices(&input, &p).unwrap();
+                for (o, &i) in out.as_slice().iter().zip(idx.iter()) {
+                    prop_assert!(i != usize::MAX);
+                    prop_assert_eq!(*o, input.as_slice()[i]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Compressed sparse row (CSR) matrices and sparse×dense kernels.
+//!
+//! Pruning in the paper turns CNN weight matrices sparse; the extended
+//! Caffe framework the authors use [Wen et al., ICCV'17] exploits that
+//! sparsity with dedicated kernels. `CsrMatrix` is that substrate: a
+//! pruned weight matrix converted once to CSR then multiplied against
+//! dense activation panels, skipping zero weights entirely.
+
+use crate::dense::Matrix;
+use crate::error::{ShapeError, TensorResult};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Compressed sparse row matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array, `rows + 1` entries.
+    row_ptr: Vec<usize>,
+    /// Column index of each stored value.
+    col_idx: Vec<usize>,
+    /// Stored values, aligned with `col_idx`.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Build a CSR matrix from a dense matrix, dropping every element with
+    /// magnitude `<= eps`.
+    pub fn from_dense(dense: &Matrix, eps: f32) -> Self {
+        let (rows, cols) = dense.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if v.abs() > eps {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Build from raw CSR arrays, validating the invariants.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f32>,
+    ) -> TensorResult<Self> {
+        if row_ptr.len() != rows + 1 {
+            return Err(ShapeError::new(format!(
+                "csr: row_ptr length {} != rows+1 {}",
+                row_ptr.len(),
+                rows + 1
+            )));
+        }
+        if col_idx.len() != values.len() {
+            return Err(ShapeError::new("csr: col_idx/values length mismatch"));
+        }
+        if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&values.len()) {
+            return Err(ShapeError::new("csr: row_ptr endpoints invalid"));
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(ShapeError::new("csr: row_ptr not monotone"));
+        }
+        if col_idx.iter().any(|&c| c >= cols) {
+            return Err(ShapeError::new("csr: column index out of range"));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (non-zero) values.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Stored density `nnz / (rows*cols)`; 0 for an empty matrix.
+    pub fn density(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// Fraction of zero elements, `1 - density`.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.density()
+    }
+
+    /// Expand back to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                m.set(r, self.col_idx[i], self.values[i]);
+            }
+        }
+        m
+    }
+
+    /// Sparse × dense multiplication: `self (m×k) * b (k×n) -> m×n`.
+    ///
+    /// Each output row is produced by one task (rayon over rows), walking
+    /// only the stored values of the corresponding CSR row — cost is
+    /// `O(nnz_row * n)` instead of `O(k * n)`.
+    pub fn matmul_dense(&self, b: &Matrix) -> TensorResult<Matrix> {
+        if self.cols != b.rows() {
+            return Err(ShapeError::new(format!(
+                "csr matmul: {}x{} * {}x{}",
+                self.rows,
+                self.cols,
+                b.rows(),
+                b.cols()
+            )));
+        }
+        let n = b.cols();
+        let mut c = Matrix::zeros(self.rows, n);
+        let b_data = b.as_slice();
+        c.as_mut_slice()
+            .par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(r, c_row)| {
+                for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                    let v = self.values[i];
+                    let b_row = &b_data[self.col_idx[i] * n..(self.col_idx[i] + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += v * bv;
+                    }
+                }
+            });
+        Ok(c)
+    }
+
+    /// Sparse matrix–vector product.
+    pub fn matvec(&self, x: &[f32]) -> TensorResult<Vec<f32>> {
+        if x.len() != self.cols {
+            return Err(ShapeError::new(format!(
+                "csr matvec: {}x{} * len {}",
+                self.rows,
+                self.cols,
+                x.len()
+            )));
+        }
+        let mut y = vec![0.0; self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[i] * x[self.col_idx[i]];
+            }
+            *yr = acc;
+        }
+        Ok(y)
+    }
+
+    /// Iterate over stored `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            (self.row_ptr[r]..self.row_ptr[r + 1]).map(move |i| (r, self.col_idx[i], self.values[i]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+    use proptest::prelude::*;
+
+    fn sparse_dense_pair(rows: usize, cols: usize, keep_every: usize) -> (Matrix, CsrMatrix) {
+        let dense = Matrix::from_fn(rows, cols, |r, c| {
+            if (r * cols + c).is_multiple_of(keep_every) {
+                (r as f32 - c as f32) / 3.0 + 0.25
+            } else {
+                0.0
+            }
+        });
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        (dense, csr)
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let (dense, csr) = sparse_dense_pair(7, 11, 3);
+        assert_eq!(csr.to_dense(), dense);
+    }
+
+    #[test]
+    fn nnz_matches_dense_count() {
+        let (dense, csr) = sparse_dense_pair(9, 9, 4);
+        assert_eq!(csr.nnz(), dense.nnz(0.0));
+    }
+
+    #[test]
+    fn matmul_matches_dense_gemm() {
+        let (dense, csr) = sparse_dense_pair(13, 17, 2);
+        let b = Matrix::from_fn(17, 5, |r, c| ((r + 2 * c) % 7) as f32 - 3.0);
+        let sparse_out = csr.matmul_dense(&b).unwrap();
+        let dense_out = gemm(&dense, &b).unwrap();
+        assert!(sparse_out.max_abs_diff(&dense_out).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let (dense, csr) = sparse_dense_pair(6, 8, 3);
+        let x: Vec<f32> = (0..8).map(|i| i as f32 * 0.5 - 2.0).collect();
+        let ys = csr.matvec(&x).unwrap();
+        let yd = dense.matvec(&x).unwrap();
+        for (a, b) in ys.iter().zip(yd.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let (_, csr) = sparse_dense_pair(3, 4, 2);
+        assert!(csr.matmul_dense(&Matrix::zeros(5, 2)).is_err());
+        assert!(csr.matvec(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        // Good.
+        assert!(CsrMatrix::from_raw(2, 3, vec![0, 1, 2], vec![0, 2], vec![1.0, 2.0]).is_ok());
+        // Bad row_ptr length.
+        assert!(CsrMatrix::from_raw(2, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).is_err());
+        // Non-monotone row_ptr.
+        assert!(CsrMatrix::from_raw(2, 3, vec![0, 2, 1], vec![0, 2], vec![1.0, 2.0]).is_err());
+        // Column out of range.
+        assert!(CsrMatrix::from_raw(2, 3, vec![0, 1, 2], vec![0, 3], vec![1.0, 2.0]).is_err());
+        // Endpoint mismatch.
+        assert!(CsrMatrix::from_raw(2, 3, vec![1, 1, 2], vec![0, 2], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn eps_threshold_drops_small_values() {
+        let dense = Matrix::from_vec(1, 3, vec![0.05, -0.5, 0.0]).unwrap();
+        let csr = CsrMatrix::from_dense(&dense, 0.1);
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.to_dense().get(0, 1), -0.5);
+    }
+
+    #[test]
+    fn iter_yields_row_major_triples() {
+        let dense = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 2.0]).unwrap();
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        let triples: Vec<_> = csr.iter().collect();
+        assert_eq!(triples, vec![(0, 0, 1.0), (1, 1, 2.0)]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = CsrMatrix::from_dense(&Matrix::zeros(0, 0), 0.0);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.density(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(rows in 1usize..12, cols in 1usize..12, keep in 1usize..5) {
+            let (dense, csr) = sparse_dense_pair(rows, cols, keep);
+            prop_assert_eq!(csr.to_dense(), dense);
+        }
+
+        #[test]
+        fn prop_matmul_matches_gemm(rows in 1usize..10, k in 1usize..10, n in 1usize..10, keep in 1usize..4) {
+            let (dense, csr) = sparse_dense_pair(rows, k, keep);
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 3 + c) % 5) as f32 - 2.0);
+            let s = csr.matmul_dense(&b).unwrap();
+            let d = gemm(&dense, &b).unwrap();
+            prop_assert!(s.max_abs_diff(&d).unwrap() < 1e-4);
+        }
+
+        #[test]
+        fn prop_sparsity_in_unit_interval(rows in 1usize..10, cols in 1usize..10, keep in 1usize..6) {
+            let (_, csr) = sparse_dense_pair(rows, cols, keep);
+            prop_assert!(csr.sparsity() >= 0.0 && csr.sparsity() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Image-filtering pipeline: the paper's motivating scenario (§1) — a
+//! social-media platform must screen a day's photo uploads within a
+//! deadline and a budget, tolerating "close enough" classifications.
+//!
+//! Algorithm 1 picks the degree of pruning and the cloud configuration:
+//! highest accuracy first, resources greedily by CAR.
+//!
+//! ```sh
+//! cargo run --release --example image_filter_pipeline [uploads] [deadline_h] [budget_usd]
+//! ```
+
+use cloud_cost_accuracy::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let uploads: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000_000); // a modest platform's daily photo volume
+    let deadline_h: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(12.0);
+    let budget: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(500.0);
+
+    println!("screening {uploads} uploads within {deadline_h} h for <= ${budget}");
+
+    // Application versions: the 60-degree Caffenet grid.
+    let profile = caffenet_profile();
+    let versions = caffenet_version_grid(&profile);
+
+    // Resource pool: up to 4 instances of each catalog type.
+    let mut pool: Vec<InstanceType> = Vec::new();
+    for inst in catalog() {
+        for _ in 0..4 {
+            pool.push(inst.clone());
+        }
+    }
+
+    let request = AllocationRequest {
+        w: uploads,
+        batch: 512,
+        deadline_s: deadline_h * 3600.0,
+        budget_usd: budget,
+        metric: AccuracyMetric::Top1,
+    };
+
+    match allocate(&versions, &pool, &request) {
+        Some(result) => {
+            let v = &versions[result.version_idx];
+            println!("\nallocation found after {} evaluations:", result.evaluations);
+            println!("  degree of pruning : {}", v.label());
+            println!(
+                "  accuracy          : top1 {:.1}%, top5 {:.1}%",
+                v.top1 * 100.0,
+                v.top5 * 100.0
+            );
+            println!("  resources         : {}", result.config.label());
+            println!(
+                "  predicted time    : {:.2} h (deadline {deadline_h} h)",
+                result.time_s / 3600.0
+            );
+            println!(
+                "  predicted cost    : ${:.2} (budget ${budget})",
+                result.cost_usd
+            );
+            println!(
+                "  TAR {:.1} s/acc, CAR {:.3} $/acc",
+                tar(result.time_s, v.top1),
+                car(result.cost_usd, v.top1)
+            );
+        }
+        None => {
+            println!("\nno feasible allocation — relax the deadline or budget,");
+            println!("or allow deeper pruning (lower accuracy floor).");
+        }
+    }
+}

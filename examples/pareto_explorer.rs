@@ -1,0 +1,93 @@
+//! Pareto explorer: reproduce the Figure 9/10 experiment — evaluate 60
+//! pruned Caffenet versions across p2 resource configurations and batch
+//! sizes for a million-image workload, filter by a 10-hour deadline and
+//! a $300 budget, and extract the time-accuracy and cost-accuracy
+//! Pareto frontiers.
+//!
+//! ```sh
+//! cargo run --release --example pareto_explorer
+//! ```
+
+use cloud_cost_accuracy::prelude::*;
+
+fn main() {
+    let profile = caffenet_profile();
+    let versions = caffenet_version_grid(&profile);
+    let p2: Vec<InstanceType> = catalog()
+        .into_iter()
+        .filter(|i| i.family() == "p2")
+        .collect();
+    let configs = enumerate_configs(&p2, 3);
+    let w = Workload::paper_million();
+    println!(
+        "space: {} versions x {} configs x 3 batch settings = {} candidates",
+        versions.len(),
+        configs.len(),
+        versions.len() * configs.len() * 3
+    );
+
+    let evals = evaluate_grid(&versions, &configs, w.total_images, &[48, 160, 512]);
+
+    // Figure 9: 10-hour deadline, time-accuracy plane.
+    let deadline = 10.0 * 3600.0;
+    let feasible_t = feasible_by_deadline(&evals, deadline);
+    println!(
+        "\n[fig9] {} of {} candidates meet the 10 h deadline",
+        feasible_t.len(),
+        evals.len()
+    );
+    for metric in [AccuracyMetric::Top1, AccuracyMetric::Top5] {
+        let front = frontier_indices(&feasible_t, metric, Objective::Time);
+        println!("  {metric:?} time-accuracy Pareto frontier ({} points):", front.len());
+        for &i in &front {
+            let e = &feasible_t[i];
+            println!(
+                "    acc {:>5.1}%  time {:>5.2} h  [{} on {} @b{}]",
+                e.accuracy(metric) * 100.0,
+                e.time_s / 3600.0,
+                e.version_label,
+                e.config_label,
+                e.batch
+            );
+        }
+    }
+    if let Some((best, worst, saving)) =
+        savings_at_best_accuracy(&feasible_t, AccuracyMetric::Top1, Objective::Time, 1e-9)
+    {
+        println!(
+            "  highest-accuracy point: Pareto pick {:.2} h vs worst same-accuracy {:.2} h -> {:.0}% time saved",
+            best.time_s / 3600.0,
+            worst.time_s / 3600.0,
+            saving * 100.0
+        );
+    }
+
+    // Figure 10: $300 budget, cost-accuracy plane.
+    let feasible_c = feasible_by_budget(&evals, 300.0);
+    println!(
+        "\n[fig10] {} of {} candidates fit the $300 budget",
+        feasible_c.len(),
+        evals.len()
+    );
+    let front = frontier_indices(&feasible_c, AccuracyMetric::Top1, Objective::Cost);
+    println!("  Top1 cost-accuracy Pareto frontier ({} points):", front.len());
+    for &i in &front {
+        let e = &feasible_c[i];
+        println!(
+            "    acc {:>5.1}%  cost ${:>6.2}  [{} on {} @b{}]",
+            e.top1 * 100.0,
+            e.cost_usd,
+            e.version_label,
+            e.config_label,
+            e.batch
+        );
+    }
+    if let Some((best, worst, saving)) =
+        savings_at_best_accuracy(&feasible_c, AccuracyMetric::Top1, Objective::Cost, 1e-9)
+    {
+        println!(
+            "  highest-accuracy point: Pareto pick ${:.2} vs worst same-accuracy ${:.2} -> {:.0}% cost saved",
+            best.cost_usd, worst.cost_usd, saving * 100.0
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Scaling laws: the paper's framing made visible. Resource scaling
+//! (Amdahl: fixed workload, more instances) hits a serial-fraction wall
+//! and multiplies cost; accuracy scaling (pruning) cuts time *and* cost
+//! on the same hardware — the third axis the paper adds.
+//!
+//! ```sh
+//! cargo run --release --example scaling_laws
+//! ```
+
+use cap_cloud::{fixed_workload_curve, gustafson_speedup};
+use cloud_cost_accuracy::prelude::*;
+
+fn main() {
+    let profile = caffenet_profile();
+    let base_min = profile.base_batched_s_per_image * 50_000.0 / 60.0;
+    let price = by_name("p2.xlarge").unwrap().price_per_hour;
+
+    println!("Caffenet, 50 000 inferences, base {base_min:.1} min on 1x p2.xlarge\n");
+
+    // Axis 1: resource scaling under Amdahl (95 % parallel pipeline).
+    println!("[resource scaling] Amdahl, 95% parallel fraction:");
+    println!("{:>4} {:>10} {:>9} {:>12}", "n", "time min", "cost $", "speedup");
+    for p in fixed_workload_curve(base_min * 60.0, 0.95, price, 16)
+        .iter()
+        .filter(|p| [1, 2, 4, 8, 16].contains(&p.n))
+    {
+        println!(
+            "{:>4} {:>10.2} {:>9.3} {:>11.2}x",
+            p.n,
+            p.time_s / 60.0,
+            p.cost_usd,
+            base_min * 60.0 / p.time_s
+        );
+    }
+    println!(
+        "  (Gustafson view at n=16: {:.1}x more work in the same time)",
+        gustafson_speedup(0.95, 16)
+    );
+
+    // Axis 2: accuracy scaling via pruning, same single instance.
+    println!("\n[accuracy scaling] pruning on the same 1x p2.xlarge:");
+    println!(
+        "{:<28} {:>10} {:>9} {:>8}",
+        "degree of pruning", "time min", "cost $", "top5"
+    );
+    for (name, spec) in [
+        ("nonpruned", PruneSpec::none()),
+        ("conv2@50 (sweet spot)", PruneSpec::single("conv2", 0.5)),
+        (
+            "conv1@30+conv2@50",
+            PruneSpec::single("conv1", 0.3).with("conv2", 0.5),
+        ),
+        ("all-conv sweet spots", profile.all_knees_spec()),
+    ] {
+        let minutes = profile.batched_s_per_image(&spec) * 50_000.0 / 60.0;
+        let cost = cost_usd(price, minutes * 60.0);
+        let (_, top5) = profile.accuracy(&spec);
+        println!(
+            "{:<28} {:>10.2} {:>9.3} {:>7.1}%",
+            name,
+            minutes,
+            cost,
+            top5 * 100.0
+        );
+    }
+    println!("\nresource scaling buys time but never cost; accuracy scaling buys both,");
+    println!("priced in accuracy — which is exactly what TAR and CAR quantify.");
+}

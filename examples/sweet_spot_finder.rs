@@ -1,0 +1,59 @@
+//! Sweet-spot finder: sweep each convolution layer's prune ratio and
+//! report the region where inference time falls with no accuracy loss
+//! (the paper's Observation 1, Figures 6 and 7).
+//!
+//! ```sh
+//! cargo run --release --example sweet_spot_finder [caffenet|googlenet]
+//! ```
+
+use cap_pruning::sensitivity::{standard_ratio_grid, sweep_layer};
+use cloud_cost_accuracy::prelude::*;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "caffenet".into());
+    let profile = match which.as_str() {
+        "googlenet" => googlenet_profile(),
+        _ => caffenet_profile(),
+    };
+    // For Googlenet, restrict to the paper's six selected layers.
+    let layers: Vec<String> = if profile.name == "googlenet" {
+        cap_cnn::models::GOOGLENET_SELECTED_LAYERS
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        profile.conv_layer_names().iter().map(|s| s.to_string()).collect()
+    };
+
+    let grid = standard_ratio_grid();
+    println!("{} sweet-spot regions (tolerance: no accuracy drop)", profile.name);
+    println!(
+        "{:<22} {:>12} {:>12} {:>14}",
+        "layer", "last ratio", "top5 there", "time factor"
+    );
+    for layer in &layers {
+        let sweep = sweep_layer(&profile, layer, &grid);
+        let ss = sweet_spot(&sweep.top5_curve(), &sweep.time_curve(), 1e-9)
+            .expect("non-empty sweep");
+        println!(
+            "{:<22} {:>11.0}% {:>11.1}% {:>13.3}",
+            layer,
+            ss.last_ratio * 100.0,
+            ss.accuracy_at_last * 100.0,
+            ss.time_factor_at_last
+        );
+    }
+
+    // Combine all sweet spots into one degree of pruning (§4.3.2).
+    let combined = profile.all_knees_spec();
+    let (top1, top5) = profile.accuracy(&combined);
+    println!();
+    println!(
+        "combined {}: time factor {:.3}, top1 {:.1}%, top5 {:.1}%",
+        combined.label(),
+        profile.batched_time_factor(&combined),
+        top1 * 100.0,
+        top5 * 100.0
+    );
+    println!("(combining individually-free sweet spots is NOT free: Observation 3)");
+}

@@ -1,0 +1,221 @@
+//! `cap` — command-line front end to the cost-accuracy toolkit.
+//!
+//! ```sh
+//! cap characterize caffenet            # layer shares, prune headroom, saturation
+//! cap sweep caffenet conv2             # single-layer sensitivity sweep
+//! cap spec caffenet --top5 0.70        # min-time degree of pruning for a floor
+//! cap explore --w 1000000 --deadline-h 10 --budget 300
+//! cap allocate --w 1000000 --deadline-h 10 --budget 300
+//! ```
+
+use cloud_cost_accuracy::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("characterize") => cmd_characterize(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("spec") => cmd_spec(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
+        Some("allocate") => cmd_allocate(&args[1..]),
+        _ => {
+            eprintln!("usage: cap <characterize|sweep|spec|explore|allocate> [args]");
+            eprintln!("  characterize <caffenet|googlenet>");
+            eprintln!("  sweep <caffenet|googlenet> <layer>");
+            eprintln!("  spec <caffenet|googlenet> --top5 <floor> | --top1 <floor>");
+            eprintln!("  explore  [--w N] [--deadline-h H] [--budget USD]");
+            eprintln!("  allocate [--w N] [--deadline-h H] [--budget USD]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn profile_by_name(name: Option<&String>) -> AppProfile {
+    match name.map(String::as_str) {
+        Some("googlenet") => googlenet_profile(),
+        _ => caffenet_profile(),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn cmd_characterize(args: &[String]) -> i32 {
+    let profile = profile_by_name(args.first());
+    println!("{} characterization", profile.name);
+    println!(
+        "  base: single inference {:.3} s, batched {:.2} min / 50k images, top1 {:.1}%, top5 {:.1}%",
+        profile.base_single_latency_s,
+        profile.base_batched_s_per_image * 50_000.0 / 60.0,
+        profile.base_top1 * 100.0,
+        profile.base_top5 * 100.0
+    );
+    println!("  single-inference layer shares:");
+    for l in &profile.layers {
+        if l.single_time_share >= 0.02 {
+            println!("    {:<20} {:>5.1}%", l.name, l.single_time_share * 100.0);
+        }
+    }
+    let spec = profile.uniform_spec(0.9);
+    println!(
+        "  uniform 90% pruning: single inference {:.3} s (headroom exists)",
+        profile.single_latency_s(&spec)
+    );
+    0
+}
+
+fn cmd_sweep(args: &[String]) -> i32 {
+    let profile = profile_by_name(args.first());
+    let Some(layer) = args.get(1) else {
+        eprintln!("sweep: layer name required; prunable layers:");
+        for l in profile.conv_layer_names() {
+            eprintln!("  {l}");
+        }
+        return 2;
+    };
+    if profile.layer(layer).is_none() {
+        eprintln!("sweep: unknown layer {layer}");
+        return 2;
+    }
+    let grid: Vec<f64> = (0..=9).map(|i| i as f64 / 10.0).collect();
+    let sweep = cap_pruning::sensitivity::sweep_layer(&profile, layer, &grid);
+    println!("{} / {layer}", profile.name);
+    println!("{:>7} {:>12} {:>8} {:>8}", "ratio", "time factor", "top1", "top5");
+    for p in &sweep.points {
+        println!(
+            "{:>6.0}% {:>12.3} {:>7.1}% {:>7.1}%",
+            p.ratio * 100.0,
+            p.time_factor,
+            p.top1 * 100.0,
+            p.top5 * 100.0
+        );
+    }
+    if let Some(ss) = sweet_spot(&sweep.top5_curve(), &sweep.time_curve(), 1e-9) {
+        println!(
+            "sweet spot: up to {:.0}% at unchanged accuracy (time factor {:.3})",
+            ss.last_ratio * 100.0,
+            ss.time_factor_at_last
+        );
+    }
+    0
+}
+
+fn cmd_spec(args: &[String]) -> i32 {
+    let profile = profile_by_name(args.first());
+    let floor = if let Some(f) = flag(args, "--top5") {
+        cap_core::Floor::Top5(f)
+    } else if let Some(f) = flag(args, "--top1") {
+        cap_core::Floor::Top1(f)
+    } else {
+        eprintln!("spec: provide --top5 <floor> or --top1 <floor>");
+        return 2;
+    };
+    match cap_core::min_time_spec(&profile, floor) {
+        Some(r) => {
+            println!("min-time degree of pruning for {}: {}", profile.name, r.spec.label());
+            println!(
+                "  time factor {:.3}, top1 {:.1}%, top5 {:.1}% ({} evaluations)",
+                r.time_factor,
+                r.top1 * 100.0,
+                r.top5 * 100.0,
+                r.evaluations
+            );
+            0
+        }
+        None => {
+            eprintln!("spec: floor unreachable even unpruned");
+            1
+        }
+    }
+}
+
+fn explore_space(w: u64) -> Vec<EvaluatedConfig> {
+    let profile = caffenet_profile();
+    let versions = caffenet_version_grid(&profile);
+    let p2: Vec<InstanceType> = catalog()
+        .into_iter()
+        .filter(|i| i.family() == "p2")
+        .collect();
+    let configs = enumerate_configs(&p2, 3);
+    evaluate_grid(&versions, &configs, w, &[48, 160, 512])
+}
+
+fn cmd_explore(args: &[String]) -> i32 {
+    let w = flag(args, "--w").unwrap_or(1_000_000.0) as u64;
+    let deadline_s = flag(args, "--deadline-h").unwrap_or(10.0) * 3600.0;
+    let budget = flag(args, "--budget").unwrap_or(300.0);
+    let evals = explore_space(w);
+    let feasible: Vec<EvaluatedConfig> = evals
+        .iter()
+        .filter(|e| e.time_s <= deadline_s && e.cost_usd <= budget)
+        .cloned()
+        .collect();
+    println!(
+        "{} candidates, {} feasible under {:.1} h / ${budget}",
+        evals.len(),
+        feasible.len(),
+        deadline_s / 3600.0
+    );
+    for (metric, name) in [(AccuracyMetric::Top1, "top1"), (AccuracyMetric::Top5, "top5")] {
+        let front = frontier_indices(&feasible, metric, Objective::Cost);
+        println!("\n{name} cost-accuracy frontier ({} points, top 8 shown):", front.len());
+        for &i in front.iter().take(8) {
+            let e = &feasible[i];
+            println!(
+                "  acc {:>5.1}%  ${:>7.2}  {:>5.2} h  {} on {}",
+                e.accuracy(metric) * 100.0,
+                e.cost_usd,
+                e.time_s / 3600.0,
+                e.version_label,
+                e.config_label
+            );
+        }
+    }
+    0
+}
+
+fn cmd_allocate(args: &[String]) -> i32 {
+    let w = flag(args, "--w").unwrap_or(1_000_000.0) as u64;
+    let deadline_s = flag(args, "--deadline-h").unwrap_or(10.0) * 3600.0;
+    let budget = flag(args, "--budget").unwrap_or(300.0);
+    let profile = caffenet_profile();
+    let versions = caffenet_version_grid(&profile);
+    let pool: Vec<InstanceType> = catalog()
+        .into_iter()
+        .flat_map(|i| std::iter::repeat_n(i, 3))
+        .collect();
+    match allocate(
+        &versions,
+        &pool,
+        &AllocationRequest {
+            w,
+            batch: 512,
+            deadline_s,
+            budget_usd: budget,
+            metric: AccuracyMetric::Top1,
+        },
+    ) {
+        Some(r) => {
+            let v = &versions[r.version_idx];
+            println!("allocation: {} on {}", v.label(), r.config.label());
+            println!(
+                "  top1 {:.1}%, top5 {:.1}%, time {:.2} h, cost ${:.2} ({} evaluations)",
+                v.top1 * 100.0,
+                v.top5 * 100.0,
+                r.time_s / 3600.0,
+                r.cost_usd,
+                r.evaluations
+            );
+            0
+        }
+        None => {
+            eprintln!("no feasible allocation under {:.1} h / ${budget}", deadline_s / 3600.0);
+            1
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Integration tests of the `cap` command-line front end.
+
+use std::process::Command;
+
+fn cap(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cap"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let (_, err, ok) = cap(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn characterize_both_models() {
+    for model in ["caffenet", "googlenet"] {
+        let (out, _, ok) = cap(&["characterize", model]);
+        assert!(ok, "{model}");
+        assert!(out.contains(model));
+        assert!(out.contains("single inference"));
+        assert!(out.contains("headroom"));
+    }
+}
+
+#[test]
+fn sweep_reports_sweet_spot() {
+    let (out, _, ok) = cap(&["sweep", "caffenet", "conv2"]);
+    assert!(ok);
+    assert!(out.contains("sweet spot: up to 50%"));
+}
+
+#[test]
+fn sweep_unknown_layer_fails_with_hint() {
+    let (_, err, ok) = cap(&["sweep", "caffenet", "conv9"]);
+    assert!(!ok);
+    assert!(err.contains("unknown layer"));
+    let (_, err2, ok2) = cap(&["sweep", "caffenet"]);
+    assert!(!ok2);
+    assert!(err2.contains("conv1"), "lists prunable layers");
+}
+
+#[test]
+fn spec_finds_paper_sweet_spot_combo() {
+    let (out, _, ok) = cap(&["spec", "caffenet", "--top5", "0.70"]);
+    assert!(ok);
+    assert!(out.contains("conv1@30+conv2@50"), "{out}");
+}
+
+#[test]
+fn spec_unreachable_floor_fails() {
+    let (_, err, ok) = cap(&["spec", "caffenet", "--top5", "0.95"]);
+    assert!(!ok);
+    assert!(err.contains("unreachable"));
+}
+
+#[test]
+fn allocate_reports_feasible_plan() {
+    let (out, _, ok) = cap(&[
+        "allocate", "--w", "500000", "--deadline-h", "4", "--budget", "50",
+    ]);
+    assert!(ok);
+    assert!(out.contains("allocation:"));
+    assert!(out.contains("cost $"));
+}
+
+#[test]
+fn allocate_infeasible_exits_nonzero() {
+    let (_, err, ok) = cap(&[
+        "allocate", "--w", "1000000", "--deadline-h", "0.0001", "--budget", "0.01",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("no feasible"));
+}

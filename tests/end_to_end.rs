@@ -1,0 +1,142 @@
+//! Cross-crate integration: the full paper pipeline from degrees of
+//! pruning through cloud simulation to Pareto selection and allocation.
+
+use cloud_cost_accuracy::prelude::*;
+
+#[test]
+fn pipeline_profile_to_allocation_is_consistent() {
+    // Stage 1: characterize — versions from the calibrated profile.
+    let profile = caffenet_profile();
+    let versions = caffenet_version_grid(&profile);
+    assert_eq!(versions.len(), 60);
+
+    // Stage 2: measurements — evaluate over the p2 configuration space.
+    let p2: Vec<InstanceType> = catalog()
+        .into_iter()
+        .filter(|i| i.family() == "p2")
+        .collect();
+    let configs = enumerate_configs(&p2, 3);
+    let evals = evaluate_all(&versions, &configs, 1_000_000, 512);
+    assert_eq!(evals.len(), versions.len() * configs.len());
+
+    // Stage 3: Pareto filter under the time deadline.
+    let feasible = feasible_by_deadline(&evals, 10.0 * 3600.0);
+    let front = frontier_indices(&feasible, AccuracyMetric::Top1, Objective::Time);
+    assert!(!front.is_empty());
+
+    // Every frontier point must be feasible and non-dominated within the set.
+    for &i in &front {
+        let e = &feasible[i];
+        assert!(e.time_s <= 10.0 * 3600.0);
+        for other in &feasible {
+            let dominates = other.top1 >= e.top1
+                && other.time_s <= e.time_s
+                && (other.top1 > e.top1 || other.time_s < e.time_s);
+            assert!(!dominates, "frontier point dominated by {}", other.config_label);
+        }
+    }
+
+    // Stage 4: Algorithm 1 finds a configuration meeting both constraints
+    // whose accuracy equals the best frontier accuracy under the same
+    // constraints (cost bound generous here).
+    let pool: Vec<InstanceType> = catalog()
+        .into_iter()
+        .flat_map(|i| std::iter::repeat_n(i, 3))
+        .collect();
+    let request = AllocationRequest {
+        w: 1_000_000,
+        batch: 512,
+        deadline_s: 10.0 * 3600.0,
+        budget_usd: 1_000.0,
+        metric: AccuracyMetric::Top1,
+    };
+    let alloc = allocate(&versions, &pool, &request).expect("feasible allocation");
+    let best_front_acc = feasible[front[0]].top1;
+    assert!(
+        versions[alloc.version_idx].top1 >= best_front_acc - 1e-9,
+        "greedy {} < frontier {}",
+        versions[alloc.version_idx].top1,
+        best_front_acc
+    );
+}
+
+#[test]
+fn tar_car_ordering_predicts_pareto_membership() {
+    // For a fixed accuracy level, the candidate with the minimum
+    // time (= minimum TAR) is the one on the time-accuracy frontier.
+    let profile = caffenet_profile();
+    let versions = caffenet_version_grid(&profile);
+    let p2: Vec<InstanceType> = catalog()
+        .into_iter()
+        .filter(|i| i.family() == "p2")
+        .collect();
+    let configs = enumerate_configs(&p2, 2);
+    let evals = evaluate_all(&versions, &configs, 500_000, 512);
+    let front = frontier_indices(&evals, AccuracyMetric::Top5, Objective::Time);
+    let front_set: std::collections::HashSet<usize> = front.iter().copied().collect();
+
+    // Group by accuracy (bit-exact), find each group's min-TAR candidate.
+    use std::collections::HashMap;
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, e) in evals.iter().enumerate() {
+        groups.entry(e.top5.to_bits()).or_default().push(i);
+    }
+    for (_, idxs) in groups {
+        let min_tar_idx = *idxs
+            .iter()
+            .min_by(|&&a, &&b| {
+                evals[a]
+                    .tar(AccuracyMetric::Top5)
+                    .partial_cmp(&evals[b].tar(AccuracyMetric::Top5))
+                    .unwrap()
+            })
+            .unwrap();
+        // If any member of this accuracy group is on the frontier, the
+        // min-TAR member must be the frontier one.
+        if idxs.iter().any(|i| front_set.contains(i)) {
+            assert!(
+                front_set.contains(&min_tar_idx)
+                    || evals
+                        .iter()
+                        .any(|o| o.top5 == evals[min_tar_idx].top5
+                            && o.time_s == evals[min_tar_idx].time_s),
+                "min-TAR candidate missing from frontier"
+            );
+        }
+    }
+}
+
+#[test]
+fn measurement_harness_composes_with_simulation() {
+    // §3.3 protocol around the simulator: jittered min-of-3 stays within
+    // the jitter band of the clean model value.
+    let profile = caffenet_profile();
+    let v = AppVersion::from_profile(&profile, PruneSpec::none());
+    let cfg = ResourceConfig::of(by_name("p2.xlarge").unwrap(), 1);
+    let clean = simulate(&cfg, &v.exec, 50_000, 512, Distribution::EqualSplit)
+        .unwrap()
+        .time_s;
+    let harness = MeasurementHarness::paper_protocol(11);
+    let measured = harness.measure(1, clean);
+    assert!(measured >= clean && measured <= clean * 1.08);
+}
+
+#[test]
+fn real_network_pruning_changes_real_outputs() {
+    // Apply a PruneSpec to the actual Caffenet weights and check the
+    // layer sparsity took effect and the network still runs.
+    use cap_tensor::Tensor4;
+    let mut net = caffenet(WeightInit::Gaussian { std: 0.01, seed: 3 }).unwrap();
+    let spec = PruneSpec::single("conv1", 0.3).with("conv2", 0.5);
+    let achieved = apply_to_network(&mut net, &spec, PruneAlgorithm::FilterL1).unwrap();
+    assert_eq!(achieved.len(), 2);
+    assert!((net.layer("conv1").unwrap().weight_sparsity() - 0.3).abs() < 0.05);
+    assert!((net.layer("conv2").unwrap().weight_sparsity() - 0.5).abs() < 0.05);
+    let x = Tensor4::from_fn(1, 3, 224, 224, |_, c, h, w| {
+        ((c + h + w) % 11) as f32 / 11.0 - 0.5
+    });
+    let y = net.forward(&x).unwrap();
+    assert_eq!(y.shape(), (1, 1000, 1, 1));
+    let s: f32 = y.image(0).iter().sum();
+    assert!((s - 1.0).abs() < 1e-3, "softmax output sums to 1");
+}

@@ -1,0 +1,124 @@
+//! Coverage for framework paths not central to the headline experiments:
+//! timing records, batched inference over the big models, profile and
+//! record serialization, and scaling-law baselines.
+
+use cloud_cost_accuracy::prelude::*;
+
+#[test]
+fn caffenet_timed_forward_record_is_complete() {
+    use cap_tensor::Tensor4;
+    let net = caffenet(WeightInit::Gaussian { std: 0.01, seed: 2 }).unwrap();
+    let x = Tensor4::from_fn(1, 3, 224, 224, |_, c, h, w| {
+        ((c * 5 + h + w * 2) % 19) as f32 / 19.0 - 0.5
+    });
+    let record = net.forward_timed(&x).unwrap();
+    // Every layer appears exactly once, in prototxt order.
+    let names: Vec<&str> = record.timings.iter().map(|t| t.name.as_str()).collect();
+    assert_eq!(names.len(), net.len());
+    assert_eq!(names.first(), Some(&"conv1"));
+    assert_eq!(names.last(), Some(&"prob"));
+    assert!(record.total_time().as_nanos() > 0);
+}
+
+#[test]
+fn batched_inference_runner_on_tinynet_matches_direct_logits() {
+    use cap_cnn::run_batched;
+    use cap_cnn::layer::{ConvLayer, PoolLayer, PoolMode, ReluLayer, SoftmaxLayer};
+    use cap_cnn::Network;
+    use cap_tensor::{init::xavier_uniform, Conv2dParams};
+
+    // Build an inference Network (not the trainable TinyNet) and check
+    // the chunked runner agrees with a single whole-batch forward.
+    let mut net = Network::new("t", (3, 8, 8));
+    net.add_sequential(Box::new(
+        ConvLayer::new(
+            "c1",
+            Conv2dParams::new(3, 5, 3, 1, 2),
+            xavier_uniform(5, 27, 8),
+            vec![0.0; 5],
+        )
+        .unwrap(),
+    ))
+    .unwrap();
+    net.add_sequential(Box::new(ReluLayer::new("r"))).unwrap();
+    net.add_sequential(Box::new(PoolLayer::new("p", PoolMode::Avg, 4, 0, 4)))
+        .unwrap();
+    net.add_sequential(Box::new(SoftmaxLayer::new("prob"))).unwrap();
+
+    let data = SyntheticImageNet {
+        classes: 5,
+        image_shape: (3, 8, 8),
+        seed: 3,
+        noise: 0.2,
+    };
+    let (imgs, _) = data.batch(0, 13);
+    let (chunked, report) = run_batched(&net, &imgs, 4).unwrap();
+    let whole = net.forward(&imgs).unwrap();
+    assert_eq!(chunked.len(), 13);
+    assert_eq!(report.images, 13);
+    for (i, probs) in chunked.iter().enumerate() {
+        for (a, b) in probs.iter().zip(whole.image(i).iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}
+
+#[test]
+fn app_profiles_serialize_and_survive_roundtrip() {
+    for profile in [caffenet_profile(), googlenet_profile()] {
+        let json = serde_json::to_string(&profile).unwrap();
+        let back: AppProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, profile.name);
+        assert_eq!(back.layers.len(), profile.layers.len());
+        // Behavior-preserving: same accuracy/time for a probe spec.
+        let spec = profile.uniform_spec(0.5);
+        assert_eq!(back.accuracy(&spec), profile.accuracy(&spec));
+        assert_eq!(
+            back.batched_time_factor(&spec),
+            profile.batched_time_factor(&spec)
+        );
+    }
+}
+
+#[test]
+fn scaling_laws_bound_the_accuracy_scaling_story() {
+    use cap_cloud::{amdahl_speedup, fixed_workload_curve};
+    // Resource scaling a 95%-parallel inference job: Amdahl caps the
+    // speedup at 20x no matter the spend...
+    assert!(amdahl_speedup(0.95, 1024) < 20.0);
+    let curve = fixed_workload_curve(19.0 * 60.0, 0.95, 0.9, 32);
+    let best = curve.iter().map(|p| p.time_s).fold(f64::INFINITY, f64::min);
+    assert!(best > 19.0 * 60.0 / 20.0);
+    // ...while accuracy scaling (all-conv sweet spots) cuts ~42% of time
+    // at constant instance count and hence constant-ish cost.
+    let p = caffenet_profile();
+    let factor = p.batched_time_factor(&p.all_knees_spec());
+    assert!(factor < 0.60);
+}
+
+#[test]
+fn evaluated_config_serializes_for_downstream_tooling() {
+    let profile = caffenet_profile();
+    let versions = vec![AppVersion::from_profile(&profile, PruneSpec::none())];
+    let configs = vec![ResourceConfig::of(by_name("p2.xlarge").unwrap(), 1)];
+    let evals = evaluate_all(&versions, &configs, 50_000, 512);
+    let json = serde_json::to_string(&evals).unwrap();
+    let back: Vec<EvaluatedConfig> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), 1);
+    assert_eq!(back[0].config_label, evals[0].config_label);
+    assert_eq!(back[0].time_s, evals[0].time_s);
+}
+
+#[test]
+fn measurement_protocol_tightens_with_more_runs() {
+    // More repetitions can only lower the recorded minimum — the reason
+    // the paper's §3.3 takes min-of-3.
+    let clean = 1000.0;
+    let mut prev = f64::INFINITY;
+    for runs in [1u32, 3, 10, 30] {
+        let h = MeasurementHarness::new(runs, 0.08, 99);
+        let m = h.measure(42, clean);
+        assert!(m <= prev + 1e-12);
+        prev = m;
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-crate property tests: invariants of the whole pipeline checked
+//! over randomized prune specs, workloads and configuration spaces.
+
+use cloud_cost_accuracy::prelude::*;
+use proptest::prelude::*;
+
+fn arbitrary_spec() -> impl Strategy<Value = PruneSpec> {
+    // Random ratios over the five Caffenet conv layers.
+    proptest::collection::vec(0.0f64..0.9, 5).prop_map(|rs| {
+        let mut s = PruneSpec::none();
+        for (i, r) in rs.into_iter().enumerate() {
+            s.set(format!("conv{}", i + 1), r);
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pruning never increases accuracy and never increases time.
+    #[test]
+    fn pruning_dominates_in_the_right_direction(spec in arbitrary_spec()) {
+        let p = caffenet_profile();
+        let (t1, t5) = p.accuracy(&spec);
+        prop_assert!(t1 <= p.base_top1 + 1e-12);
+        prop_assert!(t5 <= p.base_top5 + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&t1));
+        prop_assert!((0.0..=1.0).contains(&t5));
+        prop_assert!(p.batched_time_factor(&spec) <= 1.0 + 1e-12);
+        prop_assert!(p.single_time_factor(&spec) <= 1.0 + 1e-12);
+    }
+
+    /// Simulated time scales linearly with workload; cost with time.
+    #[test]
+    fn workload_linearity(w in 10_000u64..500_000, spec in arbitrary_spec()) {
+        let p = caffenet_profile();
+        let v = AppVersion::from_profile(&p, spec);
+        let cfg = ResourceConfig::of(by_name("p2.xlarge").unwrap(), 1);
+        let one = simulate(&cfg, &v.exec, w, 512, Distribution::EqualSplit).unwrap();
+        let two = simulate(&cfg, &v.exec, 2 * w, 512, Distribution::EqualSplit).unwrap();
+        prop_assert!((two.time_s / one.time_s - 2.0).abs() < 0.01);
+        prop_assert!(two.cost_usd >= one.cost_usd);
+    }
+
+    /// TAR and CAR rank same-accuracy candidates identically to raw
+    /// time and cost.
+    #[test]
+    fn tar_car_rank_consistency(w in 50_000u64..200_000, spec in arbitrary_spec()) {
+        let p = caffenet_profile();
+        let v = AppVersion::from_profile(&p, spec);
+        prop_assume!(v.top1 > 0.01);
+        let small = ResourceConfig::of(by_name("p2.xlarge").unwrap(), 1);
+        let big = ResourceConfig::of(by_name("p2.8xlarge").unwrap(), 1);
+        let es = simulate(&small, &v.exec, w, 512, Distribution::EqualSplit).unwrap();
+        let eb = simulate(&big, &v.exec, w, 512, Distribution::EqualSplit).unwrap();
+        // Same version on both: TAR ordering == time ordering.
+        prop_assert_eq!(
+            tar(es.time_s, v.top1) < tar(eb.time_s, v.top1),
+            es.time_s < eb.time_s
+        );
+        prop_assert_eq!(
+            car(es.cost_usd, v.top1) < car(eb.cost_usd, v.top1),
+            es.cost_usd < eb.cost_usd
+        );
+    }
+
+    /// The Pareto frontier of a random evaluated set is exactly the set
+    /// of candidates no other candidate dominates.
+    #[test]
+    fn frontier_equals_nondominated_set(
+        seed_specs in proptest::collection::vec(arbitrary_spec(), 2..8)
+    ) {
+        let p = caffenet_profile();
+        let versions: Vec<AppVersion> = seed_specs
+            .into_iter()
+            .map(|s| AppVersion::from_profile(&p, s))
+            .collect();
+        let cat: Vec<InstanceType> = catalog().into_iter().take(2).collect();
+        let configs = enumerate_configs(&cat, 1);
+        let evals = evaluate_all(&versions, &configs, 100_000, 512);
+        let front: std::collections::HashSet<usize> =
+            frontier_indices(&evals, AccuracyMetric::Top1, Objective::Time)
+                .into_iter()
+                .collect();
+        for (i, e) in evals.iter().enumerate() {
+            let dominated = evals.iter().enumerate().any(|(j, o)| {
+                j != i
+                    && o.top1 >= e.top1
+                    && o.time_s <= e.time_s
+                    && (o.top1 > e.top1 || o.time_s < e.time_s)
+            });
+            if front.contains(&i) {
+                prop_assert!(!dominated, "frontier member {i} is dominated");
+            } else if !dominated {
+                // Non-dominated but excluded: must be an exact duplicate
+                // of a frontier member.
+                let dup = front.iter().any(|&f| {
+                    evals[f].top1 == e.top1 && evals[f].time_s == e.time_s
+                });
+                prop_assert!(dup, "non-dominated {i} missing from frontier");
+            }
+        }
+    }
+
+    /// Algorithm 1's result, when it exists, always satisfies both
+    /// constraints, and loosening constraints never loses feasibility.
+    #[test]
+    fn allocation_feasibility_monotone(
+        deadline_h in 0.5f64..20.0,
+        budget in 1.0f64..200.0,
+    ) {
+        let p = caffenet_profile();
+        let versions = caffenet_version_grid(&p);
+        let pool: Vec<InstanceType> = catalog()
+            .into_iter()
+            .flat_map(|i| std::iter::repeat(i).take(2))
+            .collect();
+        let req = |d: f64, b: f64| AllocationRequest {
+            w: 500_000,
+            batch: 512,
+            deadline_s: d * 3600.0,
+            budget_usd: b,
+            metric: AccuracyMetric::Top1,
+        };
+        let tight = allocate(&versions, &pool, &req(deadline_h, budget));
+        if let Some(r) = &tight {
+            prop_assert!(r.time_s <= deadline_h * 3600.0);
+            prop_assert!(r.cost_usd <= budget);
+            // Loosened constraints stay feasible with at least the accuracy.
+            let loose = allocate(&versions, &pool, &req(deadline_h * 2.0, budget * 2.0))
+                .expect("loosening keeps feasibility");
+            prop_assert!(
+                versions[loose.version_idx].top1 + 1e-12 >= versions[r.version_idx].top1
+            );
+        }
+    }
+}
