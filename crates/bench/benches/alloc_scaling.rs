@@ -11,7 +11,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn pool(g_size: usize) -> Vec<InstanceType> {
     let cat = catalog();
     (0..g_size)
-        .map(|i| if i % 2 == 0 { cat[0].clone() } else { cat[3].clone() })
+        .map(|i| {
+            if i % 2 == 0 {
+                cat[0].clone()
+            } else {
+                cat[3].clone()
+            }
+        })
         .collect()
 }
 
@@ -35,19 +41,23 @@ fn bench_alloc(c: &mut Criterion) {
                 )
             })
         });
-        group.bench_with_input(BenchmarkId::new("exhaustive_2_pow_g", g_size), &p, |b, p| {
-            b.iter(|| {
-                exhaustive_search(
-                    &versions,
-                    p,
-                    200_000,
-                    512,
-                    4.0 * 3600.0,
-                    60.0,
-                    AccuracyMetric::Top1,
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive_2_pow_g", g_size),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    exhaustive_search(
+                        &versions,
+                        p,
+                        200_000,
+                        512,
+                        4.0 * 3600.0,
+                        60.0,
+                        AccuracyMetric::Top1,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,8 +1,8 @@
 //! Dense vs CSR-sparse GEMM across sparsity levels — locates the
 //! break-even point that justifies the sparse-Caffe substrate
-//! (DESIGN.md §6 ablation).
+//! (DESIGN.md §7 ablation).
 
-use cap_tensor::{gemm, CsrMatrix, Matrix};
+use cap_tensor::{gemm, gemm_prepacked, CsrMatrix, Matrix, PackedB};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn weight_matrix(rows: usize, cols: usize, sparsity_pct: usize) -> Matrix {
@@ -28,6 +28,15 @@ fn bench_gemm(c: &mut Criterion) {
         let csr = CsrMatrix::from_dense(&w, 0.0);
         group.bench_with_input(BenchmarkId::new("sparse_csr", sparsity), &csr, |b, csr| {
             b.iter(|| csr.matmul_dense(&activations).unwrap())
+        });
+        // Pack-once/run-many: the B panels are packed outside the loop
+        // (as an FC layer packs its transposed weights at construction)
+        // and the output buffer is reused, so the steady state is
+        // allocation-free.
+        let packed = PackedB::pack(&activations);
+        let mut out = Matrix::zeros(w.rows(), activations.cols());
+        group.bench_with_input(BenchmarkId::new("dense_prepacked", sparsity), &w, |b, w| {
+            b.iter(|| gemm_prepacked(w, &packed, &mut out).unwrap())
         });
     }
     group.finish();

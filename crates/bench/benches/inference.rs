@@ -2,6 +2,7 @@
 //! TinyNet batches and single Caffenet / Googlenet forward passes.
 
 use cap_cnn::models::{caffenet, googlenet, TinyNet, WeightInit};
+use cap_cnn::network::ForwardArena;
 use cap_data::SyntheticImageNet;
 use cap_tensor::Tensor4;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -35,9 +36,29 @@ fn bench_big_models(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR's headline workload: batched dense Caffenet inference via the
+/// allocating `forward` (one fresh tensor per layer per pass) versus
+/// `forward_into` through one long-lived [`ForwardArena`].
+fn bench_batched_caffenet(c: &mut Criterion) {
+    let batch = Tensor4::from_fn(4, 3, 224, 224, |n, ci, h, w| {
+        ((n * 13 + ci * 7 + h + w) % 9) as f32 / 9.0 - 0.5
+    });
+    let caffe = caffenet(WeightInit::Gaussian { std: 0.01, seed: 1 }).unwrap();
+    let mut group = c.benchmark_group("batched_inference");
+    group.sample_size(10);
+    group.bench_function("caffenet_batch4_forward", |b| {
+        b.iter(|| caffe.forward(&batch).unwrap())
+    });
+    let mut arena = ForwardArena::new();
+    group.bench_function("caffenet_batch4_arena", |b| {
+        b.iter(|| caffe.forward_into(&batch, &mut arena).unwrap().as_slice()[0])
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_tinynet, bench_big_models
+    targets = bench_tinynet, bench_big_models, bench_batched_caffenet
 }
 criterion_main!(benches);

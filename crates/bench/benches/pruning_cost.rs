@@ -7,7 +7,9 @@ use cap_tensor::Matrix;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn layer(rows: usize, cols: usize) -> Matrix {
-    Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c * 7) % 101) as f32 / 101.0 - 0.5)
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((r * 31 + c * 7) % 101) as f32 / 101.0 - 0.5
+    })
 }
 
 fn bench_pruning(c: &mut Criterion) {

@@ -16,7 +16,11 @@ pub type Experiment = (&'static str, &'static str, fn() -> String);
 
 /// The registry, in paper order.
 pub const EXPERIMENTS: &[Experiment] = &[
-    ("table1", "Caffenet layer shapes and filters", tables::table1),
+    (
+        "table1",
+        "Caffenet layer shapes and filters",
+        tables::table1,
+    ),
     ("table3", "Amazon EC2 cloud resource types", tables::table3),
     (
         "fig3",
@@ -131,8 +135,8 @@ mod tests {
     fn registry_has_all_paper_experiments() {
         let ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _, _)| *id).collect();
         for expected in [
-            "table1", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "fig12", "alg1", "headline",
+            "table1", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "alg1", "headline",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }

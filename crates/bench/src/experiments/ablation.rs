@@ -1,4 +1,4 @@
-//! Ablations of the design choices DESIGN.md §6 calls out: the greedy
+//! Ablations of the design choices DESIGN.md §7 calls out: the greedy
 //! ordering heuristic of Algorithm 1, and pruning versus the two
 //! alternative accuracy knobs the paper's related work discusses.
 
@@ -31,7 +31,11 @@ pub fn ablation_alloc() -> String {
     )
     .unwrap();
     for (deadline_h, budget) in [(12.0, 500.0), (2.0, 500.0), (12.0, 6.0)] {
-        writeln!(out, "\nconstraints: {deadline_h} h deadline, ${budget} budget").unwrap();
+        writeln!(
+            out,
+            "\nconstraints: {deadline_h} h deadline, ${budget} budget"
+        )
+        .unwrap();
         for order in [
             GreedyOrder::CarAscending,
             GreedyOrder::PriceAscending,
@@ -78,10 +82,16 @@ pub fn ablation_alloc() -> String {
 /// the paper argues qualitatively, here with measured reconstruction
 /// error and modelled time/memory effects.
 pub fn ablation_knobs() -> String {
-    let base = Matrix::from_fn(256, 1200, |r, c| ((r * 31 + c * 7) % 101) as f32 / 101.0 - 0.5);
+    let base = Matrix::from_fn(256, 1200, |r, c| {
+        ((r * 31 + c * 7) % 101) as f32 / 101.0 - 0.5
+    });
     let profile = caffenet_profile();
     let mut out = String::new();
-    writeln!(out, "# Ablation: accuracy-tuning knobs on a conv2-shaped layer").unwrap();
+    writeln!(
+        out,
+        "# Ablation: accuracy-tuning knobs on a conv2-shaped layer"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<26} {:>10} {:>12} {:>12} {:>14}",
@@ -154,7 +164,10 @@ mod tests {
     fn knob_ablation_shows_pruning_unique_time_lever() {
         let t = ablation_knobs();
         // All quantize/share rows must print time factor 1.0.
-        for line in t.lines().filter(|l| l.starts_with("quantize") || l.starts_with("share")) {
+        for line in t
+            .lines()
+            .filter(|l| l.starts_with("quantize") || l.starts_with("share"))
+        {
             assert!(line.contains("1.000"), "{line}");
         }
         // Prune rows must have factors below 1.

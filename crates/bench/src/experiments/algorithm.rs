@@ -24,7 +24,13 @@ pub fn alg1() -> String {
     .unwrap();
     for g_size in [4usize, 6, 8, 10, 12, 14] {
         let pool: Vec<InstanceType> = (0..g_size)
-            .map(|i| if i % 2 == 0 { cat[0].clone() } else { cat[3].clone() })
+            .map(|i| {
+                if i % 2 == 0 {
+                    cat[0].clone()
+                } else {
+                    cat[3].clone()
+                }
+            })
             .collect();
         let deadline = 4.0 * 3600.0;
         let budget = 60.0;
@@ -89,7 +95,11 @@ pub fn headline() -> String {
     let minutes = |s: &PruneSpec| profile.batched_s_per_image(s) * 50_000.0 / 60.0;
     let (_, t5_12) = profile.accuracy(&conv12);
     let (_, t5_all) = profile.accuracy(&all);
-    writeln!(out, "\n[1] multi-layer sweet spots (paper: halve time/cost, 1/10 accuracy drop)").unwrap();
+    writeln!(
+        out,
+        "\n[1] multi-layer sweet spots (paper: halve time/cost, 1/10 accuracy drop)"
+    )
+    .unwrap();
     writeln!(
         out,
         "    conv1-2 : {:.1} min (-{:.0}%), top5 {:.1}% (-{:.0}% rel)",
@@ -157,7 +167,10 @@ mod tests {
     fn alg1_report_shows_agreement() {
         let t = alg1();
         // Greedy and exhaustive accuracies agree on every feasible row.
-        for line in t.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)) {
+        for line in t
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+        {
             let cols: Vec<&str> = line.split_whitespace().collect();
             if cols.len() >= 7 {
                 assert_eq!(cols[5], cols[6], "accuracy mismatch in: {line}");

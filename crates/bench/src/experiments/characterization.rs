@@ -18,12 +18,27 @@ fn bar(frac: f64, width: usize) -> String {
 pub fn fig3() -> String {
     let mut out = String::new();
     writeln!(out, "# Figure 3: Caffenet execution time distribution").unwrap();
-    writeln!(out, "\n[model] calibrated single-inference shares (paper: 51/16/9/10/7 % convs):").unwrap();
+    writeln!(
+        out,
+        "\n[model] calibrated single-inference shares (paper: 51/16/9/10/7 % convs):"
+    )
+    .unwrap();
     for l in layer_time_distribution_model(&caffenet_profile()) {
-        writeln!(out, "  {:<10} {:>5.1}%  {}", l.name, l.share * 100.0, bar(l.share, 60)).unwrap();
+        writeln!(
+            out,
+            "  {:<10} {:>5.1}%  {}",
+            l.name,
+            l.share * 100.0,
+            bar(l.share, 60)
+        )
+        .unwrap();
     }
 
-    writeln!(out, "\n[measured] one timed forward pass of the implemented Caffenet (CPU):").unwrap();
+    writeln!(
+        out,
+        "\n[measured] one timed forward pass of the implemented Caffenet (CPU):"
+    )
+    .unwrap();
     let net = cap_cnn::models::caffenet(cap_cnn::models::WeightInit::Gaussian {
         std: 0.01,
         seed: 42,
@@ -38,12 +53,30 @@ pub fn fig3() -> String {
     let _ = net.forward(&input).expect("warm-up forward runs");
     let shares = layer_time_distribution_min_of(&net, &input, 3).expect("forward runs");
     // Aggregate by kind for readability, then list convs individually.
-    let conv_total: f64 = shares.iter().filter(|l| l.kind == "conv").map(|l| l.share).sum();
+    let conv_total: f64 = shares
+        .iter()
+        .filter(|l| l.kind == "conv")
+        .map(|l| l.share)
+        .sum();
     for l in shares.iter().filter(|l| l.kind == "conv") {
-        writeln!(out, "  {:<10} {:>5.1}%  {}", l.name, l.share * 100.0, bar(l.share, 60)).unwrap();
+        writeln!(
+            out,
+            "  {:<10} {:>5.1}%  {}",
+            l.name,
+            l.share * 100.0,
+            bar(l.share, 60)
+        )
+        .unwrap();
     }
     let rest = 1.0 - conv_total;
-    writeln!(out, "  {:<10} {:>5.1}%  {}", "non-conv", rest * 100.0, bar(rest, 60)).unwrap();
+    writeln!(
+        out,
+        "  {:<10} {:>5.1}%  {}",
+        "non-conv",
+        rest * 100.0,
+        bar(rest, 60)
+    )
+    .unwrap();
     writeln!(
         out,
         "\nshape check: convolution layers dominate ({:.0}% measured; paper >90%)",
@@ -58,8 +91,17 @@ pub fn fig3() -> String {
 pub fn fig4() -> String {
     let ratios: Vec<f64> = (0..=9).map(|i| i as f64 / 10.0).collect();
     let mut out = String::new();
-    writeln!(out, "# Figure 4: time for a single inference vs prune ratio").unwrap();
-    writeln!(out, "{:>7} {:>12} {:>12}", "ratio", "caffenet s", "googlenet s").unwrap();
+    writeln!(
+        out,
+        "# Figure 4: time for a single inference vs prune ratio"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>7} {:>12} {:>12}",
+        "ratio", "caffenet s", "googlenet s"
+    )
+    .unwrap();
     let caffe = single_inference_sweep(&caffenet_profile(), &ratios);
     let goog = single_inference_sweep(&googlenet_profile(), &ratios);
     for ((r, tc), (_, tg)) in caffe.iter().zip(goog.iter()) {
@@ -78,8 +120,17 @@ pub fn fig4() -> String {
 pub fn fig5() -> String {
     let batches: Vec<u32> = vec![1, 25, 50, 100, 150, 200, 300, 400, 600, 1000, 1500, 2000];
     let mut out = String::new();
-    writeln!(out, "# Figure 5: parallel inference on a GPU (K80, 50 000 images)").unwrap();
-    writeln!(out, "{:>9} {:>14} {:>14}", "parallel", "caffenet s", "googlenet s").unwrap();
+    writeln!(
+        out,
+        "# Figure 5: parallel inference on a GPU (K80, 50 000 images)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>9} {:>14} {:>14}",
+        "parallel", "caffenet s", "googlenet s"
+    )
+    .unwrap();
     let caffe = parallel_saturation_curve(&caffenet_profile(), GpuKind::K80, 50_000, &batches);
     let goog = parallel_saturation_curve(&googlenet_profile(), GpuKind::K80, 50_000, &batches);
     for ((b, tc), (_, tg)) in caffe.iter().zip(goog.iter()) {

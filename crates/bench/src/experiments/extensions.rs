@@ -29,7 +29,11 @@ pub fn fig9g() -> String {
     let evals = googlenet_space();
     let feasible = feasible_by_deadline(&evals, 10.0 * 3600.0);
     let mut out = String::new();
-    writeln!(out, "# Extension: Googlenet time-accuracy space (g3 family)").unwrap();
+    writeln!(
+        out,
+        "# Extension: Googlenet time-accuracy space (g3 family)"
+    )
+    .unwrap();
     writeln!(
         out,
         "space: 72 versions x 63 g3 configs x 3 batch settings = {} candidates; {} feasible under 10 h",
@@ -38,7 +42,12 @@ pub fn fig9g() -> String {
     )
     .unwrap();
     let front = frontier_indices(&feasible, AccuracyMetric::Top5, Objective::Time);
-    writeln!(out, "\nTop5 time-accuracy Pareto frontier ({} points, top 10):", front.len()).unwrap();
+    writeln!(
+        out,
+        "\nTop5 time-accuracy Pareto frontier ({} points, top 10):",
+        front.len()
+    )
+    .unwrap();
     for &i in front.iter().take(10) {
         let e = &feasible[i];
         writeln!(
@@ -75,7 +84,11 @@ pub fn whatif() -> String {
     let evals = evaluate_grid(&versions, &configs, 1_000_000, &[48, 160, 512]);
 
     let mut out = String::new();
-    writeln!(out, "# Extension: what-if queries (1M Caffenet inferences, p2 family)").unwrap();
+    writeln!(
+        out,
+        "# Extension: what-if queries (1M Caffenet inferences, p2 family)"
+    )
+    .unwrap();
     for floor in [0.55, 0.50, 0.45] {
         if let Some(a) = min_cost_for_accuracy(&evals, AccuracyMetric::Top1, floor) {
             writeln!(

@@ -64,7 +64,11 @@ pub fn fig9() -> String {
     let evals = space();
     let feasible = feasible_by_deadline(&evals, 10.0 * 3600.0);
     let mut out = String::new();
-    writeln!(out, "# Figure 9: impact of accuracy on cloud execution time").unwrap();
+    writeln!(
+        out,
+        "# Figure 9: impact of accuracy on cloud execution time"
+    )
+    .unwrap();
     writeln!(
         out,
         "space: 60 versions x 63 p2 configs x {} batch settings = {} candidates",

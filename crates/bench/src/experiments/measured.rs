@@ -15,7 +15,8 @@ fn train(data: &SyntheticImageNet, seed: u64) -> TinyNet {
     for _epoch in 0..5 {
         for b in 0..8 {
             let (x, labels) = data.batch(b * 32, 32);
-            net.train_batch(&x, &labels, &mut sgd, None).expect("train step");
+            net.train_batch(&x, &labels, &mut sgd, None)
+                .expect("train step");
         }
     }
     net
@@ -43,7 +44,11 @@ pub fn fig6m() -> String {
     let base = net.evaluate(&test_x, &test_labels).expect("eval");
 
     let mut out = String::new();
-    writeln!(out, "# Figure 6 (measured): TinyNet pruning, trained on synthetic data").unwrap();
+    writeln!(
+        out,
+        "# Figure 6 (measured): TinyNet pruning, trained on synthetic data"
+    )
+    .unwrap();
     writeln!(
         out,
         "baseline: top1 {:.1}%, top5 {:.1}% over {} held-out images",
@@ -69,7 +74,9 @@ pub fn fig6m() -> String {
             let mut ft = Sgd::new(0.01, 0.9);
             for b in 0..4 {
                 let (x, labels) = data.batch(b * 32, 32);
-                pruned.train_batch(&x, &labels, &mut ft, Some((&m1, &m2))).unwrap();
+                pruned
+                    .train_batch(&x, &labels, &mut ft, Some((&m1, &m2)))
+                    .unwrap();
             }
         }
         let report = pruned.evaluate(&test_x, &test_labels).unwrap();
@@ -101,7 +108,11 @@ pub fn fig6m() -> String {
         "\nmeasured sweet-spot shape: accuracy plateaus at moderate ratios and cliffs near 90%;"
     )
     .unwrap();
-    writeln!(out, "sparse CSR kernels overtake dense execution as sparsity grows.").unwrap();
+    writeln!(
+        out,
+        "sparse CSR kernels overtake dense execution as sparsity grows."
+    )
+    .unwrap();
     out
 }
 
@@ -112,7 +123,11 @@ pub fn fig5m() -> String {
     let net = train(&data, 3);
     let (imgs, _) = data.batch(20_000, 256);
     let mut out = String::new();
-    writeln!(out, "# Figure 5 (measured): TinyNet throughput vs batch size").unwrap();
+    writeln!(
+        out,
+        "# Figure 5 (measured): TinyNet throughput vs batch size"
+    )
+    .unwrap();
     writeln!(out, "{:>7} {:>14}", "batch", "images/s").unwrap();
     let mut first = 0.0;
     let mut last = 0.0;
@@ -177,7 +192,8 @@ pub fn fig8m() -> String {
     for _epoch in 0..6 {
         for b in 0..8 {
             let (x, labels) = data.batch(b * 32, 32);
-            net.train_batch(&x, &labels, &mut sgd, None).expect("train step");
+            net.train_batch(&x, &labels, &mut sgd, None)
+                .expect("train step");
         }
     }
     let (test_x, test_labels) = data.batch(12_000, 128);
@@ -191,8 +207,17 @@ pub fn fig8m() -> String {
     ];
 
     let mut out = String::new();
-    writeln!(out, "# Figure 8 (measured): multi-layer pruning on a 3-conv SequentialNet").unwrap();
-    writeln!(out, "{:<14} {:>8} {:>8} {:>11}", "config", "top1", "top5", "latency ms").unwrap();
+    writeln!(
+        out,
+        "# Figure 8 (measured): multi-layer pruning on a 3-conv SequentialNet"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<14} {:>8} {:>8} {:>11}",
+        "config", "top1", "top5", "latency ms"
+    )
+    .unwrap();
     for (name, idxs) in variants {
         let mut pruned: SequentialNet = net.clone();
         for &i in &idxs {

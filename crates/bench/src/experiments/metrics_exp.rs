@@ -11,7 +11,11 @@ use std::fmt::Write;
 pub fn fig11() -> String {
     let profile = caffenet_profile();
     let mut out = String::new();
-    writeln!(out, "# Figure 11: time-accuracy of degrees of pruning with TAR").unwrap();
+    writeln!(
+        out,
+        "# Figure 11: time-accuracy of degrees of pruning with TAR"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>8} {:>8} {:>10} {:>8} {:>8} {:>10} {:>10}",
@@ -60,7 +64,11 @@ pub fn fig12() -> String {
     let w = 50_000.0;
 
     let mut out = String::new();
-    writeln!(out, "# Figure 12: Caffenet CAR across resource types (conv1-2 @20%)").unwrap();
+    writeln!(
+        out,
+        "# Figure 12: Caffenet CAR across resource types (conv1-2 @20%)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<14} {:>16} {:>16}",
@@ -110,7 +118,10 @@ mod tests {
     fn fig11_grid_is_30_rows() {
         let t = fig11();
         // 5 conv1 x 6 conv2 = 30 data rows.
-        let rows = t.lines().filter(|l| l.trim_start().ends_with(|c: char| c.is_ascii_digit()) && l.contains('%')).count();
+        let rows = t
+            .lines()
+            .filter(|l| l.trim_start().ends_with(|c: char| c.is_ascii_digit()) && l.contains('%'))
+            .count();
         assert!(rows >= 30, "rows {rows}");
     }
 

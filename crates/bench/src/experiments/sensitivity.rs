@@ -11,10 +11,19 @@ fn sweep_report(profile: &AppProfile, layers: &[&str], title: &str) -> String {
     let base_minutes = profile.base_batched_s_per_image * 50_000.0 / 60.0;
     let mut out = String::new();
     writeln!(out, "# {title}").unwrap();
-    writeln!(out, "(50 000 images on the reference GPU; base {base_minutes:.1} min)").unwrap();
+    writeln!(
+        out,
+        "(50 000 images on the reference GPU; base {base_minutes:.1} min)"
+    )
+    .unwrap();
     for sweep in &sweeps {
         writeln!(out, "\n## {}", sweep.layer).unwrap();
-        writeln!(out, "{:>7} {:>10} {:>8} {:>8}", "ratio", "time min", "top1", "top5").unwrap();
+        writeln!(
+            out,
+            "{:>7} {:>10} {:>8} {:>8}",
+            "ratio", "time min", "top1", "top5"
+        )
+        .unwrap();
         for p in &sweep.points {
             writeln!(
                 out,
@@ -27,9 +36,7 @@ fn sweep_report(profile: &AppProfile, layers: &[&str], title: &str) -> String {
             .unwrap();
         }
         // Sweet-spot line.
-        if let Some(ss) =
-            cap_pruning::sweet_spot(&sweep.top5_curve(), &sweep.time_curve(), 1e-9)
-        {
+        if let Some(ss) = cap_pruning::sweet_spot(&sweep.top5_curve(), &sweep.time_curve(), 1e-9) {
             writeln!(
                 out,
                 "sweet spot: up to {:.0}% pruning at unchanged accuracy ({:.2} min)",
@@ -46,11 +53,7 @@ fn sweep_report(profile: &AppProfile, layers: &[&str], title: &str) -> String {
 pub fn fig6() -> String {
     let profile = caffenet_profile();
     let layers = profile.conv_layer_names();
-    let mut out = sweep_report(
-        &profile,
-        &layers,
-        "Figure 6: Caffenet single-layer pruning",
-    );
+    let mut out = sweep_report(&profile, &layers, "Figure 6: Caffenet single-layer pruning");
     writeln!(
         out,
         "\npaper anchors: conv1@90 -> 16.6 min, conv2@90 -> 14 min; conv1 top5 -> 0%, others -> ~25%"
@@ -89,7 +92,12 @@ pub fn fig8() -> String {
     ];
     let mut out = String::new();
     writeln!(out, "# Figure 8: Caffenet multi-layer pruning").unwrap();
-    writeln!(out, "{:<12} {:>10} {:>8} {:>8}", "config", "time min", "top1", "top5").unwrap();
+    writeln!(
+        out,
+        "{:<12} {:>10} {:>8} {:>8}",
+        "config", "time min", "top1", "top5"
+    )
+    .unwrap();
     for (name, spec) in configs {
         let minutes = profile.batched_s_per_image(&spec) * 50_000.0 / 60.0;
         let (top1, top5) = profile.accuracy(&spec);

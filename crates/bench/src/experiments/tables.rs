@@ -9,10 +9,27 @@ use std::fmt::Write;
 pub fn table1() -> String {
     let net = caffenet(WeightInit::Zeros).expect("caffenet builds");
     let mut out = String::new();
-    writeln!(out, "# Table 1: Caffenet Layers (from the constructed model)").unwrap();
-    writeln!(out, "{:<8} {:>16} {:>10} {:>12}", "layer", "size", "#filters", "filter size").unwrap();
+    writeln!(
+        out,
+        "# Table 1: Caffenet Layers (from the constructed model)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>16} {:>10} {:>12}",
+        "layer", "size", "#filters", "filter size"
+    )
+    .unwrap();
     let (ic, ih, iw) = net.input_shape();
-    writeln!(out, "{:<8} {:>16} {:>10} {:>12}", "input", format!("{iw}x{ih}x{ic}"), "-", "-").unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>16} {:>10} {:>12}",
+        "input",
+        format!("{iw}x{ih}x{ic}"),
+        "-",
+        "-"
+    )
+    .unwrap();
     for name in net.layers_of_kind(LayerKind::Convolution) {
         let id = net.node_id(&name).unwrap();
         let (c, h, w) = net.shape_of(id).unwrap();
@@ -36,7 +53,11 @@ pub fn table1() -> String {
         writeln!(out, "{:<8} {:>16} {:>10} {:>12}", name, c, "-", "-").unwrap();
     }
     writeln!(out, "\ntotal parameters: {}", net.param_count()).unwrap();
-    writeln!(out, "paper row check: conv1 55x55x96 / 96 / 11x11x3; conv2 27x27x256 / 256 / 5x5x48").unwrap();
+    writeln!(
+        out,
+        "paper row check: conv1 55x55x96 / 96 / 11x11x3; conv2 27x27x256 / 256 / 5x5x48"
+    )
+    .unwrap();
     out
 }
 
@@ -84,7 +105,9 @@ mod tests {
     #[test]
     fn table1_contains_all_eight_rows() {
         let t = table1();
-        for row in ["conv1", "conv2", "conv3", "conv4", "conv5", "fc6", "fc7", "fc8"] {
+        for row in [
+            "conv1", "conv2", "conv3", "conv4", "conv5", "fc6", "fc7", "fc8",
+        ] {
             assert!(t.contains(row), "missing {row}");
         }
         assert!(t.contains("55x55x96"));

@@ -15,7 +15,9 @@ pub struct ResourceConfig {
 impl ResourceConfig {
     /// Empty configuration.
     pub fn empty() -> Self {
-        Self { entries: Vec::new() }
+        Self {
+            entries: Vec::new(),
+        }
     }
 
     /// Configuration of `count` instances of a single type.
@@ -30,7 +32,11 @@ impl ResourceConfig {
         if count == 0 {
             return;
         }
-        if let Some(e) = self.entries.iter_mut().find(|(i, _)| i.name == instance.name) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|(i, _)| i.name == instance.name)
+        {
             e.1 += count;
         } else {
             self.entries.push((instance, count));
@@ -154,8 +160,7 @@ mod tests {
         let cat = catalog();
         let cfgs = enumerate_configs(&cat[..2], 2);
         assert_eq!(cfgs.len(), 8);
-        let labels: std::collections::HashSet<String> =
-            cfgs.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<String> = cfgs.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), 8);
     }
 

@@ -153,7 +153,14 @@ mod tests {
     #[test]
     fn single_p2_xlarge_matches_19_minutes() {
         let cfg = ResourceConfig::of(by_name("p2.xlarge").unwrap(), 1);
-        let est = simulate(&cfg, &caffenet_exec(), 50_000, 512, Distribution::EqualSplit).unwrap();
+        let est = simulate(
+            &cfg,
+            &caffenet_exec(),
+            50_000,
+            512,
+            Distribution::EqualSplit,
+        )
+        .unwrap();
         assert!(
             (est.time_s / 60.0 - 19.0).abs() < 0.6,
             "time {} min",
@@ -218,7 +225,12 @@ mod tests {
         let prop = simulate(&cfg, &app, 100_000, 512, Distribution::Proportional).unwrap();
         // Equal split: the 1-GPU instance is the straggler; proportional
         // finishes strictly faster.
-        assert!(prop.time_s < eq.time_s * 0.75, "{} vs {}", prop.time_s, eq.time_s);
+        assert!(
+            prop.time_s < eq.time_s * 0.75,
+            "{} vs {}",
+            prop.time_s,
+            eq.time_s
+        );
         // Both assign all images.
         let total_eq: u64 = eq.per_instance.iter().map(|(_, w, _)| w).sum();
         let total_prop: u64 = prop.per_instance.iter().map(|(_, w, _)| w).sum();
@@ -240,7 +252,14 @@ mod tests {
     #[test]
     fn empty_config_or_zero_batch_is_none() {
         let app = caffenet_exec();
-        assert!(simulate(&ResourceConfig::empty(), &app, 100, 512, Distribution::EqualSplit).is_none());
+        assert!(simulate(
+            &ResourceConfig::empty(),
+            &app,
+            100,
+            512,
+            Distribution::EqualSplit
+        )
+        .is_none());
         let cfg = ResourceConfig::of(catalog()[0].clone(), 1);
         assert!(simulate(&cfg, &app, 100, 0, Distribution::EqualSplit).is_none());
     }
@@ -268,7 +287,11 @@ mod tests {
             .map(|(_, _, t)| *t)
             .fold(0.0_f64, f64::max);
         assert_eq!(est.time_s, slowest);
-        let xl = est.per_instance.iter().find(|(n, _, _)| n == "p2.xlarge").unwrap();
+        let xl = est
+            .per_instance
+            .iter()
+            .find(|(n, _, _)| n == "p2.xlarge")
+            .unwrap();
         assert_eq!(est.time_s, xl.2);
     }
 
@@ -280,7 +303,11 @@ mod tests {
         for _ in 0..4 {
             cfg.add(by_name("p2.xlarge").unwrap(), 1);
             let est = simulate(&cfg, &app, 400_000, 512, Distribution::Proportional).unwrap();
-            assert!(est.time_s <= prev_time + 1e-6, "{} > {prev_time}", est.time_s);
+            assert!(
+                est.time_s <= prev_time + 1e-6,
+                "{} > {prev_time}",
+                est.time_s
+            );
             prev_time = est.time_s;
         }
     }
@@ -289,8 +316,14 @@ mod tests {
     fn huge_workload_does_not_overflow() {
         let app = caffenet_exec();
         let cfg = ResourceConfig::of(by_name("p2.16xlarge").unwrap(), 1);
-        let est = simulate(&cfg, &app, u64::MAX / 1_000_000, 512, Distribution::EqualSplit)
-            .unwrap();
+        let est = simulate(
+            &cfg,
+            &app,
+            u64::MAX / 1_000_000,
+            512,
+            Distribution::EqualSplit,
+        )
+        .unwrap();
         assert!(est.time_s.is_finite() && est.time_s > 0.0);
         assert!(est.cost_usd.is_finite());
     }

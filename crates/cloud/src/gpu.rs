@@ -95,10 +95,7 @@ mod tests {
     fn saturates_near_300_as_in_fig5() {
         let m = caffenet_k80();
         let b95 = m.saturation_batch(0.95);
-        assert!(
-            (150..=350).contains(&b95),
-            "95% saturation at batch {b95}"
-        );
+        assert!((150..=350).contains(&b95), "95% saturation at batch {b95}");
         // Beyond 300 the gain is marginal.
         assert!(m.rate(2000) / m.rate(300) < 1.03);
     }

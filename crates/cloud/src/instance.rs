@@ -119,7 +119,10 @@ mod tests {
         assert_eq!(cat.len(), 6);
         let p2x = &cat[0];
         assert_eq!(p2x.name, "p2.xlarge");
-        assert_eq!((p2x.vcpus, p2x.gpus, p2x.mem_gb, p2x.gpu_mem_gb), (4, 1, 61, 12));
+        assert_eq!(
+            (p2x.vcpus, p2x.gpus, p2x.mem_gb, p2x.gpu_mem_gb),
+            (4, 1, 61, 12)
+        );
         assert_eq!(p2x.price_per_hour, 0.9);
         assert_eq!(p2x.gpu, GpuKind::K80);
         let g316 = by_name("g3.16xlarge").unwrap();

@@ -9,7 +9,7 @@
 //! set by core count instead of SM count.
 
 use crate::accuracy::{evaluate_topk_tensor, AccuracyReport};
-use crate::network::Network;
+use crate::network::{ForwardArena, Network};
 use cap_tensor::{Tensor4, TensorResult};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -30,7 +30,10 @@ pub struct ThroughputReport {
 /// Run inference over `images` in batches of `batch`, returning the
 /// network outputs per image (in order) and a throughput report.
 ///
-/// A trailing partial batch is executed as-is.
+/// A trailing partial batch is executed as-is, reusing the same chunk
+/// buffer (shrunk in place) rather than allocating a fresh tensor; all
+/// layer activations come from one [`ForwardArena`] reused across
+/// batches.
 pub fn run_batched(
     net: &Network,
     images: &Tensor4,
@@ -40,15 +43,17 @@ pub fn run_batched(
     let batch = batch.max(1);
     let (c, h, w) = (images.c(), images.h(), images.w());
     let mut outputs = Vec::with_capacity(n);
+    let mut chunk = Tensor4::zeros(0, 0, 0, 0);
+    let mut arena = ForwardArena::new();
     let start = Instant::now();
     let mut i = 0;
     while i < n {
         let take = batch.min(n - i);
-        let mut chunk = Tensor4::zeros(take, c, h, w);
+        chunk.resize(take, c, h, w);
         for j in 0..take {
             chunk.image_mut(j).copy_from_slice(images.image(i + j));
         }
-        let out = net.forward(&chunk)?;
+        let out = net.forward_into(&chunk, &mut arena)?;
         for j in 0..take {
             outputs.push(out.image(j).to_vec());
         }
@@ -81,16 +86,20 @@ pub fn run_and_score(
         top5: 0.0,
         n: 0,
     };
+    let mut chunk = Tensor4::zeros(0, 0, 0, 0);
+    let mut arena = ForwardArena::new();
     let start = Instant::now();
     let mut i = 0;
     while i < n {
         let take = batch.min(n - i);
-        let mut chunk = Tensor4::zeros(take, c, h, w);
+        chunk.resize(take, c, h, w);
         for j in 0..take {
             chunk.image_mut(j).copy_from_slice(images.image(i + j));
         }
-        let out = net.forward(&chunk)?;
-        let batch_acc = evaluate_topk_tensor(&out, &labels[i..i + take])?;
+        // Scoring reads straight from the arena-held output tensor — no
+        // per-image copies anywhere on this path.
+        let out = net.forward_into(&chunk, &mut arena)?;
+        let batch_acc = evaluate_topk_tensor(out, &labels[i..i + take])?;
         acc = acc.merge(&batch_acc);
         i += take;
     }
@@ -150,7 +159,9 @@ mod tests {
     }
 
     fn images(n: usize) -> Tensor4 {
-        Tensor4::from_fn(n, 2, 8, 8, |i, c, h, w| ((i * 5 + c * 3 + h + w) % 7) as f32 - 3.0)
+        Tensor4::from_fn(n, 2, 8, 8, |i, c, h, w| {
+            ((i * 5 + c * 3 + h + w) % 7) as f32 - 3.0
+        })
     }
 
     #[test]

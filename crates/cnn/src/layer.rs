@@ -81,6 +81,17 @@ pub trait Layer: Send + Sync {
     /// Execute the layer on its inputs (most layers take exactly one).
     fn forward(&self, inputs: &[&Tensor4]) -> TensorResult<Tensor4>;
 
+    /// Execute the layer, writing into a reusable output tensor.
+    ///
+    /// `out` is reshaped in place; once its buffer has grown to the
+    /// steady-state high-water mark, repeat calls allocate nothing. The
+    /// default delegates to [`Layer::forward`] and moves the result —
+    /// layers on the hot inference path override it.
+    fn forward_into(&self, inputs: &[&Tensor4], out: &mut Tensor4) -> TensorResult<()> {
+        *out = self.forward(inputs)?;
+        Ok(())
+    }
+
     /// Per-image output shape given per-image input shapes.
     fn out_shape(&self, in_shapes: &[ChwShape]) -> TensorResult<ChwShape>;
 

@@ -26,6 +26,12 @@ impl Layer for ConcatLayer {
     }
 
     fn forward(&self, inputs: &[&Tensor4]) -> TensorResult<Tensor4> {
+        let mut out = Tensor4::zeros(0, 0, 0, 0);
+        self.forward_into(inputs, &mut out)?;
+        Ok(out)
+    }
+
+    fn forward_into(&self, inputs: &[&Tensor4], out: &mut Tensor4) -> TensorResult<()> {
         if inputs.is_empty() {
             return Err(ShapeError::new("concat: needs at least one input"));
         }
@@ -41,7 +47,7 @@ impl Layer for ConcatLayer {
             }
         }
         let total_c: usize = inputs.iter().map(|t| t.c()).sum();
-        let mut out = Tensor4::zeros(n, total_c, h, w);
+        out.resize(n, total_c, h, w);
         for ni in 0..n {
             let mut offset = 0;
             let hw = h * w;
@@ -52,7 +58,7 @@ impl Layer for ConcatLayer {
                 offset += t.c();
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     fn out_shape(&self, in_shapes: &[ChwShape]) -> TensorResult<ChwShape> {
@@ -102,7 +108,8 @@ mod tests {
     fn out_shape_sums_channels() {
         let l = ConcatLayer::new("cat");
         assert_eq!(
-            l.out_shape(&[(64, 28, 28), (128, 28, 28), (32, 28, 28), (32, 28, 28)]).unwrap(),
+            l.out_shape(&[(64, 28, 28), (128, 28, 28), (32, 28, 28), (32, 28, 28)])
+                .unwrap(),
             (256, 28, 28)
         );
     }

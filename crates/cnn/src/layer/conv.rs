@@ -2,9 +2,11 @@
 
 use super::{ChwShape, Layer, LayerKind};
 use cap_tensor::{
-    conv2d_gemm, conv2d_sparse, Conv2dParams, CsrMatrix, Matrix, ShapeError, Tensor4, TensorResult,
+    conv2d_gemm_packed, conv2d_sparse_packed, Conv2dParams, CsrMatrix, Matrix, PackedConvWeights,
+    PackedSparseConvWeights, ShapeError, Tensor4, TensorResult, WorkspacePool,
 };
 use parking_lot::RwLock;
+use std::sync::Arc;
 
 /// Weight sparsity above which the CSR kernel beats dense GEMM. The
 /// break-even is measured by the `gemm` criterion bench; 40 % is a
@@ -14,16 +16,26 @@ pub const SPARSE_THRESHOLD: f64 = 0.4;
 /// 2-D convolution layer (optionally grouped, AlexNet-style).
 ///
 /// Weights are stored dense; whenever their zero fraction exceeds
-/// [`SPARSE_THRESHOLD`], a CSR copy is built lazily and used for forward
-/// execution, so pruning translates into real wall-clock savings exactly
-/// as in the sparse-Caffe substrate of the paper.
+/// [`SPARSE_THRESHOLD`], a per-group CSR split is built lazily and used
+/// for forward execution, so pruning translates into real wall-clock
+/// savings exactly as in the sparse-Caffe substrate of the paper.
+///
+/// Both dense and sparse weights are pre-split into per-group bands at
+/// construction / `set_weights` time ([`PackedConvWeights`],
+/// [`PackedSparseConvWeights`]), and im2col / GEMM scratch comes from a
+/// per-layer [`WorkspacePool`], so steady-state forwards allocate nothing.
 pub struct ConvLayer {
     name: String,
     params: Conv2dParams,
     weights: Matrix,
     bias: Vec<f32>,
-    /// Lazily built CSR view of `weights`; invalidated by `set_weights`.
-    sparse_cache: RwLock<Option<CsrMatrix>>,
+    /// Per-group weight bands, rebuilt eagerly by `set_weights`.
+    packed: PackedConvWeights,
+    /// Lazily built per-group CSR split of `weights`; invalidated by
+    /// `set_weights`. `Arc` so forwards clone a pointer, not the data.
+    sparse_cache: RwLock<Option<Arc<PackedSparseConvWeights>>>,
+    /// Reusable im2col/product scratch shared across forward calls.
+    pool: WorkspacePool,
 }
 
 impl ConvLayer {
@@ -54,12 +66,15 @@ impl ConvLayer {
                 params.out_channels
             )));
         }
+        let packed = PackedConvWeights::pack(&weights, &params)?;
         Ok(Self {
             name: name.into(),
             params,
             weights,
             bias,
+            packed,
             sparse_cache: RwLock::new(None),
+            pool: WorkspacePool::new(),
         })
     }
 
@@ -73,13 +88,14 @@ impl ConvLayer {
         &self.bias
     }
 
-    fn sparse(&self) -> CsrMatrix {
+    fn sparse(&self) -> TensorResult<Arc<PackedSparseConvWeights>> {
         if let Some(cached) = self.sparse_cache.read().as_ref() {
-            return cached.clone();
+            return Ok(Arc::clone(cached));
         }
-        let built = CsrMatrix::from_dense(&self.weights, 0.0);
-        *self.sparse_cache.write() = Some(built.clone());
-        built
+        let csr = CsrMatrix::from_dense(&self.weights, 0.0);
+        let built = Arc::new(PackedSparseConvWeights::pack(&csr, &self.params)?);
+        *self.sparse_cache.write() = Some(Arc::clone(&built));
+        Ok(built)
     }
 }
 
@@ -93,13 +109,34 @@ impl Layer for ConvLayer {
     }
 
     fn forward(&self, inputs: &[&Tensor4]) -> TensorResult<Tensor4> {
+        let mut out = Tensor4::zeros(0, 0, 0, 0);
+        self.forward_into(inputs, &mut out)?;
+        Ok(out)
+    }
+
+    fn forward_into(&self, inputs: &[&Tensor4], out: &mut Tensor4) -> TensorResult<()> {
         let [input] = inputs else {
             return Err(ShapeError::new("conv: expected exactly one input"));
         };
         if self.weights.sparsity(0.0) > SPARSE_THRESHOLD {
-            conv2d_sparse(input, &self.sparse(), Some(&self.bias), &self.params)
+            let sparse = self.sparse()?;
+            conv2d_sparse_packed(
+                input,
+                &sparse,
+                Some(&self.bias),
+                &self.params,
+                &self.pool,
+                out,
+            )
         } else {
-            conv2d_gemm(input, &self.weights, Some(&self.bias), &self.params)
+            conv2d_gemm_packed(
+                input,
+                &self.packed,
+                Some(&self.bias),
+                &self.params,
+                &self.pool,
+                out,
+            )
         }
     }
 
@@ -141,6 +178,7 @@ impl Layer for ConvLayer {
                 self.weights.shape()
             )));
         }
+        self.packed = PackedConvWeights::pack(&weights, &self.params)?;
         self.weights = weights;
         *self.sparse_cache.write() = None;
         Ok(())
@@ -150,6 +188,7 @@ impl Layer for ConvLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cap_tensor::conv2d_gemm;
     use cap_tensor::init::xavier_uniform;
 
     fn layer(sparsify: bool) -> ConvLayer {

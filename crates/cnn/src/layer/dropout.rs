@@ -42,6 +42,16 @@ impl Layer for DropoutLayer {
         Ok((*input).clone())
     }
 
+    fn forward_into(&self, inputs: &[&Tensor4], out: &mut Tensor4) -> TensorResult<()> {
+        let [input] = inputs else {
+            return Err(ShapeError::new("dropout: expected exactly one input"));
+        };
+        let (n, c, h, w) = input.shape();
+        out.resize(n, c, h, w);
+        out.as_mut_slice().copy_from_slice(input.as_slice());
+        Ok(())
+    }
+
     fn out_shape(&self, in_shapes: &[ChwShape]) -> TensorResult<ChwShape> {
         let [shape] = in_shapes else {
             return Err(ShapeError::new("dropout: expected exactly one input shape"));

@@ -1,8 +1,11 @@
 //! Fully-connected (Caffe "InnerProduct") layer.
 
 use super::{ChwShape, Layer, LayerKind};
-use cap_tensor::{gemm, CsrMatrix, Matrix, ShapeError, Tensor4, TensorResult};
+use cap_tensor::{
+    gemm_prepacked_slice, CsrMatrix, Matrix, PackedB, ShapeError, Tensor4, TensorResult,
+};
 use parking_lot::RwLock;
+use std::sync::Arc;
 
 use super::conv::SPARSE_THRESHOLD;
 
@@ -16,22 +19,21 @@ pub struct InnerProductLayer {
     in_features: usize,
     out_features: usize,
     weights: Matrix,
-    /// Cached transpose of `weights` (`in × out`): the dense forward
-    /// computes `Y = X · Wᵀ`, whose GEMM inner loop runs along the
-    /// `out` dimension and vectorizes even at batch 1 (computing
-    /// `W · Xᵀ` instead degenerates to single-column GEMM).
-    weights_t: Matrix,
+    /// Panel-packed transpose of `weights` (`in × out`): the dense
+    /// forward computes `Y = X · Wᵀ`, whose GEMM inner loop runs along
+    /// the `out` dimension and vectorizes even at batch 1 (computing
+    /// `W · Xᵀ` instead degenerates to single-column GEMM). Packing
+    /// happens once here, not per forward call.
+    packed_t: PackedB,
     bias: Vec<f32>,
-    sparse_cache: RwLock<Option<CsrMatrix>>,
+    /// Lazily built CSR view of `weights`; invalidated by `set_weights`.
+    /// `Arc` so forwards clone a pointer, not the data.
+    sparse_cache: RwLock<Option<Arc<CsrMatrix>>>,
 }
 
 impl InnerProductLayer {
     /// Create a fully-connected layer; validates shapes.
-    pub fn new(
-        name: impl Into<String>,
-        weights: Matrix,
-        bias: Vec<f32>,
-    ) -> TensorResult<Self> {
+    pub fn new(name: impl Into<String>, weights: Matrix, bias: Vec<f32>) -> TensorResult<Self> {
         let (out_features, in_features) = weights.shape();
         if bias.len() != out_features {
             return Err(ShapeError::new(format!(
@@ -40,13 +42,13 @@ impl InnerProductLayer {
                 out_features
             )));
         }
-        let weights_t = weights.transpose();
+        let packed_t = PackedB::pack(&weights.transpose());
         Ok(Self {
             name: name.into(),
             in_features,
             out_features,
             weights,
-            weights_t,
+            packed_t,
             bias,
             sparse_cache: RwLock::new(None),
         })
@@ -67,12 +69,12 @@ impl InnerProductLayer {
         &self.bias
     }
 
-    fn sparse(&self) -> CsrMatrix {
+    fn sparse(&self) -> Arc<CsrMatrix> {
         if let Some(cached) = self.sparse_cache.read().as_ref() {
-            return cached.clone();
+            return Arc::clone(cached);
         }
-        let built = CsrMatrix::from_dense(&self.weights, 0.0);
-        *self.sparse_cache.write() = Some(built.clone());
+        let built = Arc::new(CsrMatrix::from_dense(&self.weights, 0.0));
+        *self.sparse_cache.write() = Some(Arc::clone(&built));
         built
     }
 }
@@ -87,6 +89,12 @@ impl Layer for InnerProductLayer {
     }
 
     fn forward(&self, inputs: &[&Tensor4]) -> TensorResult<Tensor4> {
+        let mut out = Tensor4::zeros(0, 0, 0, 0);
+        self.forward_into(inputs, &mut out)?;
+        Ok(out)
+    }
+
+    fn forward_into(&self, inputs: &[&Tensor4], out: &mut Tensor4) -> TensorResult<()> {
         let [input] = inputs else {
             return Err(ShapeError::new("fc: expected exactly one input"));
         };
@@ -98,22 +106,33 @@ impl Layer for InnerProductLayer {
                 self.in_features
             )));
         }
-        let mut y = if self.weights.sparsity(0.0) > SPARSE_THRESHOLD {
+        let batch = input.n();
+        out.resize(batch, self.out_features, 1, 1);
+        if self.weights.sparsity(0.0) > SPARSE_THRESHOLD {
             // Sparse path: CSR row-skipping needs W's rows, so compute
             // W (out×in, sparse) × Xᵀ (in×batch) and transpose back.
             let x_t = input.to_matrix().transpose();
-            self.sparse().matmul_dense(&x_t)?.transpose()
+            let y = self.sparse().matmul_dense(&x_t)?;
+            let o = out.as_mut_slice();
+            for b in 0..batch {
+                for of in 0..self.out_features {
+                    o[b * self.out_features + of] = y.get(of, b);
+                }
+            }
         } else {
-            // Dense path: Y = X · Wᵀ, vectorizable at any batch size.
-            gemm(&input.to_matrix(), &self.weights_t)?
-        };
-        for r in 0..y.rows() {
-            let row = y.row_mut(r);
+            // Dense path: Y = X · Wᵀ, vectorizable at any batch size. A
+            // `(n, c, 1, 1)` tensor's flat data IS the `n × c` row-major
+            // matrix, so both input and output go straight through with
+            // no copies: the GEMM writes into `out`'s reused buffer.
+            gemm_prepacked_slice(input.as_slice(), batch, &self.packed_t, out.as_mut_slice())?;
+        }
+        let o = out.as_mut_slice();
+        for row in o.chunks_exact_mut(self.out_features) {
             for (v, b) in row.iter_mut().zip(self.bias.iter()) {
                 *v += b;
             }
         }
-        Tensor4::from_matrix(&y, self.out_features, 1, 1)
+        Ok(())
     }
 
     fn out_shape(&self, in_shapes: &[ChwShape]) -> TensorResult<ChwShape> {
@@ -152,7 +171,7 @@ impl Layer for InnerProductLayer {
                 self.weights.shape()
             )));
         }
-        self.weights_t = weights.transpose();
+        self.packed_t = PackedB::pack(&weights.transpose());
         self.weights = weights;
         *self.sparse_cache.write() = None;
         Ok(())
@@ -162,6 +181,7 @@ impl Layer for InnerProductLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cap_tensor::gemm;
 
     #[test]
     fn computes_wx_plus_b() {

@@ -1,7 +1,10 @@
 //! Pooling layer (max or average).
 
 use super::{ChwShape, Layer, LayerKind};
-use cap_tensor::{avg_pool2d, max_pool2d, Pool2dParams, ShapeError, Tensor4, TensorResult};
+use cap_tensor::{
+    avg_pool2d, avg_pool2d_into, max_pool2d, max_pool2d_into, Pool2dParams, ShapeError, Tensor4,
+    TensorResult,
+};
 use serde::{Deserialize, Serialize};
 
 /// Pooling mode.
@@ -22,7 +25,13 @@ pub struct PoolLayer {
 
 impl PoolLayer {
     /// Create a pooling layer with window `k`, padding `pad`, stride `stride`.
-    pub fn new(name: impl Into<String>, mode: PoolMode, k: usize, pad: usize, stride: usize) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        mode: PoolMode,
+        k: usize,
+        pad: usize,
+        stride: usize,
+    ) -> Self {
         Self {
             name: name.into(),
             mode,
@@ -52,6 +61,16 @@ impl Layer for PoolLayer {
         match self.mode {
             PoolMode::Max => max_pool2d(input, &self.params),
             PoolMode::Avg => avg_pool2d(input, &self.params),
+        }
+    }
+
+    fn forward_into(&self, inputs: &[&Tensor4], out: &mut Tensor4) -> TensorResult<()> {
+        let [input] = inputs else {
+            return Err(ShapeError::new("pool: expected exactly one input"));
+        };
+        match self.mode {
+            PoolMode::Max => max_pool2d_into(input, &self.params, out),
+            PoolMode::Avg => avg_pool2d_into(input, &self.params, out),
         }
     }
 

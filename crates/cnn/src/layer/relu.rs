@@ -33,6 +33,18 @@ impl Layer for ReluLayer {
         Ok(out)
     }
 
+    fn forward_into(&self, inputs: &[&Tensor4], out: &mut Tensor4) -> TensorResult<()> {
+        let [input] = inputs else {
+            return Err(ShapeError::new("relu: expected exactly one input"));
+        };
+        let (n, c, h, w) = input.shape();
+        out.resize(n, c, h, w);
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = if v > 0.0 { v } else { 0.0 };
+        }
+        Ok(())
+    }
+
     fn out_shape(&self, in_shapes: &[ChwShape]) -> TensorResult<ChwShape> {
         let [shape] = in_shapes else {
             return Err(ShapeError::new("relu: expected exactly one input shape"));

@@ -43,6 +43,27 @@ impl Layer for SoftmaxLayer {
         Ok(out)
     }
 
+    fn forward_into(&self, inputs: &[&Tensor4], out: &mut Tensor4) -> TensorResult<()> {
+        let [input] = inputs else {
+            return Err(ShapeError::new("softmax: expected exactly one input"));
+        };
+        if input.h() != 1 || input.w() != 1 {
+            return Err(ShapeError::new(format!(
+                "softmax {}: expected 1x1 spatial input, got {}x{}",
+                self.name,
+                input.h(),
+                input.w()
+            )));
+        }
+        let (n, c, h, w) = input.shape();
+        out.resize(n, c, h, w);
+        out.as_mut_slice().copy_from_slice(input.as_slice());
+        for ni in 0..n {
+            softmax_inplace(out.image_mut(ni));
+        }
+        Ok(())
+    }
+
     fn out_shape(&self, in_shapes: &[ChwShape]) -> TensorResult<ChwShape> {
         let [shape] = in_shapes else {
             return Err(ShapeError::new("softmax: expected exactly one input shape"));

@@ -27,4 +27,4 @@ pub mod train;
 pub use accuracy::{evaluate_topk, AccuracyReport};
 pub use inference::{parallel_scaling, run_and_score, run_batched, ThroughputReport};
 pub use layer::{Layer, LayerKind};
-pub use network::{ForwardRecord, LayerTiming, Network, NodeId};
+pub use network::{ForwardArena, ForwardRecord, LayerTiming, Network, NodeId};

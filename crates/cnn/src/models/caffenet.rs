@@ -32,13 +32,15 @@ pub const CAFFENET_CONV_LAYERS: [&str; 5] = ["conv1", "conv2", "conv3", "conv4",
 pub fn caffenet(init: WeightInit) -> TensorResult<Network> {
     let mut net = Network::new("caffenet", (3, 224, 224));
     let mut salt = 0u64;
-    let mut conv = |net: &mut Network,
-                    name: &str,
-                    p: Conv2dParams|
-     -> TensorResult<()> {
+    let mut conv = |net: &mut Network, name: &str, p: Conv2dParams| -> TensorResult<()> {
         salt += 1;
         let w = init.build(p.out_channels, p.in_per_group() * p.kh * p.kw, salt);
-        net.add_sequential(Box::new(ConvLayer::new(name, p, w, vec![0.0; p.out_channels])?))?;
+        net.add_sequential(Box::new(ConvLayer::new(
+            name,
+            p,
+            w,
+            vec![0.0; p.out_channels],
+        )?))?;
         Ok(())
     };
 
@@ -49,7 +51,11 @@ pub fn caffenet(init: WeightInit) -> TensorResult<Network> {
     net.add_sequential(Box::new(LrnLayer::alexnet("norm1")))?;
 
     // conv2: 256 × 5×5×48 (group 2), pad 2 -> 256×27×27.
-    conv(&mut net, "conv2", Conv2dParams::grouped(96, 256, 5, 2, 1, 2))?;
+    conv(
+        &mut net,
+        "conv2",
+        Conv2dParams::grouped(96, 256, 5, 2, 1, 2),
+    )?;
     net.add_sequential(Box::new(ReluLayer::new("relu2")))?;
     net.add_sequential(Box::new(PoolLayer::new("pool2", PoolMode::Max, 3, 0, 2)))?;
     net.add_sequential(Box::new(LrnLayer::alexnet("norm2")))?;
@@ -59,11 +65,19 @@ pub fn caffenet(init: WeightInit) -> TensorResult<Network> {
     net.add_sequential(Box::new(ReluLayer::new("relu3")))?;
 
     // conv4: 384 × 3×3×192 (group 2), pad 1 -> 384×13×13.
-    conv(&mut net, "conv4", Conv2dParams::grouped(384, 384, 3, 1, 1, 2))?;
+    conv(
+        &mut net,
+        "conv4",
+        Conv2dParams::grouped(384, 384, 3, 1, 1, 2),
+    )?;
     net.add_sequential(Box::new(ReluLayer::new("relu4")))?;
 
     // conv5: 256 × 3×3×192 (group 2), pad 1 -> 256×13×13.
-    conv(&mut net, "conv5", Conv2dParams::grouped(384, 256, 3, 1, 1, 2))?;
+    conv(
+        &mut net,
+        "conv5",
+        Conv2dParams::grouped(384, 256, 3, 1, 1, 2),
+    )?;
     net.add_sequential(Box::new(ReluLayer::new("relu5")))?;
     net.add_sequential(Box::new(PoolLayer::new("pool5", PoolMode::Max, 3, 0, 2)))?;
 

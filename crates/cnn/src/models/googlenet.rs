@@ -32,12 +32,7 @@ struct Builder {
 }
 
 impl Builder {
-    fn conv(
-        &mut self,
-        name: &str,
-        p: Conv2dParams,
-        inputs: &[NodeId],
-    ) -> TensorResult<NodeId> {
+    fn conv(&mut self, name: &str, p: Conv2dParams, inputs: &[NodeId]) -> TensorResult<NodeId> {
         self.salt += 1;
         let w = self
             .init
@@ -46,10 +41,8 @@ impl Builder {
             Box::new(ConvLayer::new(name, p, w, vec![0.0; p.out_channels])?),
             inputs,
         )?;
-        self.net.add_layer(
-            Box::new(ReluLayer::new(format!("{name}-relu"))),
-            &[conv_id],
-        )
+        self.net
+            .add_layer(Box::new(ReluLayer::new(format!("{name}-relu"))), &[conv_id])
     }
 
     /// Build one inception module; returns the concat node.
@@ -137,7 +130,11 @@ pub fn googlenet(init: WeightInit) -> TensorResult<Network> {
         .add_layer(Box::new(LrnLayer::alexnet("pool1-norm1")), &[p1])?;
 
     // conv2: 1x1 reduce (64) then 3x3 (192), LRN, pool -> 192×28×28.
-    let c2r = b.conv("conv2-3x3-reduce", Conv2dParams::new(64, 64, 1, 0, 1), &[n1])?;
+    let c2r = b.conv(
+        "conv2-3x3-reduce",
+        Conv2dParams::new(64, 64, 1, 0, 1),
+        &[n1],
+    )?;
     let c2 = b.conv("conv2-3x3", Conv2dParams::new(64, 192, 3, 1, 1), &[c2r])?;
     let n2 = b
         .net
@@ -171,10 +168,9 @@ pub fn googlenet(init: WeightInit) -> TensorResult<Network> {
         Box::new(PoolLayer::new("pool5-7x7-s1", PoolMode::Avg, 7, 0, 1)),
         &[i5b],
     )?;
-    let drop = b.net.add_layer(
-        Box::new(DropoutLayer::new("pool5-drop", 0.4)),
-        &[gap],
-    )?;
+    let drop = b
+        .net
+        .add_layer(Box::new(DropoutLayer::new("pool5-drop", 0.4)), &[gap])?;
     let fc = b.net.add_layer(
         Box::new(InnerProductLayer::new(
             "loss3-classifier",

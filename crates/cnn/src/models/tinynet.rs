@@ -163,11 +163,7 @@ impl TinyNet {
         let d_a2_pooled = Tensor4::from_matrix(&fc_grad.dx, c2p, h4, w4)?;
 
         // pool2 backward, then relu2.
-        let d_a2 = maxpool_backward(
-            cache.a2_pre.len(),
-            &cache.pool2_idx,
-            d_a2_pooled.as_slice(),
-        )?;
+        let d_a2 = maxpool_backward(cache.a2_pre.len(), &cache.pool2_idx, d_a2_pooled.as_slice())?;
         let d_a2 = relu_backward(cache.a2_pre.as_slice(), &d_a2);
         let d_a2 = Tensor4::from_vec(
             cache.a2_pre.n(),
@@ -209,7 +205,12 @@ impl TinyNet {
             masks.map(|m| m.1),
         );
         sgd.step("conv2_b", &mut self.conv2_b, &g2.db, None);
-        sgd.step("fc_w", self.fc_w.as_mut_slice(), fc_grad.dw.as_slice(), None);
+        sgd.step(
+            "fc_w",
+            self.fc_w.as_mut_slice(),
+            fc_grad.dw.as_slice(),
+            None,
+        );
         sgd.step("fc_b", &mut self.fc_b, &fc_grad.db, None);
         Ok(loss)
     }
@@ -233,8 +234,7 @@ impl TinyNet {
     /// Overall weight sparsity of the two convolution layers.
     pub fn conv_sparsity(&self) -> f64 {
         let total = (self.conv1_w.len() + self.conv2_w.len()) as f64;
-        let zeros = (self.conv1_w.len() - self.conv1_w.nnz(0.0)
-            + self.conv2_w.len()
+        let zeros = (self.conv1_w.len() - self.conv1_w.nnz(0.0) + self.conv2_w.len()
             - self.conv2_w.nnz(0.0)) as f64;
         zeros / total
     }
@@ -270,10 +270,7 @@ mod tests {
         for _ in 0..30 {
             last = net.train_batch(&x, &labels, &mut sgd, None).unwrap();
         }
-        assert!(
-            last < first * 0.5,
-            "loss did not drop: {first} -> {last}"
-        );
+        assert!(last < first * 0.5, "loss did not drop: {first} -> {last}");
     }
 
     #[test]

@@ -69,6 +69,36 @@ impl ForwardRecord {
     }
 }
 
+/// Reusable per-node activation storage for repeated forward passes.
+///
+/// [`Network::forward_into`] keeps one output tensor per node alive in
+/// here; after the first pass every buffer has reached its steady-state
+/// high-water mark and subsequent passes (same batch size) allocate
+/// nothing. The trade-off versus [`Network::forward_timed`] is peak
+/// memory: the arena retains *all* activations instead of freeing them
+/// after their last consumer, which is the right call for the modest
+/// batch sizes the batched-inference driver uses.
+#[derive(Default)]
+pub struct ForwardArena {
+    slots: Vec<Tensor4>,
+}
+
+impl ForwardArena {
+    /// Create an empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes live across all activation slots (lower bound on what
+    /// the arena retains; buffer capacity never shrinks below this).
+    pub fn reserved_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|t| std::mem::size_of_val(t.as_slice()))
+            .sum()
+    }
+}
+
 /// A CNN expressed as a DAG of layers with a single input and a single
 /// output (the last node).
 pub struct Network {
@@ -113,11 +143,7 @@ impl Network {
     ///
     /// Validates acyclicity (inputs must precede this node) and shape
     /// compatibility, and returns the new node's id.
-    pub fn add_layer(
-        &mut self,
-        layer: Box<dyn Layer>,
-        inputs: &[NodeId],
-    ) -> TensorResult<NodeId> {
+    pub fn add_layer(&mut self, layer: Box<dyn Layer>, inputs: &[NodeId]) -> TensorResult<NodeId> {
         let id = NodeId(self.nodes.len());
         for &inp in inputs {
             if inp != INPUT && inp.0 >= id.0 {
@@ -182,7 +208,13 @@ impl Network {
             let in_shapes: Vec<ChwShape> = node
                 .inputs
                 .iter()
-                .map(|&i| if i == INPUT { self.input_shape } else { shapes[i.0] })
+                .map(|&i| {
+                    if i == INPUT {
+                        self.input_shape
+                    } else {
+                        shapes[i.0]
+                    }
+                })
                 .collect();
             shapes.push(node.layer.out_shape(&in_shapes)?);
         }
@@ -241,7 +273,13 @@ impl Network {
             let in_shapes: Vec<ChwShape> = node
                 .inputs
                 .iter()
-                .map(|&i| if i == INPUT { self.input_shape } else { shapes[i.0] })
+                .map(|&i| {
+                    if i == INPUT {
+                        self.input_shape
+                    } else {
+                        shapes[i.0]
+                    }
+                })
                 .collect();
             total += node.layer.macs_per_image(&in_shapes)?;
             shapes.push(node.layer.out_shape(&in_shapes)?);
@@ -257,7 +295,13 @@ impl Network {
             let in_shapes: Vec<ChwShape> = node
                 .inputs
                 .iter()
-                .map(|&i| if i == INPUT { self.input_shape } else { shapes[i.0] })
+                .map(|&i| {
+                    if i == INPUT {
+                        self.input_shape
+                    } else {
+                        shapes[i.0]
+                    }
+                })
                 .collect();
             out.push((
                 node.layer.name().to_string(),
@@ -341,6 +385,63 @@ impl Network {
         Ok(ForwardRecord { output, timings })
     }
 
+    /// Run a forward pass through a reusable activation arena — the
+    /// zero-allocation steady-state path behind batched inference.
+    ///
+    /// Returns a reference to the output tensor, which lives in the
+    /// arena (clone it if it must outlive the next pass). Layers write
+    /// into per-node tensors retained across calls via
+    /// [`Layer::forward_into`]; for purely sequential networks run on
+    /// pre-packed dense weights, repeat passes at a fixed batch size
+    /// perform no heap allocation at all.
+    pub fn forward_into<'a>(
+        &self,
+        input: &Tensor4,
+        arena: &'a mut ForwardArena,
+    ) -> TensorResult<&'a Tensor4> {
+        if input.c() != self.input_shape.0
+            || input.h() != self.input_shape.1
+            || input.w() != self.input_shape.2
+        {
+            return Err(ShapeError::new(format!(
+                "network {}: input shape {:?}, expected {:?}",
+                self.name,
+                (input.c(), input.h(), input.w()),
+                self.input_shape
+            )));
+        }
+        let slots = self.nodes.len().max(1);
+        if arena.slots.len() < slots {
+            arena
+                .slots
+                .resize_with(slots, || Tensor4::zeros(0, 0, 0, 0));
+        }
+        if self.nodes.is_empty() {
+            let (n, c, h, w) = input.shape();
+            let out = &mut arena.slots[0];
+            out.resize(n, c, h, w);
+            out.as_mut_slice().copy_from_slice(input.as_slice());
+            return Ok(&arena.slots[0]);
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            // Inputs are strictly earlier nodes (topological order), so
+            // splitting at `i` separates them from this node's slot.
+            let (prev, rest) = arena.slots.split_at_mut(i);
+            let out = &mut rest[0];
+            let resolve = |id: NodeId| if id == INPUT { input } else { &prev[id.0] };
+            match node.inputs.as_slice() {
+                // The common sequential case stays allocation-free; only
+                // multi-input joins (concat) gather refs into a Vec.
+                [only] => node.layer.forward_into(&[resolve(*only)], out)?,
+                many => {
+                    let refs: Vec<&Tensor4> = many.iter().map(|&id| resolve(id)).collect();
+                    node.layer.forward_into(&refs, out)?;
+                }
+            }
+        }
+        Ok(&arena.slots[self.nodes.len() - 1])
+    }
+
     /// Replace the weights of layer `name` (pruning entry point).
     pub fn set_layer_weights(&mut self, name: &str, weights: Matrix) -> TensorResult<()> {
         match self.layer_mut(name) {
@@ -366,7 +467,8 @@ mod tests {
             ConvLayer::new("conv1", p, xavier_uniform(4, 27, 1), vec![0.0; 4]).unwrap(),
         ))
         .unwrap();
-        net.add_sequential(Box::new(ReluLayer::new("relu1"))).unwrap();
+        net.add_sequential(Box::new(ReluLayer::new("relu1")))
+            .unwrap();
         net.add_sequential(Box::new(PoolLayer::new("pool1", PoolMode::Max, 2, 0, 2)))
             .unwrap();
         net
@@ -419,7 +521,8 @@ mod tests {
                 &[INPUT],
             )
             .unwrap();
-        net.add_layer(Box::new(ConcatLayer::new("cat")), &[a, b]).unwrap();
+        net.add_layer(Box::new(ConcatLayer::new("cat")), &[a, b])
+            .unwrap();
         assert_eq!(net.output_shape().unwrap(), (4, 4, 4));
         let x = Tensor4::from_fn(1, 3, 4, 4, |_, c, h, w| (c + h + w) as f32 * 0.1);
         let y = net.forward(&x).unwrap();
@@ -453,7 +556,8 @@ mod tests {
         assert!(net.add_sequential(Box::new(r)).is_err());
         // A softmax directly on spatial input is caught at forward time.
         let mut net2 = Network::new("s", (3, 1, 1));
-        net2.add_sequential(Box::new(SoftmaxLayer::new("prob"))).unwrap();
+        net2.add_sequential(Box::new(SoftmaxLayer::new("prob")))
+            .unwrap();
         let y = net2.forward(&Tensor4::zeros(1, 3, 1, 1)).unwrap();
         assert_eq!(y.shape(), (1, 3, 1, 1));
     }

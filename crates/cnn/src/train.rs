@@ -10,9 +10,7 @@ pub mod sequential;
 
 pub use sequential::{SequentialBuilder, SequentialNet, TrainLayer};
 
-use cap_tensor::{
-    col2im, gemm, im2col, Conv2dParams, Matrix, ShapeError, Tensor4, TensorResult,
-};
+use cap_tensor::{col2im, gemm, im2col, Conv2dParams, Matrix, ShapeError, Tensor4, TensorResult};
 use std::collections::HashMap;
 
 /// Gradients produced by [`conv_backward`].
@@ -87,7 +85,16 @@ pub fn conv_backward(
         }
         // dX: col2im(Wᵀ · dY).
         let dcols = gemm(&wt, &dy_img)?;
-        let dx_img = col2im(&dcols, c, h, w, params.kh, params.kw, params.pad, params.stride)?;
+        let dx_img = col2im(
+            &dcols,
+            c,
+            h,
+            w,
+            params.kh,
+            params.kw,
+            params.pad,
+            params.stride,
+        )?;
         dx.image_mut(ni).copy_from_slice(&dx_img);
     }
     Ok(ConvGrad { dw, db, dx })
@@ -134,11 +141,7 @@ pub fn relu_backward(forward_input: &[f32], dy: &[f32]) -> Vec<f32> {
 
 /// Backward pass of max pooling: routes each output gradient to the
 /// argmax input element recorded during the forward pass.
-pub fn maxpool_backward(
-    input_len: usize,
-    argmax: &[usize],
-    dy: &[f32],
-) -> TensorResult<Vec<f32>> {
+pub fn maxpool_backward(input_len: usize, argmax: &[usize], dy: &[f32]) -> TensorResult<Vec<f32>> {
     if argmax.len() != dy.len() {
         return Err(ShapeError::new(format!(
             "maxpool_backward: {} argmax vs {} dy",
@@ -252,7 +255,8 @@ mod tests {
         let bias = vec![0.0; 3];
         // Loss = sum of outputs; so dy = ones.
         let out = conv2d_gemm(&input, &weights, Some(&bias), &params).unwrap();
-        let dy = Tensor4::from_vec(out.n(), out.c(), out.h(), out.w(), vec![1.0; out.len()]).unwrap();
+        let dy =
+            Tensor4::from_vec(out.n(), out.c(), out.h(), out.w(), vec![1.0; out.len()]).unwrap();
         let grad = conv_backward(&input, &dy, &weights, &params).unwrap();
 
         // Check a few weight elements numerically.
@@ -322,7 +326,11 @@ mod tests {
                 |v| {
                     let mut wmod = w.clone();
                     wmod.set(r, c, v);
-                    gemm(&x, &wmod.transpose()).unwrap().as_slice().iter().sum::<f32>()
+                    gemm(&x, &wmod.transpose())
+                        .unwrap()
+                        .as_slice()
+                        .iter()
+                        .sum::<f32>()
                 },
                 w0,
             );

@@ -92,7 +92,10 @@ impl SequentialBuilder {
     }
 
     fn next_seed(&mut self) -> u64 {
-        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.seed = self
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.seed
     }
 
@@ -164,10 +167,19 @@ impl SequentialBuilder {
 
 /// Cached per-layer forward state for the backward pass.
 enum Cache {
-    Conv { input: Tensor4 },
-    Relu { pre: Tensor4 },
-    MaxPool { argmax: Vec<usize>, in_shape: (usize, usize, usize, usize) },
-    Fc { flat: Matrix },
+    Conv {
+        input: Tensor4,
+    },
+    Relu {
+        pre: Tensor4,
+    },
+    MaxPool {
+        argmax: Vec<usize>,
+        in_shape: (usize, usize, usize, usize),
+    },
+    Fc {
+        flat: Matrix,
+    },
 }
 
 impl SequentialNet {
@@ -232,9 +244,7 @@ impl SequentialNet {
                 }
                 TrainLayer::Fc { w, b } => {
                     if i != self.layers.len() - 1 {
-                        return Err(ShapeError::new(
-                            "SequentialNet: Fc must be the final layer",
-                        ));
+                        return Err(ShapeError::new("SequentialNet: Fc must be the final layer"));
                     }
                     let flat = act.to_matrix();
                     let mut y = gemm(&flat, &w.transpose())?;
@@ -455,14 +465,19 @@ mod tests {
                 *v = 0.0;
             }
         }
-        let mask: Vec<f32> = w.as_slice().iter().map(|&v| if v == 0.0 { 0.0 } else { 1.0 }).collect();
+        let mask: Vec<f32> = w
+            .as_slice()
+            .iter()
+            .map(|&v| if v == 0.0 { 0.0 } else { 1.0 })
+            .collect();
         let zeros_before = w.len() - w.nnz(0.0);
         let mut masks = std::collections::HashMap::new();
         masks.insert(3usize, mask);
         let mut sgd = Sgd::new(0.03, 0.9);
         let (x, labels) = batch(4, 8, (2, 16, 16));
         for _ in 0..5 {
-            net.train_batch(&x, &labels, &mut sgd, Some(&masks)).unwrap();
+            net.train_batch(&x, &labels, &mut sgd, Some(&masks))
+                .unwrap();
         }
         let w = net.layers()[3].weights().unwrap();
         assert_eq!(w.len() - w.nnz(0.0), zeros_before);

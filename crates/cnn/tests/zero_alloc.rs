@@ -1,0 +1,131 @@
+//! Steady-state allocation audit: after a warm-up pass has grown every
+//! buffer to its high-water mark, repeated batched inference through a
+//! [`ForwardArena`] must perform **zero** heap allocations — the PR's
+//! headline acceptance criterion.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; this
+//! file holds exactly one test so no sibling test can allocate
+//! concurrently and pollute the count.
+
+use cap_cnn::layer::{
+    ConvLayer, DropoutLayer, InnerProductLayer, LrnLayer, PoolLayer, PoolMode, ReluLayer,
+    SoftmaxLayer,
+};
+use cap_cnn::network::{ForwardArena, Network};
+use cap_tensor::{init::xavier_uniform, Conv2dParams, Tensor4};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A Caffenet-shaped (grouped conv, LRN, overlapping pool, FC head)
+/// sequential model, scaled down so the test runs in milliseconds.
+fn caffenet_shaped() -> Network {
+    let mut net = Network::new("mini-caffenet", (3, 19, 19));
+    net.add_sequential(Box::new(
+        ConvLayer::new(
+            "conv1",
+            Conv2dParams::new(3, 8, 3, 0, 2),
+            xavier_uniform(8, 27, 11),
+            vec![0.0; 8],
+        )
+        .unwrap(),
+    ))
+    .unwrap();
+    net.add_sequential(Box::new(ReluLayer::new("relu1")))
+        .unwrap();
+    net.add_sequential(Box::new(LrnLayer::alexnet("norm1")))
+        .unwrap();
+    net.add_sequential(Box::new(PoolLayer::new("pool1", PoolMode::Max, 3, 0, 2)))
+        .unwrap();
+    net.add_sequential(Box::new(
+        ConvLayer::new(
+            "conv2",
+            Conv2dParams::grouped(8, 12, 3, 1, 1, 2),
+            xavier_uniform(12, 4 * 9, 12),
+            vec![0.1; 12],
+        )
+        .unwrap(),
+    ))
+    .unwrap();
+    net.add_sequential(Box::new(ReluLayer::new("relu2")))
+        .unwrap();
+    net.add_sequential(Box::new(PoolLayer::new("pool2", PoolMode::Max, 2, 0, 2)))
+        .unwrap();
+    net.add_sequential(Box::new(DropoutLayer::new("drop2", 0.5)))
+        .unwrap();
+    net.add_sequential(Box::new(
+        InnerProductLayer::new("fc3", xavier_uniform(10, 12 * 2 * 2, 13), vec![0.0; 10]).unwrap(),
+    ))
+    .unwrap();
+    net.add_sequential(Box::new(SoftmaxLayer::new("prob")))
+        .unwrap();
+    net
+}
+
+#[test]
+fn steady_state_inference_allocates_nothing() {
+    let net = caffenet_shaped();
+    let batch = 4;
+    let images = Tensor4::from_fn(batch, 3, 19, 19, |n, c, h, w| {
+        (((n * 53 + c * 17 + h * 5 + w) % 13) as f32 - 6.0) / 5.0
+    });
+    let mut arena = ForwardArena::new();
+
+    // Warm-up: grows workspace pools, packed-weight caches, and arena
+    // slots to their steady-state high-water marks.
+    for _ in 0..3 {
+        net.forward_into(&images, &mut arena).unwrap();
+    }
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    let mut checksum = 0.0f32;
+    for _ in 0..10 {
+        let out = net.forward_into(&images, &mut arena).unwrap();
+        checksum += out.as_slice()[0];
+    }
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state forward passes must not allocate (got {} allocations over 10 passes)",
+        after - before,
+    );
+
+    // Changing batch size grows buffers once, then goes quiet again.
+    let smaller = Tensor4::from_fn(2, 3, 19, 19, |n, c, h, w| {
+        (((n * 7 + c * 3 + h + w) % 11) as f32 - 5.0) / 4.0
+    });
+    for _ in 0..2 {
+        net.forward_into(&smaller, &mut arena).unwrap();
+    }
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        net.forward_into(&smaller, &mut arena).unwrap();
+    }
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "shrunken batch must reuse grown buffers");
+}

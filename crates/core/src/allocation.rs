@@ -132,7 +132,13 @@ pub fn allocate_ordered(
         match order {
             GreedyOrder::CarAscending => g_order.sort_by(|&a, &b| {
                 instance_car(&resources[a], v, req.w, req.batch, req.metric)
-                    .partial_cmp(&instance_car(&resources[b], v, req.w, req.batch, req.metric))
+                    .partial_cmp(&instance_car(
+                        &resources[b],
+                        v,
+                        req.w,
+                        req.batch,
+                        req.metric,
+                    ))
                     .unwrap_or(std::cmp::Ordering::Equal)
             }),
             GreedyOrder::PriceAscending => g_order.sort_by(|&a, &b| {
@@ -142,8 +148,12 @@ pub fn allocate_ordered(
                     .unwrap_or(std::cmp::Ordering::Equal)
             }),
             GreedyOrder::ThroughputDescending => g_order.sort_by(|&a, &b| {
-                let ra = v.exec.instance_rate(&resources[a], resources[a].gpus, req.batch);
-                let rb = v.exec.instance_rate(&resources[b], resources[b].gpus, req.batch);
+                let ra = v
+                    .exec
+                    .instance_rate(&resources[a], resources[a].gpus, req.batch);
+                let rb = v
+                    .exec
+                    .instance_rate(&resources[b], resources[b].gpus, req.batch);
                 rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
             }),
             GreedyOrder::AsGiven => {}
@@ -268,12 +278,7 @@ mod tests {
         let slow = AppVersion::from_profile(&p, PruneSpec::none());
         let mut fast = slow.clone();
         fast.exec.s_per_image_batched_ref *= 0.5; // same accuracy, faster
-        let r = allocate(
-            &[slow, fast],
-            &pool(),
-            &req(100.0, 10_000.0),
-        )
-        .unwrap();
+        let r = allocate(&[slow, fast], &pool(), &req(100.0, 10_000.0)).unwrap();
         assert_eq!(r.version_idx, 1);
     }
 

@@ -59,8 +59,7 @@ pub fn exhaustive_search(
                     config.add(inst.clone(), 1);
                 }
             }
-            let Some(est) = simulate(&config, &v.exec, w, batch, Distribution::Proportional)
-            else {
+            let Some(est) = simulate(&config, &v.exec, w, batch, Distribution::Proportional) else {
                 continue;
             };
             if est.time_s > deadline_s || est.cost_usd > budget_usd {
@@ -186,14 +185,6 @@ mod tests {
     fn refuses_oversized_pools() {
         let versions = caffenet_version_grid(&caffenet_profile());
         let pool: Vec<InstanceType> = (0..25).map(|_| catalog()[0].clone()).collect();
-        let _ = exhaustive_search(
-            &versions,
-            &pool,
-            1000,
-            512,
-            1e9,
-            1e9,
-            AccuracyMetric::Top1,
-        );
+        let _ = exhaustive_search(&versions, &pool, 1000, 512, 1e9, 1e9, AccuracyMetric::Top1);
     }
 }

@@ -82,8 +82,7 @@ impl EvaluatedConfig {
 /// Indices of candidates on the joint accuracy–time–cost Pareto
 /// frontier (extension beyond the paper's two separate planes).
 pub fn tri_frontier_indices(evals: &[EvaluatedConfig], metric: AccuracyMetric) -> Vec<usize> {
-    let points: Vec<crate::pareto3::TriPoint> =
-        evals.iter().map(|e| e.tri_point(metric)).collect();
+    let points: Vec<crate::pareto3::TriPoint> = evals.iter().map(|e| e.tri_point(metric)).collect();
     crate::pareto3::tri_pareto_indices(&points)
 }
 
@@ -112,10 +111,7 @@ pub fn evaluate_grid(
     batches: &[u32],
 ) -> Vec<EvaluatedConfig> {
     let triples: Vec<(usize, usize, u32)> = (0..versions.len())
-        .flat_map(|v| {
-            (0..configs.len())
-                .flat_map(move |c| batches.iter().map(move |&b| (v, c, b)))
-        })
+        .flat_map(|v| (0..configs.len()).flat_map(move |c| batches.iter().map(move |&b| (v, c, b))))
         .collect();
     triples
         .par_iter()
@@ -300,7 +296,9 @@ mod tests {
         let (versions, configs) = fig9_setup();
         let evals = evaluate_all(&versions, &configs[..20], 500_000, 512);
         let tri: std::collections::HashSet<usize> =
-            tri_frontier_indices(&evals, AccuracyMetric::Top1).into_iter().collect();
+            tri_frontier_indices(&evals, AccuracyMetric::Top1)
+                .into_iter()
+                .collect();
         assert!(!tri.is_empty());
         for &i in &tri {
             // No member of the 3-D frontier is dominated by any candidate.

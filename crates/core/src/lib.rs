@@ -35,7 +35,9 @@ pub mod spec_search;
 pub mod version;
 pub mod whatif;
 
-pub use allocation::{allocate, allocate_ordered, AllocationRequest, AllocationResult, GreedyOrder};
+pub use allocation::{
+    allocate, allocate_ordered, AllocationRequest, AllocationResult, GreedyOrder,
+};
 pub use exhaustive::{exhaustive_search, ExhaustiveResult};
 pub use explorer::{
     evaluate_all, evaluate_grid, feasible_by_budget, feasible_by_deadline, frontier_indices,
@@ -45,7 +47,7 @@ pub use metrics::{car, tar, AccuracyMetric};
 pub use pareto::{pareto_front, pareto_indices, ParetoPoint};
 pub use pareto3::{tri_pareto_indices, TriPoint};
 pub use spec_search::{min_time_spec, Floor, SpecSearchResult};
+pub use version::{caffenet_version_grid, googlenet_version_grid, AppVersion};
 pub use whatif::{
     cost_curve, max_accuracy_within, min_cost_for_accuracy, min_time_for_accuracy, WhatIfAnswer,
 };
-pub use version::{caffenet_version_grid, googlenet_version_grid, AppVersion};

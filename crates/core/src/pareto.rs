@@ -55,7 +55,10 @@ pub fn pareto_indices(points: &[ParetoPoint]) -> Vec<usize> {
 
 /// The Pareto-optimal points themselves, descending accuracy.
 pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
-    pareto_indices(points).into_iter().map(|i| points[i]).collect()
+    pareto_indices(points)
+        .into_iter()
+        .map(|i| points[i])
+        .collect()
 }
 
 /// Naive `O(n²)` dominance check — correctness oracle for tests and the

@@ -25,9 +25,7 @@ impl TriPoint {
         self.accuracy >= other.accuracy
             && self.time <= other.time
             && self.cost <= other.cost
-            && (self.accuracy > other.accuracy
-                || self.time < other.time
-                || self.cost < other.cost)
+            && (self.accuracy > other.accuracy || self.time < other.time || self.cost < other.cost)
     }
 }
 
@@ -75,9 +73,7 @@ pub fn tri_pareto_indices(points: &[TriPoint]) -> Vec<usize> {
                 let equal_exists = seen
                     .iter()
                     .any(|q| q.accuracy == p.accuracy && q.time == p.time && q.cost == p.cost);
-                if equal_exists
-                    || seen.iter().any(|q| q.dominates(&p))
-                {
+                if equal_exists || seen.iter().any(|q| q.dominates(&p)) {
                     continue 'outer;
                 }
             }
@@ -96,7 +92,12 @@ pub fn tri_pareto_indices(points: &[TriPoint]) -> Vec<usize> {
 /// Naive all-pairs tri-objective filter — correctness oracle.
 pub fn tri_pareto_indices_naive(points: &[TriPoint]) -> Vec<usize> {
     let mut keep: Vec<usize> = (0..points.len())
-        .filter(|&i| !points.iter().enumerate().any(|(j, q)| j != i && q.dominates(&points[i])))
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, q)| j != i && q.dominates(&points[i]))
+        })
         .collect();
     keep.sort_by(|&a, &b| {
         points[b]
@@ -126,8 +127,16 @@ mod tests {
 
     #[test]
     fn dominance_definition() {
-        let a = TriPoint { accuracy: 0.8, time: 1.0, cost: 1.0 };
-        let b = TriPoint { accuracy: 0.7, time: 2.0, cost: 2.0 };
+        let a = TriPoint {
+            accuracy: 0.8,
+            time: 1.0,
+            cost: 1.0,
+        };
+        let b = TriPoint {
+            accuracy: 0.7,
+            time: 2.0,
+            cost: 2.0,
+        };
         assert!(a.dominates(&b));
         assert!(!b.dominates(&a));
         assert!(!a.dominates(&a), "a point never dominates itself");
@@ -150,7 +159,12 @@ mod tests {
     #[test]
     fn two_objective_consistency() {
         // With all costs equal, tri-Pareto equals the 2-D time frontier.
-        let p = pts(&[(0.9, 10.0, 1.0), (0.8, 7.0, 1.0), (0.85, 9.0, 1.0), (0.75, 8.0, 1.0)]);
+        let p = pts(&[
+            (0.9, 10.0, 1.0),
+            (0.8, 7.0, 1.0),
+            (0.85, 9.0, 1.0),
+            (0.75, 8.0, 1.0),
+        ]);
         let f = tri_pareto_indices(&p);
         let accs: Vec<f64> = f.iter().map(|&i| p[i].accuracy).collect();
         assert_eq!(accs, vec![0.9, 0.85, 0.8]);

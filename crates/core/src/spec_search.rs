@@ -160,7 +160,10 @@ mod tests {
         assert!((p.base_top5 * (1.0 - p.damage(&r.spec)) - 0.80).abs() < 1e-9 || r.top5 >= 0.80);
         assert!(r.time_factor < 1.0, "some pruning must be free");
         // conv2 alone at 50% is free; the result must be at least that good.
-        assert!(r.time_factor <= p.batched_time_factor(&cap_pruning::PruneSpec::single("conv2", 0.5)) + 1e-9);
+        assert!(
+            r.time_factor
+                <= p.batched_time_factor(&cap_pruning::PruneSpec::single("conv2", 0.5)) + 1e-9
+        );
     }
 
     #[test]

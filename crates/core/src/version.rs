@@ -150,8 +150,7 @@ mod tests {
         let p = googlenet_profile();
         let grid = googlenet_version_grid(&p);
         assert_eq!(grid.len(), 72);
-        let labels: std::collections::HashSet<String> =
-            grid.iter().map(|v| v.label()).collect();
+        let labels: std::collections::HashSet<String> = grid.iter().map(|v| v.label()).collect();
         assert_eq!(labels.len(), 72);
         // Spans a wide accuracy range and includes the unpruned point.
         let max5 = grid.iter().map(|v| v.top5).fold(0.0, f64::max);
@@ -165,8 +164,7 @@ mod tests {
         let p = caffenet_profile();
         let grid = caffenet_version_grid(&p);
         assert_eq!(grid.len(), 60);
-        let labels: std::collections::HashSet<String> =
-            grid.iter().map(|v| v.label()).collect();
+        let labels: std::collections::HashSet<String> = grid.iter().map(|v| v.label()).collect();
         assert_eq!(labels.len(), 60);
         let max5 = grid.iter().map(|v| v.top5).fold(0.0, f64::max);
         let min5 = grid.iter().map(|v| v.top5).fold(1.0, f64::min);

@@ -70,8 +70,8 @@ impl SyntheticImageNet {
             data.extend(self.image(start + i));
             labels.push(self.label(start + i));
         }
-        let t = Tensor4::from_vec(n, c, h, w, data)
-            .expect("batch data length matches by construction");
+        let t =
+            Tensor4::from_vec(n, c, h, w, data).expect("batch data length matches by construction");
         (t, labels)
     }
 }

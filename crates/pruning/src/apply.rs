@@ -30,9 +30,9 @@ pub fn apply_to_network(
 ) -> TensorResult<Vec<(String, f64)>> {
     let mut achieved = Vec::with_capacity(spec.pruned_layer_count());
     for (layer_name, ratio) in spec.iter() {
-        let layer = net.layer(layer_name).ok_or_else(|| {
-            ShapeError::new(format!("apply: no layer named {layer_name}"))
-        })?;
+        let layer = net
+            .layer(layer_name)
+            .ok_or_else(|| ShapeError::new(format!("apply: no layer named {layer_name}")))?;
         let mut weights = layer
             .weights()
             .ok_or_else(|| ShapeError::new(format!("apply: layer {layer_name} has no weights")))?
@@ -102,22 +102,30 @@ mod tests {
     #[test]
     fn structured_runs_and_sparsifies() {
         let mut n = net();
-        apply_to_network(&mut n, &PruneSpec::single("conv2", 0.5), PruneAlgorithm::Structured)
-            .unwrap();
+        apply_to_network(
+            &mut n,
+            &PruneSpec::single("conv2", 0.5),
+            PruneAlgorithm::Structured,
+        )
+        .unwrap();
         assert!((n.layer("conv2").unwrap().weight_sparsity() - 0.5).abs() < 0.02);
     }
 
     #[test]
     fn unknown_or_weightless_layer_errors() {
         let mut n = net();
-        assert!(
-            apply_to_network(&mut n, &PruneSpec::single("nope", 0.5), PruneAlgorithm::Magnitude)
-                .is_err()
-        );
-        assert!(
-            apply_to_network(&mut n, &PruneSpec::single("relu1", 0.5), PruneAlgorithm::Magnitude)
-                .is_err()
-        );
+        assert!(apply_to_network(
+            &mut n,
+            &PruneSpec::single("nope", 0.5),
+            PruneAlgorithm::Magnitude
+        )
+        .is_err());
+        assert!(apply_to_network(
+            &mut n,
+            &PruneSpec::single("relu1", 0.5),
+            PruneAlgorithm::Magnitude
+        )
+        .is_err());
     }
 
     #[test]

@@ -53,12 +53,7 @@ mod tests {
 
     fn sample() -> Matrix {
         // Row L1 norms: 0.6, 3.0, 0.2, 1.5.
-        Matrix::from_vec(
-            4,
-            2,
-            vec![0.1, 0.5, -1.0, 2.0, 0.1, -0.1, 1.5, 0.0],
-        )
-        .unwrap()
+        Matrix::from_vec(4, 2, vec![0.1, 0.5, -1.0, 2.0, 0.1, -0.1, 1.5, 0.0]).unwrap()
     }
 
     #[test]

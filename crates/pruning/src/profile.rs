@@ -325,7 +325,11 @@ mod tests {
         let none = PruneSpec::none();
         assert_eq!(p.accuracy(&none), (0.57, 0.80));
         assert!(close(p.single_latency_s(&none), 0.090, 1e-9));
-        assert!(close(p.batched_s_per_image(&none) * 50_000.0 / 60.0, 19.0, 1e-9));
+        assert!(close(
+            p.batched_s_per_image(&none) * 50_000.0 / 60.0,
+            19.0,
+            1e-9
+        ));
     }
 
     #[test]
@@ -383,7 +387,11 @@ mod tests {
         let minutes = |spec: &PruneSpec| p.batched_s_per_image(spec) * 50_000.0 / 60.0;
         // Time: 19 -> 13 -> 11 minutes.
         assert!(close(minutes(&conv12), 13.0, 0.4), "{}", minutes(&conv12));
-        assert!(close(minutes(&all_conv), 11.0, 0.4), "{}", minutes(&all_conv));
+        assert!(
+            close(minutes(&all_conv), 11.0, 0.4),
+            "{}",
+            minutes(&all_conv)
+        );
         // Top-5: 80 -> 70 -> 62 %.
         let (_, t5_12) = p.accuracy(&conv12);
         let (_, t5_all) = p.accuracy(&all_conv);
@@ -418,7 +426,11 @@ mod tests {
         let net = googlenet(WeightInit::Zeros).unwrap();
         let model_convs = net.layers_of_kind(cap_cnn::LayerKind::Convolution);
         for l in &p.layers {
-            assert!(model_convs.contains(&l.name), "profile layer {} not in model", l.name);
+            assert!(
+                model_convs.contains(&l.name),
+                "profile layer {} not in model",
+                l.name
+            );
         }
     }
 
@@ -428,7 +440,10 @@ mod tests {
         let p = caffenet_profile();
         let net = caffenet(WeightInit::Zeros).unwrap();
         let model_convs = net.layers_of_kind(cap_cnn::LayerKind::Convolution);
-        assert_eq!(p.conv_layer_names(), model_convs.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        assert_eq!(
+            p.conv_layer_names(),
+            model_convs.iter().map(|s| s.as_str()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

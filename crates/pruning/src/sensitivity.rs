@@ -37,7 +37,10 @@ impl LayerSweep {
 
     /// Time curve as `(ratio, time_factor)` pairs.
     pub fn time_curve(&self) -> Vec<(f64, f64)> {
-        self.points.iter().map(|p| (p.ratio, p.time_factor)).collect()
+        self.points
+            .iter()
+            .map(|p| (p.ratio, p.time_factor))
+            .collect()
     }
 }
 

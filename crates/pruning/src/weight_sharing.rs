@@ -45,9 +45,7 @@ pub fn share_weights(weights: &mut Matrix, clusters: usize) -> TensorResult<Weig
 
     let k = clusters.min(n);
     // Quantile seeding.
-    let mut centroids: Vec<f32> = (0..k)
-        .map(|i| sorted[(i * (n - 1)) / k.max(1)])
-        .collect();
+    let mut centroids: Vec<f32> = (0..k).map(|i| sorted[(i * (n - 1)) / k.max(1)]).collect();
     centroids.dedup();
 
     for _round in 0..50 {
@@ -152,7 +150,11 @@ mod tests {
         for k in [2usize, 4, 8, 16, 32] {
             let mut m = sample();
             let r = share_weights(&mut m, k).unwrap();
-            assert!(r.rms_error <= prev + 1e-9, "k={k}: {} > {prev}", r.rms_error);
+            assert!(
+                r.rms_error <= prev + 1e-9,
+                "k={k}: {} > {prev}",
+                r.rms_error
+            );
             prev = r.rms_error;
         }
     }

@@ -1,0 +1,44 @@
+//! Quick timing harness for GEMM variants (dev aid, not a benchmark).
+
+use cap_tensor::{gemm_prealloc, gemm_prepacked, Matrix, PackedB};
+use std::time::Instant;
+
+fn main() {
+    run(256, 1200, 729);
+    run(1, 9216, 4096); // fc6-shaped, batch 1
+    run(4, 9216, 4096); // fc6-shaped, batch 4
+}
+
+fn run(m: usize, k: usize, n: usize) {
+    let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17) % 100) as f32 / 50.0 - 1.0);
+    let b = Matrix::from_fn(k, n, |r, q| ((r + q) % 13) as f32 / 13.0 - 0.5);
+    let packed = PackedB::pack(&b);
+    let mut c1 = Matrix::zeros(m, n);
+    let mut c2 = Matrix::zeros(m, n);
+
+    for _ in 0..2 {
+        gemm_prealloc(&a, &b, &mut c1).unwrap();
+        gemm_prepacked(&a, &packed, &mut c2).unwrap();
+    }
+
+    let reps = 5;
+    let t = Instant::now();
+    for _ in 0..reps {
+        gemm_prealloc(&a, &b, &mut c1).unwrap();
+    }
+    let dense = t.elapsed().as_secs_f64() / reps as f64;
+    let t = Instant::now();
+    for _ in 0..reps {
+        gemm_prepacked(&a, &packed, &mut c2).unwrap();
+    }
+    let packed_t = t.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "{}x{}x{}: dense {:.2} ms   prepacked {:.2} ms   diff {}",
+        m,
+        k,
+        n,
+        dense * 1e3,
+        packed_t * 1e3,
+        c1.max_abs_diff(&c2).unwrap()
+    );
+}

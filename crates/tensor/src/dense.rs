@@ -49,6 +49,20 @@ impl Matrix {
         Ok(Self { rows, cols, data })
     }
 
+    /// Reshape in place to `rows × cols`, reusing the existing allocation.
+    ///
+    /// All elements are reset to zero. The backing `Vec` only reallocates
+    /// when the new size exceeds every size seen before, which is what
+    /// makes a `Matrix` a reusable scratch slot in steady-state inference:
+    /// after the first pass over each layer shape, no allocator calls
+    /// remain.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Create a matrix by evaluating `f(row, col)` for every element.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
         let mut data = Vec::with_capacity(rows * cols);

@@ -16,6 +16,21 @@ const ROW_BAND: usize = 32;
 /// Block size along the shared `k` dimension (cache blocking).
 const K_BLOCK: usize = 256;
 
+/// Column-panel width for [`PackedB`]. Eight f32 accumulators fit in two
+/// SSE / one AVX register; the compiler unrolls the fixed-width inner loop.
+const PANEL: usize = 8;
+
+/// Output rows register-blocked together in [`gemm_prepacked_slice`].
+/// `ROW_BLOCK * PANEL` accumulators stay live per panel pass, enough
+/// independent FMA chains to cover the multiply-add latency.
+const ROW_BLOCK: usize = 4;
+
+/// Minimum zero fraction in an `A` row block before the zero-skip branch
+/// pays for itself (1/8 = 12.5%; below that the branch just stalls the
+/// pipeline on dense data).
+const SKIP_NUMER: usize = 1;
+const SKIP_DENOM: usize = 8;
+
 /// Multiply two dense matrices, returning a freshly allocated result.
 pub fn gemm(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
     let mut c = Matrix::zeros(a.rows(), b.cols());
@@ -64,14 +79,29 @@ pub fn gemm_prealloc(a: &Matrix, b: &Matrix, c: &mut Matrix) -> TensorResult<()>
                     let r = row0 + local_r;
                     let a_row = &a_data[r * k..(r + 1) * k];
                     let c_row = &mut c_band[local_r * n..(local_r + 1) * n];
-                    for kk in k0..k1 {
-                        let aik = a_row[kk];
-                        if aik == 0.0 {
-                            continue; // skip zero weights: cheap sparsity win
+                    let a_blk = &a_row[k0..k1];
+                    // Cheap density probe: O(k_block) against an inner loop
+                    // of O(k_block * n). Only pay the per-element zero-skip
+                    // branch when this row block actually carries zeros
+                    // (pruned weights); dense rows take the branch-free
+                    // loop, which the compiler vectorizes cleanly.
+                    let zeros = a_blk.iter().filter(|&&v| v == 0.0).count();
+                    if zeros * SKIP_DENOM >= a_blk.len() * SKIP_NUMER {
+                        for (kk, &aik) in a_blk.iter().enumerate() {
+                            if aik == 0.0 {
+                                continue; // skip zero weights: sparsity win
+                            }
+                            let b_row = &b_data[(k0 + kk) * n..(k0 + kk + 1) * n];
+                            for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                                *cv += aik * bv;
+                            }
                         }
-                        let b_row = &b_data[kk * n..(kk + 1) * n];
-                        for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
-                            *cv += aik * bv;
+                    } else {
+                        for (kk, &aik) in a_blk.iter().enumerate() {
+                            let b_row = &b_data[(k0 + kk) * n..(k0 + kk + 1) * n];
+                            for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                                *cv += aik * bv;
+                            }
                         }
                     }
                 }
@@ -79,6 +109,284 @@ pub fn gemm_prealloc(a: &Matrix, b: &Matrix, c: &mut Matrix) -> TensorResult<()>
             }
         });
     Ok(())
+}
+
+/// `B` pre-packed into column panels for repeated multiplication.
+///
+/// When one weight matrix multiplies many activation panels (every
+/// steady-state inference loop), the row-major walk over `B` in
+/// [`gemm_prealloc`] touches `n`-strided cache lines per `k` step. Packing
+/// `B` once into `PANEL`-column blocks — each stored `k × PANEL`
+/// contiguous, tail zero-padded — turns the inner loop into a fixed-width
+/// register-blocked accumulation over a linear stream.
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    /// Panel-major storage: panel `p` occupies
+    /// `data[p*k*PANEL .. (p+1)*k*PANEL]`, row-major `k × PANEL`.
+    data: Vec<f32>,
+}
+
+impl PackedB {
+    /// Pack a `k × n` matrix.
+    pub fn pack(b: &Matrix) -> Self {
+        let (k, n) = b.shape();
+        let panels = n.div_ceil(PANEL);
+        let mut data = vec![0.0f32; panels * k * PANEL];
+        pack_panels(b.as_slice(), k, n, &mut data);
+        Self { k, n, data }
+    }
+
+    /// Logical `(k, n)` shape of the packed matrix.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+}
+
+/// Copy a row-major `k × n` slice into `PANEL`-column panel layout.
+fn pack_panels(b_data: &[f32], k: usize, n: usize, dst: &mut [f32]) {
+    let panels = n.div_ceil(PANEL);
+    for p in 0..panels {
+        let c0 = p * PANEL;
+        let width = PANEL.min(n - c0);
+        let base = p * k * PANEL;
+        for kk in 0..k {
+            let src = &b_data[kk * n + c0..kk * n + c0 + width];
+            dst[base + kk * PANEL..base + kk * PANEL + width].copy_from_slice(src);
+        }
+    }
+}
+
+/// Pack a row-major `k × n` slice into panel layout inside a reusable
+/// scratch matrix (resized in place, capacity kept across calls).
+///
+/// This is the per-call sibling of [`PackedB::pack`] for `B` operands
+/// that change every call — e.g. a convolution's im2col column matrix —
+/// where the O(k·n) copy is amortized against the O(m·k·n) multiply
+/// that follows via [`gemm_packed_cols`].
+pub fn pack_b_slice_into(b_data: &[f32], k: usize, n: usize, dst: &mut Matrix) {
+    let panels = n.div_ceil(PANEL);
+    dst.resize(panels.max(1), k * PANEL);
+    if panels > 0 {
+        pack_panels(b_data, k, n, dst.as_mut_slice());
+    }
+}
+
+/// GEMM against a `B` packed by [`pack_b_slice_into`].
+///
+/// `a_data` is `m × k` row-major, `packed_b` holds `n.div_ceil(PANEL)`
+/// panels of `k × PANEL`, `c_data` is `m × n` row-major. Identical
+/// accumulation order to [`gemm_prealloc`], so results are bit-equal.
+pub fn gemm_packed_cols(
+    a_data: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    packed_b: &[f32],
+    c_data: &mut [f32],
+) -> TensorResult<()> {
+    if a_data.len() != m * k {
+        return Err(ShapeError::new(format!(
+            "gemm_packed_cols: A length {} != {}x{}",
+            a_data.len(),
+            m,
+            k
+        )));
+    }
+    if c_data.len() != m * n {
+        return Err(ShapeError::new(format!(
+            "gemm_packed_cols: C length {} != {}x{}",
+            c_data.len(),
+            m,
+            n
+        )));
+    }
+    if packed_b.len() < n.div_ceil(PANEL) * k * PANEL {
+        return Err(ShapeError::new(format!(
+            "gemm_packed_cols: packed B length {} < {} panels of {}x{}",
+            packed_b.len(),
+            n.div_ceil(PANEL),
+            k,
+            PANEL
+        )));
+    }
+    gemm_packed_core(a_data, k, n, packed_b, c_data);
+    Ok(())
+}
+
+/// Multiply `A` by a pre-packed `B` into a preallocated output.
+///
+/// Semantically identical to [`gemm_prealloc`] (same `kk`-ascending
+/// accumulation order per output element), but reads `B` as contiguous
+/// panels. Use when the same `B` is multiplied many times — the packing
+/// cost is amortized across calls.
+pub fn gemm_prepacked(a: &Matrix, b: &PackedB, c: &mut Matrix) -> TensorResult<()> {
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    if ka != kb {
+        return Err(ShapeError::new(format!(
+            "gemm_prepacked: inner dims {}x{} * {}x{}",
+            m, ka, kb, n
+        )));
+    }
+    if c.shape() != (m, n) {
+        return Err(ShapeError::new(format!(
+            "gemm_prepacked: output {:?}, expected {:?}",
+            c.shape(),
+            (m, n)
+        )));
+    }
+    gemm_prepacked_slice(a.as_slice(), m, b, c.as_mut_slice())
+}
+
+/// [`gemm_prepacked`] over raw row-major slices.
+///
+/// `a` is `m × b.k` row-major, `c` is `m × b.n` row-major. Lets callers
+/// whose data lives in other containers (e.g. an NCHW `Tensor4` whose
+/// flattened images are already row-major feature rows) multiply without
+/// copying into a `Matrix` first.
+pub fn gemm_prepacked_slice(
+    a_data: &[f32],
+    m: usize,
+    b: &PackedB,
+    c_data: &mut [f32],
+) -> TensorResult<()> {
+    let (k, n) = b.shape();
+    if a_data.len() != m * k {
+        return Err(ShapeError::new(format!(
+            "gemm_prepacked: A length {} != {}x{}",
+            a_data.len(),
+            m,
+            k
+        )));
+    }
+    if c_data.len() != m * n {
+        return Err(ShapeError::new(format!(
+            "gemm_prepacked: C length {} != {}x{}",
+            c_data.len(),
+            m,
+            n
+        )));
+    }
+    gemm_packed_core(a_data, k, n, &b.data, c_data);
+    Ok(())
+}
+
+/// Shared band loop for [`gemm_prepacked_slice`] / [`gemm_packed_cols`]:
+/// `b_data` is panel-packed, lengths already validated by callers.
+fn gemm_packed_core(a_data: &[f32], k: usize, n: usize, b_data: &[f32], c_data: &mut [f32]) {
+    let panels = n.div_ceil(PANEL);
+    c_data
+        .par_chunks_mut((ROW_BAND * n).max(1))
+        .enumerate()
+        .for_each(|(band, c_band)| {
+            let row0 = band * ROW_BAND;
+            let rows_here = c_band.len() / n.max(1);
+            // Register-block ROW_BLOCK output rows against each panel:
+            // every `kk` step issues ROW_BLOCK*PANEL independent
+            // multiply-adds, hiding FMA latency that a single 8-wide
+            // accumulator chain would expose. Each output element still
+            // accumulates in ascending-`kk` order, so results are
+            // bit-identical to the unblocked walk.
+            let mut local_r = 0;
+            while local_r + ROW_BLOCK <= rows_here {
+                let r = row0 + local_r;
+                let ar0 = &a_data[r * k..(r + 1) * k];
+                let ar1 = &a_data[(r + 1) * k..(r + 2) * k];
+                let ar2 = &a_data[(r + 2) * k..(r + 3) * k];
+                let ar3 = &a_data[(r + 3) * k..(r + 4) * k];
+                for p in 0..panels {
+                    let base = p * k * PANEL;
+                    let panel = &b_data[base..base + k * PANEL];
+                    let mut acc0 = [0.0f32; PANEL];
+                    let mut acc1 = [0.0f32; PANEL];
+                    let mut acc2 = [0.0f32; PANEL];
+                    let mut acc3 = [0.0f32; PANEL];
+                    for (((prow, &a0), (&a1, &a2)), &a3) in panel
+                        .chunks_exact(PANEL)
+                        .zip(ar0.iter())
+                        .zip(ar1.iter().zip(ar2.iter()))
+                        .zip(ar3.iter())
+                    {
+                        let prow: &[f32; PANEL] = prow.try_into().unwrap();
+                        for j in 0..PANEL {
+                            let pv = prow[j];
+                            acc0[j] += a0 * pv;
+                            acc1[j] += a1 * pv;
+                            acc2[j] += a2 * pv;
+                            acc3[j] += a3 * pv;
+                        }
+                    }
+                    let c0 = p * PANEL;
+                    let width = PANEL.min(n - c0);
+                    for (i, accr) in [&acc0, &acc1, &acc2, &acc3].into_iter().enumerate() {
+                        let row = &mut c_band[(local_r + i) * n..(local_r + i + 1) * n];
+                        row[c0..c0 + width].copy_from_slice(&accr[..width]);
+                    }
+                }
+                local_r += ROW_BLOCK;
+            }
+            // Remaining rows one at a time, blocking four panels per pass
+            // so a lone row (batch-1 inference) still carries 32
+            // independent accumulator chains.
+            for local_r in local_r..rows_here {
+                let r = row0 + local_r;
+                let a_row = &a_data[r * k..(r + 1) * k];
+                let c_row = &mut c_band[local_r * n..(local_r + 1) * n];
+                let plen = k * PANEL;
+                let mut p = 0;
+                while p + 4 <= panels {
+                    let pn0 = &b_data[p * plen..(p + 1) * plen];
+                    let pn1 = &b_data[(p + 1) * plen..(p + 2) * plen];
+                    let pn2 = &b_data[(p + 2) * plen..(p + 3) * plen];
+                    let pn3 = &b_data[(p + 3) * plen..(p + 4) * plen];
+                    let mut acc0 = [0.0f32; PANEL];
+                    let mut acc1 = [0.0f32; PANEL];
+                    let mut acc2 = [0.0f32; PANEL];
+                    let mut acc3 = [0.0f32; PANEL];
+                    for ((((&aik, p0), p1), p2), p3) in a_row
+                        .iter()
+                        .zip(pn0.chunks_exact(PANEL))
+                        .zip(pn1.chunks_exact(PANEL))
+                        .zip(pn2.chunks_exact(PANEL))
+                        .zip(pn3.chunks_exact(PANEL))
+                    {
+                        let p0: &[f32; PANEL] = p0.try_into().unwrap();
+                        let p1: &[f32; PANEL] = p1.try_into().unwrap();
+                        let p2: &[f32; PANEL] = p2.try_into().unwrap();
+                        let p3: &[f32; PANEL] = p3.try_into().unwrap();
+                        for j in 0..PANEL {
+                            acc0[j] += aik * p0[j];
+                            acc1[j] += aik * p1[j];
+                            acc2[j] += aik * p2[j];
+                            acc3[j] += aik * p3[j];
+                        }
+                    }
+                    for (i, accr) in [&acc0, &acc1, &acc2, &acc3].into_iter().enumerate() {
+                        let c0 = (p + i) * PANEL;
+                        let width = PANEL.min(n - c0);
+                        c_row[c0..c0 + width].copy_from_slice(&accr[..width]);
+                    }
+                    p += 4;
+                }
+                for p in p..panels {
+                    let base = p * plen;
+                    let panel = &b_data[base..base + plen];
+                    let mut acc = [0.0f32; PANEL];
+                    for (&aik, prow) in a_row.iter().zip(panel.chunks_exact(PANEL)) {
+                        let prow: &[f32; PANEL] = prow.try_into().unwrap();
+                        for (av, pv) in acc.iter_mut().zip(prow.iter()) {
+                            *av += aik * pv;
+                        }
+                    }
+                    let c0 = p * PANEL;
+                    let width = PANEL.min(n - c0);
+                    c_row[c0..c0 + width].copy_from_slice(&acc[..width]);
+                }
+            }
+        });
 }
 
 /// Naive triple-loop GEMM used as a correctness oracle in tests and as the

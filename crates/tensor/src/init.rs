@@ -56,8 +56,12 @@ mod tests {
         let m = gaussian(100, 100, 0.01, 11);
         let mean: f32 = m.as_slice().iter().sum::<f32>() / m.len() as f32;
         assert!(mean.abs() < 1e-3, "mean {mean}");
-        let var: f32 =
-            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / m.len() as f32;
         assert!((var.sqrt() - 0.01).abs() < 2e-3, "std {}", var.sqrt());
     }
 }

@@ -17,6 +17,10 @@
 //!   GEMM, exactly as Caffe does.
 //! * [`conv`] and [`pool`] — convolution (im2col+GEMM and direct) and
 //!   max/average pooling kernels.
+//! * [`workspace`] — reusable scratch arenas ([`Workspace`],
+//!   [`WorkspacePool`]) behind the zero-allocation steady-state kernels
+//!   ([`conv2d_gemm_packed`], [`conv2d_sparse_packed`],
+//!   [`gemm_prepacked`]).
 //!
 //! All kernels are deterministic given deterministic inputs; parallelism
 //! via rayon never reorders reductions in a result-visible way (each
@@ -32,12 +36,22 @@ pub mod ops;
 pub mod pool;
 pub mod sparse;
 pub mod tensor4;
+pub mod workspace;
 
-pub use conv::{conv2d_direct, conv2d_gemm, conv2d_sparse, Conv2dParams};
+pub use conv::{
+    conv2d_direct, conv2d_gemm, conv2d_gemm_packed, conv2d_sparse, conv2d_sparse_packed,
+    Conv2dParams, PackedConvWeights, PackedSparseConvWeights,
+};
 pub use dense::Matrix;
 pub use error::{ShapeError, TensorResult};
-pub use gemm::{gemm, gemm_prealloc};
+pub use gemm::{
+    gemm, gemm_packed_cols, gemm_prealloc, gemm_prepacked, gemm_prepacked_slice, pack_b_slice_into,
+    PackedB,
+};
 pub use im2col::{col2im, im2col, im2col_prealloc};
-pub use pool::{avg_pool2d, max_pool2d, max_pool2d_indices, Pool2dParams};
+pub use pool::{
+    avg_pool2d, avg_pool2d_into, max_pool2d, max_pool2d_indices, max_pool2d_into, Pool2dParams,
+};
 pub use sparse::CsrMatrix;
 pub use tensor4::Tensor4;
+pub use workspace::{PooledWorkspace, Workspace, WorkspacePool};

@@ -49,7 +49,11 @@ pub fn softmax_rows(m: &mut Matrix) {
 /// Ties break toward the lower index, matching `argsort` stability.
 pub fn top_k_indices(row: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..row.len()).collect();
-    idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        row[b]
+            .partial_cmp(&row[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.truncate(k);
     idx
 }

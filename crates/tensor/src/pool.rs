@@ -45,8 +45,53 @@ impl Pool2dParams {
 /// Max pooling. Padding cells never win (they are treated as `-inf`);
 /// an all-padding window yields 0.
 pub fn max_pool2d(input: &Tensor4, params: &Pool2dParams) -> TensorResult<Tensor4> {
-    let (out, _) = max_pool2d_indices(input, params)?;
+    let mut out = Tensor4::zeros(0, 0, 0, 0);
+    max_pool2d_into(input, params, &mut out)?;
     Ok(out)
+}
+
+/// Max pooling into a reusable output tensor (reshaped in place; no
+/// argmax map). The zero-allocation variant for inference loops.
+pub fn max_pool2d_into(
+    input: &Tensor4,
+    params: &Pool2dParams,
+    out: &mut Tensor4,
+) -> TensorResult<()> {
+    let (n, c, h, w) = input.shape();
+    let (oh, ow) = params.out_shape(h, w)?;
+    out.resize(n, c, oh, ow);
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut hit = false;
+                    for ky in 0..params.k {
+                        let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..params.k {
+                            let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            let v = input.get(ni, ci, iy as usize, ix as usize);
+                            if v > best {
+                                best = v;
+                                hit = true;
+                            }
+                        }
+                    }
+                    if !hit {
+                        best = 0.0;
+                    }
+                    out.set(ni, ci, oy, ox, best);
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Max pooling that also returns, for each output cell, the flat NCHW index
@@ -99,12 +144,23 @@ pub fn max_pool2d_indices(
 
 /// Average pooling over valid (non-padding) cells.
 pub fn avg_pool2d(input: &Tensor4, params: &Pool2dParams) -> TensorResult<Tensor4> {
+    let mut out = Tensor4::zeros(0, 0, 0, 0);
+    avg_pool2d_into(input, params, &mut out)?;
+    Ok(out)
+}
+
+/// Average pooling into a reusable output tensor (reshaped in place).
+pub fn avg_pool2d_into(
+    input: &Tensor4,
+    params: &Pool2dParams,
+    out: &mut Tensor4,
+) -> TensorResult<()> {
     let (n, c, h, w) = input.shape();
     let (oh, ow) = params.out_shape(h, w)?;
     if params.k == 0 {
         return Err(ShapeError::new("avg_pool2d: window must be >= 1"));
     }
-    let mut out = Tensor4::zeros(n, c, oh, ow);
+    out.resize(n, c, oh, ow);
     for ni in 0..n {
         for ci in 0..c {
             for oy in 0..oh {
@@ -125,12 +181,18 @@ pub fn avg_pool2d(input: &Tensor4, params: &Pool2dParams) -> TensorResult<Tensor
                             count += 1;
                         }
                     }
-                    out.set(ni, ci, oy, ox, if count > 0 { acc / count as f32 } else { 0.0 });
+                    out.set(
+                        ni,
+                        ci,
+                        oy,
+                        ox,
+                        if count > 0 { acc / count as f32 } else { 0.0 },
+                    );
                 }
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -143,6 +143,17 @@ impl CsrMatrix {
     /// only the stored values of the corresponding CSR row — cost is
     /// `O(nnz_row * n)` instead of `O(k * n)`.
     pub fn matmul_dense(&self, b: &Matrix) -> TensorResult<Matrix> {
+        let mut c = Matrix::zeros(self.rows, b.cols());
+        self.matmul_dense_into(b, &mut c)?;
+        Ok(c)
+    }
+
+    /// Sparse × dense multiplication into a preallocated output.
+    ///
+    /// `c` must already have shape `(self.rows, b.cols)`; prior contents
+    /// are overwritten. The zero-allocation variant of
+    /// [`CsrMatrix::matmul_dense`] for steady-state inference loops.
+    pub fn matmul_dense_into(&self, b: &Matrix, c: &mut Matrix) -> TensorResult<()> {
         if self.cols != b.rows() {
             return Err(ShapeError::new(format!(
                 "csr matmul: {}x{} * {}x{}",
@@ -153,12 +164,19 @@ impl CsrMatrix {
             )));
         }
         let n = b.cols();
-        let mut c = Matrix::zeros(self.rows, n);
+        if c.shape() != (self.rows, n) {
+            return Err(ShapeError::new(format!(
+                "csr matmul: output {:?}, expected {:?}",
+                c.shape(),
+                (self.rows, n)
+            )));
+        }
         let b_data = b.as_slice();
         c.as_mut_slice()
             .par_chunks_mut(n.max(1))
             .enumerate()
             .for_each(|(r, c_row)| {
+                c_row.fill(0.0);
                 for i in self.row_ptr[r]..self.row_ptr[r + 1] {
                     let v = self.values[i];
                     let b_row = &b_data[self.col_idx[i] * n..(self.col_idx[i] + 1) * n];
@@ -167,7 +185,40 @@ impl CsrMatrix {
                     }
                 }
             });
-        Ok(c)
+        Ok(())
+    }
+
+    /// Split into consecutive row bands of `band_rows` each, without
+    /// densifying. Used to pre-split grouped-convolution weights once at
+    /// layer construction instead of rebuilding per call.
+    ///
+    /// `self.rows` must be a multiple of `band_rows`.
+    pub fn split_rows(&self, band_rows: usize) -> TensorResult<Vec<CsrMatrix>> {
+        if band_rows == 0 || !self.rows.is_multiple_of(band_rows) {
+            return Err(ShapeError::new(format!(
+                "csr split: {} rows not divisible into bands of {}",
+                self.rows, band_rows
+            )));
+        }
+        let bands = self.rows / band_rows;
+        let mut out = Vec::with_capacity(bands);
+        for band in 0..bands {
+            let r0 = band * band_rows;
+            let lo = self.row_ptr[r0];
+            let hi = self.row_ptr[r0 + band_rows];
+            let row_ptr = self.row_ptr[r0..=r0 + band_rows]
+                .iter()
+                .map(|p| p - lo)
+                .collect();
+            out.push(CsrMatrix {
+                rows: band_rows,
+                cols: self.cols,
+                row_ptr,
+                col_idx: self.col_idx[lo..hi].to_vec(),
+                values: self.values[lo..hi].to_vec(),
+            });
+        }
+        Ok(out)
     }
 
     /// Sparse matrix–vector product.
@@ -194,7 +245,8 @@ impl CsrMatrix {
     /// Iterate over stored `(row, col, value)` triples in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         (0..self.rows).flat_map(move |r| {
-            (self.row_ptr[r]..self.row_ptr[r + 1]).map(move |i| (r, self.col_idx[i], self.values[i]))
+            (self.row_ptr[r]..self.row_ptr[r + 1])
+                .map(move |i| (r, self.col_idx[i], self.values[i]))
         })
     }
 }

@@ -45,6 +45,21 @@ impl Tensor4 {
         Ok(Self { n, c, h, w, data })
     }
 
+    /// Reshape in place to `n × c × h × w`, reusing the existing allocation.
+    ///
+    /// All elements are reset to zero. Like [`Matrix::resize`], the backing
+    /// `Vec` only grows when the new size exceeds the high-water mark, so a
+    /// `Tensor4` used as an activation slot stops allocating once it has
+    /// seen the largest shape that flows through it.
+    pub fn resize(&mut self, n: usize, c: usize, h: usize, w: usize) {
+        self.n = n;
+        self.c = c;
+        self.h = h;
+        self.w = w;
+        self.data.clear();
+        self.data.resize(n * c * h * w, 0.0);
+    }
+
     /// Create a tensor by evaluating `f(n, c, h, w)` for every element.
     pub fn from_fn(
         n: usize,
@@ -203,7 +218,9 @@ mod tests {
 
     #[test]
     fn layout_is_nchw() {
-        let t = Tensor4::from_fn(2, 3, 4, 5, |n, c, h, w| (n * 1000 + c * 100 + h * 10 + w) as f32);
+        let t = Tensor4::from_fn(2, 3, 4, 5, |n, c, h, w| {
+            (n * 1000 + c * 100 + h * 10 + w) as f32
+        });
         // Stride checks: w fastest, then h, then c, then n.
         assert_eq!(t.as_slice()[0], 0.0);
         assert_eq!(t.as_slice()[1], 1.0); // w+1

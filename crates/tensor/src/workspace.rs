@@ -1,0 +1,211 @@
+//! Reusable scratch arenas for allocation-free steady-state kernels.
+//!
+//! The im2col+GEMM convolution path needs two per-image scratch matrices
+//! (the unrolled `cols` patch matrix and the per-group `prod` output
+//! panel). Allocating them per image puts the allocator on the critical
+//! path of every forward pass; §3 of the paper times exactly these loops,
+//! so the harness must not measure `malloc`.
+//!
+//! A [`Workspace`] owns those scratch slots and resizes them in place
+//! ([`Matrix::resize`] reuses capacity), so after the first pass over a
+//! given layer shape no allocator calls remain. A [`WorkspacePool`] hands
+//! workspaces out to rayon workers: kernels draw one per worker with
+//! `for_each_init`-style loops and the pool recycles them across calls,
+//! keyed by nothing — any workspace fits any shape because slots grow to
+//! the high-water mark of whatever passes through them.
+
+use crate::dense::Matrix;
+use parking_lot::Mutex;
+use std::ops::{Deref, DerefMut};
+
+/// Scratch buffers for one in-flight image (or GEMM tile).
+///
+/// Slots are plain matrices reshaped on demand; contents are zeroed by
+/// `resize`, so kernels can rely on a clean accumulator.
+#[derive(Debug)]
+pub struct Workspace {
+    cols: Matrix,
+    packed: Matrix,
+    prod: Matrix,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workspace {
+    /// An empty workspace; slots grow on first use.
+    pub fn new() -> Self {
+        Self {
+            cols: Matrix::zeros(0, 0),
+            packed: Matrix::zeros(0, 0),
+            prod: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// The im2col patch-matrix slot, reshaped to `rows × cols`.
+    pub fn cols_slot(&mut self, rows: usize, cols: usize) -> &mut Matrix {
+        self.cols.resize(rows, cols);
+        &mut self.cols
+    }
+
+    /// The GEMM product slot, reshaped to `rows × cols`.
+    pub fn prod_slot(&mut self, rows: usize, cols: usize) -> &mut Matrix {
+        self.prod.resize(rows, cols);
+        &mut self.prod
+    }
+
+    /// Both conv scratch slots at once (distinct borrows of one arena).
+    pub fn conv_slots(
+        &mut self,
+        cols_shape: (usize, usize),
+        prod_shape: (usize, usize),
+    ) -> (&mut Matrix, &mut Matrix) {
+        self.cols.resize(cols_shape.0, cols_shape.1);
+        self.prod.resize(prod_shape.0, prod_shape.1);
+        (&mut self.cols, &mut self.prod)
+    }
+
+    /// The conv scratch trio: im2col cols, the panel-packed copy of
+    /// cols, and the per-group GEMM product. `packed` is handed back
+    /// unshaped — `pack_b_slice_into` resizes it to the panel count —
+    /// and `prod` may be `(0, 0)` when the kernel writes the output
+    /// buffer directly (ungrouped convolution).
+    pub fn conv_gemm_slots(
+        &mut self,
+        cols_shape: (usize, usize),
+        prod_shape: (usize, usize),
+    ) -> (&mut Matrix, &mut Matrix, &mut Matrix) {
+        self.cols.resize(cols_shape.0, cols_shape.1);
+        self.prod.resize(prod_shape.0, prod_shape.1);
+        (&mut self.cols, &mut self.packed, &mut self.prod)
+    }
+
+    /// Bytes currently live across all slots (lengths, not capacities —
+    /// `Matrix` does not expose its backing capacity).
+    pub fn reserved_bytes(&self) -> usize {
+        (self.cols.len() + self.packed.len() + self.prod.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// A checkout/return pool of [`Workspace`]s shared by rayon workers.
+///
+/// Layers own one pool each; every `forward` draws however many
+/// workspaces the worker count demands (one per worker) and returns them
+/// on drop. Steady state therefore holds the pool size at the maximum
+/// concurrency ever seen, and no allocation happens after warm-up.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    free: Mutex<Vec<Workspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Draw a workspace, creating one only if the pool is empty.
+    pub fn checkout(&self) -> PooledWorkspace<'_> {
+        let ws = self.free.lock().pop().unwrap_or_default();
+        PooledWorkspace {
+            pool: self,
+            ws: Some(ws),
+        }
+    }
+
+    /// Number of idle workspaces currently in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+/// RAII guard for a pooled [`Workspace`]; returns it on drop.
+#[derive(Debug)]
+pub struct PooledWorkspace<'a> {
+    pool: &'a WorkspacePool,
+    ws: Option<Workspace>,
+}
+
+impl Deref for PooledWorkspace<'_> {
+    type Target = Workspace;
+
+    fn deref(&self) -> &Workspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl DerefMut for PooledWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut Workspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool.free.lock().push(ws);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_resize_and_zero() {
+        let mut ws = Workspace::new();
+        {
+            let m = ws.cols_slot(3, 4);
+            assert_eq!(m.shape(), (3, 4));
+            m.set(1, 1, 5.0);
+        }
+        // Re-requesting the slot zeroes stale contents.
+        let m = ws.cols_slot(3, 4);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn conv_slots_are_independent() {
+        let mut ws = Workspace::new();
+        let (cols, prod) = ws.conv_slots((2, 3), (4, 5));
+        cols.set(0, 0, 1.0);
+        prod.set(3, 4, 2.0);
+        assert_eq!(cols.shape(), (2, 3));
+        assert_eq!(prod.shape(), (4, 5));
+    }
+
+    #[test]
+    fn pool_recycles_workspaces() {
+        let pool = WorkspacePool::new();
+        assert_eq!(pool.idle(), 0);
+        {
+            let mut a = pool.checkout();
+            let _ = a.cols_slot(10, 10);
+            let _b = pool.checkout();
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 2);
+        {
+            // The recycled workspace keeps its grown capacity.
+            let mut again = pool.checkout();
+            assert!(again.reserved_bytes() == 0 || again.cols_slot(10, 10).len() == 100);
+        }
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn capacity_survives_shrink_and_regrow() {
+        let mut ws = Workspace::new();
+        let _ = ws.cols_slot(100, 100);
+        let _ = ws.cols_slot(2, 2);
+        let m = ws.cols_slot(100, 100);
+        assert_eq!(m.shape(), (100, 100));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

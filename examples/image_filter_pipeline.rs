@@ -45,7 +45,10 @@ fn main() {
     match allocate(&versions, &pool, &request) {
         Some(result) => {
             let v = &versions[result.version_idx];
-            println!("\nallocation found after {} evaluations:", result.evaluations);
+            println!(
+                "\nallocation found after {} evaluations:",
+                result.evaluations
+            );
             println!("  degree of pruning : {}", v.label());
             println!(
                 "  accuracy          : top1 {:.1}%, top5 {:.1}%",

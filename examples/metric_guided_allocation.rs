@@ -25,7 +25,13 @@ fn main() {
         // Pool: alternating p2.xlarge / g3.4xlarge instances.
         let cat = catalog();
         let pool: Vec<InstanceType> = (0..g_size)
-            .map(|i| if i % 2 == 0 { cat[0].clone() } else { cat[3].clone() })
+            .map(|i| {
+                if i % 2 == 0 {
+                    cat[0].clone()
+                } else {
+                    cat[3].clone()
+                }
+            })
             .collect();
 
         let greedy = allocate(
@@ -58,7 +64,11 @@ fn main() {
                     e.evaluations,
                     g_acc * 100.0,
                     e.accuracy * 100.0,
-                    if (g_acc - e.accuracy).abs() < 1e-9 { "yes" } else { "NO" }
+                    if (g_acc - e.accuracy).abs() < 1e-9 {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
                 );
             }
             _ => println!("{g_size:>4} infeasible under these constraints"),

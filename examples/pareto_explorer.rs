@@ -38,7 +38,10 @@ fn main() {
     );
     for metric in [AccuracyMetric::Top1, AccuracyMetric::Top5] {
         let front = frontier_indices(&feasible_t, metric, Objective::Time);
-        println!("  {metric:?} time-accuracy Pareto frontier ({} points):", front.len());
+        println!(
+            "  {metric:?} time-accuracy Pareto frontier ({} points):",
+            front.len()
+        );
         for &i in &front {
             let e = &feasible_t[i];
             println!(
@@ -70,7 +73,10 @@ fn main() {
         evals.len()
     );
     let front = frontier_indices(&feasible_c, AccuracyMetric::Top1, Objective::Cost);
-    println!("  Top1 cost-accuracy Pareto frontier ({} points):", front.len());
+    println!(
+        "  Top1 cost-accuracy Pareto frontier ({} points):",
+        front.len()
+    );
     for &i in &front {
         let e = &feasible_c[i];
         println!(

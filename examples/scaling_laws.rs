@@ -19,7 +19,10 @@ fn main() {
 
     // Axis 1: resource scaling under Amdahl (95 % parallel pipeline).
     println!("[resource scaling] Amdahl, 95% parallel fraction:");
-    println!("{:>4} {:>10} {:>9} {:>12}", "n", "time min", "cost $", "speedup");
+    println!(
+        "{:>4} {:>10} {:>9} {:>12}",
+        "n", "time min", "cost $", "speedup"
+    );
     for p in fixed_workload_curve(base_min * 60.0, 0.95, price, 16)
         .iter()
         .filter(|p| [1, 2, 4, 8, 16].contains(&p.n))

@@ -22,19 +22,26 @@ fn main() {
             .map(|s| s.to_string())
             .collect()
     } else {
-        profile.conv_layer_names().iter().map(|s| s.to_string()).collect()
+        profile
+            .conv_layer_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     };
 
     let grid = standard_ratio_grid();
-    println!("{} sweet-spot regions (tolerance: no accuracy drop)", profile.name);
+    println!(
+        "{} sweet-spot regions (tolerance: no accuracy drop)",
+        profile.name
+    );
     println!(
         "{:<22} {:>12} {:>12} {:>14}",
         "layer", "last ratio", "top5 there", "time factor"
     );
     for layer in &layers {
         let sweep = sweep_layer(&profile, layer, &grid);
-        let ss = sweet_spot(&sweep.top5_curve(), &sweep.time_curve(), 1e-9)
-            .expect("non-empty sweep");
+        let ss =
+            sweet_spot(&sweep.top5_curve(), &sweep.time_curve(), 1e-9).expect("non-empty sweep");
         println!(
             "{:<22} {:>11.0}% {:>11.1}% {:>13.3}",
             layer,

@@ -19,12 +19,17 @@ fn main() {
     let mut sgd = Sgd::new(0.03, 0.9);
 
     // Train on 40 batches of 32 images.
-    println!("training TinyNet on synthetic {}-class images...", data.classes);
+    println!(
+        "training TinyNet on synthetic {}-class images...",
+        data.classes
+    );
     let mut loss = f32::NAN;
     for epoch in 0..5 {
         for b in 0..8 {
             let (x, labels) = data.batch(b * 32, 32);
-            loss = net.train_batch(&x, &labels, &mut sgd, None).expect("train step");
+            loss = net
+                .train_batch(&x, &labels, &mut sgd, None)
+                .expect("train step");
         }
         println!("  epoch {epoch}: loss {loss:.3}");
     }
@@ -60,7 +65,9 @@ fn main() {
         let mut ft = Sgd::new(0.01, 0.9);
         for b in 0..4 {
             let (x, labels) = data.batch(b * 32, 32);
-            pruned.train_batch(&x, &labels, &mut ft, Some((&m1, &m2))).unwrap();
+            pruned
+                .train_batch(&x, &labels, &mut ft, Some((&m1, &m2)))
+                .unwrap();
         }
 
         let report = pruned.evaluate(&test_x, &test_labels).unwrap();

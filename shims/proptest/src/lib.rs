@@ -1,0 +1,446 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: range strategies,
+//! `prop_map`, tuple strategies, `collection::vec`, the `proptest!`
+//! macro (with optional `#![proptest_config(...)]`), and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** On failure the test panics with the case number;
+//!   cases are deterministic per test (seeded from the test's module
+//!   path + name), so failures reproduce exactly on re-run.
+//! - Sampling is plain uniform (no bias toward edge cases).
+
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-test RNG (ChaCha8 seeded from the test name).
+pub struct TestRng(rand_chacha::ChaCha8Rng);
+
+impl TestRng {
+    /// Derive a generator from a stable string key (FNV-1a hash).
+    pub fn for_test(key: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(rand_chacha::ChaCha8Rng::seed_from_u64(h))
+    }
+}
+
+/// A generator of test inputs (proptest's `Strategy`, minus shrinking).
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                ((self.start as $wide).wrapping_add((rng.0.next_u64() % span) as $wide)) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.0.next_u64() as $t;
+                }
+                ((lo as $wide).wrapping_add((rng.0.next_u64() % (span + 1)) as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.0.gen_f64() as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let u = rng.0.gen_f64() as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform boolean strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Draws `true`/`false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample_value(&self, rng: &mut TestRng) -> bool {
+            rng.0.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A length specification: fixed or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Build a `Vec` strategy with the given element strategy and size.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.hi - self.size.lo <= 1 {
+                self.size.lo
+            } else {
+                rng.0.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+    /// An assertion failed; the test panics.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration (`cases` = number of passing cases required).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; this shim runs fewer because the
+        // suite executes on a single CPU with no shrinking to amortize.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            while passed < cfg.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= cfg.cases.saturating_mul(20).max(1000),
+                    "proptest shim: too many rejected cases in {}",
+                    stringify!($name)
+                );
+                $(let $arg = $crate::Strategy::sample_value(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed in {} (passing case #{passed}): {msg}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::TestRng::for_test("ranges_sample_in_bounds");
+        for _ in 0..500 {
+            let u = (3usize..9).sample_value(&mut rng);
+            assert!((3..9).contains(&u));
+            let f = (-1.0f64..1.0).sample_value(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let b = (2u8..16).sample_value(&mut rng);
+            assert!((2..16).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut rng = crate::TestRng::for_test("vec_strategy_lengths");
+        let fixed = collection::vec(0.0f64..1.0, 5);
+        assert_eq!(fixed.sample_value(&mut rng).len(), 5);
+        let ranged = collection::vec(0u32..10, 1..20);
+        for _ in 0..100 {
+            let v = ranged.sample_value(&mut rng);
+            assert!((1..20).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn determinism_per_name() {
+        let mut a = crate::TestRng::for_test("same");
+        let mut b = crate::TestRng::for_test("same");
+        let s = 0u64..1_000_000;
+        assert_eq!(s.sample_value(&mut a), s.sample_value(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 1usize..50, v in collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assume!(x != 13);
+            prop_assert!((1..50).contains(&x));
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert!(v.iter().all(|&f| (0.0..1.0).contains(&f)), "bad element in {v:?}");
+        }
+
+        #[test]
+        fn mapped_strategy(y in (0u32..10).prop_map(|n| n * 2)) {
+            prop_assert!(y % 2 == 0);
+            prop_assert!(y < 20);
+        }
+    }
+}

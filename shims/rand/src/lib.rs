@@ -1,0 +1,182 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Exposes the subset this workspace uses: `Rng::gen_range` over
+//! (inclusive and half-open) integer and float ranges, plus
+//! `SeedableRng::seed_from_u64`. Implementations live in the RNG crates
+//! (see the `rand_chacha` shim); this crate only defines the traits and
+//! the range-sampling glue.
+//!
+//! The float path uses the standard 53-bit (f64) / 24-bit (f32) mantissa
+//! construction, so values are uniform in `[0, 1)` and range sampling is
+//! a scale-and-shift — the same approach as rand's `UniformFloat`,
+//! without the exactness refinements this workspace does not rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG trait (the subset of `rand::RngCore` + `rand::Rng` used here).
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform sample from `range` (half-open or inclusive, ints or floats).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Uniform `[0, 1)` float (rand's `gen::<f64>()` for the types used).
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        // 53 random mantissa bits / 2^53.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Seeding trait (the `seed_from_u64` entry point used here).
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types with a uniform-sampling rule (rand's `SampleUniform`).
+///
+/// `SampleRange` is implemented once, generically, over this trait —
+/// mirroring upstream's structure. That single blanket impl matters for
+/// type inference: with per-type `SampleRange` impls an unsuffixed float
+/// literal in `gen_range(-1.0..1.0) * some_f32` would fall back to `f64`
+/// before trait selection and fail to compile.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// A range that can produce uniform samples of `T` (rand's `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let u = rng.gen_f64() as $t;
+                lo + u * (hi - lo)
+            }
+
+            // Uniform over [lo, hi]: scale a [0,1) draw onto the closed
+            // interval; the endpoint bias is one ulp and irrelevant here.
+            fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let u = rng.gen_f64() as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+macro_rules! impl_uint_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi - lo) as u64;
+                lo + (rng.next_u64() % span) as $t
+            }
+
+            fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                (lo as i64 + (rng.next_u64() % span) as i64) as $t
+            }
+
+            fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i64 + (rng.next_u64() % (span + 1)) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl Rng for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn int_ranges_in_bounds() {
+        let mut r = Counter(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let w = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_in_bounds() {
+        let mut r = Counter(11);
+        for _ in 0..1000 {
+            let v: f64 = r.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let w: f32 = r.gen_range(0.25f32..=0.75);
+            assert!((0.25..=0.75).contains(&w));
+        }
+    }
+}

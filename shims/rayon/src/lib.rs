@@ -1,0 +1,188 @@
+//! Sequential stand-in for `rayon`, for offline builds.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the real `rayon` cannot be fetched. This shim exposes the exact subset
+//! of the rayon API this workspace uses, implemented sequentially on top
+//! of `std::iter`. Because every "parallel" iterator here *is* a standard
+//! iterator, all the usual adapters (`zip`, `enumerate`, `map`,
+//! `for_each`, `try_for_each`, `filter_map`, `collect`) come for free.
+//!
+//! Determinism note: the workspace's kernels are written so each output
+//! element is owned by exactly one task, which makes the sequential and
+//! parallel executions bitwise identical. Swapping the real rayon back in
+//! (when a registry is available) changes wall-clock only, not results.
+
+/// Drop-in for `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+pub mod iter {
+    /// `slice.par_chunks_mut(n)` — sequential chunking.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size.max(1))
+        }
+    }
+
+    /// `slice.par_chunks(n)` — sequential chunking.
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size.max(1))
+        }
+    }
+
+    /// `collection.into_par_iter()`.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator<Item = T>,
+    {
+        type Iter = std::ops::Range<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// `collection.par_iter()`.
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// Rayon's `ParallelIterator` adapters that std's `Iterator` does not
+    /// already provide under the same name. Blanket-implemented for every
+    /// iterator so the shim's "parallel" iterators pick them up.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// `for_each_init(init, op)` — `init` runs once per worker in real
+        /// rayon; here once per call, which preserves the buffer-reuse
+        /// contract (one workspace serving many items).
+        fn for_each_init<S, INIT, OP>(self, mut init: INIT, mut op: OP)
+        where
+            INIT: FnMut() -> S,
+            OP: FnMut(&mut S, Self::Item),
+        {
+            let mut state = (init)();
+            for item in self {
+                op(&mut state, item);
+            }
+        }
+
+        /// Fallible variant of [`ParallelIterator::for_each_init`].
+        fn try_for_each_init<S, E, INIT, OP>(self, mut init: INIT, mut op: OP) -> Result<(), E>
+        where
+            INIT: FnMut() -> S,
+            OP: FnMut(&mut S, Self::Item) -> Result<(), E>,
+        {
+            let mut state = (init)();
+            for item in self {
+                op(&mut state, item)?;
+            }
+            Ok(())
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+}
+
+/// `rayon::current_num_threads()` — one worker in the sequential shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// `rayon::join(a, b)` — sequential execution of both closures.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn zip_and_try_for_each() {
+        let mut out = vec![0i32; 4];
+        let inputs = vec![1i32, 2, 3, 4];
+        let r: Result<(), String> = out
+            .par_chunks_mut(1)
+            .zip(inputs.into_par_iter())
+            .try_for_each(|(o, i)| {
+                o[0] = i * 2;
+                Ok(())
+            });
+        r.unwrap();
+        assert_eq!(out, [2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn for_each_init_reuses_state() {
+        let mut inits = 0;
+        (0..100).for_each_init(
+            || {
+                inits += 1;
+                Vec::<usize>::new()
+            },
+            |buf, i| {
+                buf.push(i);
+            },
+        );
+        assert_eq!(inits, 1);
+    }
+}

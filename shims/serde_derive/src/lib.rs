@@ -1,0 +1,419 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are not
+//! available; the input `TokenStream` is parsed by hand. That is tractable
+//! because the shim only needs to cover the shapes this workspace derives
+//! on: non-generic structs (named or tuple fields) and non-generic enums
+//! whose variants are unit, tuple, or struct-like. Anything else panics at
+//! compile time with a clear message rather than miscompiling.
+//!
+//! Generated code targets the shim's value-tree model: `Serialize::to_value`
+//! builds a `serde::Value`, `Deserialize::from_value` reads one back. JSON
+//! encoding lives in the `serde_json` shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name (or tuple index) — types are never needed
+/// because the generated code is fully type-inferred.
+struct Field {
+    name: String,
+}
+
+enum Body {
+    /// `struct S;`
+    Unit,
+    /// `struct S { a: T, b: U }`
+    Named(Vec<Field>),
+    /// `struct S(T, U);` — field count only.
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Parsed {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let code = match &parsed {
+        Parsed::Struct { name, body } => gen_struct_ser(name, body),
+        Parsed::Enum { name, variants } => gen_enum_ser(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let code = match &parsed {
+        Parsed::Struct { name, body } => gen_struct_de(name, body),
+        Parsed::Enum { name, variants } => gen_enum_de(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Parsed {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Parsed::Struct { name, body }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: unexpected enum body {other:?}"),
+            };
+            Parsed::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Parse `a: T, b: U, ...` returning the field names. Commas inside
+/// angle brackets (`BTreeMap<String, f64>`) are not separators; groups
+/// (`(usize, usize)`) arrive as single token trees so need no handling.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(field_name) = tt else {
+            panic!("serde_derive: expected field name, got {tt:?}");
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name: field_name.to_string(),
+        });
+    }
+    fields
+}
+
+/// Count tuple-struct/variant fields: top-level commas + 1.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tt in stream {
+        saw_any = true;
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if !saw_any {
+        0
+    } else {
+        count + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip variant attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(vname) = tt else {
+            panic!("serde_derive: expected variant name, got {tt:?}");
+        };
+        let body = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Body::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                Body::Tuple(n)
+            }
+            _ => Body::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+        variants.push(Variant {
+            name: vname.to_string(),
+            body,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_struct_ser(name: &str, body: &Body) -> String {
+    let expr = match body {
+        Body::Unit => "serde::Value::Null".to_string(),
+        Body::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{ {expr} }}\n}}\n"
+    )
+}
+
+fn gen_struct_de(name: &str, body: &Body) -> String {
+    let expr = match body {
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{0}: serde::Deserialize::from_value(serde::map_field(v, \"{0}\")?)?",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Body::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(serde::seq_item(v, {i})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", inits.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{ {expr} }}\n}}\n"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.body {
+                Body::Unit => format!(
+                    "{name}::{vn} => serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                ),
+                Body::Tuple(1) => format!(
+                    "{name}::{vn}(x0) => serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), serde::Serialize::to_value(x0))]),"
+                ),
+                Body::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::to_value(x{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({}) => serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), serde::Value::Seq(::std::vec![{}]))]),",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Body::Named(fields) => {
+                    let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{0}\"), serde::Serialize::to_value({0}))",
+                                f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {} }} => serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), serde::Value::Map(::std::vec![{}]))]),",
+                        binds.join(", "),
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        match self {{\n            {}\n        }}\n    }}\n}}\n",
+        arms.join("\n            ")
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.body {
+                Body::Unit => format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"),
+                Body::Tuple(1) => format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(serde::Deserialize::from_value(serde::variant_payload(payload, \"{vn}\")?)?)),"
+                ),
+                Body::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "serde::Deserialize::from_value(serde::seq_item(serde::variant_payload(payload, \"{vn}\")?, {i})?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({})),",
+                        inits.join(", ")
+                    )
+                }
+                Body::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{0}: serde::Deserialize::from_value(serde::map_field(serde::variant_payload(payload, \"{vn}\")?, \"{0}\")?)?",
+                                f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                        inits.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n        let (tag, payload) = serde::enum_parts(v)?;\n        match tag {{\n            {}\n            other => ::std::result::Result::Err(serde::DeError::new(::std::format!(\"unknown variant {{other}} for {name}\"))),\n        }}\n    }}\n}}\n",
+        arms.join("\n            ")
+    )
+}

@@ -85,7 +85,10 @@ fn cmd_sweep(args: &[String]) -> i32 {
     let grid: Vec<f64> = (0..=9).map(|i| i as f64 / 10.0).collect();
     let sweep = cap_pruning::sensitivity::sweep_layer(&profile, layer, &grid);
     println!("{} / {layer}", profile.name);
-    println!("{:>7} {:>12} {:>8} {:>8}", "ratio", "time factor", "top1", "top5");
+    println!(
+        "{:>7} {:>12} {:>8} {:>8}",
+        "ratio", "time factor", "top1", "top5"
+    );
     for p in &sweep.points {
         println!(
             "{:>6.0}% {:>12.3} {:>7.1}% {:>7.1}%",
@@ -117,7 +120,11 @@ fn cmd_spec(args: &[String]) -> i32 {
     };
     match cap_core::min_time_spec(&profile, floor) {
         Some(r) => {
-            println!("min-time degree of pruning for {}: {}", profile.name, r.spec.label());
+            println!(
+                "min-time degree of pruning for {}: {}",
+                profile.name,
+                r.spec.label()
+            );
             println!(
                 "  time factor {:.3}, top1 {:.1}%, top5 {:.1}% ({} evaluations)",
                 r.time_factor,
@@ -161,9 +168,15 @@ fn cmd_explore(args: &[String]) -> i32 {
         feasible.len(),
         deadline_s / 3600.0
     );
-    for (metric, name) in [(AccuracyMetric::Top1, "top1"), (AccuracyMetric::Top5, "top5")] {
+    for (metric, name) in [
+        (AccuracyMetric::Top1, "top1"),
+        (AccuracyMetric::Top5, "top5"),
+    ] {
         let front = frontier_indices(&feasible, metric, Objective::Cost);
-        println!("\n{name} cost-accuracy frontier ({} points, top 8 shown):", front.len());
+        println!(
+            "\n{name} cost-accuracy frontier ({} points, top 8 shown):",
+            front.len()
+        );
         for &i in front.iter().take(8) {
             let e = &feasible[i];
             println!(
@@ -214,7 +227,10 @@ fn cmd_allocate(args: &[String]) -> i32 {
             0
         }
         None => {
-            eprintln!("no feasible allocation under {:.1} h / ${budget}", deadline_s / 3600.0);
+            eprintln!(
+                "no feasible allocation under {:.1} h / ${budget}",
+                deadline_s / 3600.0
+            );
             1
         }
     }

@@ -66,7 +66,13 @@ fn spec_unreachable_floor_fails() {
 #[test]
 fn allocate_reports_feasible_plan() {
     let (out, _, ok) = cap(&[
-        "allocate", "--w", "500000", "--deadline-h", "4", "--budget", "50",
+        "allocate",
+        "--w",
+        "500000",
+        "--deadline-h",
+        "4",
+        "--budget",
+        "50",
     ]);
     assert!(ok);
     assert!(out.contains("allocation:"));
@@ -76,7 +82,13 @@ fn allocate_reports_feasible_plan() {
 #[test]
 fn allocate_infeasible_exits_nonzero() {
     let (_, err, ok) = cap(&[
-        "allocate", "--w", "1000000", "--deadline-h", "0.0001", "--budget", "0.01",
+        "allocate",
+        "--w",
+        "1000000",
+        "--deadline-h",
+        "0.0001",
+        "--budget",
+        "0.01",
     ]);
     assert!(!ok);
     assert!(err.contains("no feasible"));

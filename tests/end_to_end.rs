@@ -32,7 +32,11 @@ fn pipeline_profile_to_allocation_is_consistent() {
             let dominates = other.top1 >= e.top1
                 && other.time_s <= e.time_s
                 && (other.top1 > e.top1 || other.time_s < e.time_s);
-            assert!(!dominates, "frontier point dominated by {}", other.config_label);
+            assert!(
+                !dominates,
+                "frontier point dominated by {}",
+                other.config_label
+            );
         }
     }
 
@@ -96,10 +100,8 @@ fn tar_car_ordering_predicts_pareto_membership() {
         if idxs.iter().any(|i| front_set.contains(i)) {
             assert!(
                 front_set.contains(&min_tar_idx)
-                    || evals
-                        .iter()
-                        .any(|o| o.top5 == evals[min_tar_idx].top5
-                            && o.time_s == evals[min_tar_idx].time_s),
+                    || evals.iter().any(|o| o.top5 == evals[min_tar_idx].top5
+                        && o.time_s == evals[min_tar_idx].time_s),
                 "min-TAR candidate missing from frontier"
             );
         }

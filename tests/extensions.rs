@@ -48,7 +48,8 @@ fn gradual_schedule_reaches_target_with_fine_tuning() {
         let mut ft = Sgd::new(0.01, 0.9);
         for b in 0..3 {
             let (x, labels) = data.batch(b * 24, 24);
-            net.train_batch(&x, &labels, &mut ft, Some((&m1, &m2))).unwrap();
+            net.train_batch(&x, &labels, &mut ft, Some((&m1, &m2)))
+                .unwrap();
         }
     }
     assert!(
@@ -76,7 +77,7 @@ fn whatif_answers_agree_with_algorithm1() {
     // Algorithm 1 over the same resource pool reaches the same accuracy.
     let pool: Vec<InstanceType> = p2
         .iter()
-        .flat_map(|i| std::iter::repeat(i.clone()).take(2))
+        .flat_map(|i| std::iter::repeat_n(i.clone(), 2))
         .collect();
     let alloc = allocate(
         &versions,

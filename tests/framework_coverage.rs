@@ -22,8 +22,8 @@ fn caffenet_timed_forward_record_is_complete() {
 
 #[test]
 fn batched_inference_runner_on_tinynet_matches_direct_logits() {
-    use cap_cnn::run_batched;
     use cap_cnn::layer::{ConvLayer, PoolLayer, PoolMode, ReluLayer, SoftmaxLayer};
+    use cap_cnn::run_batched;
     use cap_cnn::Network;
     use cap_tensor::{init::xavier_uniform, Conv2dParams};
 
@@ -43,7 +43,8 @@ fn batched_inference_runner_on_tinynet_matches_direct_logits() {
     net.add_sequential(Box::new(ReluLayer::new("r"))).unwrap();
     net.add_sequential(Box::new(PoolLayer::new("p", PoolMode::Avg, 4, 0, 4)))
         .unwrap();
-    net.add_sequential(Box::new(SoftmaxLayer::new("prob"))).unwrap();
+    net.add_sequential(Box::new(SoftmaxLayer::new("prob")))
+        .unwrap();
 
     let data = SyntheticImageNet {
         classes: 5,

@@ -78,7 +78,9 @@ fn fine_tuning_recovers_some_pruned_accuracy() {
     let mut sgd = Sgd::new(0.01, 0.9);
     for b in 0..6 {
         let (x, labels) = data.batch(b * 24, 24);
-        pruned.train_batch(&x, &labels, &mut sgd, Some((&m1, &m2))).unwrap();
+        pruned
+            .train_batch(&x, &labels, &mut sgd, Some((&m1, &m2)))
+            .unwrap();
     }
     let after = pruned.evaluate(&test_x, &test_labels).unwrap();
     // Sparsity is preserved by the mask and accuracy does not regress.

@@ -18,7 +18,10 @@ fn headline_sweet_spot_combination() {
     // Time cut by roughly a third here; the all-conv configuration gets
     // to ~42 % below baseline (the abstract's "halve" refers to the
     // cost+time joint picture across Figures 8-10).
-    assert!((time_factor - 13.0 / 19.0).abs() < 0.03, "factor {time_factor}");
+    assert!(
+        (time_factor - 13.0 / 19.0).abs() < 0.03,
+        "factor {time_factor}"
+    );
 
     let all = profile.all_knees_spec();
     let all_factor = profile.batched_time_factor(&all);
@@ -40,8 +43,7 @@ fn headline_pareto_savings_at_highest_accuracy() {
 
     let feasible_t = feasible_by_deadline(&evals, 10.0 * 3600.0);
     let (_, _, time_saving) =
-        savings_at_best_accuracy(&feasible_t, AccuracyMetric::Top1, Objective::Time, 1e-9)
-            .unwrap();
+        savings_at_best_accuracy(&feasible_t, AccuracyMetric::Top1, Objective::Time, 1e-9).unwrap();
     assert!(
         time_saving >= 0.50,
         "Pareto selection must save >= 50 % time at best accuracy, got {time_saving}"
@@ -49,8 +51,7 @@ fn headline_pareto_savings_at_highest_accuracy() {
 
     let feasible_c = feasible_by_budget(&evals, 300.0);
     let (_, _, cost_saving) =
-        savings_at_best_accuracy(&feasible_c, AccuracyMetric::Top1, Objective::Cost, 1e-9)
-            .unwrap();
+        savings_at_best_accuracy(&feasible_c, AccuracyMetric::Top1, Objective::Cost, 1e-9).unwrap();
     assert!(
         cost_saving >= 0.55,
         "Pareto selection must save >= 55 % cost at best accuracy, got {cost_saving}"
@@ -68,7 +69,13 @@ fn headline_polynomial_vs_exponential() {
     let mut exhaustive_evals = Vec::new();
     for g_size in [4usize, 6, 8] {
         let pool: Vec<InstanceType> = (0..g_size)
-            .map(|i| if i % 2 == 0 { cat[0].clone() } else { cat[3].clone() })
+            .map(|i| {
+                if i % 2 == 0 {
+                    cat[0].clone()
+                } else {
+                    cat[3].clone()
+                }
+            })
             .collect();
         let deadline = 6.0 * 3600.0;
         let budget = 100.0;
@@ -137,7 +144,10 @@ fn observation2_impact_not_parameter_proportional() {
         .map(|l| profile.damage(&PruneSpec::single(*l, 0.9)))
         .collect();
     assert!(damages[0] > damages[1]);
-    assert!(damages[0] > damages[3], "conv1 beats conv4 in accuracy impact");
+    assert!(
+        damages[0] > damages[3],
+        "conv1 beats conv4 in accuracy impact"
+    );
     // Time: conv2 (not conv1 or conv4) has the largest batched-time lever.
     let time_savings: Vec<f64> = profile
         .conv_layer_names()

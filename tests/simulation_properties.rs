@@ -114,7 +114,7 @@ proptest! {
         let versions = caffenet_version_grid(&p);
         let pool: Vec<InstanceType> = catalog()
             .into_iter()
-            .flat_map(|i| std::iter::repeat(i).take(2))
+            .flat_map(|i| std::iter::repeat_n(i, 2))
             .collect();
         let req = |d: f64, b: f64| AllocationRequest {
             w: 500_000,
