@@ -1,0 +1,38 @@
+//! Parallel inference engine throughput: sequential `run_batched`
+//! versus `ParallelEngine` at increasing worker counts on the
+//! mini-Caffenet batch-8 workload (the `scalingm` experiment's shape).
+//!
+//! On a multi-core host the 2- and 4-worker arms should beat the
+//! sequential arm; on a single core they expose the engine's scheduling
+//! overhead instead — both are worth tracking.
+
+use cap_bench::experiments::scaling_exp::{mini_caffenet, workload};
+use cap_cnn::{run_batched, ParallelEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_parallel_engine(c: &mut Criterion) {
+    let net = mini_caffenet();
+    let imgs = workload();
+    let mut group = c.benchmark_group("parallel_engine");
+    group.sample_size(10);
+
+    group.bench_function("sequential_batch8", |b| {
+        b.iter(|| run_batched(&net, &imgs, 8).unwrap().0)
+    });
+    for workers in [1usize, 2, 4] {
+        let engine = ParallelEngine::new(workers);
+        // Warm the per-worker arenas so steady state is measured.
+        let _ = engine.run_batched(&net, &imgs, 8).unwrap();
+        group.bench_function(format!("engine_{workers}w_batch8"), |b| {
+            b.iter(|| engine.run_batched(&net, &imgs, 8).unwrap().0)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_engine
+}
+criterion_main!(benches);

@@ -8,6 +8,7 @@ mod extensions;
 mod frontier;
 mod measured;
 mod metrics_exp;
+pub mod scaling_exp;
 mod sensitivity;
 mod tables;
 
@@ -96,6 +97,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "fig8m",
         "Figure 8 measured: multi-layer pruning on a 3-conv SequentialNet",
         measured::fig8m,
+    ),
+    (
+        "scalingm",
+        "Strong scaling of the parallel inference engine + Amdahl fit",
+        scaling_exp::scalingm,
     ),
     (
         "ablation-alloc",

@@ -20,6 +20,12 @@
 //! * [`measurement`] — the paper's §3.3 methodology: run each experiment
 //!   three times under simulated virtualization jitter, record the
 //!   minimum.
+//! * [`scaling`] — Amdahl/Gustafson baselines plus the measured
+//!   [`EfficiencyCurve`]: multi-GPU instance throughput defaults to a
+//!   calibrated sub-linear model, with the paper's ideal split retained
+//!   as [`GpuScaling::Ideal`] (paper-fidelity mode).
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod execsim;
@@ -30,9 +36,12 @@ pub mod pricing;
 pub mod scaling;
 
 pub use config::{enumerate_configs, ResourceConfig};
-pub use execsim::{simulate, AppExecModel, Distribution, ExecutionEstimate};
+pub use execsim::{simulate, simulate_with, AppExecModel, Distribution, ExecutionEstimate};
 pub use gpu::BatchModel;
 pub use instance::{by_name, catalog, GpuKind, InstanceType};
 pub use measurement::MeasurementHarness;
 pub use pricing::{cost_usd, cost_usd_with, BillingModel};
-pub use scaling::{amdahl_speedup, fixed_workload_curve, gustafson_speedup, ScalingPoint};
+pub use scaling::{
+    amdahl_speedup, fixed_workload_curve, gustafson_speedup, EfficiencyCurve, GpuScaling,
+    ScalingPoint, CALIBRATED_PARALLEL_FRACTION,
+};

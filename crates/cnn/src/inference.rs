@@ -34,6 +34,23 @@ pub struct ThroughputReport {
 /// buffer (shrunk in place) rather than allocating a fresh tensor; all
 /// layer activations come from one [`ForwardArena`] reused across
 /// batches.
+///
+/// ```
+/// use cap_cnn::layer::ReluLayer;
+/// use cap_cnn::{run_batched, Network};
+/// use cap_tensor::Tensor4;
+///
+/// let mut net = Network::new("id", (1, 2, 2));
+/// net.add_sequential(Box::new(ReluLayer::new("r"))).unwrap();
+/// let images = Tensor4::from_fn(5, 1, 2, 2, |n, _, _, _| n as f32 - 2.0);
+///
+/// // Five images in batches of two: a 2+2+1 chunk sequence.
+/// let (outputs, report) = run_batched(&net, &images, 2).unwrap();
+/// assert_eq!(outputs.len(), 5);
+/// assert_eq!(outputs[0], vec![0.0; 4]); // ReLU clamps the negative image
+/// assert_eq!(report.images, 5);
+/// assert!(report.images_per_s > 0.0);
+/// ```
 pub fn run_batched(
     net: &Network,
     images: &Tensor4,
@@ -122,11 +139,13 @@ pub fn parallel_scaling(
     images: &Tensor4,
     batch_sizes: &[usize],
 ) -> TensorResult<Vec<(usize, f64)>> {
-    // Warm-up to fault weights in.
-    let _ = run_batched(net, images, batch_sizes.first().copied().unwrap_or(1))?;
     batch_sizes
         .iter()
         .map(|&b| {
+            // Warm up at the *measured* batch size: warming at a
+            // different size would leave arena buffers shaped for the
+            // wrong chunk, so the first timed run would pay the regrow.
+            let _ = run_batched(net, images, b)?;
             // §3.3 protocol: three runs, keep the fastest.
             let mut best = 0.0_f64;
             for _ in 0..3 {

@@ -16,15 +16,23 @@
 //!   paper.
 //! * [`train`] — SGD with momentum and backprop for the TinyNet path, so
 //!   accuracy-vs-pruning curves can be *measured*, not just modelled.
+//! * [`parallel`] — the data-parallel inference engine: a worker pool
+//!   sharding batched workloads with bitwise-deterministic outputs, and
+//!   the strong-scaling measurement that calibrates `cap-cloud`'s
+//!   efficiency curve.
+
+#![warn(missing_docs)]
 
 pub mod accuracy;
 pub mod inference;
 pub mod layer;
 pub mod models;
 pub mod network;
+pub mod parallel;
 pub mod train;
 
 pub use accuracy::{evaluate_topk, AccuracyReport};
 pub use inference::{parallel_scaling, run_and_score, run_batched, ThroughputReport};
 pub use layer::{Layer, LayerKind};
 pub use network::{ForwardArena, ForwardRecord, LayerTiming, Network, NodeId};
+pub use parallel::{strong_scaling, InferenceReport, ParallelEngine, WorkerReport};

@@ -314,6 +314,23 @@ impl Network {
     }
 
     /// Run a forward pass, returning only the output tensor.
+    ///
+    /// ```
+    /// use cap_cnn::layer::{PoolLayer, PoolMode, ReluLayer};
+    /// use cap_cnn::Network;
+    /// use cap_tensor::Tensor4;
+    ///
+    /// // relu → 2×2 max-pool over a 4-channel 8×8 input.
+    /// let mut net = Network::new("demo", (4, 8, 8));
+    /// net.add_sequential(Box::new(ReluLayer::new("relu"))).unwrap();
+    /// net.add_sequential(Box::new(PoolLayer::new("pool", PoolMode::Max, 2, 0, 2)))
+    ///     .unwrap();
+    ///
+    /// let x = Tensor4::from_fn(2, 4, 8, 8, |n, c, h, w| (n + c + h + w) as f32 - 8.0);
+    /// let y = net.forward(&x).unwrap();
+    /// assert_eq!(y.shape(), (2, 4, 4, 4));
+    /// assert!(y.as_slice().iter().all(|&v| v >= 0.0)); // ReLU ran
+    /// ```
     pub fn forward(&self, input: &Tensor4) -> TensorResult<Tensor4> {
         Ok(self.forward_timed(input)?.output)
     }

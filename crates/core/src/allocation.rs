@@ -14,7 +14,7 @@
 
 use crate::metrics::{car, tar, AccuracyMetric};
 use crate::version::AppVersion;
-use cap_cloud::{simulate, Distribution, InstanceType, ResourceConfig};
+use cap_cloud::{simulate_with, Distribution, GpuScaling, InstanceType, ResourceConfig};
 use serde::{Deserialize, Serialize};
 
 /// Constraints and workload for an allocation request.
@@ -59,15 +59,19 @@ fn version_tar(v: &AppVersion, w: u64, metric: AccuracyMetric) -> f64 {
 }
 
 /// CAR of one resource instance for a version: cost of running the whole
-/// workload on that instance alone, per unit accuracy.
+/// workload on that instance alone, per unit accuracy, under the given
+/// GPU-scaling model (the calibrated curve penalizes many-GPU instances
+/// here, which reorders the greedy scan relative to the paper's ideal
+/// split).
 fn instance_car(
     inst: &InstanceType,
     v: &AppVersion,
     w: u64,
     batch: u32,
     metric: AccuracyMetric,
+    scaling: &GpuScaling,
 ) -> f64 {
-    let rate = v.exec.instance_rate(inst, inst.gpus, batch);
+    let rate = v.exec.instance_rate_with(inst, inst.gpus, batch, scaling);
     if rate <= 0.0 {
         return f64::INFINITY;
     }
@@ -93,8 +97,9 @@ pub enum GreedyOrder {
     AsGiven,
 }
 
-/// Run Algorithm 1. Returns `None` when no prefix of the CAR-sorted
-/// resource list satisfies both constraints for any version.
+/// Run Algorithm 1 under the default (calibrated) multi-GPU scaling
+/// model. Returns `None` when no prefix of the CAR-sorted resource list
+/// satisfies both constraints for any version.
 pub fn allocate(
     versions: &[AppVersion],
     resources: &[InstanceType],
@@ -109,6 +114,18 @@ pub fn allocate_ordered(
     resources: &[InstanceType],
     req: &AllocationRequest,
     order: GreedyOrder,
+) -> Option<AllocationResult> {
+    allocate_ordered_with(versions, resources, req, order, &GpuScaling::default())
+}
+
+/// Algorithm 1 with explicit ordering *and* GPU-scaling model — pass
+/// [`GpuScaling::Ideal`] to reproduce the paper's analytic selection.
+pub fn allocate_ordered_with(
+    versions: &[AppVersion],
+    resources: &[InstanceType],
+    req: &AllocationRequest,
+    order: GreedyOrder,
+    scaling: &GpuScaling,
 ) -> Option<AllocationResult> {
     // Line 1: sort P by (accuracy desc, TAR asc).
     let mut p_order: Vec<usize> = (0..versions.len()).collect();
@@ -131,13 +148,14 @@ pub fn allocate_ordered(
         let mut g_order: Vec<usize> = (0..resources.len()).collect();
         match order {
             GreedyOrder::CarAscending => g_order.sort_by(|&a, &b| {
-                instance_car(&resources[a], v, req.w, req.batch, req.metric)
+                instance_car(&resources[a], v, req.w, req.batch, req.metric, scaling)
                     .partial_cmp(&instance_car(
                         &resources[b],
                         v,
                         req.w,
                         req.batch,
                         req.metric,
+                        scaling,
                     ))
                     .unwrap_or(std::cmp::Ordering::Equal)
             }),
@@ -166,12 +184,13 @@ pub fn allocate_ordered(
             // Line 7: distribute workload (we balance finish times so the
             // added resource actually helps — the paper's "distribute
             // workload in R" step).
-            let Some(est) = simulate(
+            let Some(est) = simulate_with(
                 &config,
                 &v.exec,
                 req.w,
                 req.batch,
                 Distribution::Proportional,
+                scaling,
             ) else {
                 continue;
             };

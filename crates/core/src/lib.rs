@@ -36,15 +36,16 @@ pub mod version;
 pub mod whatif;
 
 pub use allocation::{
-    allocate, allocate_ordered, AllocationRequest, AllocationResult, GreedyOrder,
+    allocate, allocate_ordered, allocate_ordered_with, AllocationRequest, AllocationResult,
+    GreedyOrder,
 };
 pub use exhaustive::{exhaustive_search, ExhaustiveResult};
 pub use explorer::{
-    evaluate_all, evaluate_grid, feasible_by_budget, feasible_by_deadline, frontier_indices,
-    savings_at_best_accuracy, EvaluatedConfig, Objective,
+    evaluate_all, evaluate_grid, evaluate_grid_with, feasible_by_budget, feasible_by_deadline,
+    frontier_indices, savings_at_best_accuracy, EvaluatedConfig, Objective,
 };
 pub use metrics::{car, tar, AccuracyMetric};
-pub use pareto::{pareto_front, pareto_indices, ParetoPoint};
+pub use pareto::{pareto_front, pareto_indices, ParetoFrontier, ParetoPoint};
 pub use pareto3::{tri_pareto_indices, TriPoint};
 pub use spec_search::{min_time_spec, Floor, SpecSearchResult};
 pub use version::{caffenet_version_grid, googlenet_version_grid, AppVersion};

@@ -61,6 +61,70 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
         .collect()
 }
 
+/// An extracted Pareto frontier over the (accuracy ↑, objective ↓)
+/// plane, retaining the indices of the frontier members in the original
+/// candidate set.
+///
+/// ```
+/// use cap_core::{ParetoFrontier, ParetoPoint};
+///
+/// let candidates = vec![
+///     ParetoPoint { accuracy: 0.80, objective: 10.0 }, // optimal
+///     ParetoPoint { accuracy: 0.78, objective: 12.0 }, // dominated
+///     ParetoPoint { accuracy: 0.70, objective: 4.0 },  // optimal
+///     ParetoPoint { accuracy: 0.60, objective: 2.0 },  // optimal
+/// ];
+/// let frontier = ParetoFrontier::of(&candidates);
+/// assert_eq!(frontier.indices(), &[0, 2, 3]);
+/// assert_eq!(frontier.best_accuracy().unwrap().accuracy, 0.80);
+/// assert_eq!(frontier.cheapest().unwrap().objective, 2.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParetoFrontier {
+    indices: Vec<usize>,
+    points: Vec<ParetoPoint>,
+}
+
+impl ParetoFrontier {
+    /// Extract the frontier of a candidate set.
+    pub fn of(candidates: &[ParetoPoint]) -> Self {
+        let indices = pareto_indices(candidates);
+        let points = indices.iter().map(|&i| candidates[i]).collect();
+        Self { indices, points }
+    }
+
+    /// Frontier points, descending accuracy.
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Indices of the frontier members in the original candidate slice,
+    /// aligned with [`ParetoFrontier::points`].
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of frontier points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the candidate set was empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The highest-accuracy frontier point (the paper's headline anchor).
+    pub fn best_accuracy(&self) -> Option<ParetoPoint> {
+        self.points.first().copied()
+    }
+
+    /// The lowest-objective frontier point (cheapest / fastest).
+    pub fn cheapest(&self) -> Option<ParetoPoint> {
+        self.points.last().copied()
+    }
+}
+
 /// Naive `O(n²)` dominance check — correctness oracle for tests and the
 /// baseline arm of the `pareto` ablation bench.
 pub fn pareto_indices_naive(points: &[ParetoPoint]) -> Vec<usize> {

@@ -122,6 +122,38 @@ impl WorkspacePool {
     pub fn idle(&self) -> usize {
         self.free.lock().len()
     }
+
+    /// Ensure at least `n` idle workspaces exist, creating the shortfall
+    /// up front.
+    ///
+    /// Data-parallel callers warm the pool to their worker count before
+    /// fanning out, so the first parallel pass draws pre-built
+    /// workspaces instead of racing to allocate them under the pool
+    /// lock.
+    pub fn warm(&self, n: usize) {
+        let mut free = self.free.lock();
+        while free.len() < n {
+            free.push(Workspace::new());
+        }
+    }
+
+    /// Draw an *owned* workspace (no lifetime tie to the pool).
+    ///
+    /// The borrow-guarded [`WorkspacePool::checkout`] is the right call
+    /// within one stack frame; `take` is for workers that must move the
+    /// workspace across a thread boundary or hold it beyond the pool's
+    /// borrow. Pair with [`WorkspacePool::give`] to recycle — a taken
+    /// workspace that is never given back is simply dropped, which is
+    /// safe but forfeits its grown capacity.
+    pub fn take(&self) -> Workspace {
+        self.free.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a workspace previously obtained with [`WorkspacePool::take`]
+    /// (or built elsewhere) to the idle set.
+    pub fn give(&self, ws: Workspace) {
+        self.free.lock().push(ws);
+    }
 }
 
 /// RAII guard for a pooled [`Workspace`]; returns it on drop.
@@ -197,6 +229,24 @@ mod tests {
             assert!(again.reserved_bytes() == 0 || again.cols_slot(10, 10).len() == 100);
         }
         assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn warm_prebuilds_and_take_give_recycle() {
+        let pool = WorkspacePool::new();
+        pool.warm(3);
+        assert_eq!(pool.idle(), 3);
+        // Warming to a smaller count never shrinks the pool.
+        pool.warm(1);
+        assert_eq!(pool.idle(), 3);
+        let mut ws = pool.take();
+        assert_eq!(pool.idle(), 2);
+        let _ = ws.cols_slot(8, 8);
+        pool.give(ws);
+        assert_eq!(pool.idle(), 3);
+        // The recycled workspace comes back with its grown slot.
+        let mut again = pool.take();
+        assert_eq!(again.cols_slot(8, 8).len(), 64);
     }
 
     #[test]

@@ -128,8 +128,50 @@ pub mod iter {
 }
 
 /// `rayon::current_num_threads()` — one worker in the sequential shim.
+///
+/// This reports the width of the *iterator* substrate (which executes
+/// sequentially); [`scope`] spawns real OS threads and is not bounded by
+/// this value.
 pub fn current_num_threads() -> usize {
     1
+}
+
+/// Structured fork-join on real OS threads — the one genuinely parallel
+/// primitive in this shim.
+///
+/// `cap-cnn`'s `ParallelEngine` needs actual concurrency (its whole
+/// point is measured wall-clock speedup), so unlike the sequential
+/// iterator adapters above, `scope` is backed by [`std::thread::scope`]:
+/// every [`Scope::spawn`] starts a dedicated OS thread, and all threads
+/// are joined before `scope` returns. Borrowed (non-`'static`) captures
+/// work exactly as with rayon's scope.
+///
+/// API deviation from real rayon: spawned closures take no `&Scope`
+/// argument (no nested spawns), so call sites write `s.spawn(|| ...)`
+/// instead of `s.spawn(|_| ...)`. The workspace only uses flat fan-out.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { scope: s }))
+}
+
+/// Spawn handle passed to the [`scope`] closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Run `body` on a fresh OS thread, joined when the scope ends.
+    ///
+    /// A panicking task propagates its panic out of [`scope`] after all
+    /// sibling threads have been joined (std's scope semantics).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.scope.spawn(body);
+    }
 }
 
 /// `rayon::join(a, b)` — sequential execution of both closures.
@@ -169,6 +211,26 @@ mod tests {
             });
         r.unwrap();
         assert_eq!(out, [2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn scope_spawns_real_threads_with_borrowed_state() {
+        let mut slots = vec![0usize; 4];
+        let main_thread = std::thread::current().id();
+        let ran_elsewhere = std::sync::atomic::AtomicBool::new(false);
+        crate::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let ran = &ran_elsewhere;
+                s.spawn(move || {
+                    *slot = i + 1;
+                    if std::thread::current().id() != main_thread {
+                        ran.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(slots, [1, 2, 3, 4]);
+        assert!(ran_elsewhere.load(std::sync::atomic::Ordering::Relaxed));
     }
 
     #[test]

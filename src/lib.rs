@@ -52,20 +52,23 @@ pub use cap_tensor as tensor;
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
     pub use cap_cloud::{
-        by_name, catalog, cost_usd, enumerate_configs, simulate, AppExecModel, BatchModel,
-        Distribution, GpuKind, InstanceType, MeasurementHarness, ResourceConfig,
+        by_name, catalog, cost_usd, enumerate_configs, simulate, simulate_with, AppExecModel,
+        BatchModel, Distribution, EfficiencyCurve, GpuKind, GpuScaling, InstanceType,
+        MeasurementHarness, ResourceConfig,
     };
     pub use cap_cnn::{
         evaluate_topk,
         models::{caffenet, googlenet, TinyNet, WeightInit},
+        run_batched, strong_scaling,
         train::Sgd,
-        AccuracyReport, Layer, LayerKind, Network,
+        AccuracyReport, InferenceReport, Layer, LayerKind, Network, ParallelEngine,
     };
     pub use cap_core::{
-        allocate, caffenet_version_grid, car, evaluate_all, evaluate_grid, exhaustive_search,
-        feasible_by_budget, feasible_by_deadline, frontier_indices, pareto_front, pareto_indices,
-        savings_at_best_accuracy, tar, AccuracyMetric, AllocationRequest, AllocationResult,
-        AppVersion, EvaluatedConfig, ExhaustiveResult, Objective, ParetoPoint,
+        allocate, caffenet_version_grid, car, evaluate_all, evaluate_grid, evaluate_grid_with,
+        exhaustive_search, feasible_by_budget, feasible_by_deadline, frontier_indices,
+        pareto_front, pareto_indices, savings_at_best_accuracy, tar, AccuracyMetric,
+        AllocationRequest, AllocationResult, AppVersion, EvaluatedConfig, ExhaustiveResult,
+        Objective, ParetoFrontier, ParetoPoint,
     };
     pub use cap_data::{SyntheticImageNet, Workload};
     pub use cap_pruning::{
