@@ -1,5 +1,5 @@
 //! im2col+GEMM vs direct sliding-window convolution — the Caffe-lowering
-//! ablation (DESIGN.md §8).
+//! ablation (DESIGN.md §9).
 
 use cap_tensor::{
     conv2d_direct, conv2d_gemm, conv2d_gemm_packed, conv2d_sparse, conv2d_sparse_packed,

@@ -1,6 +1,6 @@
 //! Dense vs CSR-sparse GEMM across sparsity levels — locates the
 //! break-even point that justifies the sparse-Caffe substrate
-//! (DESIGN.md §8 ablation).
+//! (DESIGN.md §9 ablation).
 
 use cap_tensor::{gemm, gemm_prepacked, CsrMatrix, Matrix, PackedB};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -8,6 +8,7 @@ mod extensions;
 mod frontier;
 mod measured;
 mod metrics_exp;
+mod profile;
 pub mod scaling_exp;
 mod sensitivity;
 mod tables;
@@ -27,6 +28,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "fig3",
         "Caffenet execution time distribution across layers",
         characterization::fig3,
+    ),
+    (
+        "profile",
+        "Per-layer ProfileReport (tracer-driven): Caffenet at 0% and 60% pruning",
+        profile::profile_caffenet,
     ),
     (
         "fig4",

@@ -1,4 +1,4 @@
-//! Ablations of the design choices DESIGN.md §8 calls out: the greedy
+//! Ablations of the design choices DESIGN.md §9 calls out: the greedy
 //! ordering heuristic of Algorithm 1, and pruning versus the two
 //! alternative accuracy knobs the paper's related work discusses.
 

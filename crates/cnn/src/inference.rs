@@ -35,6 +35,14 @@ pub struct ThroughputReport {
 /// layer activations come from one [`ForwardArena`] reused across
 /// batches.
 ///
+/// Every kernel on this path computes each image independently, so the
+/// per-image outputs are **bitwise-equal across batch sizes** (and equal
+/// to the [`crate::ParallelEngine`] outputs at any worker count). The
+/// doctest below demonstrates it; the property suites in
+/// `crates/cnn/tests/arena_parity.rs` (arena path vs the allocating
+/// path) and `crates/cnn/tests/parallel_parity.rs` (engine vs this
+/// driver) cover it across generated networks, shapes and batch sizes.
+///
 /// ```
 /// use cap_cnn::layer::ReluLayer;
 /// use cap_cnn::{run_batched, Network};
@@ -50,6 +58,11 @@ pub struct ThroughputReport {
 /// assert_eq!(outputs[0], vec![0.0; 4]); // ReLU clamps the negative image
 /// assert_eq!(report.images, 5);
 /// assert!(report.images_per_s > 0.0);
+///
+/// // Chunking is invisible in the outputs: one 5-image batch produces
+/// // bitwise-identical results.
+/// let (whole, _) = run_batched(&net, &images, 5).unwrap();
+/// assert_eq!(outputs, whole);
 /// ```
 pub fn run_batched(
     net: &Network,

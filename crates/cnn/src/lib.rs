@@ -36,3 +36,7 @@ pub use inference::{parallel_scaling, run_and_score, run_batched, ThroughputRepo
 pub use layer::{Layer, LayerKind};
 pub use network::{ForwardArena, ForwardRecord, LayerTiming, Network, NodeId};
 pub use parallel::{strong_scaling, InferenceReport, ParallelEngine, WorkerReport};
+
+// Observability vocabulary (tracers, span scopes) used by the traced
+// entry points, re-exported so callers need not name `cap_obs` directly.
+pub use cap_obs::{CollectingTracer, NoopTracer, ProfileReport, Tracer};

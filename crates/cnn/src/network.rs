@@ -8,6 +8,7 @@
 //! run — Googlenet at batch 32 would otherwise hold hundreds of MB.
 
 use crate::layer::{ChwShape, Layer, LayerKind};
+use cap_obs::{NoopTracer, SpanInfo, SpanScope, Tracer};
 use cap_tensor::{Matrix, ShapeError, Tensor4, TensorResult};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -416,6 +417,50 @@ impl Network {
         input: &Tensor4,
         arena: &'a mut ForwardArena,
     ) -> TensorResult<&'a Tensor4> {
+        self.forward_into_traced(input, arena, &NoopTracer)
+    }
+
+    /// [`Network::forward_into`] with observability hooks: one
+    /// [`SpanScope::Layer`] span per DAG node (tagged with the layer's
+    /// name, kind tag and output NCHW shape) plus one enclosing
+    /// [`SpanScope::Forward`] span, reported to `tracer`.
+    ///
+    /// Passing [`NoopTracer`] (what [`Network::forward_into`] does) is
+    /// free: the monomorphized no-op path contains no clock reads and no
+    /// allocation, preserving the zero-allocation steady state — the
+    /// allocator-counting test in `tests/zero_alloc.rs` pins this down.
+    /// Always-on metrics (`forward_passes`, `batch_sizes`,
+    /// `arena_bytes` in [`cap_obs::metrics()`]) are single relaxed
+    /// atomics; per-layer and whole-pass latency histograms fill only
+    /// while [`cap_obs::timing_enabled()`] is on.
+    ///
+    /// ```
+    /// use cap_cnn::layer::ReluLayer;
+    /// use cap_cnn::network::{ForwardArena, Network};
+    /// use cap_obs::{CollectingTracer, ProfileReport, SpanScope};
+    /// use cap_tensor::Tensor4;
+    ///
+    /// let mut net = Network::new("demo", (1, 2, 2));
+    /// net.add_sequential(Box::new(ReluLayer::new("relu"))).unwrap();
+    ///
+    /// let tracer = CollectingTracer::new();
+    /// let mut arena = ForwardArena::new();
+    /// let x = Tensor4::zeros(3, 1, 2, 2);
+    /// net.forward_into_traced(&x, &mut arena, &tracer).unwrap();
+    ///
+    /// let spans = tracer.take_spans();
+    /// assert_eq!(spans.iter().filter(|s| s.scope == SpanScope::Layer).count(), 1);
+    /// assert_eq!(spans[0].name, "relu");
+    /// assert_eq!(spans[0].shape, [3, 1, 2, 2]);
+    /// let report = ProfileReport::from_spans("demo", &spans);
+    /// assert_eq!(report.layers().len(), 1);
+    /// ```
+    pub fn forward_into_traced<'a, T: Tracer>(
+        &self,
+        input: &Tensor4,
+        arena: &'a mut ForwardArena,
+        tracer: &T,
+    ) -> TensorResult<&'a Tensor4> {
         if input.c() != self.input_shape.0
             || input.h() != self.input_shape.1
             || input.w() != self.input_shape.2
@@ -427,6 +472,19 @@ impl Network {
                 self.input_shape
             )));
         }
+        let metrics = cap_obs::metrics();
+        metrics.forward_passes.inc();
+        metrics.batch_sizes.record(input.n() as u64);
+        // One relaxed load; both observability channels off is the
+        // common case and costs exactly this branch.
+        let timing = cap_obs::timing_enabled();
+        let observing = tracer.enabled() || timing;
+        let pass_start = if observing {
+            Some(Instant::now())
+        } else {
+            None
+        };
+
         let slots = self.nodes.len().max(1);
         if arena.slots.len() < slots {
             arena
@@ -441,6 +499,11 @@ impl Network {
             return Ok(&arena.slots[0]);
         }
         for (i, node) in self.nodes.iter().enumerate() {
+            let node_start = if observing {
+                Some(Instant::now())
+            } else {
+                None
+            };
             // Inputs are strictly earlier nodes (topological order), so
             // splitting at `i` separates them from this node's slot.
             let (prev, rest) = arena.slots.split_at_mut(i);
@@ -454,6 +517,49 @@ impl Network {
                     let refs: Vec<&Tensor4> = many.iter().map(|&id| resolve(id)).collect();
                     node.layer.forward_into(&refs, out)?;
                 }
+            }
+            if let Some(t0) = node_start {
+                let elapsed = t0.elapsed();
+                let (n, c, h, w) = out.shape();
+                if timing {
+                    metrics.layer_time_us.record(elapsed.as_micros() as u64);
+                }
+                if tracer.enabled() {
+                    tracer.span_exit(
+                        &SpanInfo {
+                            scope: SpanScope::Layer,
+                            name: node.layer.name(),
+                            kind: node.layer.kind().tag(),
+                            shape: [n, c, h, w],
+                            index: i,
+                        },
+                        elapsed,
+                    );
+                }
+            }
+        }
+        metrics
+            .arena_bytes
+            .record_max(arena.reserved_bytes() as u64);
+        if let Some(t0) = pass_start {
+            let elapsed = t0.elapsed();
+            if timing {
+                metrics
+                    .forward_latency_us
+                    .record(elapsed.as_micros() as u64);
+            }
+            if tracer.enabled() {
+                let (n, c, h, w) = arena.slots[self.nodes.len() - 1].shape();
+                tracer.span_exit(
+                    &SpanInfo {
+                        scope: SpanScope::Forward,
+                        name: &self.name,
+                        kind: "",
+                        shape: [n, c, h, w],
+                        index: 0,
+                    },
+                    elapsed,
+                );
             }
         }
         Ok(&arena.slots[self.nodes.len() - 1])

@@ -21,9 +21,15 @@
 //! workers share no mutable state and repeat runs reuse the grown
 //! buffers (the zero-allocation steady state of the sequential path,
 //! times the worker count).
+//!
+//! The bitwise-equality claim is demonstrated in the
+//! [`ParallelEngine::run_batched`] doctest and verified property-based
+//! in `crates/cnn/tests/parallel_parity.rs`, with the sequential
+//! arena-vs-allocating half covered by `crates/cnn/tests/arena_parity.rs`.
 
 use crate::inference::ThroughputReport;
 use crate::network::{ForwardArena, Network};
+use cap_obs::{NoopTracer, SpanInfo, SpanScope, Tracer};
 use cap_tensor::{Tensor4, TensorResult};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -148,12 +154,53 @@ impl ParallelEngine {
     /// Returns per-image outputs in input order — bitwise-identical to
     /// [`crate::inference::run_batched`] on the same network, images and
     /// batch size — plus an [`InferenceReport`] merging the whole-run
-    /// throughput with per-worker timing.
+    /// throughput with per-worker timing. The doctest below demonstrates
+    /// the bitwise equality; the property-based suites in
+    /// `crates/cnn/tests/parallel_parity.rs` (engine vs sequential
+    /// driver, arbitrary shapes/batches/worker counts) and
+    /// `crates/cnn/tests/arena_parity.rs` (arena path vs the allocating
+    /// path) pin it down across the input space.
+    ///
+    /// ```
+    /// use cap_cnn::layer::ReluLayer;
+    /// use cap_cnn::{run_batched, Network, ParallelEngine};
+    /// use cap_tensor::Tensor4;
+    ///
+    /// let mut net = Network::new("id", (1, 3, 3));
+    /// net.add_sequential(Box::new(ReluLayer::new("r"))).unwrap();
+    /// let images = Tensor4::from_fn(7, 1, 3, 3, |n, _, h, w| (n + h * w) as f32 - 3.5);
+    ///
+    /// let (seq, _) = run_batched(&net, &images, 3).unwrap();
+    /// for workers in 1..=4 {
+    ///     let (par, _) = ParallelEngine::new(workers).run_batched(&net, &images, 3).unwrap();
+    ///     assert_eq!(par, seq); // bitwise equal, not approximately equal
+    /// }
+    /// ```
     pub fn run_batched(
         &self,
         net: &Network,
         images: &Tensor4,
         batch: usize,
+    ) -> TensorResult<(Vec<Vec<f32>>, InferenceReport)> {
+        self.run_batched_traced(net, images, batch, &NoopTracer)
+    }
+
+    /// [`ParallelEngine::run_batched`] with observability hooks: every
+    /// worker reports one [`SpanScope::Worker`] span covering its chunk
+    /// loop (`index` = worker id, `shape` = `[images, chunks, batch, 0]`),
+    /// and each forward pass inside the worker emits the usual per-layer
+    /// spans via [`Network::forward_into_traced`] — all into the shared
+    /// `tracer`, which therefore must tolerate concurrent reporting (a
+    /// [`cap_obs::CollectingTracer`] does).
+    ///
+    /// With [`NoopTracer`] this is exactly [`ParallelEngine::run_batched`]:
+    /// the no-op instrumentation monomorphizes away.
+    pub fn run_batched_traced<T: Tracer>(
+        &self,
+        net: &Network,
+        images: &Tensor4,
+        batch: usize,
+        tracer: &T,
     ) -> TensorResult<(Vec<Vec<f32>>, InferenceReport)> {
         let n = images.n();
         let batch = batch.max(1);
@@ -196,11 +243,17 @@ impl ParallelEngine {
 
         let start = Instant::now();
         rayon::scope(|s| {
-            for (((slot, out_slice), mut state), &(c0, c1)) in
-                results.iter_mut().zip(parts).zip(states).zip(ranges.iter())
+            for (w, (((slot, out_slice), mut state), &(c0, c1))) in results
+                .iter_mut()
+                .zip(parts)
+                .zip(states)
+                .zip(ranges.iter())
+                .enumerate()
             {
                 s.spawn(move || {
-                    let r = run_chunk_range(net, images, batch, c0, c1, &mut state, out_slice);
+                    let r = run_chunk_range(
+                        net, images, batch, c0, c1, &mut state, out_slice, w, tracer,
+                    );
                     *slot = Some((state, r));
                 });
             }
@@ -259,8 +312,10 @@ impl ParallelEngine {
 }
 
 /// One worker's loop: execute chunks `c0..c1`, writing per-image outputs
-/// into `out` (indexed relative to the range's first image).
-fn run_chunk_range(
+/// into `out` (indexed relative to the range's first image). Reports one
+/// [`SpanScope::Worker`] span covering the whole loop to `tracer`.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk_range<T: Tracer>(
     net: &Network,
     images: &Tensor4,
     batch: usize,
@@ -268,6 +323,8 @@ fn run_chunk_range(
     c1: usize,
     state: &mut WorkerState,
     out: &mut [Vec<f32>],
+    worker: usize,
+    tracer: &T,
 ) -> TensorResult<(usize, f64)> {
     let n = images.n();
     let (c, h, w) = (images.c(), images.h(), images.w());
@@ -284,13 +341,26 @@ fn run_chunk_range(
                 .image_mut(j)
                 .copy_from_slice(images.image(i + j));
         }
-        let y = net.forward_into(&state.chunk, &mut state.arena)?;
+        let y = net.forward_into_traced(&state.chunk, &mut state.arena, tracer)?;
         for j in 0..take {
             out[i - base + j] = y.image(j).to_vec();
         }
         images_done += take;
     }
-    Ok((images_done, busy.elapsed().as_secs_f64()))
+    let elapsed = busy.elapsed();
+    if tracer.enabled() {
+        tracer.span_exit(
+            &SpanInfo {
+                scope: SpanScope::Worker,
+                name: "worker",
+                kind: "",
+                shape: [images_done, c1 - c0, batch, 0],
+                index: worker,
+            },
+            elapsed,
+        );
+    }
+    Ok((images_done, elapsed.as_secs_f64()))
 }
 
 /// Measured strong-scaling profile: run the same `batch`-sized workload

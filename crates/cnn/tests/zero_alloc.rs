@@ -12,6 +12,8 @@ use cap_cnn::layer::{
     SoftmaxLayer,
 };
 use cap_cnn::network::{ForwardArena, Network};
+use cap_cnn::NoopTracer;
+use cap_obs::TimingGuard;
 use cap_tensor::{init::xavier_uniform, Conv2dParams, Tensor4};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -114,6 +116,44 @@ fn steady_state_inference_allocates_nothing() {
         "steady-state forward passes must not allocate (got {} allocations over 10 passes)",
         after - before,
     );
+
+    // The observability layer must not erode the guarantee: the
+    // explicitly no-op-traced path (what `forward_into` delegates to)
+    // stays allocation-free, spans and all. The always-on metrics
+    // counters are relaxed atomics — no heap traffic.
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        let out = net
+            .forward_into_traced(&images, &mut arena, &NoopTracer)
+            .unwrap();
+        checksum += out.as_slice()[0];
+    }
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "NoopTracer-instrumented forward passes must not allocate (got {})",
+        after - before,
+    );
+
+    // Even with timed metrics enabled (clock reads + histogram
+    // records), recording is atomic-only: still zero allocations.
+    {
+        let _timing = TimingGuard::enable();
+        let before = ALLOC_CALLS.load(Ordering::SeqCst);
+        for _ in 0..5 {
+            net.forward_into_traced(&images, &mut arena, &NoopTracer)
+                .unwrap();
+        }
+        let after = ALLOC_CALLS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "timed-metrics forward passes must not allocate (got {})",
+            after - before,
+        );
+    }
 
     // Changing batch size grows buffers once, then goes quiet again.
     let smaller = Tensor4::from_fn(2, 3, 19, 19, |n, c, h, w| {

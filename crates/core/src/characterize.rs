@@ -4,7 +4,8 @@
 //! (paper scale) and from real [`cap_cnn::Network`] execution.
 
 use cap_cloud::{AppExecModel, BatchModel, GpuKind};
-use cap_cnn::Network;
+use cap_cnn::{ForwardArena, Network};
+use cap_obs::{CollectingTracer, SpanScope};
 use cap_pruning::{AppProfile, PruneSpec};
 use cap_tensor::{Tensor4, TensorResult};
 use serde::{Deserialize, Serialize};
@@ -53,18 +54,32 @@ pub fn layer_time_distribution_measured(
 
 /// Figure 3 with the paper's §3.3 protocol: `runs` timed passes,
 /// per-layer minimum duration, normalized to shares.
+///
+/// Timing comes from the observability layer — each pass runs through
+/// [`Network::forward_into_traced`] with a [`CollectingTracer`] and the
+/// per-layer spans are reduced to minima — so these shares are the same
+/// data any attached tracer would see, not a bespoke timer. The passes
+/// share one [`ForwardArena`]; run 0 absorbs the buffer growth and the
+/// min strips it back out.
 pub fn layer_time_distribution_min_of(
     net: &Network,
     input: &Tensor4,
     runs: usize,
 ) -> TensorResult<Vec<LayerShare>> {
+    let mut arena = ForwardArena::new();
     let mut min_times: Vec<(String, String, f64)> = Vec::new();
     for run in 0..runs.max(1) {
-        let record = net.forward_timed(input)?;
-        for (i, t) in record.timings.iter().enumerate() {
-            let secs = t.duration.as_secs_f64();
+        let tracer = CollectingTracer::new();
+        net.forward_into_traced(input, &mut arena, &tracer)?;
+        let spans = tracer.take_spans();
+        for (i, s) in spans
+            .iter()
+            .filter(|s| s.scope == SpanScope::Layer)
+            .enumerate()
+        {
+            let secs = s.elapsed.as_secs_f64();
             if run == 0 {
-                min_times.push((t.name.clone(), t.kind.clone(), secs));
+                min_times.push((s.name.clone(), s.kind.clone(), secs));
             } else {
                 min_times[i].2 = min_times[i].2.min(secs);
             }

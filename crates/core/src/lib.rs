@@ -24,6 +24,8 @@
 //!   saturation curve — from the calibrated profiles *and* from real
 //!   [`cap_cnn::Network`] execution.
 
+#![warn(missing_docs)]
+
 pub mod allocation;
 pub mod characterize;
 pub mod exhaustive;
@@ -36,13 +38,13 @@ pub mod version;
 pub mod whatif;
 
 pub use allocation::{
-    allocate, allocate_ordered, allocate_ordered_with, AllocationRequest, AllocationResult,
-    GreedyOrder,
+    allocate, allocate_ordered, allocate_ordered_with, allocate_traced, AllocationRequest,
+    AllocationResult, GreedyOrder,
 };
 pub use exhaustive::{exhaustive_search, ExhaustiveResult};
 pub use explorer::{
-    evaluate_all, evaluate_grid, evaluate_grid_with, feasible_by_budget, feasible_by_deadline,
-    frontier_indices, savings_at_best_accuracy, EvaluatedConfig, Objective,
+    evaluate_all, evaluate_grid, evaluate_grid_traced, evaluate_grid_with, feasible_by_budget,
+    feasible_by_deadline, frontier_indices, savings_at_best_accuracy, EvaluatedConfig, Objective,
 };
 pub use metrics::{car, tar, AccuracyMetric};
 pub use pareto::{pareto_front, pareto_indices, ParetoFrontier, ParetoPoint};

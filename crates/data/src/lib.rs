@@ -10,6 +10,8 @@
 //! procedurally generated class-patterned images at any resolution and
 //! class count.
 
+#![warn(missing_docs)]
+
 pub mod dataset;
 pub mod workload;
 

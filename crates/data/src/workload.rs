@@ -3,6 +3,17 @@
 use serde::{Deserialize, Serialize};
 
 /// An inference workload: `W` images processed `batch_size` at a time.
+///
+/// ```
+/// use cap_data::Workload;
+///
+/// // The paper's Figure 6 measurement workload: 50 000 images at the
+/// // GPU saturation batch size. The last batch may be ragged — Eq. 3
+/// // rounds the batch count up.
+/// let w = Workload::paper_inference();
+/// assert_eq!((w.total_images, w.batch_size), (50_000, 512));
+/// assert_eq!(w.batches(), 98); // ⌈50000 / 512⌉
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Workload {
     /// Total images to infer (`W`).

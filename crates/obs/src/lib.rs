@@ -1,0 +1,47 @@
+//! # cap-obs
+//!
+//! Structured observability for the inference pipeline: answer "where
+//! did this forward pass spend its time" and "did the arena re-allocate"
+//! without editing code, the way Perseus-style per-layer profiling does
+//! for multi-tenant cost characterization.
+//!
+//! Three cooperating pieces:
+//!
+//! * [`Tracer`] — span enter/exit hooks threaded through
+//!   `Network::forward_into_traced` (one span per DAG node, tagged with
+//!   layer name/kind/shape), `ParallelEngine` workers (one span per
+//!   worker shard) and `cap-core`'s grid evaluation / Algorithm 1.
+//!   [`NoopTracer`] is the disabled state; [`CollectingTracer`] records
+//!   [`SpanRecord`]s for aggregation.
+//! * [`MetricsRegistry`] — a process-global, lock-free set of
+//!   [`Counter`]s, [`Gauge`]s and [`Histogram`]s (forward-pass latency,
+//!   per-layer time, GEMM/im2col split, arena bytes, workspace pool
+//!   hits/misses, batch sizes) with plain-text and JSON exporters.
+//! * [`ProfileReport`] — turns collected spans into a per-layer time
+//!   table comparable across pruning levels.
+//!
+//! # Zero-overhead-when-disabled contract
+//!
+//! Instrumented hot paths are generic over `T: Tracer` and guard every
+//! clock read behind [`Tracer::enabled`]. [`NoopTracer::enabled`] is an
+//! `#[inline(always)] false`, so the monomorphized no-op path contains
+//! no `Instant::now` calls, no allocation, and folds each span down to
+//! nothing. Always-on metrics (counters/gauges) are single relaxed
+//! atomic operations; timed metrics are additionally gated behind the
+//! process-wide [`timing_enabled`] flag (one relaxed load when off).
+//! The allocator-counting test in `cap-cnn` (`tests/zero_alloc.rs`)
+//! verifies the disabled path allocation-free; `OBSERVABILITY.md` at the
+//! repository root documents the full contract.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use metrics::{
+    metrics, timing_enabled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, TimingGuard,
+};
+pub use report::{LayerRow, ProfileReport};
+pub use span::{CollectingTracer, NoopTracer, SpanInfo, SpanRecord, SpanScope, Tracer};

@@ -1,0 +1,583 @@
+//! Lock-free metrics: counters, gauges, power-of-two histograms, and the
+//! process-global [`MetricsRegistry`] that instrumented crates feed.
+//!
+//! Everything here is a relaxed atomic — no locks anywhere, so workers
+//! of a [`ParallelEngine`](https://docs.rs/cap-cnn) shard record into
+//! the same registry without contention-induced serialization, and
+//! recording never allocates. Cheap structural metrics (pool hits,
+//! batch sizes, arena bytes) are always on; metrics that need a clock
+//! read at the recording site (GEMM/im2col split, per-layer time) are
+//! additionally gated behind the [`timing_enabled`] flag so the default
+//! configuration pays one relaxed load and a never-taken branch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`, and the last bucket additionally
+/// absorbs everything beyond `2^(BUCKETS-1)`.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value / high-water-mark gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A lock-free histogram with power-of-two buckets.
+///
+/// Bucketing depends only on the recorded value — never on recording
+/// order or on which thread recorded — so merging per-worker snapshots
+/// is associative and commutative (asserted by the merge-stability unit
+/// test below).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `floor(log2 v) + 1`, clamped
+/// to the last bucket.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the histogram state. (Not atomic across
+    /// buckets under concurrent recording; take snapshots at quiescent
+    /// points when exact totals matter.)
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every bucket and the totals to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (identity element for [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Fold another snapshot into this one. Pure bucket-wise addition:
+    /// associative, commutative, order-independent — merging per-worker
+    /// histograms yields bit-identical results regardless of join order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `[lo, hi)` value bounds of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            _ => (1u64 << (i - 1), 1u64 << i),
+        }
+    }
+}
+
+/// Global switch for metrics that need a clock read at the recording
+/// site. Nesting-safe: a counter of active enables, not a boolean.
+static TIMING_ENABLES: AtomicU64 = AtomicU64::new(0);
+
+/// Whether timed metrics (per-layer time, GEMM/im2col split, forward
+/// latency) should be recorded. One relaxed load; false by default.
+#[inline]
+pub fn timing_enabled() -> bool {
+    TIMING_ENABLES.load(Ordering::Relaxed) > 0
+}
+
+/// RAII guard that turns timed-metrics recording on for its lifetime.
+///
+/// ```
+/// assert!(!cap_obs::timing_enabled());
+/// {
+///     let _g = cap_obs::TimingGuard::enable();
+///     assert!(cap_obs::timing_enabled());
+/// }
+/// assert!(!cap_obs::timing_enabled());
+/// ```
+#[derive(Debug)]
+pub struct TimingGuard(());
+
+impl TimingGuard {
+    /// Enable timed metrics until the guard drops. Guards nest: timing
+    /// stays on while any guard is alive.
+    pub fn enable() -> Self {
+        TIMING_ENABLES.fetch_add(1, Ordering::Relaxed);
+        Self(())
+    }
+}
+
+impl Drop for TimingGuard {
+    fn drop(&mut self) {
+        TIMING_ENABLES.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The fixed set of pipeline metrics, fed by `cap-tensor`, `cap-cnn`
+/// and `cap-core` instrumentation. Obtain the process-global instance
+/// with [`metrics()`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Forward passes started (`Network::forward_into*`). Always on.
+    pub forward_passes: Counter,
+    /// Whole-pass latency in microseconds. Gated by [`timing_enabled`].
+    pub forward_latency_us: Histogram,
+    /// Per-layer forward time in microseconds. Gated by [`timing_enabled`].
+    pub layer_time_us: Histogram,
+    /// Nanoseconds inside packed-GEMM kernels during convolution.
+    /// Gated by [`timing_enabled`].
+    pub gemm_time_ns: Counter,
+    /// Nanoseconds inside im2col lowering during convolution.
+    /// Gated by [`timing_enabled`].
+    pub im2col_time_ns: Counter,
+    /// High-water mark of `ForwardArena` activation bytes. Always on.
+    pub arena_bytes: Gauge,
+    /// Workspace-pool checkouts satisfied by a recycled workspace.
+    /// Always on.
+    pub workspace_hits: Counter,
+    /// Workspace-pool checkouts that had to build a new workspace.
+    /// Always on.
+    pub workspace_misses: Counter,
+    /// Batch sizes seen by forward passes. Always on.
+    pub batch_sizes: Histogram,
+    /// (version, configuration, batch) candidates evaluated by grid
+    /// exploration. Always on.
+    pub grid_candidates: Counter,
+    /// Algorithm 1 allocation runs. Always on.
+    pub allocation_runs: Counter,
+}
+
+static REGISTRY: MetricsRegistry = MetricsRegistry {
+    forward_passes: Counter::new(),
+    forward_latency_us: Histogram::new(),
+    layer_time_us: Histogram::new(),
+    gemm_time_ns: Counter::new(),
+    im2col_time_ns: Counter::new(),
+    arena_bytes: Gauge::new(),
+    workspace_hits: Counter::new(),
+    workspace_misses: Counter::new(),
+    batch_sizes: Histogram::new(),
+    grid_candidates: Counter::new(),
+    allocation_runs: Counter::new(),
+};
+
+/// The process-global metrics registry.
+///
+/// ```
+/// let m = cap_obs::metrics();
+/// let before = m.workspace_hits.get();
+/// m.workspace_hits.inc();
+/// assert_eq!(m.workspace_hits.get() - before, 1);
+/// ```
+pub fn metrics() -> &'static MetricsRegistry {
+    &REGISTRY
+}
+
+impl MetricsRegistry {
+    /// Point-in-time copy of every metric, for export.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            forward_passes: self.forward_passes.get(),
+            forward_latency_us: self.forward_latency_us.snapshot(),
+            layer_time_us: self.layer_time_us.snapshot(),
+            gemm_time_ns: self.gemm_time_ns.get(),
+            im2col_time_ns: self.im2col_time_ns.get(),
+            arena_bytes: self.arena_bytes.get(),
+            workspace_hits: self.workspace_hits.get(),
+            workspace_misses: self.workspace_misses.get(),
+            batch_sizes: self.batch_sizes.snapshot(),
+            grid_candidates: self.grid_candidates.get(),
+            allocation_runs: self.allocation_runs.get(),
+        }
+    }
+
+    /// Reset every metric to zero (tests and between-experiment
+    /// boundaries; concurrent recorders may interleave).
+    pub fn reset(&self) {
+        self.forward_passes.reset();
+        self.forward_latency_us.reset();
+        self.layer_time_us.reset();
+        self.gemm_time_ns.reset();
+        self.im2col_time_ns.reset();
+        self.arena_bytes.reset();
+        self.workspace_hits.reset();
+        self.workspace_misses.reset();
+        self.batch_sizes.reset();
+        self.grid_candidates.reset();
+        self.allocation_runs.reset();
+    }
+}
+
+/// Owned copy of the registry, with plain-text and JSON exporters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// See [`MetricsRegistry::forward_passes`].
+    pub forward_passes: u64,
+    /// See [`MetricsRegistry::forward_latency_us`].
+    pub forward_latency_us: HistogramSnapshot,
+    /// See [`MetricsRegistry::layer_time_us`].
+    pub layer_time_us: HistogramSnapshot,
+    /// See [`MetricsRegistry::gemm_time_ns`].
+    pub gemm_time_ns: u64,
+    /// See [`MetricsRegistry::im2col_time_ns`].
+    pub im2col_time_ns: u64,
+    /// See [`MetricsRegistry::arena_bytes`].
+    pub arena_bytes: u64,
+    /// See [`MetricsRegistry::workspace_hits`].
+    pub workspace_hits: u64,
+    /// See [`MetricsRegistry::workspace_misses`].
+    pub workspace_misses: u64,
+    /// See [`MetricsRegistry::batch_sizes`].
+    pub batch_sizes: HistogramSnapshot,
+    /// See [`MetricsRegistry::grid_candidates`].
+    pub grid_candidates: u64,
+    /// See [`MetricsRegistry::allocation_runs`].
+    pub allocation_runs: u64,
+}
+
+impl MetricsSnapshot {
+    fn scalars(&self) -> [(&'static str, u64); 8] {
+        [
+            ("forward_passes", self.forward_passes),
+            ("gemm_time_ns", self.gemm_time_ns),
+            ("im2col_time_ns", self.im2col_time_ns),
+            ("arena_bytes", self.arena_bytes),
+            ("workspace_hits", self.workspace_hits),
+            ("workspace_misses", self.workspace_misses),
+            ("grid_candidates", self.grid_candidates),
+            ("allocation_runs", self.allocation_runs),
+        ]
+    }
+
+    fn histograms(&self) -> [(&'static str, &HistogramSnapshot); 3] {
+        [
+            ("forward_latency_us", &self.forward_latency_us),
+            ("layer_time_us", &self.layer_time_us),
+            ("batch_sizes", &self.batch_sizes),
+        ]
+    }
+
+    /// Plain-text export: one `name value` line per scalar, then one
+    /// line per histogram with count/mean and non-empty buckets.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, v) in self.scalars() {
+            writeln!(out, "{name} {v}").unwrap();
+        }
+        for (name, h) in self.histograms() {
+            write!(out, "{name} count {} mean {:.1}", h.count, h.mean()).unwrap();
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c > 0 {
+                    let (lo, hi) = HistogramSnapshot::bucket_bounds(i);
+                    write!(out, " [{lo},{hi}):{c}").unwrap();
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON export (stable key order, no external dependencies).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{");
+        for (name, v) in self.scalars() {
+            write!(out, "\"{name}\":{v},").unwrap();
+        }
+        for (name, h) in self.histograms() {
+            write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"buckets\":{{",
+                h.count, h.sum
+            )
+            .unwrap();
+            let mut first = true;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c > 0 {
+                    let (lo, _) = HistogramSnapshot::bucket_bounds(i);
+                    if !first {
+                        out.push(',');
+                    }
+                    write!(out, "\"{lo}\":{c}").unwrap();
+                    first = false;
+                }
+            }
+            out.push_str("}},");
+        }
+        out.pop(); // trailing comma
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        g.record_max(10);
+        g.record_max(7);
+        assert_eq!(g.get(), 10);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_bucketing_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for i in 1..8 {
+            let (lo, hi) = HistogramSnapshot::bucket_bounds(i);
+            assert_eq!(bucket_of(lo), i);
+            assert_eq!(bucket_of(hi - 1), i);
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent_across_workers() {
+        // The satellite test: bucketing must be stable when per-worker
+        // histograms are merged, in any order, versus one shared
+        // histogram receiving all values.
+        let values: Vec<u64> = (0..1000u64).map(|i| (i * 7919) % 5000).collect();
+
+        // One shared histogram, recorded concurrently by four workers.
+        let shared = Histogram::new();
+        std::thread::scope(|s| {
+            for chunk in values.chunks(250) {
+                let shared = &shared;
+                s.spawn(move || {
+                    for &v in chunk {
+                        shared.record(v);
+                    }
+                });
+            }
+        });
+
+        // Four private per-worker histograms, merged at join.
+        let workers: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        for (h, chunk) in workers.iter().zip(values.chunks(250)) {
+            for &v in chunk {
+                h.record(v);
+            }
+        }
+        let mut forward = HistogramSnapshot::empty();
+        for h in &workers {
+            forward.merge(&h.snapshot());
+        }
+        let mut reverse = HistogramSnapshot::empty();
+        for h in workers.iter().rev() {
+            reverse.merge(&h.snapshot());
+        }
+
+        assert_eq!(forward, reverse, "merge must be order-independent");
+        assert_eq!(
+            forward,
+            shared.snapshot(),
+            "merged per-worker histograms must equal concurrent shared recording"
+        );
+        assert_eq!(forward.count, 1000);
+    }
+
+    #[test]
+    fn timing_guard_nests() {
+        assert!(!timing_enabled());
+        let a = TimingGuard::enable();
+        {
+            let _b = TimingGuard::enable();
+            assert!(timing_enabled());
+        }
+        assert!(timing_enabled());
+        drop(a);
+        assert!(!timing_enabled());
+    }
+
+    #[test]
+    fn snapshot_exports_text_and_json() {
+        let reg = MetricsRegistry::default();
+        reg.forward_passes.add(3);
+        reg.workspace_hits.add(5);
+        reg.workspace_misses.inc();
+        reg.batch_sizes.record(4);
+        reg.batch_sizes.record(4);
+        reg.forward_latency_us.record(900);
+        let snap = reg.snapshot();
+
+        let text = snap.to_text();
+        assert!(text.contains("forward_passes 3"));
+        assert!(text.contains("workspace_hits 5"));
+        assert!(text.contains("batch_sizes count 2"));
+
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"forward_passes\":3"));
+        assert!(json.contains("\"batch_sizes\":{\"count\":2"));
+        // Bucket for 4 is [4,8): keyed by its lower bound.
+        assert!(json.contains("\"4\":2"));
+    }
+
+    #[test]
+    fn registry_reset_clears_everything() {
+        let reg = MetricsRegistry::default();
+        reg.forward_passes.inc();
+        reg.layer_time_us.record(10);
+        reg.arena_bytes.record_max(1024);
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.forward_passes, 0);
+        assert_eq!(snap.layer_time_us.count, 0);
+        assert_eq!(snap.arena_bytes, 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Per-layer profile aggregation: turn a pile of [`SpanRecord`]s into
+//! the table a human (or a latency model like PROFET's) wants — layer,
+//! kind, calls, total/mean time, share of the pass — plus text and JSON
+//! exporters and a side-by-side comparison for pruning levels.
+
+use crate::span::{SpanRecord, SpanScope};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Aggregated time for one layer across all collected passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRow {
+    /// Layer name.
+    pub name: String,
+    /// Layer kind tag (`conv`, `fc`, ...).
+    pub kind: String,
+    /// Output NCHW shape observed for this layer.
+    pub shape: [usize; 4],
+    /// Number of spans (forward passes) aggregated.
+    pub calls: u64,
+    /// Total time across all calls.
+    pub total: Duration,
+}
+
+impl LayerRow {
+    /// Mean time per call.
+    pub fn mean(&self) -> Duration {
+        if self.calls == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.calls as u32
+        }
+    }
+}
+
+/// A per-layer time table built from tracer spans, comparable across
+/// pruning levels (same layer names, different times).
+///
+/// ```
+/// use cap_obs::{ProfileReport, SpanInfo, SpanScope, Tracer, CollectingTracer};
+/// use std::time::Duration;
+///
+/// let t = CollectingTracer::new();
+/// let mut conv = SpanInfo::new(SpanScope::Layer, "conv1");
+/// conv.kind = "conv";
+/// t.span_exit(&conv, Duration::from_micros(300));
+/// t.span_exit(&SpanInfo::new(SpanScope::Layer, "relu1"), Duration::from_micros(100));
+///
+/// let report = ProfileReport::from_spans("demo", &t.take_spans());
+/// assert_eq!(report.layers().len(), 2);
+/// assert_eq!(report.layers()[0].name, "conv1");
+/// assert!((report.share("conv1").unwrap() - 0.75).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    label: String,
+    layers: Vec<LayerRow>,
+}
+
+impl ProfileReport {
+    /// Aggregate [`SpanScope::Layer`] spans by layer name, preserving
+    /// first-seen (execution) order. Non-layer spans are ignored.
+    pub fn from_spans(label: impl Into<String>, spans: &[SpanRecord]) -> Self {
+        let mut index: HashMap<&str, usize> = HashMap::new();
+        let mut layers: Vec<LayerRow> = Vec::new();
+        for s in spans.iter().filter(|s| s.scope == SpanScope::Layer) {
+            match index.get(s.name.as_str()) {
+                Some(&i) => {
+                    layers[i].calls += 1;
+                    layers[i].total += s.elapsed;
+                }
+                None => {
+                    index.insert(s.name.as_str(), layers.len());
+                    layers.push(LayerRow {
+                        name: s.name.clone(),
+                        kind: s.kind.clone(),
+                        shape: s.shape,
+                        calls: 1,
+                        total: s.elapsed,
+                    });
+                }
+            }
+        }
+        Self {
+            label: label.into(),
+            layers,
+        }
+    }
+
+    /// Report label (e.g. `"caffenet @ 60% pruning"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Aggregated rows in execution order.
+    pub fn layers(&self) -> &[LayerRow] {
+        &self.layers
+    }
+
+    /// Total time across all layers.
+    pub fn total_time(&self) -> Duration {
+        self.layers.iter().map(|l| l.total).sum()
+    }
+
+    /// Fraction of total time spent in layer `name`, if present.
+    pub fn share(&self, name: &str) -> Option<f64> {
+        let total = self.total_time().as_secs_f64();
+        let row = self.layers.iter().find(|l| l.name == name)?;
+        Some(if total > 0.0 {
+            row.total.as_secs_f64() / total
+        } else {
+            0.0
+        })
+    }
+
+    /// Render as an aligned text table: name, kind, shape, calls,
+    /// mean ms/call and share of total.
+    pub fn to_text_table(&self) -> String {
+        use std::fmt::Write;
+        let total = self.total_time().as_secs_f64();
+        let mut out = String::new();
+        writeln!(out, "# profile: {}", self.label).unwrap();
+        writeln!(
+            out,
+            "{:<12} {:<6} {:>18} {:>6} {:>12} {:>7}",
+            "layer", "kind", "out shape", "calls", "mean ms", "share"
+        )
+        .unwrap();
+        for l in &self.layers {
+            let share = if total > 0.0 {
+                l.total.as_secs_f64() / total
+            } else {
+                0.0
+            };
+            let [n, c, h, w] = l.shape;
+            writeln!(
+                out,
+                "{:<12} {:<6} {:>18} {:>6} {:>12.3} {:>6.1}%",
+                l.name,
+                l.kind,
+                format!("{n}x{c}x{h}x{w}"),
+                l.calls,
+                l.mean().as_secs_f64() * 1000.0,
+                share * 100.0
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "{:<12} {:<6} {:>18} {:>6} {:>12.3} {:>6.1}%",
+            "total",
+            "",
+            "",
+            "",
+            total * 1000.0 / self.layers.iter().map(|l| l.calls).max().unwrap_or(1) as f64,
+            100.0
+        )
+        .unwrap();
+        out
+    }
+
+    /// JSON export (stable key order, no external dependencies).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let total = self.total_time().as_secs_f64();
+        let mut out = String::new();
+        write!(
+            out,
+            "{{\"label\":\"{}\",\"total_ms\":{:.6},\"layers\":[",
+            self.label.replace('"', "\\\""),
+            total * 1000.0
+        )
+        .unwrap();
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let share = if total > 0.0 {
+                l.total.as_secs_f64() / total
+            } else {
+                0.0
+            };
+            let [n, c, h, w] = l.shape;
+            write!(
+                out,
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"shape\":[{n},{c},{h},{w}],\
+                 \"calls\":{},\"total_ms\":{:.6},\"mean_ms\":{:.6},\"share\":{:.6}}}",
+                l.name.replace('"', "\\\""),
+                l.kind,
+                l.calls,
+                l.total.as_secs_f64() * 1000.0,
+                l.mean().as_secs_f64() * 1000.0,
+                share
+            )
+            .unwrap();
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Side-by-side comparison with another report (e.g. the same model
+    /// at a different pruning level): per-layer mean ms for both, plus
+    /// the speedup of `other` relative to `self`.
+    pub fn compare_table(&self, other: &ProfileReport) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:<12} {:<6} {:>14} {:>14} {:>8}",
+            "layer",
+            "kind",
+            format!("[{}] ms", self.label),
+            format!("[{}] ms", other.label),
+            "speedup"
+        )
+        .unwrap();
+        for l in &self.layers {
+            let a = l.mean().as_secs_f64() * 1000.0;
+            let b = other
+                .layers
+                .iter()
+                .find(|o| o.name == l.name)
+                .map(|o| o.mean().as_secs_f64() * 1000.0);
+            match b {
+                Some(b) if b > 0.0 => writeln!(
+                    out,
+                    "{:<12} {:<6} {:>14.3} {:>14.3} {:>7.2}x",
+                    l.name,
+                    l.kind,
+                    a,
+                    b,
+                    a / b
+                )
+                .unwrap(),
+                _ => writeln!(
+                    out,
+                    "{:<12} {:<6} {:>14.3} {:>14} {:>8}",
+                    l.name, l.kind, a, "-", "-"
+                )
+                .unwrap(),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{CollectingTracer, SpanInfo, Tracer};
+
+    fn span(name: &str, kind: &str, us: u64) -> SpanRecord {
+        SpanRecord {
+            scope: SpanScope::Layer,
+            name: name.into(),
+            kind: kind.into(),
+            shape: [1, 8, 4, 4],
+            index: 0,
+            elapsed: Duration::from_micros(us),
+        }
+    }
+
+    #[test]
+    fn aggregates_repeat_passes_in_execution_order() {
+        let spans = vec![
+            span("conv1", "conv", 100),
+            span("relu1", "relu", 10),
+            span("conv1", "conv", 300),
+            span("relu1", "relu", 30),
+        ];
+        let r = ProfileReport::from_spans("t", &spans);
+        assert_eq!(r.layers().len(), 2);
+        assert_eq!(r.layers()[0].name, "conv1");
+        assert_eq!(r.layers()[0].calls, 2);
+        assert_eq!(r.layers()[0].mean(), Duration::from_micros(200));
+        assert_eq!(r.total_time(), Duration::from_micros(440));
+        assert!((r.share("conv1").unwrap() - 400.0 / 440.0).abs() < 1e-9);
+        assert!(r.share("nope").is_none());
+    }
+
+    #[test]
+    fn ignores_non_layer_spans() {
+        let mut worker = span("worker", "", 999);
+        worker.scope = SpanScope::Worker;
+        let r = ProfileReport::from_spans("t", &[worker, span("conv1", "conv", 5)]);
+        assert_eq!(r.layers().len(), 1);
+    }
+
+    #[test]
+    fn text_table_and_json_render() {
+        let r =
+            ProfileReport::from_spans("m", &[span("conv1", "conv", 750), span("fc", "fc", 250)]);
+        let table = r.to_text_table();
+        assert!(table.contains("conv1"));
+        assert!(table.contains("75.0%"));
+        let json = r.to_json();
+        assert!(json.contains("\"label\":\"m\""));
+        assert!(json.contains("\"name\":\"conv1\""));
+        assert!(json.contains("\"share\":0.75"));
+    }
+
+    #[test]
+    fn compare_table_reports_speedup() {
+        let dense = ProfileReport::from_spans("0%", &[span("conv1", "conv", 800)]);
+        let pruned = ProfileReport::from_spans("60%", &[span("conv1", "conv", 400)]);
+        let cmp = dense.compare_table(&pruned);
+        assert!(cmp.contains("2.00x"), "{cmp}");
+    }
+
+    #[test]
+    fn roundtrip_from_collecting_tracer() {
+        let t = CollectingTracer::new();
+        let mut info = SpanInfo::new(SpanScope::Layer, "conv1");
+        info.kind = "conv";
+        info.shape = [2, 4, 8, 8];
+        t.span_exit(&info, Duration::from_micros(42));
+        let r = ProfileReport::from_spans("rt", &t.take_spans());
+        assert_eq!(r.layers()[0].shape, [2, 4, 8, 8]);
+    }
+}

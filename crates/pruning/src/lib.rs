@@ -19,6 +19,8 @@
 //!   Caffenet and Googlenet (substituting for the authors' trained
 //!   models; anchors in DESIGN.md §5).
 
+#![warn(missing_docs)]
+
 pub mod apply;
 pub mod filter;
 pub mod magnitude;

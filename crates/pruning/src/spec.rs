@@ -11,6 +11,21 @@ use std::fmt;
 ///
 /// Layers are kept in a `BTreeMap` so iteration order, equality, display
 /// and hashing are deterministic.
+///
+/// ```
+/// use cap_pruning::PruneSpec;
+///
+/// // The paper's conv1@30% + conv2@50% sweet-spot combination.
+/// let spec = PruneSpec::none().with("conv1", 0.3).with("conv2", 0.5);
+/// assert_eq!(spec.ratio("conv1"), 0.3);
+/// assert_eq!(spec.ratio("conv5"), 0.0); // unlisted layers are unpruned
+/// assert_eq!(spec.pruned_layer_count(), 2);
+///
+/// // Uniform sweeps (Figure 4) prune every listed layer equally; a
+/// // ratio of 0 removes the entry, so `none()` round-trips.
+/// let uniform = PruneSpec::uniform(&["conv1", "conv2"], 0.0);
+/// assert_eq!(uniform, PruneSpec::none());
+/// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct PruneSpec {
     ratios: BTreeMap<String, f64>,

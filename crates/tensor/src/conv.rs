@@ -10,6 +10,26 @@ use crate::tensor4::Tensor4;
 use crate::workspace::WorkspacePool;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Start a clock for the GEMM/im2col time split, only when timed
+/// metrics are on (`timing` is hoisted out of the parallel image loop).
+#[inline]
+fn split_clock(timing: bool) -> Option<Instant> {
+    if timing {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Credit elapsed time since `t0` to `counter` (no-op when timing off).
+#[inline]
+fn credit_ns(t0: Option<Instant>, counter: &cap_obs::Counter) {
+    if let Some(t0) = t0 {
+        counter.add(t0.elapsed().as_nanos() as u64);
+    }
+}
 
 /// Geometry of a 2-D convolution.
 ///
@@ -429,6 +449,10 @@ pub fn conv2d_gemm_packed(
     let out_image_len = params.out_channels * n_out;
     let in_image_len = params.in_channels * h * w;
 
+    // One relaxed load outside the parallel loop decides whether the
+    // GEMM/im2col split is measured for this call.
+    let timing = cap_obs::timing_enabled();
+
     // Pair output and input images by chunking both flat buffers — no
     // per-call Vec of image slices, keeping the steady state allocation-free.
     out.as_mut_slice()
@@ -447,6 +471,7 @@ pub fn conv2d_gemm_packed(
                 let (cols, packed, prod) = ws.conv_gemm_slots((col_rows, n_out), prod_shape);
                 for g in 0..params.groups {
                     let in_slice = &in_img[g * cpg * h * w..(g + 1) * cpg * h * w];
+                    let t_col = split_clock(timing);
                     im2col_prealloc(
                         in_slice,
                         cpg,
@@ -458,9 +483,13 @@ pub fn conv2d_gemm_packed(
                         params.stride,
                         cols,
                     )?;
+                    credit_ns(t_col, &cap_obs::metrics().im2col_time_ns);
                     // Panel-pack the column matrix once, then run the
                     // register-blocked GEMM over it: the O(k·n) copy is
                     // repaid by the O(m·k·n) multiply's faster inner loop.
+                    // The pack is accounted as GEMM time: it exists only
+                    // to serve the multiply's inner loop.
+                    let t_gemm = split_clock(timing);
                     pack_b_slice_into(cols.as_slice(), col_rows, n_out, packed);
                     let band = weights.band(g);
                     if params.groups == 1 {
@@ -484,6 +513,7 @@ pub fn conv2d_gemm_packed(
                         let dst = &mut out_img[g * opg * n_out..(g + 1) * opg * n_out];
                         dst.copy_from_slice(prod.as_slice());
                     }
+                    credit_ns(t_gemm, &cap_obs::metrics().gemm_time_ns);
                 }
                 add_bias(out_img, bias, n_out);
                 Ok(())
@@ -525,6 +555,8 @@ pub fn conv2d_sparse_packed(
     let out_image_len = params.out_channels * n_out;
     let in_image_len = params.in_channels * h * w;
 
+    let timing = cap_obs::timing_enabled();
+
     // Chunk both flat buffers — no per-call Vec of image slices.
     out.as_mut_slice()
         .par_chunks_mut(out_image_len.max(1))
@@ -535,6 +567,7 @@ pub fn conv2d_sparse_packed(
                 let (cols, prod) = ws.conv_slots((col_rows, n_out), (opg, n_out));
                 for g in 0..params.groups {
                     let in_slice = &in_img[g * cpg * h * w..(g + 1) * cpg * h * w];
+                    let t_col = split_clock(timing);
                     im2col_prealloc(
                         in_slice,
                         cpg,
@@ -546,7 +579,11 @@ pub fn conv2d_sparse_packed(
                         params.stride,
                         cols,
                     )?;
+                    credit_ns(t_col, &cap_obs::metrics().im2col_time_ns);
+                    // Sparse×dense multiply is the GEMM of this path.
+                    let t_gemm = split_clock(timing);
                     weights.band(g).matmul_dense_into(cols, prod)?;
+                    credit_ns(t_gemm, &cap_obs::metrics().gemm_time_ns);
                     out_img[g * opg * n_out..(g + 1) * opg * n_out]
                         .copy_from_slice(prod.as_slice());
                 }

@@ -222,6 +222,20 @@ pub fn gemm_packed_cols(
 /// accumulation order per output element), but reads `B` as contiguous
 /// panels. Use when the same `B` is multiplied many times — the packing
 /// cost is amortized across calls.
+///
+/// ```
+/// use cap_tensor::{gemm, gemm_prepacked, Matrix, PackedB};
+///
+/// let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+/// let b = Matrix::from_fn(4, 5, |r, c| (r as f32 - c as f32) * 0.5);
+/// let packed = PackedB::pack(&b); // once, up front
+///
+/// let mut c = Matrix::zeros(3, 5);
+/// gemm_prepacked(&a, &packed, &mut c).unwrap(); // many times
+///
+/// // Bit-exact against the unpacked kernel, not merely close:
+/// assert_eq!(c.as_slice(), gemm(&a, &b).unwrap().as_slice());
+/// ```
 pub fn gemm_prepacked(a: &Matrix, b: &PackedB, c: &mut Matrix) -> TensorResult<()> {
     let (m, ka) = a.shape();
     let (kb, n) = b.shape();

@@ -26,6 +26,8 @@
 //! via rayon never reorders reductions in a result-visible way (each
 //! output element is owned by exactly one task).
 
+#![warn(missing_docs)]
+
 pub mod conv;
 pub mod dense;
 pub mod error;

@@ -110,11 +110,30 @@ impl WorkspacePool {
     }
 
     /// Draw a workspace, creating one only if the pool is empty.
+    ///
+    /// Every checkout is counted in the global metrics registry: a
+    /// recycled workspace is a `workspace_hits`, a fresh build is a
+    /// `workspace_misses` — the steady-state claim "the pool stopped
+    /// allocating" is `misses` staying flat while `hits` climbs.
     pub fn checkout(&self) -> PooledWorkspace<'_> {
-        let ws = self.free.lock().pop().unwrap_or_default();
+        let ws = self.draw();
         PooledWorkspace {
             pool: self,
             ws: Some(ws),
+        }
+    }
+
+    /// Pop a recycled workspace or build one, recording hit/miss.
+    fn draw(&self) -> Workspace {
+        match self.free.lock().pop() {
+            Some(ws) => {
+                cap_obs::metrics().workspace_hits.inc();
+                ws
+            }
+            None => {
+                cap_obs::metrics().workspace_misses.inc();
+                Workspace::new()
+            }
         }
     }
 
@@ -133,6 +152,9 @@ impl WorkspacePool {
     pub fn warm(&self, n: usize) {
         let mut free = self.free.lock();
         while free.len() < n {
+            // Pre-building is still a build: count it as a miss so the
+            // hit/miss metrics tell the whole allocation story.
+            cap_obs::metrics().workspace_misses.inc();
             free.push(Workspace::new());
         }
     }
@@ -146,7 +168,7 @@ impl WorkspacePool {
     /// workspace that is never given back is simply dropped, which is
     /// safe but forfeits its grown capacity.
     pub fn take(&self) -> Workspace {
-        self.free.lock().pop().unwrap_or_default()
+        self.draw()
     }
 
     /// Return a workspace previously obtained with [`WorkspacePool::take`]
