@@ -8,9 +8,10 @@ mod extensions;
 mod frontier;
 mod measured;
 mod metrics_exp;
-mod profile;
+pub mod profile;
 pub mod scaling_exp;
 mod sensitivity;
+pub mod sentinel;
 mod tables;
 
 /// An experiment: id, one-line description, generator.
@@ -108,6 +109,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "scalingm",
         "Strong scaling of the parallel inference engine + Amdahl fit",
         scaling_exp::scalingm,
+    ),
+    (
+        "sentinel",
+        "Perf-regression sentinel workload (compare with --baseline, emit with --write-baseline)",
+        sentinel::sentinel,
     ),
     (
         "ablation-alloc",

@@ -7,7 +7,7 @@
 
 use cap_cnn::models::{caffenet, WeightInit};
 use cap_cnn::{CollectingTracer, ForwardArena, LayerKind, Network, ProfileReport};
-use cap_obs::TimingGuard;
+use cap_obs::{SpanRecord, TimingGuard};
 use cap_pruning::{apply_to_network, PruneAlgorithm, PruneSpec};
 use cap_tensor::Tensor4;
 use std::fmt::Write;
@@ -16,26 +16,43 @@ use std::fmt::Write;
 /// arena and weight pages are faulted in before any span is recorded.
 const PASSES: usize = 3;
 
-/// Run `PASSES` traced forward passes and aggregate the spans into a
-/// [`ProfileReport`] (per-layer `calls` = `PASSES`, so `mean()` is the
-/// mean over warm passes).
-fn profile(net: &Network, input: &Tensor4, label: &str) -> ProfileReport {
+/// Run `PASSES` traced forward passes into the shared `tracer`, drain
+/// its spans, and aggregate them into a [`ProfileReport`] (per-layer
+/// `calls` = `PASSES`, so `mean()` is the mean over warm passes).
+///
+/// The tracer is shared across calls so every span's start offset is
+/// measured from one common epoch — that keeps the dense and pruned
+/// sections of the `--trace-out` timeline on a single consistent time
+/// axis instead of two overlapping ones.
+fn profile(
+    net: &Network,
+    input: &Tensor4,
+    label: &str,
+    tracer: &CollectingTracer,
+) -> (ProfileReport, Vec<SpanRecord>) {
     let mut arena = ForwardArena::new();
     // Warm-up: untraced, absorbs arena growth and first-touch faults.
     net.forward_into(input, &mut arena)
         .expect("warm-up forward");
-    let tracer = CollectingTracer::new();
     for _ in 0..PASSES {
-        net.forward_into_traced(input, &mut arena, &tracer)
+        net.forward_into_traced(input, &mut arena, tracer)
             .expect("traced forward");
     }
-    ProfileReport::from_spans(label, &tracer.take_spans())
+    let spans = tracer.take_spans();
+    (ProfileReport::from_spans(label, &spans), spans)
 }
 
 /// The `profile` experiment: per-layer time tables for Caffenet at 0%
 /// and 60% pruning, produced by the tracer rather than any bespoke
 /// timer, plus the JSON exports and the metrics-registry snapshot.
 pub fn profile_caffenet() -> String {
+    profile_caffenet_with_trace().0
+}
+
+/// [`profile_caffenet`] plus the raw spans behind the report, in
+/// chronological order on one shared epoch — what `repro --exp profile
+/// --trace-out <path>` feeds to [`cap_obs::chrome_trace_json`].
+pub fn profile_caffenet_with_trace() -> (String, Vec<SpanRecord>) {
     // Histograms (forward latency, per-layer time, GEMM/im2col split)
     // only record while a TimingGuard is live.
     let _timing = TimingGuard::enable();
@@ -60,8 +77,10 @@ pub fn profile_caffenet() -> String {
     let spec = PruneSpec::uniform(&convs, 0.6);
     apply_to_network(&mut pruned, &spec, PruneAlgorithm::FilterL1).expect("pruning applies");
 
-    let report0 = profile(&dense, &input, "caffenet @ 0%");
-    let report60 = profile(&pruned, &input, "caffenet @ 60% conv pruning");
+    let tracer = CollectingTracer::new();
+    let (report0, mut spans) = profile(&dense, &input, "caffenet @ 0%", &tracer);
+    let (report60, spans60) = profile(&pruned, &input, "caffenet @ 60% conv pruning", &tracer);
+    spans.extend(spans60);
 
     let mut out = String::new();
     writeln!(out, "# Per-layer profile via the tracer (cap-obs)").unwrap();
@@ -85,7 +104,7 @@ pub fn profile_caffenet() -> String {
     let snap = cap_obs::metrics().snapshot();
     out.push_str(&snap.to_text());
     writeln!(out, "\njson: {}", snap.to_json()).unwrap();
-    out
+    (out, spans)
 }
 
 #[cfg(test)]
@@ -98,11 +117,21 @@ mod tests {
         let input = Tensor4::from_fn(1, 3, 224, 224, |_, c, h, w| {
             ((c + h + w) % 11) as f32 / 11.0 - 0.5
         });
-        let report = profile(&net, &input, "caffenet");
+        let tracer = CollectingTracer::new();
+        let (report, spans) = profile(&net, &input, "caffenet", &tracer);
         // Every executed DAG node shows up exactly once, with
         // calls == PASSES.
         assert_eq!(report.layers().len(), net.layer_names().count());
         assert!(report.layers().iter().all(|l| l.calls == PASSES as u64));
+        // The raw spans behind the report are exposed for --trace-out:
+        // PASSES forward spans plus PASSES spans per layer, each
+        // stamped with a start offset and a thread id.
+        let forwards = spans
+            .iter()
+            .filter(|s| s.scope == cap_obs::SpanScope::Forward)
+            .count();
+        assert_eq!(forwards, PASSES);
+        assert!(spans.iter().all(|s| s.tid > 0));
         let conv_share: f64 = net
             .layers_of_kind(LayerKind::Convolution)
             .iter()

@@ -98,6 +98,12 @@ pub fn workload() -> Tensor4 {
 /// Strong-scaling profile of [`cap_cnn::ParallelEngine`] on the
 /// mini-Caffenet batch-8 workload, with the Amdahl fit.
 pub fn scalingm() -> String {
+    // Timed metrics on, registry reset before any (warm-up) pass runs:
+    // the latency quantiles printed below then cover exactly this
+    // experiment's forward passes (see `Gauge::record_max` on ordering).
+    let _timing = cap_obs::TimingGuard::enable();
+    cap_obs::metrics().reset();
+
     let net = mini_caffenet();
     let imgs = workload();
     let counts = [1usize, 2, 4];
@@ -162,6 +168,21 @@ pub fn scalingm() -> String {
         )
         .unwrap();
     }
+
+    // Tail view of the same runs: per-chunk forward latency quantiles
+    // from the registry's log-linear histogram (<= 1/32 relative error).
+    let lat = cap_obs::metrics().snapshot().forward_latency_us;
+    match lat.percentiles() {
+        Some((p50, p90, p95, p99)) => writeln!(
+            out,
+            "\nchunk forward latency across all arms: n {} mean {:.0} us, \
+             p50 {p50} p90 {p90} p95 {p95} p99 {p99} us",
+            lat.count,
+            lat.mean()
+        )
+        .unwrap(),
+        None => writeln!(out, "\nchunk forward latency: no timed passes recorded").unwrap(),
+    }
     out
 }
 
@@ -183,6 +204,8 @@ mod tests {
         let out = scalingm();
         assert!(out.contains("workers"), "{out}");
         assert!(out.contains("Amdahl fit"), "{out}");
+        // Its own timed passes guarantee non-empty latency quantiles.
+        assert!(out.contains("p50 ") && out.contains("p99 "), "{out}");
     }
 
     /// The headline acceptance check: with real hardware parallelism

@@ -1,0 +1,541 @@
+//! The CI perf-regression sentinel: run a fixed mini-Caffenet workload,
+//! snapshot the metrics registry (structural counters + latency
+//! quantiles), and compare against a checked-in baseline
+//! (`BENCH_baseline.json` at the repository root).
+//!
+//! Two classes of metric, compared differently:
+//!
+//! * **strict** — deterministic structural counters (forward passes,
+//!   batch observations, workspace checkouts, arena high-water). These
+//!   must match the baseline exactly; any drift means the pipeline's
+//!   *shape* changed (an extra pass, a lost pool hit, a grown arena)
+//!   and the sentinel exits nonzero — a hard CI gate.
+//! * **advisory** — wall-clock latency quantiles and rates. Shared CI
+//!   runners make timing noisy, so these compare within a per-metric
+//!   relative tolerance and violations are *report-only*: they flag a
+//!   suspect; they never fail the build.
+//!
+//! The baseline file carries the kind and tolerance per metric, so the
+//! comparison policy is versioned alongside the numbers it governs.
+//! Regenerate with `repro --exp sentinel --write-baseline
+//! BENCH_baseline.json` after an intentional pipeline change.
+//!
+//! The workload runs under a [`TimingGuard`] with the registry reset
+//! **before** warm-up, so high-water gauges like `arena_bytes` cover
+//! exactly this run (see [`cap_obs::Gauge::record_max`] on why the
+//! order matters), and it reports into the global
+//! [`FlightRecorder`](cap_obs::FlightRecorder) so a crash mid-sentinel
+//! leaves a timeline behind.
+
+use super::scaling_exp::{mini_caffenet, workload};
+use cap_cnn::{run_batched, ParallelEngine};
+use cap_obs::TimingGuard;
+use serde::Value;
+use std::fmt::Write;
+
+/// Baseline file format identifier.
+pub const SCHEMA: &str = "cap-sentinel-v1";
+
+/// Sequential warm-up runs (arena growth, weight packing, page faults).
+const WARM_RUNS: usize = 1;
+/// Timed sequential runs feeding the latency histograms.
+const TIMED_RUNS: usize = 3;
+/// Parallel-engine runs (2 workers) exercising the concurrent paths.
+const ENGINE_RUNS: usize = 2;
+/// Engine worker count — fixed, so structural counts never depend on
+/// the host's core count.
+const ENGINE_WORKERS: usize = 2;
+/// Images per chunk.
+const BATCH: usize = 8;
+
+/// How a metric is held against its baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Deterministic structural counter: must match exactly; a
+    /// mismatch fails CI.
+    Strict,
+    /// Timing-derived: compared within `rel_tol`, report-only.
+    Advisory,
+}
+
+impl MetricKind {
+    fn tag(self) -> &'static str {
+        match self {
+            MetricKind::Strict => "strict",
+            MetricKind::Advisory => "advisory",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "strict" => Some(MetricKind::Strict),
+            "advisory" => Some(MetricKind::Advisory),
+            _ => None,
+        }
+    }
+}
+
+/// One measured metric with its comparison policy.
+#[derive(Debug, Clone)]
+pub struct SentinelMetric {
+    /// Stable metric name (baseline JSON key).
+    pub name: &'static str,
+    /// Measured value for this run.
+    pub value: f64,
+    /// Comparison class.
+    pub kind: MetricKind,
+    /// Relative tolerance (0.0 for strict metrics).
+    pub rel_tol: f64,
+}
+
+/// The outcome of one sentinel workload run.
+#[derive(Debug)]
+pub struct SentinelRun {
+    /// Every metric captured, in report order.
+    pub metrics: Vec<SentinelMetric>,
+    /// Human-readable run report (workload + metric table).
+    pub report: String,
+}
+
+/// Result of holding a run against a baseline.
+#[derive(Debug)]
+pub struct Comparison {
+    /// Human-readable comparison table with verdicts.
+    pub report: String,
+    /// Strict-metric mismatches (any > 0 must fail CI).
+    pub strict_violations: usize,
+    /// Advisory metrics outside tolerance (report-only).
+    pub advisory_violations: usize,
+}
+
+/// Execute the fixed workload and capture the sentinel metrics.
+///
+/// Deterministic by construction: fixed model seed, fixed image set,
+/// fixed batch/run/worker counts, and a registry reset before warm-up —
+/// so every strict metric is a pure function of the pipeline's code.
+pub fn run_workload() -> SentinelRun {
+    let _timing = TimingGuard::enable();
+    // Reset BEFORE warm-up: `arena_bytes` is a high-water mark that is
+    // re-reported every pass, and workspace hit/miss counters start
+    // counting here — the captured numbers cover exactly this run.
+    cap_obs::metrics().reset();
+
+    let net = mini_caffenet();
+    let imgs = workload();
+    let flight = cap_obs::flight::global();
+
+    for _ in 0..WARM_RUNS + TIMED_RUNS {
+        run_batched(&net, &imgs, BATCH).expect("sequential sentinel run");
+    }
+    let engine = ParallelEngine::new(ENGINE_WORKERS);
+    for _ in 0..ENGINE_RUNS {
+        engine
+            .run_batched_traced(&net, &imgs, BATCH, flight)
+            .expect("parallel sentinel run");
+    }
+
+    let snap = cap_obs::metrics().snapshot();
+    let lat = &snap.forward_latency_us;
+    let (p50, p90, p95, p99) = lat.percentiles().expect("timed runs recorded latency");
+    let checkouts = snap.workspace_hits + snap.workspace_misses;
+    let hit_rate = if checkouts == 0 {
+        0.0
+    } else {
+        snap.workspace_hits as f64 / checkouts as f64
+    };
+
+    let metrics = vec![
+        // Structural: the pipeline's shape. Exact or bust.
+        m(
+            "forward_passes",
+            snap.forward_passes as f64,
+            MetricKind::Strict,
+            0.0,
+        ),
+        m(
+            "batch_observations",
+            snap.batch_sizes.count as f64,
+            MetricKind::Strict,
+            0.0,
+        ),
+        m(
+            "batch_p50",
+            snap.batch_sizes.quantile(0.5).unwrap_or(0) as f64,
+            MetricKind::Strict,
+            0.0,
+        ),
+        m(
+            "workspace_checkouts",
+            checkouts as f64,
+            MetricKind::Strict,
+            0.0,
+        ),
+        m(
+            "arena_bytes",
+            snap.arena_bytes as f64,
+            MetricKind::Strict,
+            0.0,
+        ),
+        // Timing-derived: noisy on shared runners, advisory only.
+        m("workspace_hit_rate", hit_rate, MetricKind::Advisory, 0.05),
+        m(
+            "forward_latency_p50_us",
+            p50 as f64,
+            MetricKind::Advisory,
+            0.50,
+        ),
+        m(
+            "forward_latency_p90_us",
+            p90 as f64,
+            MetricKind::Advisory,
+            0.50,
+        ),
+        m(
+            "forward_latency_p95_us",
+            p95 as f64,
+            MetricKind::Advisory,
+            0.50,
+        ),
+        m(
+            "forward_latency_p99_us",
+            p99 as f64,
+            MetricKind::Advisory,
+            0.75,
+        ),
+        m(
+            "forward_latency_mean_us",
+            lat.mean(),
+            MetricKind::Advisory,
+            0.50,
+        ),
+        m(
+            "layer_time_p99_us",
+            snap.layer_time_us.quantile(0.99).unwrap_or(0) as f64,
+            MetricKind::Advisory,
+            0.75,
+        ),
+    ];
+
+    let mut report = String::new();
+    writeln!(report, "# Perf-regression sentinel").unwrap();
+    writeln!(
+        report,
+        "\nworkload: mini-Caffenet 32 images batch {BATCH}; {} sequential runs \
+         ({WARM_RUNS} warm + {TIMED_RUNS} timed), {ENGINE_RUNS} runs on a \
+         {ENGINE_WORKERS}-worker ParallelEngine\n",
+        WARM_RUNS + TIMED_RUNS
+    )
+    .unwrap();
+    writeln!(
+        report,
+        "{:<26} {:>16} {:>9} {:>8}",
+        "metric", "value", "kind", "rel_tol"
+    )
+    .unwrap();
+    for sm in &metrics {
+        writeln!(
+            report,
+            "{:<26} {:>16.3} {:>9} {:>8.2}",
+            sm.name,
+            sm.value,
+            sm.kind.tag(),
+            sm.rel_tol
+        )
+        .unwrap();
+    }
+    writeln!(
+        report,
+        "\nmetrics snapshot (full registry):\n{}",
+        snap.to_text()
+    )
+    .unwrap();
+
+    SentinelRun { metrics, report }
+}
+
+fn m(name: &'static str, value: f64, kind: MetricKind, rel_tol: f64) -> SentinelMetric {
+    SentinelMetric {
+        name,
+        value,
+        kind,
+        rel_tol,
+    }
+}
+
+impl SentinelRun {
+    /// Serialize this run as a baseline file (`--write-baseline`).
+    pub fn baseline_json(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{{").unwrap();
+        writeln!(out, "  \"schema\": \"{SCHEMA}\",").unwrap();
+        writeln!(
+            out,
+            "  \"workload\": \"mini-Caffenet 32 images batch {BATCH}, {} sequential + {} x \
+             {}-worker engine runs\",",
+            WARM_RUNS + TIMED_RUNS,
+            ENGINE_RUNS,
+            ENGINE_WORKERS
+        )
+        .unwrap();
+        writeln!(out, "  \"metrics\": {{").unwrap();
+        for (i, sm) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            writeln!(
+                out,
+                "    \"{}\": {{ \"value\": {}, \"kind\": \"{}\", \"rel_tol\": {} }}{comma}",
+                sm.name,
+                fmt_f64(sm.value),
+                sm.kind.tag(),
+                fmt_f64(sm.rel_tol)
+            )
+            .unwrap();
+        }
+        writeln!(out, "  }}").unwrap();
+        writeln!(out, "}}").unwrap();
+        out
+    }
+
+    /// Hold this run against a baseline file's contents.
+    ///
+    /// The baseline's `kind`/`rel_tol` govern the comparison (policy is
+    /// versioned with the numbers). Baseline metrics absent from the
+    /// current run count as strict violations — a silently vanished
+    /// counter is a pipeline-shape change too. Returns `Err` only when
+    /// the baseline itself is unreadable (malformed JSON, wrong
+    /// schema) — the `exit 2` path, distinct from a regression.
+    pub fn compare(&self, baseline_json: &str) -> Result<Comparison, String> {
+        let root: Value = serde_json::from_str(baseline_json)
+            .map_err(|e| format!("baseline is not valid JSON: {e:?}"))?;
+        let schema = str_field(&root, "schema")?;
+        if schema != SCHEMA {
+            return Err(format!("baseline schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        let Value::Map(entries) = serde::map_field(&root, "metrics")
+            .map_err(|e| format!("baseline missing \"metrics\": {e:?}"))?
+        else {
+            return Err("baseline \"metrics\" is not an object".into());
+        };
+
+        let mut report = String::new();
+        let mut strict_violations = 0usize;
+        let mut advisory_violations = 0usize;
+        writeln!(
+            report,
+            "{:<26} {:>14} {:>14} {:>9} {:>9} {:>10}",
+            "metric", "current", "baseline", "delta%", "kind", "verdict"
+        )
+        .unwrap();
+        for (name, entry) in entries {
+            let base_value = f64_field(entry, "value")
+                .ok_or_else(|| format!("baseline metric {name:?} has no numeric \"value\""))?;
+            let kind = MetricKind::parse(&str_field(entry, "kind").unwrap_or_default())
+                .ok_or_else(|| format!("baseline metric {name:?} has an unknown \"kind\""))?;
+            let rel_tol = f64_field(entry, "rel_tol").unwrap_or(0.0);
+
+            let Some(cur) = self.metrics.iter().find(|sm| sm.name == *name) else {
+                strict_violations += 1;
+                writeln!(
+                    report,
+                    "{:<26} {:>14} {:>14.3} {:>9} {:>9} {:>10}",
+                    name,
+                    "MISSING",
+                    base_value,
+                    "-",
+                    kind.tag(),
+                    "VIOLATION"
+                )
+                .unwrap();
+                continue;
+            };
+
+            let denom = base_value.abs().max(1e-12);
+            let delta = (cur.value - base_value) / denom;
+            let within = match kind {
+                // Strict counters are integers in disguise: exact up to
+                // f64 round-trip noise.
+                MetricKind::Strict => delta.abs() <= 1e-9,
+                MetricKind::Advisory => delta.abs() <= rel_tol,
+            };
+            let verdict = if within {
+                "ok"
+            } else {
+                match kind {
+                    MetricKind::Strict => {
+                        strict_violations += 1;
+                        "VIOLATION"
+                    }
+                    MetricKind::Advisory => {
+                        advisory_violations += 1;
+                        "suspect"
+                    }
+                }
+            };
+            writeln!(
+                report,
+                "{:<26} {:>14.3} {:>14.3} {:>+8.1}% {:>9} {:>10}",
+                name,
+                cur.value,
+                base_value,
+                delta * 100.0,
+                kind.tag(),
+                verdict
+            )
+            .unwrap();
+        }
+        writeln!(
+            report,
+            "\nstrict violations: {strict_violations} (gate), advisory out-of-tolerance: \
+             {advisory_violations} (report-only)"
+        )
+        .unwrap();
+        Ok(Comparison {
+            report,
+            strict_violations,
+            advisory_violations,
+        })
+    }
+}
+
+fn str_field(v: &Value, name: &str) -> Result<String, String> {
+    match serde::map_field(v, name) {
+        Ok(Value::Str(s)) => Ok(s.clone()),
+        Ok(_) => Err(format!("field {name:?} is not a string")),
+        Err(e) => Err(format!("missing field {name:?}: {e:?}")),
+    }
+}
+
+fn f64_field(v: &Value, name: &str) -> Option<f64> {
+    match serde::map_field(v, name).ok()? {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+/// Render an f64 as JSON: integers without a fraction, everything else
+/// with enough digits to round-trip.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// The `sentinel` registry entry: run the workload and report.
+/// (Baseline comparison and exit codes live in the `repro` binary,
+/// which owns the process boundary.)
+pub fn sentinel() -> String {
+    run_workload().report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Comparison-policy tests run on a synthetic run: they exercise
+    // pure logic and stay independent of the process-global metrics
+    // registry (which sibling tests mutate concurrently). The real
+    // workload's determinism and the end-to-end gate live in
+    // `crates/bench/tests/sentinel_gate.rs`, serialized in their own
+    // test process.
+    fn fake_run() -> SentinelRun {
+        SentinelRun {
+            metrics: vec![
+                m("forward_passes", 24.0, MetricKind::Strict, 0.0),
+                m("arena_bytes", 1_048_576.0, MetricKind::Strict, 0.0),
+                m("forward_latency_p50_us", 1500.0, MetricKind::Advisory, 0.50),
+                m("workspace_hit_rate", 0.96875, MetricKind::Advisory, 0.05),
+            ],
+            report: String::new(),
+        }
+    }
+
+    #[test]
+    fn run_against_its_own_baseline_is_clean() {
+        let run = fake_run();
+        let cmp = run.compare(&run.baseline_json()).unwrap();
+        assert_eq!(cmp.strict_violations, 0, "{}", cmp.report);
+        assert_eq!(cmp.advisory_violations, 0, "{}", cmp.report);
+    }
+
+    /// The negative test: doctor a strict metric in the baseline and
+    /// the sentinel must flag it (this is what makes CI exit nonzero).
+    #[test]
+    fn doctored_strict_baseline_is_a_violation() {
+        let run = fake_run();
+        let doctored = run
+            .baseline_json()
+            .replace("\"value\": 24", "\"value\": 31");
+        let cmp = run.compare(&doctored).unwrap();
+        assert_eq!(cmp.strict_violations, 1, "{}", cmp.report);
+        assert!(cmp.report.contains("VIOLATION"), "{}", cmp.report);
+
+        // A baseline metric the run no longer produces is a violation
+        // too: deleting a counter is a shape change.
+        let ghost = run
+            .baseline_json()
+            .replace("\"forward_passes\"", "\"forward_passes_renamed\"");
+        let cmp = run.compare(&ghost).unwrap();
+        assert_eq!(cmp.strict_violations, 1, "{}", cmp.report);
+        assert!(cmp.report.contains("MISSING"), "{}", cmp.report);
+    }
+
+    /// Advisory drift never counts toward the gate.
+    #[test]
+    fn advisory_drift_is_report_only() {
+        let run = fake_run();
+        let doctored = run
+            .baseline_json()
+            .replace("\"value\": 1500", "\"value\": 150000");
+        let cmp = run.compare(&doctored).unwrap();
+        assert_eq!(cmp.strict_violations, 0, "{}", cmp.report);
+        assert_eq!(cmp.advisory_violations, 1, "{}", cmp.report);
+        assert!(cmp.report.contains("suspect"), "{}", cmp.report);
+    }
+
+    /// Drift *within* an advisory tolerance is quietly ok.
+    #[test]
+    fn advisory_within_tolerance_passes() {
+        let run = fake_run();
+        // p50 baseline 10% above the measured 1500: inside rel_tol 0.5.
+        let doctored = run
+            .baseline_json()
+            .replace("\"value\": 1500", "\"value\": 1650");
+        let cmp = run.compare(&doctored).unwrap();
+        assert_eq!(cmp.advisory_violations, 0, "{}", cmp.report);
+    }
+
+    /// Unreadable baselines are a distinct failure (exit 2 in repro),
+    /// not a regression verdict.
+    #[test]
+    fn malformed_baseline_is_an_error_not_a_verdict() {
+        let run = fake_run();
+        assert!(run.compare("not json at all").is_err());
+        assert!(run
+            .compare("{\"schema\":\"cap-sentinel-v0\",\"metrics\":{}}")
+            .is_err());
+        assert!(run.compare("{\"metrics\":{}}").is_err());
+    }
+
+    #[test]
+    fn baseline_json_parses_and_round_trips_policy() {
+        let run = fake_run();
+        let json = run.baseline_json();
+        let v: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(str_field(&v, "schema").unwrap(), SCHEMA);
+        let metrics = serde::map_field(&v, "metrics").unwrap();
+        for sm in &run.metrics {
+            let entry = serde::map_field(metrics, sm.name).unwrap();
+            assert_eq!(
+                str_field(entry, "kind").unwrap(),
+                sm.kind.tag(),
+                "{}",
+                sm.name
+            );
+            let val = f64_field(entry, "value").unwrap();
+            assert!((val - sm.value).abs() <= 1e-6 * sm.value.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Chrome-trace round trip: spans collected from a real parallel run
+//! are exported with [`chrome_trace_json`], re-parsed with an actual
+//! JSON parser, and checked structurally — event count, layer names,
+//! per-tid track assignment, and nesting by time containment (every
+//! layer event fits inside a forward event on the same thread track,
+//! every forward inside its worker span).
+
+use cap_cnn::layer::{ConvLayer, InnerProductLayer, ReluLayer, SoftmaxLayer};
+use cap_cnn::network::Network;
+use cap_cnn::{CollectingTracer, ParallelEngine};
+use cap_obs::chrome_trace_json;
+use cap_tensor::{init::xavier_uniform, Conv2dParams, Tensor4};
+use serde::Value;
+use std::collections::HashMap;
+
+fn small_net() -> Network {
+    let mut net = Network::new("trace-net", (3, 9, 9));
+    net.add_sequential(Box::new(
+        ConvLayer::new(
+            "conv1",
+            Conv2dParams::new(3, 6, 3, 1, 2),
+            xavier_uniform(6, 27, 3),
+            vec![0.0; 6],
+        )
+        .unwrap(),
+    ))
+    .unwrap();
+    net.add_sequential(Box::new(ReluLayer::new("relu1")))
+        .unwrap();
+    net.add_sequential(Box::new(
+        InnerProductLayer::new("fc", xavier_uniform(4, 6 * 5 * 5, 5), vec![0.0; 4]).unwrap(),
+    ))
+    .unwrap();
+    net.add_sequential(Box::new(SoftmaxLayer::new("prob")))
+        .unwrap();
+    net
+}
+
+/// One parsed `"ph":"X"` event.
+struct Event {
+    name: String,
+    cat: String,
+    ts: f64,
+    dur: f64,
+    tid: u64,
+}
+
+fn parse_events(json: &str) -> (Vec<Event>, HashMap<u64, String>) {
+    let root: Value = serde_json::from_str(json).expect("trace must be valid JSON");
+    let Value::Seq(events) = serde::map_field(&root, "traceEvents").unwrap() else {
+        panic!("traceEvents must be an array");
+    };
+    let mut complete = Vec::new();
+    let mut tracks = HashMap::new();
+    for e in events {
+        let ph = str_of(serde::map_field(e, "ph").unwrap());
+        let tid = u64_of(serde::map_field(e, "tid").unwrap());
+        match ph.as_str() {
+            "X" => complete.push(Event {
+                name: str_of(serde::map_field(e, "name").unwrap()),
+                cat: str_of(serde::map_field(e, "cat").unwrap()),
+                ts: f64_of(serde::map_field(e, "ts").unwrap()),
+                dur: f64_of(serde::map_field(e, "dur").unwrap()),
+                tid,
+            }),
+            "M" => {
+                assert_eq!(str_of(serde::map_field(e, "name").unwrap()), "thread_name");
+                let args = serde::map_field(e, "args").unwrap();
+                tracks.insert(tid, str_of(serde::map_field(args, "name").unwrap()));
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    (complete, tracks)
+}
+
+fn str_of(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+fn u64_of(v: &Value) -> u64 {
+    match v {
+        Value::UInt(u) => *u,
+        Value::Int(i) => u64::try_from(*i).unwrap(),
+        other => panic!("expected integer, got {other:?}"),
+    }
+}
+
+fn f64_of(v: &Value) -> f64 {
+    match v {
+        Value::Float(f) => *f,
+        Value::UInt(u) => *u as f64,
+        Value::Int(i) => *i as f64,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+#[test]
+fn parallel_trace_round_trips_with_nesting_by_tid() {
+    let net = small_net();
+    let tracer = CollectingTracer::new();
+    let engine = ParallelEngine::new(3);
+    let imgs = Tensor4::from_fn(12, 3, 9, 9, |n, c, h, w| {
+        (((n * 41 + c * 13 + h * 5 + w) % 19) as f32 - 9.0) / 7.0
+    });
+    engine
+        .run_batched_traced(&net, &imgs, 4, &tracer)
+        .expect("traced parallel run");
+    let spans = tracer.take_spans();
+    let json = chrome_trace_json(&spans);
+
+    let (events, tracks) = parse_events(&json);
+
+    // Count: one X event per span, one metadata event per distinct tid.
+    assert_eq!(events.len(), spans.len());
+    let distinct_tids: std::collections::HashSet<u64> = spans.iter().map(|s| s.tid).collect();
+    assert_eq!(tracks.len(), distinct_tids.len());
+
+    // Names survive: all four layers, the network, and the workers.
+    for name in ["conv1", "relu1", "fc", "prob", "trace-net", "worker"] {
+        assert!(
+            events.iter().any(|e| e.name == name),
+            "missing event {name:?} in trace"
+        );
+    }
+
+    // Worker tracks are labelled worker-<index>; 12 images at batch 4
+    // on 3 workers means all three are active.
+    for w in 0..3 {
+        assert!(
+            tracks.values().any(|label| label == &format!("worker-{w}")),
+            "missing worker-{w} track label, have {tracks:?}"
+        );
+    }
+
+    // Nesting by time containment per tid track: every layer event lies
+    // within a forward event on the same tid, and every forward event
+    // within the worker event on the same tid. (Containment — not mere
+    // overlap — is exactly what makes the viewer stack them.) Start
+    // offsets are derived from separate clock reads at span exit, so a
+    // few microseconds of skew are tolerated.
+    const SKEW_US: f64 = 50.0;
+    let contains = |outer: &Event, inner: &Event| {
+        outer.ts <= inner.ts + SKEW_US && inner.ts + inner.dur <= outer.ts + outer.dur + SKEW_US
+    };
+    for layer in events.iter().filter(|e| e.cat == "layer") {
+        assert!(
+            events
+                .iter()
+                .filter(|e| e.cat == "forward" && e.tid == layer.tid)
+                .any(|fwd| contains(fwd, layer)),
+            "layer event {:?} (tid {}) not contained in any forward span on its track",
+            layer.name,
+            layer.tid
+        );
+    }
+    for fwd in events.iter().filter(|e| e.cat == "forward") {
+        assert!(
+            events
+                .iter()
+                .filter(|e| e.cat == "worker" && e.tid == fwd.tid)
+                .any(|wk| contains(wk, fwd)),
+            "forward event (tid {}) not contained in its worker span",
+            fwd.tid
+        );
+    }
+
+    // And workers never share a track: one worker event per tid.
+    let mut worker_tids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.cat == "worker")
+        .map(|e| e.tid)
+        .collect();
+    worker_tids.sort_unstable();
+    worker_tids.dedup();
+    assert_eq!(worker_tids.len(), 3, "each worker on its own tid track");
+}

@@ -191,7 +191,15 @@ impl ParallelEngine {
     /// and each forward pass inside the worker emits the usual per-layer
     /// spans via [`Network::forward_into_traced`] — all into the shared
     /// `tracer`, which therefore must tolerate concurrent reporting (a
-    /// [`cap_obs::CollectingTracer`] does).
+    /// [`cap_obs::CollectingTracer`] or [`cap_obs::FlightRecorder`]
+    /// does).
+    ///
+    /// Workers run on fresh OS threads (the `rayon::scope` shim spawns
+    /// one per worker), and recording tracers stamp each span with the
+    /// reporting thread's [`cap_obs::current_tid`] — so in a collected
+    /// trace every worker's spans land on their own thread track, with
+    /// the per-layer spans nested inside that worker's
+    /// [`SpanScope::Worker`] span by time containment.
     ///
     /// With [`NoopTracer`] this is exactly [`ParallelEngine::run_batched`]:
     /// the no-op instrumentation monomorphizes away.

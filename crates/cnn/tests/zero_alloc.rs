@@ -155,6 +155,29 @@ fn steady_state_inference_allocates_nothing() {
         );
     }
 
+    // A FlightRecorder is designed to stay attached in release builds:
+    // its record path is a ticket fetch_add plus fixed-slot atomic
+    // stores — no heap. Allocate the ring (and warm the thread-id
+    // assignment) up front, then verify recorded passes stay quiet.
+    {
+        let recorder = cap_cnn::FlightRecorder::new(64);
+        net.forward_into_traced(&images, &mut arena, &recorder)
+            .unwrap();
+        let before = ALLOC_CALLS.load(Ordering::SeqCst);
+        for _ in 0..5 {
+            net.forward_into_traced(&images, &mut arena, &recorder)
+                .unwrap();
+        }
+        let after = ALLOC_CALLS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "flight-recorded forward passes must not allocate (got {})",
+            after - before,
+        );
+        assert!(!recorder.dump().is_empty());
+    }
+
     // Changing batch size grows buffers once, then goes quiet again.
     let smaller = Tensor4::from_fn(2, 3, 19, 19, |n, c, h, w| {
         (((n * 7 + c * 3 + h + w) % 11) as f32 - 5.0) / 4.0

@@ -1,0 +1,94 @@
+//! Hand-rolled JSON rendering helpers shared by the exporters.
+//!
+//! `cap-obs` is dependency-free by contract, so every exporter
+//! (metrics, profile reports, Chrome traces) writes JSON by hand. These
+//! helpers centralize the two places hand-rolled JSON goes wrong:
+//! string escaping and non-finite floats (`NaN`/`inf` are not JSON —
+//! they render as `null`). `crates/bench/tests/json_exports.rs` parses
+//! every exporter's output with a real JSON parser to keep this honest.
+
+use std::fmt::Write;
+
+/// Append `s` to `out` as a JSON string literal, quotes included.
+///
+/// Escapes the two mandatory characters (`"` and `\`) plus control
+/// characters below `0x20` (named escapes for the common whitespace,
+/// `\u00XX` for the rest). Everything else — including multi-byte
+/// UTF-8 — passes through unchanged, which is valid JSON.
+pub(crate) fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a float as a JSON number, or `null` when it is not finite
+/// (`NaN` and `±inf` have no JSON representation).
+pub(crate) fn write_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        write!(out, "{v}").unwrap();
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append an optional integer as a JSON number, or `null` when absent
+/// (used for quantiles of empty histograms).
+pub(crate) fn write_json_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => write!(out, "{v}").unwrap(),
+        None => out.push_str("null"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn esc(s: &str) -> String {
+        let mut out = String::new();
+        write_json_str(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(esc("plain"), "\"plain\"");
+        assert_eq!(esc("a\"b"), "\"a\\\"b\"");
+        assert_eq!(esc("a\\b"), "\"a\\\\b\"");
+        assert_eq!(esc("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(esc("\u{1}"), "\"\\u0001\"");
+        assert_eq!(esc("héllo"), "\"héllo\"");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        let mut out = String::new();
+        write_json_f64(&mut out, f64::NAN);
+        out.push(',');
+        write_json_f64(&mut out, f64::INFINITY);
+        out.push(',');
+        write_json_f64(&mut out, 1.5);
+        assert_eq!(out, "null,null,1.5");
+    }
+
+    #[test]
+    fn optional_u64_renders_null_when_absent() {
+        let mut out = String::new();
+        write_json_opt_u64(&mut out, Some(7));
+        out.push(',');
+        write_json_opt_u64(&mut out, None);
+        assert_eq!(out, "7,null");
+    }
+}

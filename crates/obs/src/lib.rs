@@ -14,11 +14,18 @@
 //!   [`NoopTracer`] is the disabled state; [`CollectingTracer`] records
 //!   [`SpanRecord`]s for aggregation.
 //! * [`MetricsRegistry`] — a process-global, lock-free set of
-//!   [`Counter`]s, [`Gauge`]s and [`Histogram`]s (forward-pass latency,
+//!   [`Counter`]s, [`Gauge`]s and histograms (forward-pass latency,
 //!   per-layer time, GEMM/im2col split, arena bytes, workspace pool
-//!   hits/misses, batch sizes) with plain-text and JSON exporters.
+//!   hits/misses, batch sizes) with plain-text and JSON exporters. The
+//!   timed histograms are log-linear [`HdrHistogram`]s, so snapshots
+//!   report p50/p90/p95/p99 with a documented ≤ 1/32 relative error.
 //! * [`ProfileReport`] — turns collected spans into a per-layer time
 //!   table comparable across pruning levels.
+//! * [`FlightRecorder`] — an always-on, fixed-capacity, lock-free ring
+//!   of the last N spans, cheap enough for release builds; dump it on
+//!   demand or from a panic hook.
+//! * [`trace_export`] — renders any span list as a Chrome
+//!   `trace_event` JSON timeline loadable in Perfetto.
 //!
 //! # Zero-overhead-when-disabled contract
 //!
@@ -35,13 +42,22 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
+pub mod hdr;
+mod jsonutil;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod trace_export;
 
+pub use flight::FlightRecorder;
+pub use hdr::{HdrHistogram, HdrSnapshot};
 pub use metrics::{
     metrics, timing_enabled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot, TimingGuard,
 };
 pub use report::{LayerRow, ProfileReport};
-pub use span::{CollectingTracer, NoopTracer, SpanInfo, SpanRecord, SpanScope, Tracer};
+pub use span::{
+    current_tid, CollectingTracer, NoopTracer, SpanInfo, SpanRecord, SpanScope, TeeTracer, Tracer,
+};
+pub use trace_export::chrome_trace_json;

@@ -1,5 +1,12 @@
-//! Lock-free metrics: counters, gauges, power-of-two histograms, and the
+//! Lock-free metrics: counters, gauges, histograms, and the
 //! process-global [`MetricsRegistry`] that instrumented crates feed.
+//!
+//! Two histogram flavors coexist: the compact power-of-two
+//! [`Histogram`] (40 buckets, order-of-magnitude resolution) and the
+//! log-linear [`HdrHistogram`] (sub-bucketed, so
+//! p50/p95/p99 read out with a bounded ≤ 1/32 relative error). The
+//! registry's timed histograms use the log-linear flavor — tail
+//! latencies are what a serving system is operated on.
 //!
 //! Everything here is a relaxed atomic — no locks anywhere, so workers
 //! of a [`ParallelEngine`](https://docs.rs/cap-cnn) shard record into
@@ -10,6 +17,8 @@
 //! additionally gated behind the [`timing_enabled`] flag so the default
 //! configuration pays one relaxed load and a never-taken branch.
 
+use crate::hdr::{HdrHistogram, HdrSnapshot};
+use crate::jsonutil::{write_json_f64, write_json_opt_u64, write_json_str};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
@@ -67,6 +76,19 @@ impl Gauge {
     }
 
     /// Raise the value to `v` if `v` is larger (high-water mark).
+    ///
+    /// Interaction with [`MetricsRegistry::reset`]: a reset drops the
+    /// mark to zero, and the next `record_max` re-publishes whatever
+    /// high-water the *next* recording site observes — not the
+    /// pre-reset peak. A gauge like `arena_bytes` therefore reflects
+    /// the era since the last reset only if recording sites re-report
+    /// their current value afterwards (the forward pass does, every
+    /// pass). Snapshot consumers that compare against a baseline (the
+    /// `sentinel` experiment) must reset **before** their warm-up so
+    /// the mark they capture covers exactly their own run; resetting
+    /// mid-run would otherwise publish a partial, stale-looking
+    /// high-water into the baseline. Tested by
+    /// `reset_then_record_max_republishes_current_high_water` below.
     #[inline]
     pub fn record_max(&self, v: u64) {
         self.0.fetch_max(v, Ordering::Relaxed);
@@ -260,9 +282,11 @@ pub struct MetricsRegistry {
     /// Forward passes started (`Network::forward_into*`). Always on.
     pub forward_passes: Counter,
     /// Whole-pass latency in microseconds. Gated by [`timing_enabled`].
-    pub forward_latency_us: Histogram,
+    /// Log-linear ([`HdrHistogram`]), so p50/p95/p99 read out with a
+    /// bounded ≤ 1/32 relative error.
+    pub forward_latency_us: HdrHistogram,
     /// Per-layer forward time in microseconds. Gated by [`timing_enabled`].
-    pub layer_time_us: Histogram,
+    pub layer_time_us: HdrHistogram,
     /// Nanoseconds inside packed-GEMM kernels during convolution.
     /// Gated by [`timing_enabled`].
     pub gemm_time_ns: Counter,
@@ -278,7 +302,7 @@ pub struct MetricsRegistry {
     /// Always on.
     pub workspace_misses: Counter,
     /// Batch sizes seen by forward passes. Always on.
-    pub batch_sizes: Histogram,
+    pub batch_sizes: HdrHistogram,
     /// (version, configuration, batch) candidates evaluated by grid
     /// exploration. Always on.
     pub grid_candidates: Counter,
@@ -288,14 +312,14 @@ pub struct MetricsRegistry {
 
 static REGISTRY: MetricsRegistry = MetricsRegistry {
     forward_passes: Counter::new(),
-    forward_latency_us: Histogram::new(),
-    layer_time_us: Histogram::new(),
+    forward_latency_us: HdrHistogram::new(),
+    layer_time_us: HdrHistogram::new(),
     gemm_time_ns: Counter::new(),
     im2col_time_ns: Counter::new(),
     arena_bytes: Gauge::new(),
     workspace_hits: Counter::new(),
     workspace_misses: Counter::new(),
-    batch_sizes: Histogram::new(),
+    batch_sizes: HdrHistogram::new(),
     grid_candidates: Counter::new(),
     allocation_runs: Counter::new(),
 };
@@ -353,9 +377,9 @@ pub struct MetricsSnapshot {
     /// See [`MetricsRegistry::forward_passes`].
     pub forward_passes: u64,
     /// See [`MetricsRegistry::forward_latency_us`].
-    pub forward_latency_us: HistogramSnapshot,
+    pub forward_latency_us: HdrSnapshot,
     /// See [`MetricsRegistry::layer_time_us`].
-    pub layer_time_us: HistogramSnapshot,
+    pub layer_time_us: HdrSnapshot,
     /// See [`MetricsRegistry::gemm_time_ns`].
     pub gemm_time_ns: u64,
     /// See [`MetricsRegistry::im2col_time_ns`].
@@ -367,7 +391,7 @@ pub struct MetricsSnapshot {
     /// See [`MetricsRegistry::workspace_misses`].
     pub workspace_misses: u64,
     /// See [`MetricsRegistry::batch_sizes`].
-    pub batch_sizes: HistogramSnapshot,
+    pub batch_sizes: HdrSnapshot,
     /// See [`MetricsRegistry::grid_candidates`].
     pub grid_candidates: u64,
     /// See [`MetricsRegistry::allocation_runs`].
@@ -388,7 +412,8 @@ impl MetricsSnapshot {
         ]
     }
 
-    fn histograms(&self) -> [(&'static str, &HistogramSnapshot); 3] {
+    /// The timed/size histograms by name, log-linear with quantiles.
+    pub fn histograms(&self) -> [(&'static str, &HdrSnapshot); 3] {
         [
             ("forward_latency_us", &self.forward_latency_us),
             ("layer_time_us", &self.layer_time_us),
@@ -397,7 +422,8 @@ impl MetricsSnapshot {
     }
 
     /// Plain-text export: one `name value` line per scalar, then one
-    /// line per histogram with count/mean and non-empty buckets.
+    /// line per histogram with count, mean, the p50/p90/p95/p99
+    /// quantiles (`-` when empty), and non-empty buckets.
     pub fn to_text(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -406,9 +432,15 @@ impl MetricsSnapshot {
         }
         for (name, h) in self.histograms() {
             write!(out, "{name} count {} mean {:.1}", h.count, h.mean()).unwrap();
+            match h.percentiles() {
+                Some((p50, p90, p95, p99)) => {
+                    write!(out, " p50 {p50} p90 {p90} p95 {p95} p99 {p99}").unwrap()
+                }
+                None => write!(out, " p50 - p90 - p95 - p99 -").unwrap(),
+            }
             for (i, &c) in h.buckets.iter().enumerate() {
                 if c > 0 {
-                    let (lo, hi) = HistogramSnapshot::bucket_bounds(i);
+                    let (lo, hi) = crate::hdr::hdr_bucket_bounds(i);
                     write!(out, " [{lo},{hi}):{c}").unwrap();
                 }
             }
@@ -417,24 +449,31 @@ impl MetricsSnapshot {
         out
     }
 
-    /// JSON export (stable key order, no external dependencies).
+    /// JSON export: stable key order, no external dependencies, and
+    /// defensively valid — metric names are string-escaped and any
+    /// non-finite mean renders as `null` (quantiles of an empty
+    /// histogram too). `crates/bench/tests/json_exports.rs` parses the
+    /// output with a real JSON parser.
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
         let mut out = String::from("{");
         for (name, v) in self.scalars() {
-            write!(out, "\"{name}\":{v},").unwrap();
+            write_json_str(&mut out, name);
+            write!(out, ":{v},").unwrap();
         }
         for (name, h) in self.histograms() {
-            write!(
-                out,
-                "\"{name}\":{{\"count\":{},\"sum\":{},\"buckets\":{{",
-                h.count, h.sum
-            )
-            .unwrap();
+            write_json_str(&mut out, name);
+            write!(out, ":{{\"count\":{},\"sum\":{},\"mean\":", h.count, h.sum).unwrap();
+            write_json_f64(&mut out, if h.count == 0 { 0.0 } else { h.mean() });
+            for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99)] {
+                write!(out, ",\"{label}\":").unwrap();
+                write_json_opt_u64(&mut out, h.quantile(q));
+            }
+            out.push_str(",\"buckets\":{");
             let mut first = true;
             for (i, &c) in h.buckets.iter().enumerate() {
                 if c > 0 {
-                    let (lo, _) = HistogramSnapshot::bucket_bounds(i);
+                    let (lo, _) = crate::hdr::hdr_bucket_bounds(i);
                     if !first {
                         out.push(',');
                     }
@@ -579,5 +618,53 @@ mod tests {
         assert_eq!(snap.forward_passes, 0);
         assert_eq!(snap.layer_time_us.count, 0);
         assert_eq!(snap.arena_bytes, 0);
+    }
+
+    #[test]
+    fn snapshot_reports_quantiles() {
+        let reg = MetricsRegistry::default();
+        for v in 1..=100u64 {
+            reg.forward_latency_us.record(v * 10);
+        }
+        let snap = reg.snapshot();
+        let (p50, p90, p95, p99) = snap.forward_latency_us.percentiles().unwrap();
+        // True percentiles are 500/900/950/990 µs; estimates carry the
+        // documented <= 1/32 relative bucket error.
+        for (est, truth) in [(p50, 500u64), (p90, 900), (p95, 950), (p99, 990)] {
+            assert!(
+                est <= truth && (truth - est) as f64 <= (truth as f64 / 32.0).max(1.0),
+                "estimate {est} for true {truth}"
+            );
+        }
+        let text = snap.to_text();
+        assert!(text.contains(&format!("p50 {p50}")), "{text}");
+        assert!(text.contains(&format!("p99 {p99}")), "{text}");
+        let json = snap.to_json();
+        assert!(json.contains(&format!("\"p95\":{p95}")), "{json}");
+        // Empty histograms export their quantiles as JSON null.
+        assert!(json.contains("\"layer_time_us\":{\"count\":0,\"sum\":0,\"mean\":0,\"p50\":null"));
+    }
+
+    /// The satellite fix: a mid-run `reset` cannot leave a stale
+    /// high-water mark behind — the gauge restarts from zero and the
+    /// next `record_max` republishes only what is observed *after* the
+    /// reset. Experiments that snapshot for a baseline therefore reset
+    /// before their warm-up, so the captured mark covers exactly their
+    /// own run.
+    #[test]
+    fn reset_then_record_max_republishes_current_high_water() {
+        let reg = MetricsRegistry::default();
+        reg.arena_bytes.record_max(1_000_000); // pre-run peak (stale)
+        reg.reset();
+        assert_eq!(reg.snapshot().arena_bytes, 0, "reset clears the mark");
+        reg.arena_bytes.record_max(4096); // what this run actually uses
+        assert_eq!(
+            reg.snapshot().arena_bytes,
+            4096,
+            "post-reset mark reflects only post-reset observations"
+        );
+        // A smaller later observation does not lower it (still a max).
+        reg.arena_bytes.record_max(1024);
+        assert_eq!(reg.snapshot().arena_bytes, 4096);
     }
 }

@@ -159,18 +159,17 @@ impl ProfileReport {
         out
     }
 
-    /// JSON export (stable key order, no external dependencies).
+    /// JSON export (stable key order, no external dependencies). Layer
+    /// names, kinds and the label are string-escaped, so the output
+    /// stays valid whatever the layers are called
+    /// (`crates/bench/tests/json_exports.rs` parses it).
     pub fn to_json(&self) -> String {
+        use crate::jsonutil::write_json_str;
         use std::fmt::Write;
         let total = self.total_time().as_secs_f64();
-        let mut out = String::new();
-        write!(
-            out,
-            "{{\"label\":\"{}\",\"total_ms\":{:.6},\"layers\":[",
-            self.label.replace('"', "\\\""),
-            total * 1000.0
-        )
-        .unwrap();
+        let mut out = String::from("{\"label\":");
+        write_json_str(&mut out, &self.label);
+        write!(out, ",\"total_ms\":{:.6},\"layers\":[", total * 1000.0).unwrap();
         for (i, l) in self.layers.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -181,12 +180,14 @@ impl ProfileReport {
                 0.0
             };
             let [n, c, h, w] = l.shape;
+            out.push_str("{\"name\":");
+            write_json_str(&mut out, &l.name);
+            out.push_str(",\"kind\":");
+            write_json_str(&mut out, &l.kind);
             write!(
                 out,
-                "{{\"name\":\"{}\",\"kind\":\"{}\",\"shape\":[{n},{c},{h},{w}],\
+                ",\"shape\":[{n},{c},{h},{w}],\
                  \"calls\":{},\"total_ms\":{:.6},\"mean_ms\":{:.6},\"share\":{:.6}}}",
-                l.name.replace('"', "\\\""),
-                l.kind,
                 l.calls,
                 l.total.as_secs_f64() * 1000.0,
                 l.mean().as_secs_f64() * 1000.0,
@@ -257,6 +258,8 @@ mod tests {
             shape: [1, 8, 4, 4],
             index: 0,
             elapsed: Duration::from_micros(us),
+            start: Duration::ZERO,
+            tid: 1,
         }
     }
 

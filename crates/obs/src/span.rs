@@ -8,8 +8,39 @@
 //! [`NoopTracer`] and pays nothing (see the crate docs for the
 //! zero-overhead contract).
 
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Next process-local thread id to hand out (ids start at 1 so the
+/// thread-local `0` can mean "not yet assigned").
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A small, stable, process-local id for the calling thread.
+///
+/// Ids are assigned on first use, in first-call order, starting at 1 —
+/// dense enough to use as Chrome-trace track ids, unlike
+/// [`std::thread::ThreadId`] which has no stable integer form. The
+/// lookup is one thread-local read (no allocation, no lock), so tracers
+/// can stamp every span with it.
+#[inline]
+pub fn current_tid() -> u64 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+            v
+        }
+    })
+}
 
 /// Which part of the pipeline a span covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,7 +167,7 @@ impl Tracer for NoopTracer {
 }
 
 /// An owned copy of one finished span, as retained by
-/// [`CollectingTracer`].
+/// [`CollectingTracer`] and [`crate::FlightRecorder`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
     /// Pipeline region.
@@ -151,6 +182,19 @@ pub struct SpanRecord {
     pub index: usize,
     /// Wall-clock time spent inside the span.
     pub elapsed: Duration,
+    /// Wall-clock start of the span, as an offset from the recording
+    /// tracer's epoch (its construction instant). Spans recorded by the
+    /// same tracer therefore share a timeline — what
+    /// [`crate::trace_export::chrome_trace_json`] lays out as `ts`.
+    ///
+    /// Derived on exit as `epoch.elapsed() - elapsed`, since
+    /// instrumented code only reports finished spans.
+    pub start: Duration,
+    /// Process-local id of the thread the span ran on (see
+    /// [`current_tid`]): the Chrome-trace track id. Spans from
+    /// different [`ParallelEngine`](https://docs.rs/cap-cnn) workers
+    /// carry different `tid`s because each worker is its own thread.
+    pub tid: u64,
 }
 
 /// A tracer that records every finished span for later aggregation
@@ -173,16 +217,30 @@ pub struct SpanRecord {
 /// let spans = tracer.take_spans();
 /// assert_eq!(spans.len(), 1);
 /// assert_eq!(spans[0].name, "conv1");
+/// assert!(spans[0].tid > 0); // stamped with the recording thread's id
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CollectingTracer {
+    /// Construction instant: the zero point of every retained span's
+    /// [`SpanRecord::start`] offset.
+    epoch: Instant,
     spans: Mutex<Vec<SpanRecord>>,
 }
 
+impl Default for CollectingTracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl CollectingTracer {
-    /// An empty collector.
+    /// An empty collector; its construction instant becomes the epoch
+    /// that retained spans' [`SpanRecord::start`] offsets count from.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
     }
 
     /// Number of spans recorded so far.
@@ -208,6 +266,10 @@ impl CollectingTracer {
 
 impl Tracer for CollectingTracer {
     fn span_exit(&self, info: &SpanInfo<'_>, elapsed: Duration) {
+        // The span just finished, so it started `elapsed` ago;
+        // saturating guards spans reported before the tracer's epoch
+        // (possible only if a tracer is created mid-span).
+        let start = self.epoch.elapsed().saturating_sub(elapsed);
         let record = SpanRecord {
             scope: info.scope,
             name: info.name.to_string(),
@@ -215,8 +277,64 @@ impl Tracer for CollectingTracer {
             shape: info.shape,
             index: info.index,
             elapsed,
+            start,
+            tid: current_tid(),
         };
         self.spans.lock().expect("span lock poisoned").push(record);
+    }
+}
+
+/// A tracer that fans every span out to two underlying tracers — e.g.
+/// a [`CollectingTracer`] for a profile report *and* the process-wide
+/// [`crate::FlightRecorder`], in one pass.
+///
+/// Enabled iff either side is; each hook is forwarded only to the sides
+/// that report themselves enabled, so pairing with a disabled side adds
+/// one inlined boolean check and nothing else.
+///
+/// ```
+/// use cap_obs::{CollectingTracer, NoopTracer, SpanInfo, SpanScope, TeeTracer, Tracer};
+/// use std::time::Duration;
+///
+/// let collector = CollectingTracer::new();
+/// let tee = TeeTracer::new(&collector, NoopTracer);
+/// assert!(tee.enabled());
+/// tee.span_exit(&SpanInfo::new(SpanScope::Layer, "conv1"), Duration::from_micros(5));
+/// assert_eq!(collector.len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TeeTracer<A, B>(A, B);
+
+impl<A: Tracer, B: Tracer> TeeTracer<A, B> {
+    /// Fan spans out to `a` and `b`.
+    pub fn new(a: A, b: B) -> Self {
+        Self(a, b)
+    }
+}
+
+impl<A: Tracer, B: Tracer> Tracer for TeeTracer<A, B> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    #[inline]
+    fn span_enter(&self, info: &SpanInfo<'_>) {
+        if self.0.enabled() {
+            self.0.span_enter(info);
+        }
+        if self.1.enabled() {
+            self.1.span_enter(info);
+        }
+    }
+
+    fn span_exit(&self, info: &SpanInfo<'_>, elapsed: Duration) {
+        if self.0.enabled() {
+            self.0.span_exit(info, elapsed);
+        }
+        if self.1.enabled() {
+            self.1.span_exit(info, elapsed);
+        }
     }
 }
 
@@ -274,5 +392,60 @@ mod tests {
     fn scope_tags_are_stable() {
         assert_eq!(SpanScope::Layer.tag(), "layer");
         assert_eq!(SpanScope::GridEval.tag(), "grid_eval");
+    }
+
+    #[test]
+    fn collector_stamps_start_offsets_and_tid() {
+        let t = CollectingTracer::new();
+        let info = SpanInfo::new(SpanScope::Layer, "conv1");
+        t.span_exit(&info, Duration::from_micros(10));
+        std::thread::sleep(Duration::from_millis(2));
+        t.span_exit(&info, Duration::from_micros(10));
+        let spans = t.take_spans();
+        assert_eq!(spans[0].tid, current_tid());
+        assert_eq!(spans[1].tid, spans[0].tid, "same thread, same tid");
+        assert!(
+            spans[1].start > spans[0].start,
+            "later span starts later on the tracer's timeline"
+        );
+        // An elapsed longer than the tracer's whole lifetime saturates
+        // to a zero start instead of wrapping.
+        t.span_exit(&info, Duration::from_secs(3600));
+        assert_eq!(t.take_spans()[0].start, Duration::ZERO);
+    }
+
+    #[test]
+    fn tids_are_distinct_per_thread_and_stable_within_one() {
+        let here = current_tid();
+        assert_eq!(here, current_tid());
+        let other = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(here, other);
+        assert!(here > 0 && other > 0);
+    }
+
+    #[test]
+    fn tee_fans_out_to_both_enabled_sides() {
+        let a = CollectingTracer::new();
+        let b = CollectingTracer::new();
+        let tee = TeeTracer::new(&a, &b);
+        assert!(tee.enabled());
+        tee.span_exit(
+            &SpanInfo::new(SpanScope::Worker, "worker"),
+            Duration::from_micros(7),
+        );
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+
+        // A disabled side is skipped but does not disable the pair.
+        let tee = TeeTracer::new(&a, NoopTracer);
+        assert!(tee.enabled());
+        tee.span_exit(
+            &SpanInfo::new(SpanScope::Worker, "worker"),
+            Duration::from_micros(7),
+        );
+        assert_eq!(a.len(), 2);
+
+        // Both sides disabled: the tee is disabled too.
+        assert!(!TeeTracer::new(NoopTracer, NoopTracer).enabled());
     }
 }

@@ -1,0 +1,184 @@
+//! Chrome `trace_event` export: turn collected spans into a timeline
+//! file Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing` can
+//! open.
+//!
+//! Any `Vec<SpanRecord>` works — a [`CollectingTracer`]'s take, a
+//! [`FlightRecorder`](crate::FlightRecorder) dump — because PR 4's
+//! [`SpanRecord`] carries everything a timeline needs: a `start` offset
+//! on the tracer's shared epoch and the recording thread's `tid`.
+//! Each span becomes one complete (`"ph":"X"`) event; events sharing a
+//! `tid` land on the same track, where the viewer nests them by time
+//! containment — so `Layer` spans stack under their `Forward` span,
+//! and each [`ParallelEngine`](https://docs.rs/cap-cnn) worker gets its
+//! own track (its own thread, hence its own `tid`) headed by its
+//! `Worker` span. Thread-name metadata events label worker tracks
+//! `worker-<index>`.
+//!
+//! [`CollectingTracer`]: crate::CollectingTracer
+//!
+//! Produce a file with the wired-in consumer:
+//!
+//! ```sh
+//! cargo run --release -p cap-bench --bin repro -- --exp profile --trace-out trace.json
+//! ```
+//!
+//! then load `trace.json` in Perfetto ("Open trace file"). The
+//! round-trip (span count, names, per-tid nesting) is asserted by
+//! `crates/bench/tests/trace_roundtrip.rs`.
+
+use crate::jsonutil::write_json_str;
+use crate::span::{SpanRecord, SpanScope};
+use std::fmt::Write;
+
+/// Render spans as a Chrome `trace_event` JSON object
+/// (`{"traceEvents": [...]}`), one `"ph":"X"` complete event per span
+/// plus one `thread_name` metadata event per distinct `tid`.
+///
+/// Timestamps (`ts`) and durations (`dur`) are microseconds, as the
+/// format requires; `ts` is the span's [`SpanRecord::start`] offset, so
+/// spans from one tracer share a coherent timeline. The span's scope
+/// tag becomes the event category (`cat`), and kind/shape/index ride
+/// along under `args`.
+///
+/// ```
+/// use cap_obs::{trace_export::chrome_trace_json, CollectingTracer, SpanInfo, SpanScope, Tracer};
+/// use std::time::Duration;
+///
+/// let t = CollectingTracer::new();
+/// t.span_exit(&SpanInfo::new(SpanScope::Layer, "conv1"), Duration::from_micros(250));
+/// let json = chrome_trace_json(&t.take_spans());
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// assert!(json.contains("\"name\":\"conv1\""));
+/// assert!(json.contains("\"ph\":\"X\""));
+/// ```
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+
+    // Track labels: tids that carried a Worker span are labelled by the
+    // worker index; everything else is a plain thread.
+    let mut tids: Vec<(u64, Option<usize>)> = Vec::new();
+    for s in spans {
+        match tids.iter_mut().find(|(t, _)| *t == s.tid) {
+            Some((_, worker)) => {
+                if s.scope == SpanScope::Worker {
+                    *worker = Some(s.index);
+                }
+            }
+            None => tids.push((s.tid, (s.scope == SpanScope::Worker).then_some(s.index))),
+        }
+    }
+    tids.sort_by_key(|&(t, _)| t);
+    for (tid, worker) in &tids {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let label = match worker {
+            Some(w) => format!("worker-{w}"),
+            None => format!("thread-{tid}"),
+        };
+        write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":"
+        )
+        .unwrap();
+        write_json_str(&mut out, &label);
+        out.push_str("}}");
+    }
+
+    for s in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        write_json_str(&mut out, &s.name);
+        out.push_str(",\"cat\":");
+        write_json_str(&mut out, s.scope.tag());
+        let ts = s.start.as_secs_f64() * 1e6;
+        let dur = s.elapsed.as_secs_f64() * 1e6;
+        write!(
+            out,
+            ",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":1,\"tid\":{}",
+            s.tid
+        )
+        .unwrap();
+        out.push_str(",\"args\":{\"kind\":");
+        write_json_str(&mut out, &s.kind);
+        let [n, c, h, w] = s.shape;
+        write!(
+            out,
+            ",\"shape\":[{n},{c},{h},{w}],\"index\":{}}}}}",
+            s.index
+        )
+        .unwrap();
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanInfo, Tracer};
+    use crate::CollectingTracer;
+    use std::time::Duration;
+
+    fn record(scope: SpanScope, name: &str, tid: u64, start_us: u64, dur_us: u64) -> SpanRecord {
+        SpanRecord {
+            scope,
+            name: name.into(),
+            kind: String::new(),
+            shape: [0; 4],
+            index: 3,
+            elapsed: Duration::from_micros(dur_us),
+            start: Duration::from_micros(start_us),
+            tid,
+        }
+    }
+
+    #[test]
+    fn one_event_per_span_plus_thread_metadata() {
+        let spans = vec![
+            record(SpanScope::Forward, "net", 1, 0, 100),
+            record(SpanScope::Layer, "conv1", 1, 0, 60),
+            record(SpanScope::Worker, "worker", 2, 0, 100),
+        ];
+        let json = chrome_trace_json(&spans);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2, "{json}");
+        assert!(json.contains("\"name\":\"worker-3\""), "{json}");
+        assert!(json.contains("\"name\":\"thread-1\""), "{json}");
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds_from_start_offset() {
+        let json = chrome_trace_json(&[record(SpanScope::Layer, "l", 1, 1500, 250)]);
+        assert!(json.contains("\"ts\":1500.000"), "{json}");
+        assert!(json.contains("\"dur\":250.000"), "{json}");
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let json = chrome_trace_json(&[record(SpanScope::Layer, "we\"ird\\name", 1, 0, 1)]);
+        assert!(json.contains("\"we\\\"ird\\\\name\""), "{json}");
+    }
+
+    #[test]
+    fn empty_span_list_is_valid_empty_trace() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn collecting_tracer_spans_export_directly() {
+        let t = CollectingTracer::new();
+        t.span_exit(
+            &SpanInfo::new(SpanScope::Layer, "conv1"),
+            Duration::from_micros(10),
+        );
+        let json = chrome_trace_json(&t.take_spans());
+        assert!(json.contains("\"cat\":\"layer\""));
+    }
+}

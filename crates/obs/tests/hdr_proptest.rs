@@ -1,0 +1,104 @@
+//! Property tests for the log-linear histogram: the documented
+//! quantile error bound holds for arbitrary inputs, and per-worker
+//! merges are order-independent.
+
+use cap_obs::hdr::{hdr_bucket_bounds, hdr_index, SUB_BUCKETS};
+use cap_obs::{HdrHistogram, HdrSnapshot};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random value stream spanning many magnitudes:
+/// Weyl-sequence low bits shifted by a value-dependent exponent, so a
+/// single case exercises unit buckets and wide high buckets alike.
+fn values(seed: u64, len: usize) -> Vec<u64> {
+    (0..len as u64)
+        .map(|i| {
+            let x = (seed.wrapping_add(i)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let shift = (x >> 58) % 40; // exponents 0..40
+            (x & 0xffff) >> (16 - (shift % 16).min(16)) << (shift / 2)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    /// For every quantile, the estimate is the floor of the bucket
+    /// containing the true rank statistic, and that bucket's width is
+    /// within the documented `max(1, value/SUB_BUCKETS)` bound — i.e.
+    /// relative error <= 1/32, exact below 32.
+    #[test]
+    fn quantile_error_is_within_bucket_bound(
+        seed in 0u64..10_000,
+        len in 1usize..600,
+        qi in 0usize..11,
+    ) {
+        let q = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0][qi];
+        let vals = values(seed, len);
+        let h = HdrHistogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, len as u64);
+
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let rank = ((q * len as f64).ceil() as usize).clamp(1, len);
+        let truth = sorted[rank - 1];
+
+        let est = snap.quantile(q).unwrap();
+        let (lo, hi) = hdr_bucket_bounds(hdr_index(truth));
+        prop_assert_eq!(est, lo, "estimate must be the true value's bucket floor");
+        prop_assert!(est <= truth && truth < hi);
+        let width = hi - lo;
+        prop_assert!(
+            width as f64 <= (truth as f64 / SUB_BUCKETS as f64).max(1.0),
+            "bucket width {} exceeds bound for value {}",
+            width,
+            truth
+        );
+    }
+
+    /// Splitting a value stream across per-worker histograms and
+    /// merging the snapshots — in any order — matches one histogram
+    /// that saw everything, bit for bit (count, sum, every bucket,
+    /// every quantile).
+    #[test]
+    fn merge_is_order_independent_across_workers(
+        seed in 0u64..10_000,
+        len in 1usize..600,
+        workers in 1usize..7,
+    ) {
+        let vals = values(seed, len);
+        let reference = HdrHistogram::new();
+        for &v in &vals {
+            reference.record(v);
+        }
+
+        let per_worker: Vec<HdrHistogram> = (0..workers).map(|_| HdrHistogram::new()).collect();
+        for (i, &v) in vals.iter().enumerate() {
+            per_worker[i % workers].record(v);
+        }
+        let mut forward = HdrSnapshot::empty();
+        for h in &per_worker {
+            forward.merge(&h.snapshot());
+        }
+        let mut reverse = HdrSnapshot::empty();
+        for h in per_worker.iter().rev() {
+            reverse.merge(&h.snapshot());
+        }
+        // Odd interleaving: fold every second worker first.
+        let mut striped = HdrSnapshot::empty();
+        for h in per_worker.iter().step_by(2).chain(per_worker.iter().skip(1).step_by(2)) {
+            striped.merge(&h.snapshot());
+        }
+
+        let expected = reference.snapshot();
+        prop_assert_eq!(&forward, &expected);
+        prop_assert_eq!(&reverse, &expected);
+        prop_assert_eq!(&striped, &expected);
+        for q in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(forward.quantile(q), expected.quantile(q));
+        }
+    }
+}
