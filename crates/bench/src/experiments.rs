@@ -6,6 +6,7 @@ mod algorithm;
 mod characterization;
 mod extensions;
 mod frontier;
+mod kernels_exp;
 mod measured;
 mod metrics_exp;
 pub mod profile;
@@ -114,6 +115,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "sentinel",
         "Perf-regression sentinel workload (compare with --baseline, emit with --write-baseline)",
         sentinel::sentinel,
+    ),
+    (
+        "kernels",
+        "Ablation: scalar vs runtime-dispatched SIMD microkernels (GEMM, SpMM, end-to-end)",
+        kernels_exp::kernels_ablation,
     ),
     (
         "ablation-alloc",

@@ -222,8 +222,19 @@ pub fn run_workload() -> SentinelRun {
         report,
         "\nworkload: mini-Caffenet 32 images batch {BATCH}; {} sequential runs \
          ({WARM_RUNS} warm + {TIMED_RUNS} timed), {ENGINE_RUNS} runs on a \
-         {ENGINE_WORKERS}-worker ParallelEngine\n",
+         {ENGINE_WORKERS}-worker ParallelEngine",
         WARM_RUNS + TIMED_RUNS
+    )
+    .unwrap();
+    // Report-only context, never a strict metric: the selected kernel
+    // backend is host-dependent (AVX2 vs scalar), so baselining it
+    // would make BENCH_baseline.json unportable across runners. The
+    // strict counters above are allocation/shape metrics and identical
+    // on every backend — see crates/tensor/tests/kernel_parity.rs.
+    writeln!(
+        report,
+        "kernel backend: {}\n",
+        cap_obs::kernel_path_name(snap.kernel_path)
     )
     .unwrap();
     writeln!(

@@ -127,10 +127,9 @@ impl Layer for InnerProductLayer {
             gemm_prepacked_slice(input.as_slice(), batch, &self.packed_t, out.as_mut_slice())?;
         }
         let o = out.as_mut_slice();
+        let path = cap_tensor::kernels::selected();
         for row in o.chunks_exact_mut(self.out_features) {
-            for (v, b) in row.iter_mut().zip(self.bias.iter()) {
-                *v += b;
-            }
+            cap_tensor::kernels::vec_add_with(path, row, &self.bias);
         }
         Ok(())
     }

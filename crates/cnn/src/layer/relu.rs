@@ -1,7 +1,10 @@
 //! ReLU activation layer.
 
 use super::{ChwShape, Layer, LayerKind};
-use cap_tensor::{ops::relu_inplace, ShapeError, Tensor4, TensorResult};
+use cap_tensor::{
+    ops::{relu_inplace, relu_into},
+    ShapeError, Tensor4, TensorResult,
+};
 
 /// Rectified linear unit: `y = max(0, x)`, elementwise.
 pub struct ReluLayer {
@@ -39,9 +42,7 @@ impl Layer for ReluLayer {
         };
         let (n, c, h, w) = input.shape();
         out.resize(n, c, h, w);
-        for (o, &v) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
-            *o = if v > 0.0 { v } else { 0.0 };
-        }
+        relu_into(input.as_slice(), out.as_mut_slice());
         Ok(())
     }
 

@@ -147,9 +147,13 @@ mod tests {
     fn measured_distribution_convs_dominate() {
         // Real execution of the real Caffenet: the GEMM-bound layers
         // (conv + fc) should dominate wall-clock, as Figure 3 reports.
-        // With the packed-panel conv path the conv share at batch 1 sits
-        // near 0.45–0.50 — co-dominant with the memory-bound fc6 matvec
-        // rather than outright majority, so the conv floor is 0.35.
+        // With the SIMD-dispatched conv kernels the conv share at batch
+        // 1 sits near 0.40 — the ~2× faster packed GEMM shrinks conv
+        // wall-clock while the memory-bound fc6 matvec does not move
+        // (lanes don't help a bandwidth-bound row walk), so conv is
+        // co-dominant rather than outright majority. Floor at 0.25 to
+        // leave headroom for scheduler noise when the suite shares one
+        // core; the combined conv+fc bound below is the real claim.
         let net = caffenet(WeightInit::Gaussian { std: 0.01, seed: 7 }).unwrap();
         let input = Tensor4::from_fn(1, 3, 224, 224, |_, c, h, w| {
             ((c * 31 + h * 7 + w) % 17) as f32 / 17.0 - 0.5
@@ -167,7 +171,7 @@ mod tests {
             .filter(|l| l.kind == "fc")
             .map(|l| l.share)
             .sum();
-        assert!(conv > 0.35, "conv share {conv}");
+        assert!(conv > 0.25, "conv share {conv}");
         assert!(conv + fc > 0.8, "conv+fc share {}", conv + fc);
         let total: f64 = shares.iter().map(|l| l.share).sum();
         assert!((total - 1.0).abs() < 1e-6);

@@ -53,8 +53,8 @@ pub mod trace_export;
 pub use flight::FlightRecorder;
 pub use hdr::{HdrHistogram, HdrSnapshot};
 pub use metrics::{
-    metrics, timing_enabled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
-    MetricsSnapshot, TimingGuard,
+    kernel_path_name, metrics, timing_enabled, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot, TimingGuard,
 };
 pub use report::{LayerRow, ProfileReport};
 pub use span::{

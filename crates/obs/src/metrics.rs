@@ -308,6 +308,12 @@ pub struct MetricsRegistry {
     pub grid_candidates: Counter,
     /// Algorithm 1 allocation runs. Always on.
     pub allocation_runs: Counter,
+    /// Which SIMD microkernel backend `cap-tensor` dispatched to, as a
+    /// code decoded by [`kernel_path_name`] (0 until the first kernel
+    /// resolves the path). An environment descriptor, not a workload
+    /// counter: [`MetricsRegistry::reset`] deliberately leaves it alone
+    /// so experiment boundaries don't erase which backend is running.
+    pub kernel_path: Gauge,
 }
 
 static REGISTRY: MetricsRegistry = MetricsRegistry {
@@ -322,7 +328,21 @@ static REGISTRY: MetricsRegistry = MetricsRegistry {
     batch_sizes: HdrHistogram::new(),
     grid_candidates: Counter::new(),
     allocation_runs: Counter::new(),
+    kernel_path: Gauge::new(),
 };
+
+/// Human-readable name for a `kernel_path` gauge code. The codes are
+/// published by `cap_tensor::kernels` (`KernelPath::code`); the two
+/// tables are cross-checked by a test in that crate.
+pub fn kernel_path_name(code: u64) -> &'static str {
+    match code {
+        0 => "unset",
+        1 => "scalar",
+        2 => "avx2",
+        3 => "avx2-fma",
+        _ => "unknown",
+    }
+}
 
 /// The process-global metrics registry.
 ///
@@ -351,11 +371,18 @@ impl MetricsRegistry {
             batch_sizes: self.batch_sizes.snapshot(),
             grid_candidates: self.grid_candidates.get(),
             allocation_runs: self.allocation_runs.get(),
+            kernel_path: self.kernel_path.get(),
         }
     }
 
-    /// Reset every metric to zero (tests and between-experiment
+    /// Reset every workload metric to zero (tests and between-experiment
     /// boundaries; concurrent recorders may interleave).
+    ///
+    /// `kernel_path` is *not* reset: it describes the process
+    /// environment (which SIMD backend dispatch selected), not work
+    /// done, and the dispatch layer publishes it only once — a reset
+    /// would erase it for every later snapshot. Tested by
+    /// `reset_preserves_kernel_path` below.
     pub fn reset(&self) {
         self.forward_passes.reset();
         self.forward_latency_us.reset();
@@ -396,10 +423,13 @@ pub struct MetricsSnapshot {
     pub grid_candidates: u64,
     /// See [`MetricsRegistry::allocation_runs`].
     pub allocation_runs: u64,
+    /// See [`MetricsRegistry::kernel_path`]; decode with
+    /// [`kernel_path_name`].
+    pub kernel_path: u64,
 }
 
 impl MetricsSnapshot {
-    fn scalars(&self) -> [(&'static str, u64); 8] {
+    fn scalars(&self) -> [(&'static str, u64); 9] {
         [
             ("forward_passes", self.forward_passes),
             ("gemm_time_ns", self.gemm_time_ns),
@@ -409,6 +439,7 @@ impl MetricsSnapshot {
             ("workspace_misses", self.workspace_misses),
             ("grid_candidates", self.grid_candidates),
             ("allocation_runs", self.allocation_runs),
+            ("kernel_path", self.kernel_path),
         ]
     }
 
@@ -666,5 +697,28 @@ mod tests {
         // A smaller later observation does not lower it (still a max).
         reg.arena_bytes.record_max(1024);
         assert_eq!(reg.snapshot().arena_bytes, 4096);
+    }
+
+    /// `kernel_path` is an environment descriptor published once by the
+    /// dispatch layer; a between-experiment reset must not erase it.
+    #[test]
+    fn reset_preserves_kernel_path() {
+        let reg = MetricsRegistry::default();
+        reg.kernel_path.set(2);
+        reg.forward_passes.inc();
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.forward_passes, 0);
+        assert_eq!(snap.kernel_path, 2, "reset must keep the kernel path");
+        assert_eq!(kernel_path_name(snap.kernel_path), "avx2");
+    }
+
+    #[test]
+    fn kernel_path_names_decode() {
+        assert_eq!(kernel_path_name(0), "unset");
+        assert_eq!(kernel_path_name(1), "scalar");
+        assert_eq!(kernel_path_name(2), "avx2");
+        assert_eq!(kernel_path_name(3), "avx2-fma");
+        assert_eq!(kernel_path_name(99), "unknown");
     }
 }

@@ -55,11 +55,18 @@ impl LayerRow {
 pub struct ProfileReport {
     label: String,
     layers: Vec<LayerRow>,
+    /// Microkernel backend name captured from the `kernel_path` metrics
+    /// gauge at build time — which SIMD path produced these numbers.
+    kernel: &'static str,
 }
 
 impl ProfileReport {
     /// Aggregate [`SpanScope::Layer`] spans by layer name, preserving
     /// first-seen (execution) order. Non-layer spans are ignored.
+    ///
+    /// The report also captures the current `kernel_path` gauge, so the
+    /// rendered table and JSON record which microkernel backend
+    /// (`scalar` / `avx2` / …) the profiled run dispatched to.
     pub fn from_spans(label: impl Into<String>, spans: &[SpanRecord]) -> Self {
         let mut index: HashMap<&str, usize> = HashMap::new();
         let mut layers: Vec<LayerRow> = Vec::new();
@@ -84,12 +91,19 @@ impl ProfileReport {
         Self {
             label: label.into(),
             layers,
+            kernel: crate::metrics::kernel_path_name(crate::metrics().kernel_path.get()),
         }
     }
 
     /// Report label (e.g. `"caffenet @ 60% pruning"`).
     pub fn label(&self) -> &str {
         &self.label
+    }
+
+    /// Microkernel backend the profiled process dispatched to
+    /// (`"unset"` if no kernel had run when the report was built).
+    pub fn kernel(&self) -> &'static str {
+        self.kernel
     }
 
     /// Aggregated rows in execution order.
@@ -119,7 +133,7 @@ impl ProfileReport {
         use std::fmt::Write;
         let total = self.total_time().as_secs_f64();
         let mut out = String::new();
-        writeln!(out, "# profile: {}", self.label).unwrap();
+        writeln!(out, "# profile: {} (kernel: {})", self.label, self.kernel).unwrap();
         writeln!(
             out,
             "{:<12} {:<6} {:>18} {:>6} {:>12} {:>7}",
@@ -169,6 +183,8 @@ impl ProfileReport {
         let total = self.total_time().as_secs_f64();
         let mut out = String::from("{\"label\":");
         write_json_str(&mut out, &self.label);
+        out.push_str(",\"kernel\":");
+        write_json_str(&mut out, self.kernel);
         write!(out, ",\"total_ms\":{:.6},\"layers\":[", total * 1000.0).unwrap();
         for (i, l) in self.layers.iter().enumerate() {
             if i > 0 {
@@ -300,6 +316,16 @@ mod tests {
         assert!(json.contains("\"label\":\"m\""));
         assert!(json.contains("\"name\":\"conv1\""));
         assert!(json.contains("\"share\":0.75"));
+    }
+
+    #[test]
+    fn report_records_kernel_path_label() {
+        crate::metrics().kernel_path.set(1);
+        let r = ProfileReport::from_spans("k", &[span("conv1", "conv", 10)]);
+        assert_eq!(r.kernel(), "scalar");
+        assert!(r.to_text_table().contains("(kernel: scalar)"));
+        assert!(r.to_json().contains("\"kernel\":\"scalar\""));
+        crate::metrics().kernel_path.set(0);
     }
 
     #[test]

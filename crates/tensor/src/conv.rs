@@ -5,6 +5,7 @@ use crate::dense::Matrix;
 use crate::error::{ShapeError, TensorResult};
 use crate::gemm::{gemm_packed_cols, gemm_prealloc, pack_b_slice_into};
 use crate::im2col::{im2col_prealloc, out_spatial};
+use crate::kernels;
 use crate::sparse::CsrMatrix;
 use crate::tensor4::Tensor4;
 use crate::workspace::WorkspacePool;
@@ -597,10 +598,9 @@ pub fn conv2d_sparse_packed(
 /// Add per-output-channel bias to one output image in place.
 fn add_bias(out_img: &mut [f32], bias: Option<&[f32]>, n_out: usize) {
     if let Some(b) = bias {
-        for (oc, bval) in b.iter().enumerate() {
-            for v in &mut out_img[oc * n_out..(oc + 1) * n_out] {
-                *v += bval;
-            }
+        let path = kernels::selected();
+        for (oc, &bval) in b.iter().enumerate() {
+            kernels::bias_broadcast_with(path, &mut out_img[oc * n_out..(oc + 1) * n_out], bval);
         }
     }
 }

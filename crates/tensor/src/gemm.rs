@@ -8,6 +8,8 @@
 
 use crate::dense::Matrix;
 use crate::error::{ShapeError, TensorResult};
+use crate::kernels;
+use crate::kernels::PANEL;
 use rayon::prelude::*;
 
 /// Row-band size for parallel splitting. One band is one rayon task.
@@ -15,15 +17,6 @@ const ROW_BAND: usize = 32;
 
 /// Block size along the shared `k` dimension (cache blocking).
 const K_BLOCK: usize = 256;
-
-/// Column-panel width for [`PackedB`]. Eight f32 accumulators fit in two
-/// SSE / one AVX register; the compiler unrolls the fixed-width inner loop.
-const PANEL: usize = 8;
-
-/// Output rows register-blocked together in [`gemm_prepacked_slice`].
-/// `ROW_BLOCK * PANEL` accumulators stay live per panel pass, enough
-/// independent FMA chains to cover the multiply-add latency.
-const ROW_BLOCK: usize = 4;
 
 /// Minimum zero fraction in an `A` row block before the zero-skip branch
 /// pays for itself (1/8 = 12.5%; below that the branch just stalls the
@@ -63,6 +56,10 @@ pub fn gemm_prealloc(a: &Matrix, b: &Matrix, c: &mut Matrix) -> TensorResult<()>
     let a_data = a.as_slice();
     let b_data = b.as_slice();
     let c_data = c.as_mut_slice();
+    // Resolve the kernel path once, outside the parallel loop, and pass
+    // it by value into the band tasks (worker threads must not re-read
+    // process-global dispatch state mid-operation).
+    let path = kernels::selected();
 
     // Parallelize over disjoint row bands of C.
     c_data
@@ -92,16 +89,12 @@ pub fn gemm_prealloc(a: &Matrix, b: &Matrix, c: &mut Matrix) -> TensorResult<()>
                                 continue; // skip zero weights: sparsity win
                             }
                             let b_row = &b_data[(k0 + kk) * n..(k0 + kk + 1) * n];
-                            for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
-                                *cv += aik * bv;
-                            }
+                            kernels::axpy_with(path, c_row, aik, b_row);
                         }
                     } else {
                         for (kk, &aik) in a_blk.iter().enumerate() {
                             let b_row = &b_data[(k0 + kk) * n..(k0 + kk + 1) * n];
-                            for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
-                                *cv += aik * bv;
-                            }
+                            kernels::axpy_with(path, c_row, aik, b_row);
                         }
                     }
                 }
@@ -290,116 +283,21 @@ pub fn gemm_prepacked_slice(
 
 /// Shared band loop for [`gemm_prepacked_slice`] / [`gemm_packed_cols`]:
 /// `b_data` is panel-packed, lengths already validated by callers.
+///
+/// The per-band microkernel lives in [`crate::kernels`]
+/// (`gemm_packed_band`): register-blocked `ROW_BLOCK × PANEL`
+/// accumulation in ascending-`kk` order on every dispatch path, so
+/// results are bit-identical across scalar and (non-FMA) SIMD backends.
 fn gemm_packed_core(a_data: &[f32], k: usize, n: usize, b_data: &[f32], c_data: &mut [f32]) {
-    let panels = n.div_ceil(PANEL);
+    // Resolve the kernel path once, outside the parallel loop, and pass
+    // it by value into the band tasks (worker threads must not re-read
+    // process-global dispatch state mid-operation).
+    let path = kernels::selected();
     c_data
         .par_chunks_mut((ROW_BAND * n).max(1))
         .enumerate()
         .for_each(|(band, c_band)| {
-            let row0 = band * ROW_BAND;
-            let rows_here = c_band.len() / n.max(1);
-            // Register-block ROW_BLOCK output rows against each panel:
-            // every `kk` step issues ROW_BLOCK*PANEL independent
-            // multiply-adds, hiding FMA latency that a single 8-wide
-            // accumulator chain would expose. Each output element still
-            // accumulates in ascending-`kk` order, so results are
-            // bit-identical to the unblocked walk.
-            let mut local_r = 0;
-            while local_r + ROW_BLOCK <= rows_here {
-                let r = row0 + local_r;
-                let ar0 = &a_data[r * k..(r + 1) * k];
-                let ar1 = &a_data[(r + 1) * k..(r + 2) * k];
-                let ar2 = &a_data[(r + 2) * k..(r + 3) * k];
-                let ar3 = &a_data[(r + 3) * k..(r + 4) * k];
-                for p in 0..panels {
-                    let base = p * k * PANEL;
-                    let panel = &b_data[base..base + k * PANEL];
-                    let mut acc0 = [0.0f32; PANEL];
-                    let mut acc1 = [0.0f32; PANEL];
-                    let mut acc2 = [0.0f32; PANEL];
-                    let mut acc3 = [0.0f32; PANEL];
-                    for (((prow, &a0), (&a1, &a2)), &a3) in panel
-                        .chunks_exact(PANEL)
-                        .zip(ar0.iter())
-                        .zip(ar1.iter().zip(ar2.iter()))
-                        .zip(ar3.iter())
-                    {
-                        let prow: &[f32; PANEL] = prow.try_into().unwrap();
-                        for j in 0..PANEL {
-                            let pv = prow[j];
-                            acc0[j] += a0 * pv;
-                            acc1[j] += a1 * pv;
-                            acc2[j] += a2 * pv;
-                            acc3[j] += a3 * pv;
-                        }
-                    }
-                    let c0 = p * PANEL;
-                    let width = PANEL.min(n - c0);
-                    for (i, accr) in [&acc0, &acc1, &acc2, &acc3].into_iter().enumerate() {
-                        let row = &mut c_band[(local_r + i) * n..(local_r + i + 1) * n];
-                        row[c0..c0 + width].copy_from_slice(&accr[..width]);
-                    }
-                }
-                local_r += ROW_BLOCK;
-            }
-            // Remaining rows one at a time, blocking four panels per pass
-            // so a lone row (batch-1 inference) still carries 32
-            // independent accumulator chains.
-            for local_r in local_r..rows_here {
-                let r = row0 + local_r;
-                let a_row = &a_data[r * k..(r + 1) * k];
-                let c_row = &mut c_band[local_r * n..(local_r + 1) * n];
-                let plen = k * PANEL;
-                let mut p = 0;
-                while p + 4 <= panels {
-                    let pn0 = &b_data[p * plen..(p + 1) * plen];
-                    let pn1 = &b_data[(p + 1) * plen..(p + 2) * plen];
-                    let pn2 = &b_data[(p + 2) * plen..(p + 3) * plen];
-                    let pn3 = &b_data[(p + 3) * plen..(p + 4) * plen];
-                    let mut acc0 = [0.0f32; PANEL];
-                    let mut acc1 = [0.0f32; PANEL];
-                    let mut acc2 = [0.0f32; PANEL];
-                    let mut acc3 = [0.0f32; PANEL];
-                    for ((((&aik, p0), p1), p2), p3) in a_row
-                        .iter()
-                        .zip(pn0.chunks_exact(PANEL))
-                        .zip(pn1.chunks_exact(PANEL))
-                        .zip(pn2.chunks_exact(PANEL))
-                        .zip(pn3.chunks_exact(PANEL))
-                    {
-                        let p0: &[f32; PANEL] = p0.try_into().unwrap();
-                        let p1: &[f32; PANEL] = p1.try_into().unwrap();
-                        let p2: &[f32; PANEL] = p2.try_into().unwrap();
-                        let p3: &[f32; PANEL] = p3.try_into().unwrap();
-                        for j in 0..PANEL {
-                            acc0[j] += aik * p0[j];
-                            acc1[j] += aik * p1[j];
-                            acc2[j] += aik * p2[j];
-                            acc3[j] += aik * p3[j];
-                        }
-                    }
-                    for (i, accr) in [&acc0, &acc1, &acc2, &acc3].into_iter().enumerate() {
-                        let c0 = (p + i) * PANEL;
-                        let width = PANEL.min(n - c0);
-                        c_row[c0..c0 + width].copy_from_slice(&accr[..width]);
-                    }
-                    p += 4;
-                }
-                for p in p..panels {
-                    let base = p * plen;
-                    let panel = &b_data[base..base + plen];
-                    let mut acc = [0.0f32; PANEL];
-                    for (&aik, prow) in a_row.iter().zip(panel.chunks_exact(PANEL)) {
-                        let prow: &[f32; PANEL] = prow.try_into().unwrap();
-                        for (av, pv) in acc.iter_mut().zip(prow.iter()) {
-                            *av += aik * pv;
-                        }
-                    }
-                    let c0 = p * PANEL;
-                    let width = PANEL.min(n - c0);
-                    c_row[c0..c0 + width].copy_from_slice(&acc[..width]);
-                }
-            }
+            kernels::gemm_packed_band_with(path, a_data, k, n, b_data, c_band, band * ROW_BAND);
         });
 }
 

@@ -1,0 +1,552 @@
+//! AVX2 microkernels (`x86_64` only).
+//!
+//! Every function here is `unsafe` with the same contract: **the caller
+//! must have verified that the CPU supports AVX2** (and FMA for the
+//! `_fma` variants) via `is_x86_feature_detected!` — the dispatch layer
+//! in [`super`] is the only caller and does exactly that. Slice-length
+//! invariants are `assert!`ed at entry, so every raw load/store below
+//! is in bounds by construction.
+//!
+//! Bit-identity: the non-FMA kernels replay the scalar loops' exact
+//! per-element operation sequence — same ascending-`kk` (or `-i`)
+//! accumulation, separate `_mm256_mul_ps` + `_mm256_add_ps` (Rust never
+//! enables floating-point contraction, so these are not silently fused)
+//! — just eight elements per instruction. The `_fma` variants swap in
+//! `_mm256_fmadd_ps`, which skips the intermediate rounding of `a*b`
+//! and is therefore only approximately equal to scalar (see
+//! `tests/kernel_parity.rs` for the ULP bound).
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use super::{PANEL, ROW_BLOCK};
+use crate::pool::Pool2dParams;
+use std::arch::x86_64::*;
+
+/// One multiply-accumulate step: `acc + a*b`, fused iff `FMA`.
+/// With `FMA = false` this is the same two rounded operations the
+/// scalar kernels perform, in the same order.
+#[inline(always)]
+unsafe fn madd<const FMA: bool>(a: __m256, b: __m256, acc: __m256) -> __m256 {
+    if FMA {
+        _mm256_fmadd_ps(a, b, acc)
+    } else {
+        _mm256_add_ps(acc, _mm256_mul_ps(a, b))
+    }
+}
+
+/// Store a register to the (possibly partial-width) `width`-column slot
+/// of an output row.
+#[inline(always)]
+unsafe fn store_panel(acc: __m256, row: &mut [f32], c0: usize, width: usize) {
+    if width == PANEL {
+        _mm256_storeu_ps(row.as_mut_ptr().add(c0), acc);
+    } else {
+        let mut tmp = [0.0f32; PANEL];
+        _mm256_storeu_ps(tmp.as_mut_ptr(), acc);
+        row[c0..c0 + width].copy_from_slice(&tmp[..width]);
+    }
+}
+
+/// One row band of the packed-panel GEMM, AVX2 mul+add (bit-identical
+/// to [`super::scalar::gemm_packed_band`]).
+///
+/// # Safety
+/// CPU must support AVX2 (verified by the dispatch layer).
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemm_packed_band(
+    a_data: &[f32],
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    c_band: &mut [f32],
+    row0: usize,
+) {
+    gemm_band_body::<false>(a_data, k, n, b_data, c_band, row0)
+}
+
+/// [`gemm_packed_band`] with fused multiply-add (approximate parity).
+///
+/// # Safety
+/// CPU must support AVX2 and FMA (verified by the dispatch layer).
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gemm_packed_band_fma(
+    a_data: &[f32],
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    c_band: &mut [f32],
+    row0: usize,
+) {
+    gemm_band_body::<true>(a_data, k, n, b_data, c_band, row0)
+}
+
+/// Shared band body; mirrors the scalar kernel's row/panel structure
+/// with `__m256` registers replacing the `[f32; PANEL]` accumulators.
+#[inline(always)]
+unsafe fn gemm_band_body<const FMA: bool>(
+    a_data: &[f32],
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    c_band: &mut [f32],
+    row0: usize,
+) {
+    let panels = n.div_ceil(PANEL);
+    let rows_here = c_band.len() / n.max(1);
+    // Entry invariants: every raw pointer below stays inside these
+    // asserted slice bounds.
+    assert!(a_data.len() >= (row0 + rows_here) * k);
+    assert!(b_data.len() >= panels * k * PANEL);
+    assert!(c_band.len() >= rows_here * n);
+
+    // ROW_BLOCK output rows against panel *pairs*: 8 independent FMA
+    // chains per `kk` step — enough to cover the 4-cycle add latency at
+    // 2 issues/cycle, which a single-panel kernel (4 chains) cannot.
+    // Each output element still accumulates in ascending-`kk` order,
+    // exactly like the scalar kernel: widening the tile adds more
+    // concurrent elements, it never reorders any one element's sum.
+    let plen = k * PANEL;
+    let mut local_r = 0;
+    while local_r + ROW_BLOCK <= rows_here {
+        let r = row0 + local_r;
+        let ar0 = a_data.as_ptr().add(r * k);
+        let ar1 = a_data.as_ptr().add((r + 1) * k);
+        let ar2 = a_data.as_ptr().add((r + 2) * k);
+        let ar3 = a_data.as_ptr().add((r + 3) * k);
+        let mut p = 0;
+        while p + 2 <= panels {
+            let pn0 = b_data.as_ptr().add(p * plen);
+            let pn1 = b_data.as_ptr().add((p + 1) * plen);
+            let mut acc00 = _mm256_setzero_ps();
+            let mut acc01 = _mm256_setzero_ps();
+            let mut acc10 = _mm256_setzero_ps();
+            let mut acc11 = _mm256_setzero_ps();
+            let mut acc20 = _mm256_setzero_ps();
+            let mut acc21 = _mm256_setzero_ps();
+            let mut acc30 = _mm256_setzero_ps();
+            let mut acc31 = _mm256_setzero_ps();
+            for kk in 0..k {
+                let pv0 = _mm256_loadu_ps(pn0.add(kk * PANEL));
+                let pv1 = _mm256_loadu_ps(pn1.add(kk * PANEL));
+                let a0 = _mm256_set1_ps(*ar0.add(kk));
+                acc00 = madd::<FMA>(a0, pv0, acc00);
+                acc01 = madd::<FMA>(a0, pv1, acc01);
+                let a1 = _mm256_set1_ps(*ar1.add(kk));
+                acc10 = madd::<FMA>(a1, pv0, acc10);
+                acc11 = madd::<FMA>(a1, pv1, acc11);
+                let a2 = _mm256_set1_ps(*ar2.add(kk));
+                acc20 = madd::<FMA>(a2, pv0, acc20);
+                acc21 = madd::<FMA>(a2, pv1, acc21);
+                let a3 = _mm256_set1_ps(*ar3.add(kk));
+                acc30 = madd::<FMA>(a3, pv0, acc30);
+                acc31 = madd::<FMA>(a3, pv1, acc31);
+            }
+            let c0 = p * PANEL;
+            let c1 = (p + 1) * PANEL;
+            let width1 = PANEL.min(n - c1);
+            for (i, (lo, hi)) in [
+                (acc00, acc01),
+                (acc10, acc11),
+                (acc20, acc21),
+                (acc30, acc31),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let row = &mut c_band[(local_r + i) * n..(local_r + i + 1) * n];
+                store_panel(lo, row, c0, PANEL);
+                store_panel(hi, row, c1, width1);
+            }
+            p += 2;
+        }
+        // Odd trailing panel: the original single-panel, 4-chain kernel.
+        for p in p..panels {
+            let panel = b_data.as_ptr().add(p * plen);
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            for kk in 0..k {
+                let pv = _mm256_loadu_ps(panel.add(kk * PANEL));
+                acc0 = madd::<FMA>(_mm256_set1_ps(*ar0.add(kk)), pv, acc0);
+                acc1 = madd::<FMA>(_mm256_set1_ps(*ar1.add(kk)), pv, acc1);
+                acc2 = madd::<FMA>(_mm256_set1_ps(*ar2.add(kk)), pv, acc2);
+                acc3 = madd::<FMA>(_mm256_set1_ps(*ar3.add(kk)), pv, acc3);
+            }
+            let c0 = p * PANEL;
+            let width = PANEL.min(n - c0);
+            for (i, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                let row = &mut c_band[(local_r + i) * n..(local_r + i + 1) * n];
+                store_panel(acc, row, c0, width);
+            }
+        }
+        local_r += ROW_BLOCK;
+    }
+    // Remaining rows one at a time, four panels per pass (32 live
+    // accumulator lanes for a lone batch-1 row).
+    for local_r in local_r..rows_here {
+        let r = row0 + local_r;
+        let a_row = a_data.as_ptr().add(r * k);
+        let c_row = &mut c_band[local_r * n..(local_r + 1) * n];
+        let mut p = 0;
+        while p + 4 <= panels {
+            let pn0 = b_data.as_ptr().add(p * plen);
+            let pn1 = b_data.as_ptr().add((p + 1) * plen);
+            let pn2 = b_data.as_ptr().add((p + 2) * plen);
+            let pn3 = b_data.as_ptr().add((p + 3) * plen);
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            for kk in 0..k {
+                let av = _mm256_set1_ps(*a_row.add(kk));
+                acc0 = madd::<FMA>(av, _mm256_loadu_ps(pn0.add(kk * PANEL)), acc0);
+                acc1 = madd::<FMA>(av, _mm256_loadu_ps(pn1.add(kk * PANEL)), acc1);
+                acc2 = madd::<FMA>(av, _mm256_loadu_ps(pn2.add(kk * PANEL)), acc2);
+                acc3 = madd::<FMA>(av, _mm256_loadu_ps(pn3.add(kk * PANEL)), acc3);
+            }
+            for (i, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                let c0 = (p + i) * PANEL;
+                let width = PANEL.min(n - c0);
+                store_panel(acc, c_row, c0, width);
+            }
+            p += 4;
+        }
+        for p in p..panels {
+            let panel = b_data.as_ptr().add(p * plen);
+            let mut acc = _mm256_setzero_ps();
+            for kk in 0..k {
+                let av = _mm256_set1_ps(*a_row.add(kk));
+                acc = madd::<FMA>(av, _mm256_loadu_ps(panel.add(kk * PANEL)), acc);
+            }
+            let c0 = p * PANEL;
+            let width = PANEL.min(n - c0);
+            store_panel(acc, c_row, c0, width);
+        }
+    }
+}
+
+/// One CSR row of sparse×dense, AVX2 mul+add (bit-identical to
+/// [`super::scalar::spmm_row`]).
+///
+/// # Safety
+/// CPU must support AVX2 (verified by the dispatch layer).
+#[target_feature(enable = "avx2")]
+pub unsafe fn spmm_row(
+    values: &[f32],
+    col_idx: &[u32],
+    b_data: &[f32],
+    n: usize,
+    c_row: &mut [f32],
+) {
+    spmm_row_body::<false>(values, col_idx, b_data, n, c_row)
+}
+
+/// [`spmm_row`] with fused multiply-add (approximate parity).
+///
+/// # Safety
+/// CPU must support AVX2 and FMA (verified by the dispatch layer).
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn spmm_row_fma(
+    values: &[f32],
+    col_idx: &[u32],
+    b_data: &[f32],
+    n: usize,
+    c_row: &mut [f32],
+) {
+    spmm_row_body::<true>(values, col_idx, b_data, n, c_row)
+}
+
+/// Shared SpMM row body: column-blocked (32 → 8 → scalar tail) so the
+/// output stays in registers across the whole nonzero walk. Per output
+/// element the nonzeros still accumulate in ascending-`i` order.
+#[inline(always)]
+unsafe fn spmm_row_body<const FMA: bool>(
+    values: &[f32],
+    col_idx: &[u32],
+    b_data: &[f32],
+    n: usize,
+    c_row: &mut [f32],
+) {
+    let nnz = values.len().min(col_idx.len());
+    // Entry invariants for the raw loads below: every stored column
+    // index addresses a full row of B, and the output row is n wide.
+    assert!(c_row.len() >= n);
+    assert!(col_idx[..nnz]
+        .iter()
+        .all(|&c| (c as usize + 1) * n <= b_data.len()));
+
+    let bp = b_data.as_ptr();
+    let mut j = 0;
+    // 32-column blocks: 4 registers live across the nonzero walk.
+    while j + 4 * PANEL <= n {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        for i in 0..nnz {
+            let v = _mm256_set1_ps(*values.get_unchecked(i));
+            let row = bp.add(*col_idx.get_unchecked(i) as usize * n + j);
+            acc0 = madd::<FMA>(v, _mm256_loadu_ps(row), acc0);
+            acc1 = madd::<FMA>(v, _mm256_loadu_ps(row.add(PANEL)), acc1);
+            acc2 = madd::<FMA>(v, _mm256_loadu_ps(row.add(2 * PANEL)), acc2);
+            acc3 = madd::<FMA>(v, _mm256_loadu_ps(row.add(3 * PANEL)), acc3);
+        }
+        let cp = c_row.as_mut_ptr().add(j);
+        _mm256_storeu_ps(cp, acc0);
+        _mm256_storeu_ps(cp.add(PANEL), acc1);
+        _mm256_storeu_ps(cp.add(2 * PANEL), acc2);
+        _mm256_storeu_ps(cp.add(3 * PANEL), acc3);
+        j += 4 * PANEL;
+    }
+    // 8-column blocks.
+    while j + PANEL <= n {
+        let mut acc = _mm256_setzero_ps();
+        for i in 0..nnz {
+            let v = _mm256_set1_ps(*values.get_unchecked(i));
+            let row = bp.add(*col_idx.get_unchecked(i) as usize * n + j);
+            acc = madd::<FMA>(v, _mm256_loadu_ps(row), acc);
+        }
+        _mm256_storeu_ps(c_row.as_mut_ptr().add(j), acc);
+        j += PANEL;
+    }
+    // Scalar tail: same ascending-`i` per-element accumulation.
+    for jj in j..n {
+        let mut acc = 0.0f32;
+        for i in 0..nnz {
+            acc += values.get_unchecked(i)
+                * b_data.get_unchecked(*col_idx.get_unchecked(i) as usize * n + jj);
+        }
+        *c_row.get_unchecked_mut(jj) = acc;
+    }
+}
+
+/// `c_row[j] += a * b_row[j]`, AVX2 mul+add.
+///
+/// # Safety
+/// CPU must support AVX2 (verified by the dispatch layer).
+#[target_feature(enable = "avx2")]
+pub unsafe fn axpy(c_row: &mut [f32], a: f32, b_row: &[f32]) {
+    axpy_body::<false>(c_row, a, b_row)
+}
+
+/// [`axpy`] with fused multiply-add (approximate parity).
+///
+/// # Safety
+/// CPU must support AVX2 and FMA (verified by the dispatch layer).
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn axpy_fma(c_row: &mut [f32], a: f32, b_row: &[f32]) {
+    axpy_body::<true>(c_row, a, b_row)
+}
+
+#[inline(always)]
+unsafe fn axpy_body<const FMA: bool>(c_row: &mut [f32], a: f32, b_row: &[f32]) {
+    let len = c_row.len().min(b_row.len());
+    let av = _mm256_set1_ps(a);
+    let cp = c_row.as_mut_ptr();
+    let bp = b_row.as_ptr();
+    let mut j = 0;
+    // In bounds: j + PANEL <= len <= both slice lengths.
+    while j + PANEL <= len {
+        let c = _mm256_loadu_ps(cp.add(j));
+        let b = _mm256_loadu_ps(bp.add(j));
+        _mm256_storeu_ps(cp.add(j), madd::<FMA>(av, b, c));
+        j += PANEL;
+    }
+    for j in j..len {
+        *cp.add(j) += a * *bp.add(j);
+    }
+}
+
+/// In-place ReLU: keeps the exact scalar semantics of
+/// `if v < 0.0 { v = 0.0 }` — NaN and `-0.0` pass through unchanged —
+/// by masking with a `<` compare instead of `_mm256_max_ps` (whose
+/// NaN/`-0.0` behavior differs from the scalar branch).
+///
+/// # Safety
+/// CPU must support AVX2 (verified by the dispatch layer).
+#[target_feature(enable = "avx2")]
+pub unsafe fn relu_inplace(data: &mut [f32]) {
+    let len = data.len();
+    let p = data.as_mut_ptr();
+    let zero = _mm256_setzero_ps();
+    let mut j = 0;
+    // In bounds: j + PANEL <= len.
+    while j + PANEL <= len {
+        let v = _mm256_loadu_ps(p.add(j));
+        // lanes where v < 0.0 (ordered: NaN compares false, stays put)
+        let neg = _mm256_cmp_ps(v, zero, _CMP_LT_OQ);
+        _mm256_storeu_ps(p.add(j), _mm256_andnot_ps(neg, v));
+        j += PANEL;
+    }
+    for j in j..len {
+        let v = p.add(j);
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Out-of-place ReLU: scalar semantics of `if v > 0.0 { v } else { 0.0 }`
+/// (NaN and `-0.0` flush to `+0.0`), via a `>` compare mask.
+///
+/// # Safety
+/// CPU must support AVX2 (verified by the dispatch layer).
+#[target_feature(enable = "avx2")]
+pub unsafe fn relu_into(src: &[f32], dst: &mut [f32]) {
+    let len = src.len().min(dst.len());
+    let sp = src.as_ptr();
+    let dp = dst.as_mut_ptr();
+    let zero = _mm256_setzero_ps();
+    let mut j = 0;
+    // In bounds: j + PANEL <= len <= both slice lengths.
+    while j + PANEL <= len {
+        let v = _mm256_loadu_ps(sp.add(j));
+        // lanes where v > 0.0 keep v; all others (incl. NaN) become +0.0
+        let pos = _mm256_cmp_ps(v, zero, _CMP_GT_OQ);
+        _mm256_storeu_ps(dp.add(j), _mm256_and_ps(v, pos));
+        j += PANEL;
+    }
+    for j in j..len {
+        let v = *sp.add(j);
+        *dp.add(j) = if v > 0.0 { v } else { 0.0 };
+    }
+}
+
+/// Broadcast-add a scalar bias.
+///
+/// # Safety
+/// CPU must support AVX2 (verified by the dispatch layer).
+#[target_feature(enable = "avx2")]
+pub unsafe fn bias_broadcast(data: &mut [f32], b: f32) {
+    let len = data.len();
+    let p = data.as_mut_ptr();
+    let bv = _mm256_set1_ps(b);
+    let mut j = 0;
+    // In bounds: j + PANEL <= len.
+    while j + PANEL <= len {
+        let v = _mm256_loadu_ps(p.add(j));
+        _mm256_storeu_ps(p.add(j), _mm256_add_ps(v, bv));
+        j += PANEL;
+    }
+    for j in j..len {
+        *p.add(j) += b;
+    }
+}
+
+/// Pairwise `dst[i] += src[i]`.
+///
+/// # Safety
+/// CPU must support AVX2 (verified by the dispatch layer).
+#[target_feature(enable = "avx2")]
+pub unsafe fn vec_add(dst: &mut [f32], src: &[f32]) {
+    let len = dst.len().min(src.len());
+    let dp = dst.as_mut_ptr();
+    let sp = src.as_ptr();
+    let mut j = 0;
+    // In bounds: j + PANEL <= len <= both slice lengths.
+    while j + PANEL <= len {
+        let d = _mm256_loadu_ps(dp.add(j));
+        let s = _mm256_loadu_ps(sp.add(j));
+        _mm256_storeu_ps(dp.add(j), _mm256_add_ps(d, s));
+        j += PANEL;
+    }
+    for j in j..len {
+        *dp.add(j) += *sp.add(j);
+    }
+}
+
+/// One output row of 2-D max pooling.
+///
+/// Interior output columns — whose windows never clip the plane's
+/// left/right edge — run eight-per-register, one output column per
+/// lane; each lane replays the scalar cell's `(ky asc, kx asc)`
+/// `>`-compare + select sequence, so tie-breaking (`-0.0`, NaN) is
+/// bit-identical. Border columns take the scalar cell code.
+///
+/// # Safety
+/// CPU must support AVX2 (verified by the dispatch layer).
+#[target_feature(enable = "avx2")]
+pub unsafe fn max_pool_row(
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    params: &Pool2dParams,
+    oy: usize,
+    out_row: &mut [f32],
+) {
+    // Entry invariant for the raw window loads below.
+    assert!(plane.len() >= h * w);
+    let ow = out_row.len();
+    let (k, pad, s) = (params.k, params.pad, params.stride);
+
+    // Interior ox range: every window column in [0, w).
+    //   ox*s - pad >= 0           =>  ox >= ceil(pad / s)
+    //   ox*s - pad + k - 1 < w    =>  ox <= (w + pad - k) / s
+    let lo = if s == 0 { ow } else { pad.div_ceil(s) };
+    let hi = if s > 0 && w + pad >= k {
+        ((w + pad - k) / s + 1).min(ow)
+    } else {
+        lo.min(ow)
+    };
+    let lo = lo.min(hi);
+
+    // Valid window rows for this output row (uniform across ox, and a
+    // contiguous range — no per-row allocation on this hot path):
+    // iy = row_base + ky - pad must land in [0, h).
+    let row_base = oy * s;
+    let ky_lo = pad.saturating_sub(row_base);
+    let ky_hi = (h + pad).saturating_sub(row_base).min(k);
+
+    // Scalar left border.
+    for (ox, o) in out_row.iter_mut().enumerate().take(lo) {
+        *o = super::scalar::max_pool_cell(plane, h, w, params, oy, ox);
+    }
+
+    // SIMD interior: 8 output columns per register.
+    let neg_inf = _mm256_set1_ps(f32::NEG_INFINITY);
+    // Lane l reads input column base_ix + l*s.
+    #[allow(clippy::cast_possible_truncation)]
+    let vindex = _mm256_set_epi32(
+        (7 * s) as i32,
+        (6 * s) as i32,
+        (5 * s) as i32,
+        (4 * s) as i32,
+        (3 * s) as i32,
+        (2 * s) as i32,
+        s as i32,
+        0,
+    );
+    let pp = plane.as_ptr();
+    let mut ox = lo;
+    while ox + PANEL <= hi {
+        let mut best = neg_inf;
+        for ky in ky_lo..ky_hi {
+            let iy = row_base + ky - pad; // ky range guarantees 0 <= iy < h
+            for kx in 0..k {
+                let base_ix = ox * s + kx - pad; // ox >= lo guarantees >= 0
+                                                 // Furthest lane reads (ox+7)*s + kx - pad < w (ox+7 < hi).
+                let row = pp.add(iy * w + base_ix);
+                let v = if s == 1 {
+                    _mm256_loadu_ps(row)
+                } else {
+                    _mm256_i32gather_ps::<4>(row, vindex)
+                };
+                // Scalar replay: `if v > best { best = v }` per lane
+                // (NaN compares false and is ignored, like the scalar).
+                let gt = _mm256_cmp_ps(v, best, _CMP_GT_OQ);
+                best = _mm256_blendv_ps(best, v, gt);
+            }
+        }
+        // Windows where nothing beat -inf (all cells -inf or NaN, or no
+        // valid rows) yield 0.0, matching the scalar `hit` flag.
+        let hit = _mm256_cmp_ps(best, neg_inf, _CMP_GT_OQ);
+        _mm256_storeu_ps(out_row.as_mut_ptr().add(ox), _mm256_and_ps(best, hit));
+        ox += PANEL;
+    }
+
+    // Scalar interior tail + right border.
+    for (ox, o) in out_row.iter_mut().enumerate().skip(ox) {
+        *o = super::scalar::max_pool_cell(plane, h, w, params, oy, ox);
+    }
+}

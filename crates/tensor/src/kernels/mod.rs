@@ -1,0 +1,504 @@
+//! Runtime-dispatched SIMD microkernels.
+//!
+//! Every hot inner loop of the crate — the packed-panel GEMM band, the
+//! CSR sparse×dense row kernel, and the elementwise ReLU / bias /
+//! max-pool loops — funnels through this module, which selects an
+//! implementation **once per process** and hands the hot loops a
+//! [`KernelPath`] they can carry by value:
+//!
+//! * [`KernelPath::Scalar`] — safe Rust, the portable fallback and the
+//!   correctness oracle ([`scalar`]). Runs everywhere.
+//! * [`KernelPath::Avx2`] — explicit AVX2 intrinsics
+//!   ([`avx2`], `x86_64` only), eight `f32` lanes across the GEMM
+//!   `PANEL` dimension. Uses separate multiply and add instructions in
+//!   the **same per-element, ascending-`kk` order** as the scalar code,
+//!   so results are **bit-identical** to [`KernelPath::Scalar`] — the
+//!   parity guarantees of `run_batched` / `ParallelEngine` and the
+//!   perf sentinel's strict counters keep holding whichever path runs.
+//! * [`KernelPath::Avx2Fma`] — opt-in fused multiply-add variant.
+//!   Fusion skips the intermediate rounding of `a*b`, so outputs are
+//!   *more* accurate but only approximately equal to scalar (ULP-bounded;
+//!   see `crates/tensor/tests/kernel_parity.rs`). Never selected by
+//!   `auto` — it must be requested explicitly.
+//!
+//! Selection happens on first use and honors the `CAP_TENSOR_KERNEL`
+//! environment variable: `auto` (default; AVX2 when the CPU has it,
+//! scalar otherwise), `scalar`, `avx2`, or `avx2-fma`. Requesting a
+//! path the host cannot run falls back to scalar — never an error, so
+//! a binary built on an AVX2 machine still runs (and its tests still
+//! pass, none skipped) on one without.
+//!
+//! The resolved path is published to the observability layer as the
+//! `kernel_path` gauge (see `cap_obs::kernel_path_name`), so metric
+//! snapshots, `ProfileReport`s and the perf sentinel all record which
+//! backend produced their numbers.
+//!
+//! All `unsafe` in `cap-tensor` lives in this directory: the [`avx2`]
+//! submodule (intrinsics) and the dispatch call sites below that enter
+//! it, each with a safety comment tying the call to the CPU-feature
+//! check that makes it sound.
+
+pub mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+pub mod avx2;
+
+use crate::pool::Pool2dParams;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Column-panel width shared by [`crate::PackedB`] and the GEMM
+/// microkernels: eight `f32` values — exactly one AVX2 `__m256` lane
+/// group, and two SSE registers on the scalar/autovectorized path.
+pub const PANEL: usize = 8;
+
+/// Output rows register-blocked together by the packed GEMM band
+/// kernel. `ROW_BLOCK * PANEL` accumulators stay live per panel pass —
+/// enough independent multiply-add chains to cover FP latency.
+pub const ROW_BLOCK: usize = 4;
+
+/// Which microkernel implementation services the hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Portable safe-Rust loops. Always available; the parity oracle.
+    Scalar,
+    /// AVX2 mul+add intrinsics, bit-identical to [`KernelPath::Scalar`].
+    Avx2,
+    /// AVX2+FMA fused intrinsics — opt-in, approximate (ULP-bounded)
+    /// parity with scalar.
+    Avx2Fma,
+}
+
+impl KernelPath {
+    /// Stable lower-case name (`scalar` / `avx2` / `avx2-fma`), as
+    /// accepted by `CAP_TENSOR_KERNEL` and shown in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Avx2 => "avx2",
+            KernelPath::Avx2Fma => "avx2-fma",
+        }
+    }
+
+    /// Numeric code published to the `kernel_path` metrics gauge.
+    /// Matches [`cap_obs::kernel_path_name`]; `0` is reserved for
+    /// "unset" (no kernel has run yet).
+    pub fn code(self) -> u64 {
+        match self {
+            KernelPath::Scalar => 1,
+            KernelPath::Avx2 => 2,
+            KernelPath::Avx2Fma => 3,
+        }
+    }
+
+    /// Whether this path promises bit-identical outputs to
+    /// [`KernelPath::Scalar`] (everything except the fused-FMA mode).
+    pub fn is_bit_identical_to_scalar(self) -> bool {
+        !matches!(self, KernelPath::Avx2Fma)
+    }
+
+    /// Whether the current host can execute this path.
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelPath::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelPath::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            KernelPath::Avx2Fma => {
+                is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+/// Every [`KernelPath`] the current host can execute, scalar first.
+/// Parity tests iterate this list, so on a non-AVX2 host they compare
+/// scalar against scalar and still pass — zero skipped tests.
+pub fn available_paths() -> Vec<KernelPath> {
+    [KernelPath::Scalar, KernelPath::Avx2, KernelPath::Avx2Fma]
+        .into_iter()
+        .filter(|p| p.is_available())
+        .collect()
+}
+
+/// Process-wide forced path: 0 = none, else `KernelPath::code()`.
+/// Test/bench hook only — see [`force`].
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Cached resolution of `CAP_TENSOR_KERNEL` + CPU feature detection.
+static SELECTED: OnceLock<KernelPath> = OnceLock::new();
+
+/// Force every subsequent dispatch onto `path` (or back to the
+/// automatic selection with `None`).
+///
+/// This is a **test and ablation hook**: parity suites and the
+/// `kernels` experiment use it to run the same workload on two paths
+/// inside one process. It is process-global, so concurrent tests that
+/// depend on a *specific* path must serialize around it (results stay
+/// correct either way — that is the parity guarantee — but a torn
+/// override muddies which path produced them).
+///
+/// # Panics
+/// If `path` is not available on this host ([`KernelPath::is_available`]).
+pub fn force(path: Option<KernelPath>) {
+    if let Some(p) = path {
+        assert!(
+            p.is_available(),
+            "kernel path {} is not available on this host",
+            p.name()
+        );
+    }
+    FORCED.store(path.map_or(0, |p| p.code() as u8), Ordering::Relaxed);
+}
+
+/// Parse a `CAP_TENSOR_KERNEL` value. Unknown strings behave as `auto`
+/// (never an error: a typo must not change numerical behavior, only
+/// miss an optimization).
+fn parse_env(value: &str) -> Option<KernelPath> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "scalar" => Some(KernelPath::Scalar),
+        "avx2" => Some(KernelPath::Avx2),
+        "avx2-fma" | "avx2fma" => Some(KernelPath::Avx2Fma),
+        _ => None, // "", "auto", or anything unrecognized
+    }
+}
+
+/// Resolve the startup selection: explicit request if available, else
+/// the best bit-identical path the CPU supports (AVX2 or scalar).
+fn resolve() -> KernelPath {
+    let requested = std::env::var("CAP_TENSOR_KERNEL")
+        .ok()
+        .and_then(|v| parse_env(&v));
+    let path = match requested {
+        Some(p) if p.is_available() => p,
+        Some(_) => KernelPath::Scalar, // requested but unavailable: clean fallback
+        None => {
+            // auto: fastest path that keeps bit-identity with scalar.
+            if KernelPath::Avx2.is_available() {
+                KernelPath::Avx2
+            } else {
+                KernelPath::Scalar
+            }
+        }
+    };
+    // Publish to the metrics registry so snapshots, profiles and the
+    // sentinel record which backend produced their numbers.
+    cap_obs::metrics().kernel_path.set(path.code());
+    path
+}
+
+/// The kernel path servicing this process's hot loops.
+///
+/// Resolved once from `CAP_TENSOR_KERNEL` and CPU feature detection
+/// (see module docs); after that a single relaxed atomic load plus a
+/// cached read. Hot loops call this once per band/row and carry the
+/// result by value.
+///
+/// ```
+/// use cap_tensor::kernels;
+/// let p = kernels::selected();
+/// assert!(p.is_available());
+/// ```
+#[inline]
+pub fn selected() -> KernelPath {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => KernelPath::Scalar,
+        2 => KernelPath::Avx2,
+        3 => KernelPath::Avx2Fma,
+        _ => *SELECTED.get_or_init(resolve),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatching kernel entry points. Each has a `_with` variant taking an
+// explicit path (tests force paths; hot loops hoist `selected()` out of
+// their band/row loops) and a convenience wrapper using `selected()`.
+// ---------------------------------------------------------------------------
+
+/// One row band of the packed-panel GEMM: multiply rows
+/// `row0 .. row0 + c_band.len()/n` of the `m×k` row-major `a_data`
+/// against the panel-packed `b_data` (`n.div_ceil(PANEL)` panels of
+/// `k × PANEL`), writing the `c_band` slice of the row-major output.
+///
+/// Accumulation is ascending-`kk` per output element on every path;
+/// see [`KernelPath`] for the parity contract.
+#[inline]
+pub fn gemm_packed_band_with(
+    path: KernelPath,
+    a_data: &[f32],
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    c_band: &mut [f32],
+    row0: usize,
+) {
+    match path {
+        KernelPath::Scalar => scalar::gemm_packed_band(a_data, k, n, b_data, c_band, row0),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2`/`Avx2Fma` are only ever produced by `selected()`
+        // / `force()`, both of which verify via `is_available()` that the
+        // CPU reports the avx2 (and fma) features the target_feature
+        // functions require. Slice bounds are asserted inside the kernels.
+        KernelPath::Avx2 => unsafe { avx2::gemm_packed_band(a_data, k, n, b_data, c_band, row0) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above; `Avx2Fma` additionally implies the fma feature.
+        KernelPath::Avx2Fma => unsafe {
+            avx2::gemm_packed_band_fma(a_data, k, n, b_data, c_band, row0)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::gemm_packed_band(a_data, k, n, b_data, c_band, row0),
+    }
+}
+
+/// [`gemm_packed_band_with`] on the process-selected path.
+#[inline]
+pub fn gemm_packed_band(
+    a_data: &[f32],
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    c_band: &mut [f32],
+    row0: usize,
+) {
+    gemm_packed_band_with(selected(), a_data, k, n, b_data, c_band, row0);
+}
+
+/// One CSR row of sparse×dense: `c_row = Σ_i values[i] * B[col_idx[i], :]`
+/// over the `k×n` row-major `b_data`. `c_row` is overwritten (not
+/// accumulated into). Ascending-`i` accumulation per output element on
+/// every path.
+#[inline]
+pub fn spmm_row_with(
+    path: KernelPath,
+    values: &[f32],
+    col_idx: &[u32],
+    b_data: &[f32],
+    n: usize,
+    c_row: &mut [f32],
+) {
+    match path {
+        KernelPath::Scalar => scalar::spmm_row(values, col_idx, b_data, n, c_row),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx2 verified available by `selected()`/`force()`
+        // (see `gemm_packed_band_with`); bounds asserted in the kernel.
+        KernelPath::Avx2 => unsafe { avx2::spmm_row(values, col_idx, b_data, n, c_row) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, plus fma.
+        KernelPath::Avx2Fma => unsafe { avx2::spmm_row_fma(values, col_idx, b_data, n, c_row) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::spmm_row(values, col_idx, b_data, n, c_row),
+    }
+}
+
+/// [`spmm_row_with`] on the process-selected path.
+#[inline]
+pub fn spmm_row(values: &[f32], col_idx: &[u32], b_data: &[f32], n: usize, c_row: &mut [f32]) {
+    spmm_row_with(selected(), values, col_idx, b_data, n, c_row);
+}
+
+/// `c_row[j] += a * b_row[j]` over `min(c_row.len(), b_row.len())`
+/// elements — the inner loop of the unpacked GEMM and of dense bias
+/// broadcasts over columns.
+#[inline]
+pub fn axpy_with(path: KernelPath, c_row: &mut [f32], a: f32, b_row: &[f32]) {
+    match path {
+        KernelPath::Scalar => scalar::axpy(c_row, a, b_row),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx2 verified available by `selected()`/`force()`.
+        KernelPath::Avx2 => unsafe { avx2::axpy(c_row, a, b_row) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, plus fma.
+        KernelPath::Avx2Fma => unsafe { avx2::axpy_fma(c_row, a, b_row) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::axpy(c_row, a, b_row),
+    }
+}
+
+/// [`axpy_with`] on the process-selected path.
+#[inline]
+pub fn axpy(c_row: &mut [f32], a: f32, b_row: &[f32]) {
+    axpy_with(selected(), c_row, a, b_row);
+}
+
+/// In-place ReLU: `v = if v < 0.0 { 0.0 } else { v }`. Preserves NaN
+/// and `-0.0` exactly like the scalar comparison does (the AVX2 path
+/// uses compare+mask, not `max`, for bit-identity).
+#[inline]
+pub fn relu_inplace_with(path: KernelPath, data: &mut [f32]) {
+    match path {
+        KernelPath::Scalar => scalar::relu_inplace(data),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx2 verified available by `selected()`/`force()`.
+        KernelPath::Avx2 | KernelPath::Avx2Fma => unsafe { avx2::relu_inplace(data) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::relu_inplace(data),
+    }
+}
+
+/// [`relu_inplace_with`] on the process-selected path.
+#[inline]
+pub fn relu_inplace(data: &mut [f32]) {
+    relu_inplace_with(selected(), data);
+}
+
+/// Out-of-place ReLU: `dst[i] = if src[i] > 0.0 { src[i] } else { 0.0 }`
+/// (the `forward_into` flavor: NaN and `-0.0` map to `+0.0`, matching
+/// the scalar ternary).
+#[inline]
+pub fn relu_into_with(path: KernelPath, src: &[f32], dst: &mut [f32]) {
+    match path {
+        KernelPath::Scalar => scalar::relu_into(src, dst),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx2 verified available by `selected()`/`force()`.
+        KernelPath::Avx2 | KernelPath::Avx2Fma => unsafe { avx2::relu_into(src, dst) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::relu_into(src, dst),
+    }
+}
+
+/// [`relu_into_with`] on the process-selected path.
+#[inline]
+pub fn relu_into(src: &[f32], dst: &mut [f32]) {
+    relu_into_with(selected(), src, dst);
+}
+
+/// Broadcast-add a scalar bias: `v += b` for every element.
+#[inline]
+pub fn bias_broadcast_with(path: KernelPath, data: &mut [f32], b: f32) {
+    match path {
+        KernelPath::Scalar => scalar::bias_broadcast(data, b),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx2 verified available by `selected()`/`force()`.
+        KernelPath::Avx2 | KernelPath::Avx2Fma => unsafe { avx2::bias_broadcast(data, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::bias_broadcast(data, b),
+    }
+}
+
+/// [`bias_broadcast_with`] on the process-selected path.
+#[inline]
+pub fn bias_broadcast(data: &mut [f32], b: f32) {
+    bias_broadcast_with(selected(), data, b);
+}
+
+/// Pairwise add: `dst[i] += src[i]` over `min(dst.len(), src.len())`
+/// elements — the fully-connected layer's per-row bias add.
+#[inline]
+pub fn vec_add_with(path: KernelPath, dst: &mut [f32], src: &[f32]) {
+    match path {
+        KernelPath::Scalar => scalar::vec_add(dst, src),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx2 verified available by `selected()`/`force()`.
+        KernelPath::Avx2 | KernelPath::Avx2Fma => unsafe { avx2::vec_add(dst, src) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::vec_add(dst, src),
+    }
+}
+
+/// [`vec_add_with`] on the process-selected path.
+#[inline]
+pub fn vec_add(dst: &mut [f32], src: &[f32]) {
+    vec_add_with(selected(), dst, src);
+}
+
+/// One output row of 2-D max pooling over a single `h×w` input plane:
+/// fills `out_row` (length `ow`) for output row `oy`. Padding cells
+/// never win (treated as `-inf`); an all-padding window yields `0.0`.
+///
+/// The AVX2 path assigns one output column per lane and replays the
+/// scalar cell's exact `(ky asc, kx asc)` compare sequence per lane,
+/// so `-0.0`/NaN tie-breaking is bit-identical; window positions that
+/// clip the plane's left/right edge always take the scalar cell code.
+#[inline]
+pub fn max_pool_row_with(
+    path: KernelPath,
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    params: &Pool2dParams,
+    oy: usize,
+    out_row: &mut [f32],
+) {
+    match path {
+        KernelPath::Scalar => scalar::max_pool_row(plane, h, w, params, oy, out_row),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx2 verified available by `selected()`/`force()`;
+        // the kernel asserts `plane.len() >= h*w` before any raw load.
+        KernelPath::Avx2 | KernelPath::Avx2Fma => unsafe {
+            avx2::max_pool_row(plane, h, w, params, oy, out_row)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::max_pool_row(plane, h, w, params, oy, out_row),
+    }
+}
+
+/// [`max_pool_row_with`] on the process-selected path.
+#[inline]
+pub fn max_pool_row(
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    params: &Pool2dParams,
+    oy: usize,
+    out_row: &mut [f32],
+) {
+    max_pool_row_with(selected(), plane, h, w, params, oy, out_row);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_codes_are_stable() {
+        assert_eq!(KernelPath::Scalar.name(), "scalar");
+        assert_eq!(KernelPath::Avx2.name(), "avx2");
+        assert_eq!(KernelPath::Avx2Fma.name(), "avx2-fma");
+        for p in [KernelPath::Scalar, KernelPath::Avx2, KernelPath::Avx2Fma] {
+            // The obs-side label table must agree with our codes.
+            assert_eq!(cap_obs::kernel_path_name(p.code()), p.name());
+        }
+        assert_eq!(cap_obs::kernel_path_name(0), "unset");
+    }
+
+    #[test]
+    fn parse_env_values() {
+        assert_eq!(parse_env("scalar"), Some(KernelPath::Scalar));
+        assert_eq!(parse_env("AVX2"), Some(KernelPath::Avx2));
+        assert_eq!(parse_env("avx2-fma"), Some(KernelPath::Avx2Fma));
+        assert_eq!(parse_env("avx2fma"), Some(KernelPath::Avx2Fma));
+        assert_eq!(parse_env("auto"), None);
+        assert_eq!(parse_env(""), None);
+        assert_eq!(parse_env("riscv-vector"), None);
+    }
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(KernelPath::Scalar.is_available());
+        assert!(available_paths().contains(&KernelPath::Scalar));
+        assert!(available_paths()[0] == KernelPath::Scalar);
+    }
+
+    #[test]
+    fn selected_is_available_and_bit_identical_by_default() {
+        let p = selected();
+        assert!(p.is_available());
+        // `auto` (and any CAP_TENSOR_KERNEL except avx2-fma) must keep
+        // the bit-identity contract.
+        if std::env::var("CAP_TENSOR_KERNEL").map(|v| parse_env(&v))
+            != Ok(Some(KernelPath::Avx2Fma))
+        {
+            assert!(p.is_bit_identical_to_scalar());
+        }
+    }
+
+    #[test]
+    fn force_overrides_and_restores() {
+        force(Some(KernelPath::Scalar));
+        assert_eq!(selected(), KernelPath::Scalar);
+        force(None);
+        assert!(selected().is_available());
+    }
+}

@@ -1,0 +1,227 @@
+//! Portable safe-Rust microkernels — the fallback path and the
+//! correctness oracle every SIMD path is tested against.
+//!
+//! These are the original inner loops of `gemm.rs` / `sparse.rs` /
+//! `ops.rs` / `pool.rs`, moved here verbatim so both dispatch targets
+//! live side by side. The compiler autovectorizes the fixed-width
+//! `PANEL` accumulator loops reasonably well; the explicit AVX2 path
+//! exists to stop leaving the rest of the lanes on the table.
+
+use super::{PANEL, ROW_BLOCK};
+use crate::pool::Pool2dParams;
+
+/// One row band of the packed-panel GEMM. See
+/// [`super::gemm_packed_band_with`] for the contract.
+pub fn gemm_packed_band(
+    a_data: &[f32],
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    c_band: &mut [f32],
+    row0: usize,
+) {
+    let panels = n.div_ceil(PANEL);
+    let rows_here = c_band.len() / n.max(1);
+    // Register-block ROW_BLOCK output rows against each panel:
+    // every `kk` step issues ROW_BLOCK*PANEL independent
+    // multiply-adds, hiding FMA latency that a single 8-wide
+    // accumulator chain would expose. Each output element still
+    // accumulates in ascending-`kk` order, so results are
+    // bit-identical to the unblocked walk.
+    let mut local_r = 0;
+    while local_r + ROW_BLOCK <= rows_here {
+        let r = row0 + local_r;
+        let ar0 = &a_data[r * k..(r + 1) * k];
+        let ar1 = &a_data[(r + 1) * k..(r + 2) * k];
+        let ar2 = &a_data[(r + 2) * k..(r + 3) * k];
+        let ar3 = &a_data[(r + 3) * k..(r + 4) * k];
+        for p in 0..panels {
+            let base = p * k * PANEL;
+            let panel = &b_data[base..base + k * PANEL];
+            let mut acc0 = [0.0f32; PANEL];
+            let mut acc1 = [0.0f32; PANEL];
+            let mut acc2 = [0.0f32; PANEL];
+            let mut acc3 = [0.0f32; PANEL];
+            for (((prow, &a0), (&a1, &a2)), &a3) in panel
+                .chunks_exact(PANEL)
+                .zip(ar0.iter())
+                .zip(ar1.iter().zip(ar2.iter()))
+                .zip(ar3.iter())
+            {
+                let prow: &[f32; PANEL] = prow.try_into().unwrap();
+                for j in 0..PANEL {
+                    let pv = prow[j];
+                    acc0[j] += a0 * pv;
+                    acc1[j] += a1 * pv;
+                    acc2[j] += a2 * pv;
+                    acc3[j] += a3 * pv;
+                }
+            }
+            let c0 = p * PANEL;
+            let width = PANEL.min(n - c0);
+            for (i, accr) in [&acc0, &acc1, &acc2, &acc3].into_iter().enumerate() {
+                let row = &mut c_band[(local_r + i) * n..(local_r + i + 1) * n];
+                row[c0..c0 + width].copy_from_slice(&accr[..width]);
+            }
+        }
+        local_r += ROW_BLOCK;
+    }
+    // Remaining rows one at a time, blocking four panels per pass
+    // so a lone row (batch-1 inference) still carries 32
+    // independent accumulator chains.
+    for local_r in local_r..rows_here {
+        let r = row0 + local_r;
+        let a_row = &a_data[r * k..(r + 1) * k];
+        let c_row = &mut c_band[local_r * n..(local_r + 1) * n];
+        let plen = k * PANEL;
+        let mut p = 0;
+        while p + 4 <= panels {
+            let pn0 = &b_data[p * plen..(p + 1) * plen];
+            let pn1 = &b_data[(p + 1) * plen..(p + 2) * plen];
+            let pn2 = &b_data[(p + 2) * plen..(p + 3) * plen];
+            let pn3 = &b_data[(p + 3) * plen..(p + 4) * plen];
+            let mut acc0 = [0.0f32; PANEL];
+            let mut acc1 = [0.0f32; PANEL];
+            let mut acc2 = [0.0f32; PANEL];
+            let mut acc3 = [0.0f32; PANEL];
+            for ((((&aik, p0), p1), p2), p3) in a_row
+                .iter()
+                .zip(pn0.chunks_exact(PANEL))
+                .zip(pn1.chunks_exact(PANEL))
+                .zip(pn2.chunks_exact(PANEL))
+                .zip(pn3.chunks_exact(PANEL))
+            {
+                let p0: &[f32; PANEL] = p0.try_into().unwrap();
+                let p1: &[f32; PANEL] = p1.try_into().unwrap();
+                let p2: &[f32; PANEL] = p2.try_into().unwrap();
+                let p3: &[f32; PANEL] = p3.try_into().unwrap();
+                for j in 0..PANEL {
+                    acc0[j] += aik * p0[j];
+                    acc1[j] += aik * p1[j];
+                    acc2[j] += aik * p2[j];
+                    acc3[j] += aik * p3[j];
+                }
+            }
+            for (i, accr) in [&acc0, &acc1, &acc2, &acc3].into_iter().enumerate() {
+                let c0 = (p + i) * PANEL;
+                let width = PANEL.min(n - c0);
+                c_row[c0..c0 + width].copy_from_slice(&accr[..width]);
+            }
+            p += 4;
+        }
+        for p in p..panels {
+            let base = p * plen;
+            let panel = &b_data[base..base + plen];
+            let mut acc = [0.0f32; PANEL];
+            for (&aik, prow) in a_row.iter().zip(panel.chunks_exact(PANEL)) {
+                let prow: &[f32; PANEL] = prow.try_into().unwrap();
+                for (av, pv) in acc.iter_mut().zip(prow.iter()) {
+                    *av += aik * pv;
+                }
+            }
+            let c0 = p * PANEL;
+            let width = PANEL.min(n - c0);
+            c_row[c0..c0 + width].copy_from_slice(&acc[..width]);
+        }
+    }
+}
+
+/// One CSR row of sparse×dense. See [`super::spmm_row_with`].
+pub fn spmm_row(values: &[f32], col_idx: &[u32], b_data: &[f32], n: usize, c_row: &mut [f32]) {
+    c_row.fill(0.0);
+    for (&v, &c) in values.iter().zip(col_idx.iter()) {
+        let b_row = &b_data[c as usize * n..(c as usize + 1) * n];
+        for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+            *cv += v * bv;
+        }
+    }
+}
+
+/// `c_row[j] += a * b_row[j]`. See [`super::axpy_with`].
+pub fn axpy(c_row: &mut [f32], a: f32, b_row: &[f32]) {
+    for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+        *cv += a * bv;
+    }
+}
+
+/// In-place ReLU. See [`super::relu_inplace_with`].
+pub fn relu_inplace(data: &mut [f32]) {
+    for v in data {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Out-of-place ReLU. See [`super::relu_into_with`].
+pub fn relu_into(src: &[f32], dst: &mut [f32]) {
+    for (o, &v) in dst.iter_mut().zip(src.iter()) {
+        *o = if v > 0.0 { v } else { 0.0 };
+    }
+}
+
+/// Broadcast-add a scalar bias. See [`super::bias_broadcast_with`].
+pub fn bias_broadcast(data: &mut [f32], b: f32) {
+    for v in data {
+        *v += b;
+    }
+}
+
+/// Pairwise `dst[i] += src[i]`. See [`super::vec_add_with`].
+pub fn vec_add(dst: &mut [f32], src: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d += s;
+    }
+}
+
+/// One max-pool output cell over an `h×w` plane — the original
+/// `max_pool2d_into` window walk (`ky` ascending, `kx` ascending,
+/// strict `>` comparison, all-padding window yields `0.0`).
+#[inline(always)]
+pub(crate) fn max_pool_cell(
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    params: &Pool2dParams,
+    oy: usize,
+    ox: usize,
+) -> f32 {
+    let mut best = f32::NEG_INFINITY;
+    let mut hit = false;
+    for ky in 0..params.k {
+        let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+        if iy < 0 || iy as usize >= h {
+            continue;
+        }
+        for kx in 0..params.k {
+            let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+            if ix < 0 || ix as usize >= w {
+                continue;
+            }
+            let v = plane[iy as usize * w + ix as usize];
+            if v > best {
+                best = v;
+                hit = true;
+            }
+        }
+    }
+    if hit {
+        best
+    } else {
+        0.0
+    }
+}
+
+/// One output row of 2-D max pooling. See [`super::max_pool_row_with`].
+pub fn max_pool_row(
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    params: &Pool2dParams,
+    oy: usize,
+    out_row: &mut [f32],
+) {
+    for (ox, o) in out_row.iter_mut().enumerate() {
+        *o = max_pool_cell(plane, h, w, params, oy, ox);
+    }
+}

@@ -25,6 +25,12 @@
 //! All kernels are deterministic given deterministic inputs; parallelism
 //! via rayon never reorders reductions in a result-visible way (each
 //! output element is owned by exactly one task).
+//!
+//! The hot inner loops run on runtime-dispatched SIMD microkernels
+//! ([`kernels`]): AVX2 where the CPU has it, scalar everywhere else,
+//! overridable via `CAP_TENSOR_KERNEL={auto,scalar,avx2,avx2-fma}`.
+//! The default SIMD path is bit-identical to scalar, so determinism
+//! holds across backends too.
 
 #![warn(missing_docs)]
 
@@ -34,6 +40,7 @@ pub mod error;
 pub mod gemm;
 pub mod im2col;
 pub mod init;
+pub mod kernels;
 pub mod ops;
 pub mod pool;
 pub mod sparse;
@@ -51,6 +58,7 @@ pub use gemm::{
     PackedB,
 };
 pub use im2col::{col2im, im2col, im2col_prealloc};
+pub use kernels::KernelPath;
 pub use pool::{
     avg_pool2d, avg_pool2d_into, max_pool2d, max_pool2d_indices, max_pool2d_into, Pool2dParams,
 };

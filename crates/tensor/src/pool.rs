@@ -2,6 +2,7 @@
 
 use crate::error::{ShapeError, TensorResult};
 use crate::im2col::out_spatial;
+use crate::kernels;
 use crate::tensor4::Tensor4;
 use serde::{Deserialize, Serialize};
 
@@ -60,35 +61,17 @@ pub fn max_pool2d_into(
     let (n, c, h, w) = input.shape();
     let (oh, ow) = params.out_shape(h, w)?;
     out.resize(n, c, oh, ow);
-    for ni in 0..n {
-        for ci in 0..c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut hit = false;
-                    for ky in 0..params.k {
-                        let iy = (oy * params.stride + ky) as isize - params.pad as isize;
-                        if iy < 0 || iy as usize >= h {
-                            continue;
-                        }
-                        for kx in 0..params.k {
-                            let ix = (ox * params.stride + kx) as isize - params.pad as isize;
-                            if ix < 0 || ix as usize >= w {
-                                continue;
-                            }
-                            let v = input.get(ni, ci, iy as usize, ix as usize);
-                            if v > best {
-                                best = v;
-                                hit = true;
-                            }
-                        }
-                    }
-                    if !hit {
-                        best = 0.0;
-                    }
-                    out.set(ni, ci, oy, ox, best);
-                }
-            }
+    // Resolve the kernel path once; the row kernel vectorizes interior
+    // windows (one output column per SIMD lane) and replays the scalar
+    // window walk on the borders — bit-identical on every path.
+    let path = kernels::selected();
+    let in_data = input.as_slice();
+    let out_data = out.as_mut_slice();
+    for plane in 0..n * c {
+        let in_plane = &in_data[plane * h * w..(plane + 1) * h * w];
+        let out_plane = &mut out_data[plane * oh * ow..(plane + 1) * oh * ow];
+        for (oy, out_row) in out_plane.chunks_mut(ow.max(1)).enumerate() {
+            kernels::max_pool_row_with(path, in_plane, h, w, params, oy, out_row);
         }
     }
     Ok(())
