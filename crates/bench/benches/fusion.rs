@@ -1,0 +1,53 @@
+//! Layer-fusion ablation under Criterion: the same mini-Caffenet
+//! forward with the graph-level `conv → relu` / `fc → relu` fusion
+//! pass forced off vs on, so Criterion isolates the fusion effect from
+//! everything else (DESIGN.md §6c). Batch 1 is the memory-bound
+//! headline arm; batch 8 shows the compute-bound regime where the
+//! epilogue savings amortize differently.
+
+use cap_bench::experiments::scaling_exp::{mini_caffenet, workload};
+use cap_cnn::fusion::{self, FusionMode};
+use cap_cnn::run_batched;
+use cap_tensor::Tensor4;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Run `body` with the fusion pass pinned to `mode`, restoring the
+/// environment-driven selection afterwards.
+fn forced<T>(mode: FusionMode, body: impl FnOnce() -> T) -> T {
+    fusion::force(Some(mode));
+    let out = body();
+    fusion::force(None);
+    out
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let net = mini_caffenet();
+    let one = Tensor4::from_fn(1, 3, 64, 64, |_, ch, h, w| {
+        ((ch * 17 + h * 3 + w) % 23) as f32 / 11.0 - 1.0
+    });
+    let eight = workload();
+
+    for (group_name, imgs, batch) in [
+        ("fusion_forward_batch1", &one, 1usize),
+        ("fusion_forward_batch8", &eight, 8usize),
+    ] {
+        let mut group = c.benchmark_group(group_name);
+        for mode in [FusionMode::Off, FusionMode::On] {
+            group.bench_function(BenchmarkId::from_parameter(mode.name()), |b| {
+                forced(mode, || {
+                    // Warm once on this mode: plan build, packing, arenas.
+                    run_batched(&net, imgs, batch).unwrap();
+                    b.iter(|| run_batched(&net, imgs, batch).unwrap())
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fusion
+}
+criterion_main!(benches);

@@ -6,6 +6,7 @@ mod algorithm;
 mod characterization;
 mod extensions;
 mod frontier;
+mod fusion_exp;
 mod kernels_exp;
 mod measured;
 mod metrics_exp;
@@ -120,6 +121,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "kernels",
         "Ablation: scalar vs runtime-dispatched SIMD microkernels (GEMM, SpMM, end-to-end)",
         kernels_exp::kernels_ablation,
+    ),
+    (
+        "fusion",
+        "Ablation: graph-level conv/fc→relu fusion (CAP_TENSOR_FUSION) off vs on",
+        fusion_exp::fusion_ablation,
     ),
     (
         "ablation-alloc",

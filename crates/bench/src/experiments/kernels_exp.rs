@@ -38,8 +38,8 @@ fn deterministic_matrix(rows: usize, cols: usize, salt: usize) -> Matrix {
 
 /// Time `f` adaptively: repeat until the total exceeds ~40 ms, report
 /// the best single-iteration time (least-noise estimator on a shared
-/// host).
-fn best_secs<F: FnMut()>(mut f: F) -> f64 {
+/// host). Shared with the `fusion` ablation.
+pub(crate) fn best_secs<F: FnMut()>(mut f: F) -> f64 {
     let mut best = f64::INFINITY;
     let mut spent = 0.0;
     let mut iters = 0usize;

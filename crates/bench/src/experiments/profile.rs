@@ -119,9 +119,16 @@ mod tests {
         });
         let tracer = CollectingTracer::new();
         let (report, spans) = profile(&net, &input, "caffenet", &tracer);
-        // Every executed DAG node shows up exactly once, with
-        // calls == PASSES.
-        assert_eq!(report.layers().len(), net.layer_names().count());
+        // Every executed step shows up exactly once, with
+        // calls == PASSES. Under the default fusion mode each fused
+        // producer→ReLU pair is one step, so the absorbed ReLU nodes
+        // account for the difference to the DAG node count.
+        let fused = report.layers().iter().filter(|l| l.fused).count();
+        assert_eq!(
+            report.layers().len() + fused,
+            net.layer_names().count(),
+            "steps + absorbed relus must cover every DAG node"
+        );
         assert!(report.layers().iter().all(|l| l.calls == PASSES as u64));
         // The raw spans behind the report are exposed for --trace-out:
         // PASSES forward spans plus PASSES spans per layer, each

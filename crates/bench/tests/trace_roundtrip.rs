@@ -100,6 +100,12 @@ fn f64_of(v: &Value) -> f64 {
 
 #[test]
 fn parallel_trace_round_trips_with_nesting_by_tid() {
+    // Pin the graph-level fusion pass off: under `auto` the executor
+    // absorbs relu1 into conv1's epilogue (DESIGN.md §6c) and emits no
+    // relu1 span — this test is about trace round-tripping, so it runs
+    // the unfused plan where every layer has its own event. (Fused
+    // span naming is covered by the profile tests.)
+    cap_cnn::fusion::force(Some(cap_cnn::fusion::FusionMode::Off));
     let net = small_net();
     let tracer = CollectingTracer::new();
     let engine = ParallelEngine::new(3);

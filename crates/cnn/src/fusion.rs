@@ -1,0 +1,141 @@
+//! Graph-level layer-fusion mode selection.
+//!
+//! The [`crate::Network`] executor can rewrite `conv → relu` and
+//! `fc → relu` chains into single fused steps whose bias add and ReLU
+//! ride the GEMM/SpMM store ([`cap_tensor::Epilogue`]), saving two full
+//! round-trips of each activation through memory. The rewrite is a pure
+//! scheduling change: fused kernels are **bitwise identical** to the
+//! unfused layer pair on every bit-identical kernel path, so fusion can
+//! be toggled freely without changing a single output bit — which is
+//! exactly what the parity escape hatch here is for.
+//!
+//! Selection mirrors `CAP_TENSOR_KERNEL` (see [`cap_tensor::kernels`]):
+//! the `CAP_TENSOR_FUSION` environment variable is read once per
+//! process — `on`, `off`, or `auto` (the default; fusion enabled).
+//! Unknown values behave as `auto`, never an error: a typo must not
+//! change behavior, only miss nothing (auto already fuses).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Whether the network executor fuses eligible layer chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionMode {
+    /// Decide automatically — fusion is a pure win (bitwise identical,
+    /// strictly less memory traffic), so `Auto` fuses.
+    Auto,
+    /// Fuse eligible chains.
+    On,
+    /// Run every layer unfused — the parity escape hatch and the
+    /// baseline arm of the `fusion` ablation experiment.
+    Off,
+}
+
+impl FusionMode {
+    /// Stable lower-case name as accepted by `CAP_TENSOR_FUSION`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FusionMode::Auto => "auto",
+            FusionMode::On => "on",
+            FusionMode::Off => "off",
+        }
+    }
+
+    /// Whether this mode enables the fusion rewrite.
+    #[inline]
+    pub fn enabled(self) -> bool {
+        !matches!(self, FusionMode::Off)
+    }
+
+    /// Numeric code used by the [`force`] override (0 is "no override").
+    fn code(self) -> u8 {
+        match self {
+            FusionMode::Auto => 1,
+            FusionMode::On => 2,
+            FusionMode::Off => 3,
+        }
+    }
+}
+
+/// Process-wide forced mode: 0 = none, else `FusionMode::code()`.
+/// Test/ablation hook only — see [`force`].
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Cached resolution of `CAP_TENSOR_FUSION`.
+static SELECTED: OnceLock<FusionMode> = OnceLock::new();
+
+/// Force every subsequent forward pass into `mode` (or back to the
+/// environment-driven selection with `None`).
+///
+/// This is a **test and ablation hook**, process-global like
+/// [`cap_tensor::kernels::force`]: the `fusion` experiment and the
+/// whole-network parity suite use it to run both arms inside one
+/// process. Outputs are identical either way — that is the fusion
+/// parity guarantee — but concurrent tests asserting on a *specific*
+/// mode must serialize around it.
+pub fn force(mode: Option<FusionMode>) {
+    FORCED.store(mode.map_or(0, |m| m.code()), Ordering::Relaxed);
+}
+
+/// Parse a `CAP_TENSOR_FUSION` value. Unknown strings behave as `auto`.
+fn parse_env(value: &str) -> FusionMode {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "on" => FusionMode::On,
+        "off" => FusionMode::Off,
+        _ => FusionMode::Auto, // "", "auto", or anything unrecognized
+    }
+}
+
+/// Resolve the startup selection from `CAP_TENSOR_FUSION`.
+fn resolve() -> FusionMode {
+    std::env::var("CAP_TENSOR_FUSION")
+        .map(|v| parse_env(&v))
+        .unwrap_or(FusionMode::Auto)
+}
+
+/// The fusion mode governing this process's forward passes.
+///
+/// Resolved once from `CAP_TENSOR_FUSION` (default `auto` = fused);
+/// after that a single relaxed atomic load plus a cached read. The
+/// [`force`] override, when set, wins without touching the cache.
+#[inline]
+pub fn selected() -> FusionMode {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => FusionMode::Auto,
+        2 => FusionMode::On,
+        3 => FusionMode::Off,
+        _ => *SELECTED.get_or_init(resolve),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_env_accepts_known_values_and_defaults_to_auto() {
+        assert_eq!(parse_env("on"), FusionMode::On);
+        assert_eq!(parse_env(" OFF "), FusionMode::Off);
+        assert_eq!(parse_env("auto"), FusionMode::Auto);
+        assert_eq!(parse_env(""), FusionMode::Auto);
+        assert_eq!(parse_env("bogus"), FusionMode::Auto);
+    }
+
+    #[test]
+    fn auto_and_on_enable_off_disables() {
+        assert!(FusionMode::Auto.enabled());
+        assert!(FusionMode::On.enabled());
+        assert!(!FusionMode::Off.enabled());
+    }
+
+    #[test]
+    fn force_overrides_and_clears() {
+        force(Some(FusionMode::Off));
+        assert_eq!(selected(), FusionMode::Off);
+        force(Some(FusionMode::On));
+        assert_eq!(selected(), FusionMode::On);
+        force(None);
+        // Back to env/auto; whatever it is, it must be stable.
+        assert_eq!(selected(), selected());
+    }
+}

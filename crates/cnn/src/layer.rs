@@ -92,6 +92,30 @@ pub trait Layer: Send + Sync {
         Ok(())
     }
 
+    /// Whether this layer can absorb an immediately following ReLU into
+    /// its own store ([`Layer::forward_into_fused`]). The network
+    /// executor's fusion pass only rewrites `X → relu` chains where `X`
+    /// reports `true` here.
+    fn supports_relu_fusion(&self) -> bool {
+        false
+    }
+
+    /// Execute the layer with a ReLU fused onto its output.
+    ///
+    /// Must be **bitwise identical** to [`Layer::forward_into`] followed
+    /// by a [`ReluLayer`] (`v > 0.0` keeps `v`; negatives, `-0.0` and
+    /// NaN flush to `+0.0`). The default honors that contract the slow
+    /// way — forward then an in-place ReLU sweep; layers reporting
+    /// [`Layer::supports_relu_fusion`] override it with a single-pass
+    /// fused kernel.
+    fn forward_into_fused(&self, inputs: &[&Tensor4], out: &mut Tensor4) -> TensorResult<()> {
+        self.forward_into(inputs, out)?;
+        for v in out.as_mut_slice() {
+            *v = if *v > 0.0 { *v } else { 0.0 };
+        }
+        Ok(())
+    }
+
     /// Per-image output shape given per-image input shapes.
     fn out_shape(&self, in_shapes: &[ChwShape]) -> TensorResult<ChwShape>;
 

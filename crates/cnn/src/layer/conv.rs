@@ -2,8 +2,8 @@
 
 use super::{ChwShape, Layer, LayerKind};
 use cap_tensor::{
-    conv2d_gemm_packed, conv2d_sparse_packed, Conv2dParams, CsrMatrix, Matrix, PackedConvWeights,
-    PackedSparseConvWeights, ShapeError, Tensor4, TensorResult, WorkspacePool,
+    conv2d_gemm_packed_fused, conv2d_sparse_packed_fused, Conv2dParams, CsrMatrix, Matrix,
+    PackedConvWeights, PackedSparseConvWeights, ShapeError, Tensor4, TensorResult, WorkspacePool,
 };
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -97,6 +97,36 @@ impl ConvLayer {
         *self.sparse_cache.write() = Some(Arc::clone(&built));
         Ok(built)
     }
+
+    /// Shared body of [`Layer::forward_into`] / [`Layer::forward_into_fused`]:
+    /// the only difference is whether a ReLU rides the kernel epilogue.
+    fn run(&self, inputs: &[&Tensor4], out: &mut Tensor4, relu: bool) -> TensorResult<()> {
+        let [input] = inputs else {
+            return Err(ShapeError::new("conv: expected exactly one input"));
+        };
+        if self.weights.sparsity(0.0) > SPARSE_THRESHOLD {
+            let sparse = self.sparse()?;
+            conv2d_sparse_packed_fused(
+                input,
+                &sparse,
+                Some(&self.bias),
+                &self.params,
+                &self.pool,
+                out,
+                relu,
+            )
+        } else {
+            conv2d_gemm_packed_fused(
+                input,
+                &self.packed,
+                Some(&self.bias),
+                &self.params,
+                &self.pool,
+                out,
+                relu,
+            )
+        }
+    }
 }
 
 impl Layer for ConvLayer {
@@ -115,29 +145,15 @@ impl Layer for ConvLayer {
     }
 
     fn forward_into(&self, inputs: &[&Tensor4], out: &mut Tensor4) -> TensorResult<()> {
-        let [input] = inputs else {
-            return Err(ShapeError::new("conv: expected exactly one input"));
-        };
-        if self.weights.sparsity(0.0) > SPARSE_THRESHOLD {
-            let sparse = self.sparse()?;
-            conv2d_sparse_packed(
-                input,
-                &sparse,
-                Some(&self.bias),
-                &self.params,
-                &self.pool,
-                out,
-            )
-        } else {
-            conv2d_gemm_packed(
-                input,
-                &self.packed,
-                Some(&self.bias),
-                &self.params,
-                &self.pool,
-                out,
-            )
-        }
+        self.run(inputs, out, false)
+    }
+
+    fn supports_relu_fusion(&self) -> bool {
+        true
+    }
+
+    fn forward_into_fused(&self, inputs: &[&Tensor4], out: &mut Tensor4) -> TensorResult<()> {
+        self.run(inputs, out, true)
     }
 
     fn out_shape(&self, in_shapes: &[ChwShape]) -> TensorResult<ChwShape> {

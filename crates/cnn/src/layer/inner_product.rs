@@ -2,7 +2,8 @@
 
 use super::{ChwShape, Layer, LayerKind};
 use cap_tensor::{
-    gemm_prepacked_slice, CsrMatrix, Matrix, PackedB, ShapeError, Tensor4, TensorResult,
+    gemm_prepacked_slice_fused, CsrMatrix, EpiBias, Epilogue, Matrix, PackedB, ShapeError, Tensor4,
+    TensorResult,
 };
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -77,6 +78,71 @@ impl InnerProductLayer {
         *self.sparse_cache.write() = Some(Arc::clone(&built));
         built
     }
+
+    /// Shared body of [`Layer::forward_into`] / [`Layer::forward_into_fused`]:
+    /// the only difference is whether a ReLU rides the kernel epilogue.
+    fn run(&self, inputs: &[&Tensor4], out: &mut Tensor4, relu: bool) -> TensorResult<()> {
+        let [input] = inputs else {
+            return Err(ShapeError::new("fc: expected exactly one input"));
+        };
+        if input.image_len() != self.in_features {
+            return Err(ShapeError::new(format!(
+                "fc {}: input features {} != {}",
+                self.name,
+                input.image_len(),
+                self.in_features
+            )));
+        }
+        let batch = input.n();
+        out.resize(batch, self.out_features, 1, 1);
+        if self.weights.sparsity(0.0) > SPARSE_THRESHOLD {
+            if batch == 1 {
+                // Batch-1 sparse path: the product is a matvec, so run
+                // the CSR spmv kernel straight from the input slice into
+                // the output slice — no Xᵀ/Y staging matrices, no
+                // transposes, no allocation.
+                return self.sparse().matvec_fused_into(
+                    input.as_slice(),
+                    out.as_mut_slice(),
+                    Some(&self.bias),
+                    relu,
+                );
+            }
+            // Sparse path: CSR row-skipping needs W's rows, so compute
+            // W (out×in, sparse) × Xᵀ (in×batch) and transpose back.
+            // Bias/ReLU ride the SpMM row store (CSR rows are out
+            // features, so the bias is per-row there).
+            let x_t = input.to_matrix().transpose();
+            let mut y = Matrix::zeros(self.out_features, batch);
+            self.sparse()
+                .matmul_dense_into_fused(&x_t, &mut y, Some(&self.bias), relu)?;
+            let o = out.as_mut_slice();
+            for b in 0..batch {
+                for of in 0..self.out_features {
+                    o[b * self.out_features + of] = y.get(of, b);
+                }
+            }
+        } else {
+            // Dense path: Y = X · Wᵀ, vectorizable at any batch size. A
+            // `(n, c, 1, 1)` tensor's flat data IS the `n × c` row-major
+            // matrix, so both input and output go straight through with
+            // no copies: the GEMM writes into `out`'s reused buffer
+            // (routing through the dedicated gemv kernel when batch is
+            // 1), and bias/ReLU ride its store as a per-column epilogue
+            // (out features are GEMM columns here).
+            gemm_prepacked_slice_fused(
+                input.as_slice(),
+                batch,
+                &self.packed_t,
+                out.as_mut_slice(),
+                Epilogue {
+                    bias: Some(EpiBias::PerCol(&self.bias)),
+                    relu,
+                },
+            )?;
+        }
+        Ok(())
+    }
 }
 
 impl Layer for InnerProductLayer {
@@ -95,43 +161,15 @@ impl Layer for InnerProductLayer {
     }
 
     fn forward_into(&self, inputs: &[&Tensor4], out: &mut Tensor4) -> TensorResult<()> {
-        let [input] = inputs else {
-            return Err(ShapeError::new("fc: expected exactly one input"));
-        };
-        if input.image_len() != self.in_features {
-            return Err(ShapeError::new(format!(
-                "fc {}: input features {} != {}",
-                self.name,
-                input.image_len(),
-                self.in_features
-            )));
-        }
-        let batch = input.n();
-        out.resize(batch, self.out_features, 1, 1);
-        if self.weights.sparsity(0.0) > SPARSE_THRESHOLD {
-            // Sparse path: CSR row-skipping needs W's rows, so compute
-            // W (out×in, sparse) × Xᵀ (in×batch) and transpose back.
-            let x_t = input.to_matrix().transpose();
-            let y = self.sparse().matmul_dense(&x_t)?;
-            let o = out.as_mut_slice();
-            for b in 0..batch {
-                for of in 0..self.out_features {
-                    o[b * self.out_features + of] = y.get(of, b);
-                }
-            }
-        } else {
-            // Dense path: Y = X · Wᵀ, vectorizable at any batch size. A
-            // `(n, c, 1, 1)` tensor's flat data IS the `n × c` row-major
-            // matrix, so both input and output go straight through with
-            // no copies: the GEMM writes into `out`'s reused buffer.
-            gemm_prepacked_slice(input.as_slice(), batch, &self.packed_t, out.as_mut_slice())?;
-        }
-        let o = out.as_mut_slice();
-        let path = cap_tensor::kernels::selected();
-        for row in o.chunks_exact_mut(self.out_features) {
-            cap_tensor::kernels::vec_add_with(path, row, &self.bias);
-        }
-        Ok(())
+        self.run(inputs, out, false)
+    }
+
+    fn supports_relu_fusion(&self) -> bool {
+        true
+    }
+
+    fn forward_into_fused(&self, inputs: &[&Tensor4], out: &mut Tensor4) -> TensorResult<()> {
+        self.run(inputs, out, true)
     }
 
     fn out_shape(&self, in_shapes: &[ChwShape]) -> TensorResult<ChwShape> {

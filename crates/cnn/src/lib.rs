@@ -11,6 +11,9 @@
 //!   dropout, softmax).
 //! * [`network`] — a DAG executor with topological scheduling and a
 //!   timing collector.
+//! * [`fusion`] — the `CAP_TENSOR_FUSION` mode governing the executor's
+//!   graph-level `conv → relu` / `fc → relu` fusion pass (bitwise
+//!   identical either way; `auto` fuses).
 //! * [`models`] — Caffenet, Googlenet and the small trainable `TinyNet`.
 //! * [`accuracy`] — top-1 / top-5 metrics as defined in §3.2.2 of the
 //!   paper.
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod fusion;
 pub mod inference;
 pub mod layer;
 pub mod models;
@@ -32,6 +36,7 @@ pub mod parallel;
 pub mod train;
 
 pub use accuracy::{evaluate_topk, AccuracyReport};
+pub use fusion::FusionMode;
 pub use inference::{parallel_scaling, run_and_score, run_batched, ThroughputReport};
 pub use layer::{Layer, LayerKind};
 pub use network::{ForwardArena, ForwardRecord, LayerTiming, Network, NodeId};

@@ -7,11 +7,14 @@
 //! and frees intermediate activations as soon as their last consumer has
 //! run — Googlenet at batch 32 would otherwise hold hundreds of MB.
 
+use crate::fusion::{self, FusionMode};
 use crate::layer::{ChwShape, Layer, LayerKind};
 use cap_obs::{NoopTracer, SpanInfo, SpanScope, Tracer};
 use cap_tensor::{Matrix, ShapeError, Tensor4, TensorResult};
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Identifier of a node within a [`Network`].
@@ -24,6 +27,41 @@ pub const INPUT: NodeId = NodeId(usize::MAX);
 struct Node {
     layer: Box<dyn Layer>,
     inputs: Vec<NodeId>,
+}
+
+/// One unit of work in a fusion [`Plan`]: run node `node`, optionally
+/// absorbing the ReLU node `fused_relu` into its kernel epilogue.
+struct ExecStep {
+    node: usize,
+    fused_relu: Option<usize>,
+}
+
+/// Cached execution schedule for [`Network::forward_into_traced`].
+///
+/// Built once per `(network, fusion mode)` pair by pattern-matching
+/// `conv → relu` / `fc → relu` chains; a fused ReLU node disappears as
+/// a step and its output aliases its producer's arena slot
+/// (`slot_of`), so the ReLU's own activation buffer is never sized —
+/// the arena high-water mark drops by exactly those activations.
+struct Plan {
+    steps: Vec<ExecStep>,
+    /// Arena slot holding node `i`'s output (fused ReLUs alias their
+    /// producer's slot; every other node owns its own slot).
+    slot_of: Vec<usize>,
+    /// Number of fused producer→ReLU pairs, published to the
+    /// `fused_layers` gauge.
+    fused_count: u64,
+}
+
+/// Span kind tag for a fused step: the producer's tag plus the ReLU it
+/// absorbed, so profiles show `conv+relu` / `fc+relu` rows and the
+/// per-layer report can mark them fused.
+fn fused_kind_tag(kind: LayerKind) -> &'static str {
+    match kind {
+        LayerKind::Convolution => "conv+relu",
+        LayerKind::InnerProduct => "fc+relu",
+        _ => "fused+relu",
+    }
 }
 
 /// Wall-clock duration attributed to one layer during a forward pass.
@@ -107,6 +145,10 @@ pub struct Network {
     input_shape: ChwShape,
     nodes: Vec<Node>,
     by_name: HashMap<String, NodeId>,
+    /// Cached fusion execution plan, keyed by the [`FusionMode`] that
+    /// built it; invalidated whenever a layer is added. `Arc` so a
+    /// forward pass clones a pointer out of the lock, not the plan.
+    plan_cache: RwLock<Option<(FusionMode, Arc<Plan>)>>,
 }
 
 impl Network {
@@ -117,6 +159,7 @@ impl Network {
             input_shape,
             nodes: Vec::new(),
             by_name: HashMap::new(),
+            plan_cache: RwLock::new(None),
         }
     }
 
@@ -171,6 +214,8 @@ impl Network {
             layer,
             inputs: inputs.to_vec(),
         });
+        // The fusion plan is a function of the node list; rebuild lazily.
+        *self.plan_cache.write() = None;
         Ok(id)
     }
 
@@ -411,7 +456,16 @@ impl Network {
     /// into per-node tensors retained across calls via
     /// [`Layer::forward_into`]; for purely sequential networks run on
     /// pre-packed dense weights, repeat passes at a fixed batch size
-    /// perform no heap allocation at all.
+    /// perform no heap allocation at all (the fusion plan is built on
+    /// the first pass and cached).
+    ///
+    /// This entry point honors the graph-level fusion pass (see
+    /// [`crate::fusion`]): under `CAP_TENSOR_FUSION=auto` (the default)
+    /// or `on`, eligible `conv → relu` / `fc → relu` chains execute as
+    /// single fused steps, bitwise identical to the unfused schedule.
+    /// [`Network::forward_timed`] always runs unfused — it is the
+    /// per-layer measurement instrument, and fusing would blend the
+    /// ReLU's time into its producer.
     pub fn forward_into<'a>(
         &self,
         input: &Tensor4,
@@ -421,9 +475,12 @@ impl Network {
     }
 
     /// [`Network::forward_into`] with observability hooks: one
-    /// [`SpanScope::Layer`] span per DAG node (tagged with the layer's
-    /// name, kind tag and output NCHW shape) plus one enclosing
-    /// [`SpanScope::Forward`] span, reported to `tracer`.
+    /// [`SpanScope::Layer`] span per executed step (tagged with the
+    /// layer's name, kind tag and output NCHW shape) plus one enclosing
+    /// [`SpanScope::Forward`] span, reported to `tracer`. A fused
+    /// producer→ReLU pair is one step: its span carries the producer's
+    /// name and a `conv+relu` / `fc+relu` kind tag, and the absorbed
+    /// ReLU node emits no span of its own.
     ///
     /// Passing [`NoopTracer`] (what [`Network::forward_into`] does) is
     /// free: the monomorphized no-op path contains no clock reads and no
@@ -461,6 +518,91 @@ impl Network {
         arena: &'a mut ForwardArena,
         tracer: &T,
     ) -> TensorResult<&'a Tensor4> {
+        self.forward_into_traced_impl(input, arena, tracer)
+    }
+
+    /// Build the execution schedule for `mode`.
+    ///
+    /// A ReLU node `r` is fused into its producer `p` when the pair is
+    /// adjacent in execution order (`r = p + 1`), `r`'s only input is
+    /// `p`, `p` opts in via [`Layer::supports_relu_fusion`], and `p` is
+    /// consumed by nothing but `r` — otherwise another consumer would
+    /// observe pre-ReLU activations that no longer exist anywhere.
+    fn build_plan(&self, mode: FusionMode) -> Plan {
+        let n = self.nodes.len();
+        let mut slot_of: Vec<usize> = (0..n).collect();
+        if !mode.enabled() {
+            return Plan {
+                steps: (0..n)
+                    .map(|i| ExecStep {
+                        node: i,
+                        fused_relu: None,
+                    })
+                    .collect(),
+                slot_of,
+                fused_count: 0,
+            };
+        }
+        let mut consumers = vec![0usize; n];
+        for node in &self.nodes {
+            for &inp in &node.inputs {
+                if inp != INPUT {
+                    consumers[inp.0] += 1;
+                }
+            }
+        }
+        let mut steps = Vec::with_capacity(n);
+        let mut fused_count = 0u64;
+        let mut i = 0;
+        while i < n {
+            let fusible = i + 1 < n && {
+                let relu = &self.nodes[i + 1];
+                relu.layer.kind() == LayerKind::Relu
+                    && relu.inputs.as_slice() == [NodeId(i)]
+                    && self.nodes[i].layer.supports_relu_fusion()
+                    && consumers[i] == 1
+            };
+            if fusible {
+                steps.push(ExecStep {
+                    node: i,
+                    fused_relu: Some(i + 1),
+                });
+                slot_of[i + 1] = i;
+                fused_count += 1;
+                i += 2;
+            } else {
+                steps.push(ExecStep {
+                    node: i,
+                    fused_relu: None,
+                });
+                i += 1;
+            }
+        }
+        Plan {
+            steps,
+            slot_of,
+            fused_count,
+        }
+    }
+
+    /// Fetch (or build and cache) the plan for the current fusion mode.
+    fn plan(&self, mode: FusionMode) -> Arc<Plan> {
+        if let Some((m, p)) = self.plan_cache.read().as_ref() {
+            if *m == mode {
+                return Arc::clone(p);
+            }
+        }
+        let built = Arc::new(self.build_plan(mode));
+        *self.plan_cache.write() = Some((mode, Arc::clone(&built)));
+        built
+    }
+
+    fn forward_into_traced_impl<'a, T: Tracer>(
+        &self,
+        input: &Tensor4,
+        arena: &'a mut ForwardArena,
+        tracer: &T,
+    ) -> TensorResult<&'a Tensor4> {
         if input.c() != self.input_shape.0
             || input.h() != self.input_shape.1
             || input.w() != self.input_shape.2
@@ -492,13 +634,21 @@ impl Network {
                 .resize_with(slots, || Tensor4::zeros(0, 0, 0, 0));
         }
         if self.nodes.is_empty() {
+            metrics.fused_layers.set(0);
             let (n, c, h, w) = input.shape();
             let out = &mut arena.slots[0];
             out.resize(n, c, h, w);
             out.as_mut_slice().copy_from_slice(input.as_slice());
             return Ok(&arena.slots[0]);
         }
-        for (i, node) in self.nodes.iter().enumerate() {
+        // Execute the fusion plan for the current mode. Fused ReLU nodes
+        // are no steps of their own: their producer runs
+        // `forward_into_fused` and their arena slot stays zero-sized.
+        let plan = self.plan(fusion::selected());
+        metrics.fused_layers.set(plan.fused_count);
+        for (step_idx, step) in plan.steps.iter().enumerate() {
+            let i = step.node;
+            let node = &self.nodes[i];
             let node_start = if observing {
                 Some(Instant::now())
             } else {
@@ -506,16 +656,30 @@ impl Network {
             };
             // Inputs are strictly earlier nodes (topological order), so
             // splitting at `i` separates them from this node's slot.
+            // Fused ReLU outputs alias their producer's slot, which is
+            // also strictly earlier (`slot_of[id] <= id < i`).
             let (prev, rest) = arena.slots.split_at_mut(i);
             let out = &mut rest[0];
-            let resolve = |id: NodeId| if id == INPUT { input } else { &prev[id.0] };
+            let resolve = |id: NodeId| {
+                if id == INPUT {
+                    input
+                } else {
+                    &prev[plan.slot_of[id.0]]
+                }
+            };
+            let fused = step.fused_relu.is_some();
             match node.inputs.as_slice() {
                 // The common sequential case stays allocation-free; only
                 // multi-input joins (concat) gather refs into a Vec.
+                [only] if fused => node.layer.forward_into_fused(&[resolve(*only)], out)?,
                 [only] => node.layer.forward_into(&[resolve(*only)], out)?,
                 many => {
                     let refs: Vec<&Tensor4> = many.iter().map(|&id| resolve(id)).collect();
-                    node.layer.forward_into(&refs, out)?;
+                    if fused {
+                        node.layer.forward_into_fused(&refs, out)?;
+                    } else {
+                        node.layer.forward_into(&refs, out)?;
+                    }
                 }
             }
             if let Some(t0) = node_start {
@@ -529,15 +693,20 @@ impl Network {
                         &SpanInfo {
                             scope: SpanScope::Layer,
                             name: node.layer.name(),
-                            kind: node.layer.kind().tag(),
+                            kind: if fused {
+                                fused_kind_tag(node.layer.kind())
+                            } else {
+                                node.layer.kind().tag()
+                            },
                             shape: [n, c, h, w],
-                            index: i,
+                            index: step_idx,
                         },
                         elapsed,
                     );
                 }
             }
         }
+        let out_slot = plan.slot_of[self.nodes.len() - 1];
         metrics
             .arena_bytes
             .record_max(arena.reserved_bytes() as u64);
@@ -549,7 +718,7 @@ impl Network {
                     .record(elapsed.as_micros() as u64);
             }
             if tracer.enabled() {
-                let (n, c, h, w) = arena.slots[self.nodes.len() - 1].shape();
+                let (n, c, h, w) = arena.slots[out_slot].shape();
                 tracer.span_exit(
                     &SpanInfo {
                         scope: SpanScope::Forward,
@@ -562,7 +731,7 @@ impl Network {
                 );
             }
         }
-        Ok(&arena.slots[self.nodes.len() - 1])
+        Ok(&arena.slots[out_slot])
     }
 
     /// Replace the weights of layer `name` (pruning entry point).

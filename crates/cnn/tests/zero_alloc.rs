@@ -14,7 +14,7 @@ use cap_cnn::layer::{
 use cap_cnn::network::{ForwardArena, Network};
 use cap_cnn::NoopTracer;
 use cap_obs::TimingGuard;
-use cap_tensor::{init::xavier_uniform, Conv2dParams, Tensor4};
+use cap_tensor::{init::xavier_uniform, Conv2dParams, Matrix, Tensor4};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -191,4 +191,49 @@ fn steady_state_inference_allocates_nothing() {
     }
     let after = ALLOC_CALLS.load(Ordering::SeqCst);
     assert_eq!(after - before, 0, "shrunken batch must reuse grown buffers");
+
+    // The batch-1 pruned-FC route: the fused CSR matvec
+    // (`matvec_fused_into`) runs straight from the input slice into the
+    // arena slot — no Xᵀ/Y staging matrices, no transposes. Warm-up
+    // absorbs the lazy CSR build and the fusion plan; steady state
+    // must stay silent.
+    {
+        let dense = xavier_uniform(10, 48, 21);
+        let (rows, cols) = dense.shape();
+        let pruned = Matrix::from_fn(rows, cols, |r, c| {
+            if (r * cols + c) % 4 == 0 {
+                dense.get(r, c)
+            } else {
+                0.0
+            }
+        });
+        let mut sparse_net = Network::new("sparse-fc", (48, 1, 1));
+        sparse_net
+            .add_sequential(Box::new(
+                InnerProductLayer::new("fc_s", pruned, vec![0.02; 10]).unwrap(),
+            ))
+            .unwrap();
+        sparse_net
+            .add_sequential(Box::new(ReluLayer::new("relu_s")))
+            .unwrap();
+        sparse_net
+            .add_sequential(Box::new(SoftmaxLayer::new("prob_s")))
+            .unwrap();
+        let one = Tensor4::from_fn(1, 48, 1, 1, |_, c, _, _| (c as f32 - 24.0) / 25.0);
+        let mut sparse_arena = ForwardArena::new();
+        for _ in 0..3 {
+            sparse_net.forward_into(&one, &mut sparse_arena).unwrap();
+        }
+        let before = ALLOC_CALLS.load(Ordering::SeqCst);
+        for _ in 0..5 {
+            sparse_net.forward_into(&one, &mut sparse_arena).unwrap();
+        }
+        let after = ALLOC_CALLS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "batch-1 sparse FC (fused spmv) must not allocate (got {})",
+            after - before,
+        );
+    }
 }

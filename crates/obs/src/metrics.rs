@@ -314,6 +314,13 @@ pub struct MetricsRegistry {
     /// counter: [`MetricsRegistry::reset`] deliberately leaves it alone
     /// so experiment boundaries don't erase which backend is running.
     pub kernel_path: Gauge,
+    /// Number of fused producer→ReLU steps in the network most recently
+    /// executed by `Network::forward_into*` (0 when fusion is off or
+    /// nothing matched). Overwritten by every traced forward pass and,
+    /// unlike `kernel_path`, reset with the workload metrics — it
+    /// describes what the last run did, not the process environment.
+    /// Always on.
+    pub fused_layers: Gauge,
 }
 
 static REGISTRY: MetricsRegistry = MetricsRegistry {
@@ -329,6 +336,7 @@ static REGISTRY: MetricsRegistry = MetricsRegistry {
     grid_candidates: Counter::new(),
     allocation_runs: Counter::new(),
     kernel_path: Gauge::new(),
+    fused_layers: Gauge::new(),
 };
 
 /// Human-readable name for a `kernel_path` gauge code. The codes are
@@ -372,6 +380,7 @@ impl MetricsRegistry {
             grid_candidates: self.grid_candidates.get(),
             allocation_runs: self.allocation_runs.get(),
             kernel_path: self.kernel_path.get(),
+            fused_layers: self.fused_layers.get(),
         }
     }
 
@@ -395,6 +404,7 @@ impl MetricsRegistry {
         self.batch_sizes.reset();
         self.grid_candidates.reset();
         self.allocation_runs.reset();
+        self.fused_layers.reset();
     }
 }
 
@@ -426,10 +436,12 @@ pub struct MetricsSnapshot {
     /// See [`MetricsRegistry::kernel_path`]; decode with
     /// [`kernel_path_name`].
     pub kernel_path: u64,
+    /// See [`MetricsRegistry::fused_layers`].
+    pub fused_layers: u64,
 }
 
 impl MetricsSnapshot {
-    fn scalars(&self) -> [(&'static str, u64); 9] {
+    fn scalars(&self) -> [(&'static str, u64); 10] {
         [
             ("forward_passes", self.forward_passes),
             ("gemm_time_ns", self.gemm_time_ns),
@@ -440,6 +452,7 @@ impl MetricsSnapshot {
             ("grid_candidates", self.grid_candidates),
             ("allocation_runs", self.allocation_runs),
             ("kernel_path", self.kernel_path),
+            ("fused_layers", self.fused_layers),
         ]
     }
 
@@ -644,11 +657,13 @@ mod tests {
         reg.forward_passes.inc();
         reg.layer_time_us.record(10);
         reg.arena_bytes.record_max(1024);
+        reg.fused_layers.set(7);
         reg.reset();
         let snap = reg.snapshot();
         assert_eq!(snap.forward_passes, 0);
         assert_eq!(snap.layer_time_us.count, 0);
         assert_eq!(snap.arena_bytes, 0);
+        assert_eq!(snap.fused_layers, 0, "fused_layers is a workload metric");
     }
 
     #[test]

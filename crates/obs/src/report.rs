@@ -20,6 +20,10 @@ pub struct LayerRow {
     pub calls: u64,
     /// Total time across all calls.
     pub total: Duration,
+    /// Whether this row is a fused step (its kind tag carries a
+    /// `+relu` suffix — the executor absorbed the following ReLU into
+    /// this layer's kernel epilogue).
+    pub fused: bool,
 }
 
 impl LayerRow {
@@ -84,6 +88,7 @@ impl ProfileReport {
                         shape: s.shape,
                         calls: 1,
                         total: s.elapsed,
+                        fused: s.kind.contains("+relu"),
                     });
                 }
             }
@@ -202,8 +207,9 @@ impl ProfileReport {
             write_json_str(&mut out, &l.kind);
             write!(
                 out,
-                ",\"shape\":[{n},{c},{h},{w}],\
+                ",\"shape\":[{n},{c},{h},{w}],\"fused\":{},\
                  \"calls\":{},\"total_ms\":{:.6},\"mean_ms\":{:.6},\"share\":{:.6}}}",
+                l.fused,
                 l.calls,
                 l.total.as_secs_f64() * 1000.0,
                 l.mean().as_secs_f64() * 1000.0,
@@ -334,6 +340,20 @@ mod tests {
         let pruned = ProfileReport::from_spans("60%", &[span("conv1", "conv", 400)]);
         let cmp = dense.compare_table(&pruned);
         assert!(cmp.contains("2.00x"), "{cmp}");
+    }
+
+    #[test]
+    fn fused_rows_are_flagged_and_exported() {
+        let r = ProfileReport::from_spans(
+            "f",
+            &[span("conv1", "conv+relu", 100), span("pool1", "pool", 50)],
+        );
+        assert!(r.layers()[0].fused);
+        assert!(!r.layers()[1].fused);
+        let json = r.to_json();
+        assert!(json.contains("\"kind\":\"conv+relu\""), "{json}");
+        assert!(json.contains("\"fused\":true"), "{json}");
+        assert!(json.contains("\"fused\":false"), "{json}");
     }
 
     #[test]

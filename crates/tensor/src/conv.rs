@@ -3,9 +3,9 @@
 
 use crate::dense::Matrix;
 use crate::error::{ShapeError, TensorResult};
-use crate::gemm::{gemm_packed_cols, gemm_prealloc, pack_b_slice_into};
-use crate::im2col::{im2col_prealloc, out_spatial};
-use crate::kernels;
+use crate::gemm::{gemm_packed_cols_fused, gemm_prealloc};
+use crate::im2col::{im2col_packed_prealloc, im2col_prealloc, out_spatial};
+use crate::kernels::{EpiBias, Epilogue};
 use crate::sparse::CsrMatrix;
 use crate::tensor4::Tensor4;
 use crate::workspace::WorkspacePool;
@@ -429,6 +429,27 @@ pub fn conv2d_gemm_packed(
     pool: &WorkspacePool,
     out: &mut Tensor4,
 ) -> TensorResult<()> {
+    conv2d_gemm_packed_fused(input, weights, bias, params, pool, out, false)
+}
+
+/// [`conv2d_gemm_packed`] with the bias add and an optional ReLU fused
+/// into the GEMM store.
+///
+/// The bias is applied through the kernel epilogue as one `f32` add per
+/// element — the same operation [`conv2d_gemm_packed`]'s separate bias
+/// pass performs — and `relu` appends the `forward_into`-flavor ReLU,
+/// so the output makes one round-trip through memory instead of up to
+/// three. Bitwise identical to the unfused convolution followed by a
+/// standalone ReLU layer, on every bit-identical kernel path.
+pub fn conv2d_gemm_packed_fused(
+    input: &Tensor4,
+    weights: &PackedConvWeights,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    pool: &WorkspacePool,
+    out: &mut Tensor4,
+    relu: bool,
+) -> TensorResult<()> {
     params.validate()?;
     check_input(params, input)?;
     check_bias(params, bias)?;
@@ -469,11 +490,18 @@ pub fn conv2d_gemm_packed(
                 } else {
                     (opg, n_out)
                 };
-                let (cols, packed, prod) = ws.conv_gemm_slots((col_rows, n_out), prod_shape);
+                // The dense path unrolls straight into panel-packed
+                // layout, so the row-major cols slot stays empty.
+                let (_cols, packed, prod) = ws.conv_gemm_slots((0, 0), prod_shape);
                 for g in 0..params.groups {
                     let in_slice = &in_img[g * cpg * h * w..(g + 1) * cpg * h * w];
+                    // Fused unroll+pack: emit the GEMM's panel layout
+                    // directly instead of writing a row-major column
+                    // matrix and re-copying it panel-packed — one write
+                    // pass over the activations instead of a write plus
+                    // a full read+write (see `im2col_packed_prealloc`).
                     let t_col = split_clock(timing);
-                    im2col_prealloc(
+                    im2col_packed_prealloc(
                         in_slice,
                         cpg,
                         h,
@@ -482,41 +510,43 @@ pub fn conv2d_gemm_packed(
                         params.kw,
                         params.pad,
                         params.stride,
-                        cols,
+                        packed,
                     )?;
                     credit_ns(t_col, &cap_obs::metrics().im2col_time_ns);
-                    // Panel-pack the column matrix once, then run the
-                    // register-blocked GEMM over it: the O(k·n) copy is
-                    // repaid by the O(m·k·n) multiply's faster inner loop.
-                    // The pack is accounted as GEMM time: it exists only
-                    // to serve the multiply's inner loop.
                     let t_gemm = split_clock(timing);
-                    pack_b_slice_into(cols.as_slice(), col_rows, n_out, packed);
                     let band = weights.band(g);
+                    // Bias and ReLU ride the GEMM store: `bias[g*opg + r]`
+                    // is the per-output-channel bias of GEMM row `r`, so
+                    // the group's bias slice is a per-row epilogue.
+                    let epi = Epilogue {
+                        bias: bias.map(|b| EpiBias::PerRow(&b[g * opg..(g + 1) * opg])),
+                        relu,
+                    };
                     if params.groups == 1 {
-                        gemm_packed_cols(
+                        gemm_packed_cols_fused(
                             band.as_slice(),
                             opg,
                             col_rows,
                             n_out,
                             packed.as_slice(),
                             out_img,
+                            epi,
                         )?;
                     } else {
-                        gemm_packed_cols(
+                        gemm_packed_cols_fused(
                             band.as_slice(),
                             opg,
                             col_rows,
                             n_out,
                             packed.as_slice(),
                             prod.as_mut_slice(),
+                            epi,
                         )?;
                         let dst = &mut out_img[g * opg * n_out..(g + 1) * opg * n_out];
                         dst.copy_from_slice(prod.as_slice());
                     }
                     credit_ns(t_gemm, &cap_obs::metrics().gemm_time_ns);
                 }
-                add_bias(out_img, bias, n_out);
                 Ok(())
             },
         )?;
@@ -534,6 +564,22 @@ pub fn conv2d_sparse_packed(
     params: &Conv2dParams,
     pool: &WorkspacePool,
     out: &mut Tensor4,
+) -> TensorResult<()> {
+    conv2d_sparse_packed_fused(input, weights, bias, params, pool, out, false)
+}
+
+/// [`conv2d_sparse_packed`] with bias and an optional ReLU fused into
+/// the SpMM row store — the sparse counterpart of
+/// [`conv2d_gemm_packed_fused`], with the same bitwise-identity
+/// contract versus the unfused convolution + ReLU pair.
+pub fn conv2d_sparse_packed_fused(
+    input: &Tensor4,
+    weights: &PackedSparseConvWeights,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    pool: &WorkspacePool,
+    out: &mut Tensor4,
+    relu: bool,
 ) -> TensorResult<()> {
     params.validate()?;
     check_input(params, input)?;
@@ -581,28 +627,25 @@ pub fn conv2d_sparse_packed(
                         cols,
                     )?;
                     credit_ns(t_col, &cap_obs::metrics().im2col_time_ns);
-                    // Sparse×dense multiply is the GEMM of this path.
+                    // Sparse×dense multiply is the GEMM of this path;
+                    // bias/ReLU ride its row stores (CSR rows are this
+                    // group's output channels, so the group bias slice
+                    // is the per-row bias).
                     let t_gemm = split_clock(timing);
-                    weights.band(g).matmul_dense_into(cols, prod)?;
+                    weights.band(g).matmul_dense_into_fused(
+                        cols,
+                        prod,
+                        bias.map(|b| &b[g * opg..(g + 1) * opg]),
+                        relu,
+                    )?;
                     credit_ns(t_gemm, &cap_obs::metrics().gemm_time_ns);
                     out_img[g * opg * n_out..(g + 1) * opg * n_out]
                         .copy_from_slice(prod.as_slice());
                 }
-                add_bias(out_img, bias, n_out);
                 Ok(())
             },
         )?;
     Ok(())
-}
-
-/// Add per-output-channel bias to one output image in place.
-fn add_bias(out_img: &mut [f32], bias: Option<&[f32]>, n_out: usize) {
-    if let Some(b) = bias {
-        let path = kernels::selected();
-        for (oc, &bval) in b.iter().enumerate() {
-            kernels::bias_broadcast_with(path, &mut out_img[oc * n_out..(oc + 1) * n_out], bval);
-        }
-    }
 }
 
 /// Direct (sliding-window) convolution — correctness oracle and the

@@ -227,6 +227,17 @@ impl Matrix {
 
     /// Matrix–vector product `self * x`.
     pub fn matvec(&self, x: &[f32]) -> TensorResult<Vec<f32>> {
+        let mut y = vec![0.0_f32; self.rows];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Matrix–vector product into a caller-provided slice.
+    ///
+    /// The zero-allocation variant of [`Matrix::matvec`] for
+    /// steady-state inference loops; `y` must have exactly `rows`
+    /// entries and is overwritten.
+    pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) -> TensorResult<()> {
         if x.len() != self.cols {
             return Err(ShapeError::new(format!(
                 "matvec: {}x{} * len {}",
@@ -235,7 +246,13 @@ impl Matrix {
                 x.len()
             )));
         }
-        let mut y = vec![0.0_f32; self.rows];
+        if y.len() != self.rows {
+            return Err(ShapeError::new(format!(
+                "matvec: output len {}, expected {}",
+                y.len(),
+                self.rows
+            )));
+        }
         for (r, yr) in y.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0_f32;
@@ -244,7 +261,7 @@ impl Matrix {
             }
             *yr = acc;
         }
-        Ok(y)
+        Ok(())
     }
 }
 
@@ -323,5 +340,19 @@ mod tests {
     fn matvec_rejects_bad_len() {
         let m = Matrix::zeros(2, 3);
         assert!(m.matvec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_bitwise() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.3 - 1.0);
+        let x = [0.5, -1.5, 2.0, 0.25];
+        let alloc = m.matvec(&x).unwrap();
+        let mut into = [f32::NAN; 3];
+        m.matvec_into(&x, &mut into).unwrap();
+        for (a, b) in alloc.iter().zip(&into) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(m.matvec_into(&x, &mut [0.0; 2]).is_err());
+        assert!(m.matvec_into(&[0.0; 3], &mut [0.0; 3]).is_err());
     }
 }

@@ -9,11 +9,16 @@
 use crate::dense::Matrix;
 use crate::error::{ShapeError, TensorResult};
 use crate::kernels;
-use crate::kernels::PANEL;
+use crate::kernels::{EpiBias, Epilogue, PANEL};
 use rayon::prelude::*;
 
 /// Row-band size for parallel splitting. One band is one rayon task.
 const ROW_BAND: usize = 32;
+
+/// Columns per parallel chunk on the batch-1 (`m == 1`) GEMV route. A
+/// multiple of `PANEL` so chunk boundaries align with packed panels;
+/// 32 panels ≈ one L1-resident output stripe per task.
+const GEMV_COL_CHUNK: usize = 32 * PANEL;
 
 /// Block size along the shared `k` dimension (cache blocking).
 const K_BLOCK: usize = 256;
@@ -281,6 +286,79 @@ pub fn gemm_prepacked_slice(
     Ok(())
 }
 
+/// [`gemm_packed_cols`] plus a fused [`Epilogue`] (bias/ReLU folded
+/// into the store — see [`crate::kernels::Epilogue`] for the bitwise
+/// contract). The convolution layers use this to fuse their per-channel
+/// bias and a following ReLU into the GEMM itself.
+pub fn gemm_packed_cols_fused(
+    a_data: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    packed_b: &[f32],
+    c_data: &mut [f32],
+    epi: Epilogue<'_>,
+) -> TensorResult<()> {
+    if a_data.len() != m * k {
+        return Err(ShapeError::new(format!(
+            "gemm_packed_cols: A length {} != {}x{}",
+            a_data.len(),
+            m,
+            k
+        )));
+    }
+    if c_data.len() != m * n {
+        return Err(ShapeError::new(format!(
+            "gemm_packed_cols: C length {} != {}x{}",
+            c_data.len(),
+            m,
+            n
+        )));
+    }
+    if packed_b.len() < n.div_ceil(PANEL) * k * PANEL {
+        return Err(ShapeError::new(format!(
+            "gemm_packed_cols: packed B length {} < {} panels of {}x{}",
+            packed_b.len(),
+            n.div_ceil(PANEL),
+            k,
+            PANEL
+        )));
+    }
+    gemm_packed_core_fused(a_data, k, n, packed_b, c_data, epi);
+    Ok(())
+}
+
+/// [`gemm_prepacked_slice`] plus a fused [`Epilogue`] — the
+/// fully-connected layer's route for folding its per-output-column
+/// bias and a following ReLU into the GEMM/GEMV store.
+pub fn gemm_prepacked_slice_fused(
+    a_data: &[f32],
+    m: usize,
+    b: &PackedB,
+    c_data: &mut [f32],
+    epi: Epilogue<'_>,
+) -> TensorResult<()> {
+    let (k, n) = b.shape();
+    if a_data.len() != m * k {
+        return Err(ShapeError::new(format!(
+            "gemm_prepacked: A length {} != {}x{}",
+            a_data.len(),
+            m,
+            k
+        )));
+    }
+    if c_data.len() != m * n {
+        return Err(ShapeError::new(format!(
+            "gemm_prepacked: C length {} != {}x{}",
+            c_data.len(),
+            m,
+            n
+        )));
+    }
+    gemm_packed_core_fused(a_data, k, n, &b.data, c_data, epi);
+    Ok(())
+}
+
 /// Shared band loop for [`gemm_prepacked_slice`] / [`gemm_packed_cols`]:
 /// `b_data` is panel-packed, lengths already validated by callers.
 ///
@@ -289,15 +367,78 @@ pub fn gemm_prepacked_slice(
 /// accumulation in ascending-`kk` order on every dispatch path, so
 /// results are bit-identical across scalar and (non-FMA) SIMD backends.
 fn gemm_packed_core(a_data: &[f32], k: usize, n: usize, b_data: &[f32], c_data: &mut [f32]) {
+    gemm_packed_core_fused(a_data, k, n, b_data, c_data, Epilogue::NONE);
+}
+
+/// [`gemm_packed_core`] with a fused epilogue threaded through to the
+/// microkernels (a no-op epilogue dispatches to the plain kernels).
+///
+/// `m == 1` — the batch-1 inference shape — routes to the dedicated
+/// GEMV kernel instead of a degenerate one-row band: row bands cannot
+/// parallelize a single row, so the *columns* are split into
+/// panel-aligned chunks ([`GEMV_COL_CHUNK`]) that stream disjoint
+/// stripes of the packed `B` concurrently. Per output element the
+/// accumulation order is unchanged (each element's sum only ever walks
+/// its own panel in ascending `kk`), so the routing is bitwise
+/// invisible next to the band path.
+fn gemm_packed_core_fused(
+    a_data: &[f32],
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    c_data: &mut [f32],
+    epi: Epilogue<'_>,
+) {
     // Resolve the kernel path once, outside the parallel loop, and pass
     // it by value into the band tasks (worker threads must not re-read
     // process-global dispatch state mid-operation).
     let path = kernels::selected();
+    if n > 0 && c_data.len() == n {
+        // m == 1: matvec. Validate the epilogue against the *full*
+        // width up front so a short bias panics here, not per-chunk.
+        epi.check(1, n);
+        c_data
+            .par_chunks_mut(GEMV_COL_CHUNK)
+            .enumerate()
+            .for_each(|(chunk, c_chunk)| {
+                let c0 = chunk * GEMV_COL_CHUNK;
+                // Chunks are panel-aligned, so the packed panels for
+                // columns [c0, c0 + len) start at panel c0/PANEL.
+                let b_sub = &b_data[(c0 / PANEL) * k * PANEL..];
+                let sub_epi = Epilogue {
+                    bias: epi.bias.map(|b| match b {
+                        EpiBias::PerRow(rb) => EpiBias::PerRow(rb),
+                        // The kernel indexes a per-column bias by local
+                        // column, so shift its window to this chunk.
+                        EpiBias::PerCol(cb) => EpiBias::PerCol(&cb[c0..]),
+                    }),
+                    relu: epi.relu,
+                };
+                kernels::gemv_packed_fused_with(
+                    path,
+                    a_data,
+                    c_chunk.len(),
+                    b_sub,
+                    c_chunk,
+                    sub_epi,
+                );
+            });
+        return;
+    }
     c_data
         .par_chunks_mut((ROW_BAND * n).max(1))
         .enumerate()
         .for_each(|(band, c_band)| {
-            kernels::gemm_packed_band_with(path, a_data, k, n, b_data, c_band, band * ROW_BAND);
+            kernels::gemm_packed_band_fused_with(
+                path,
+                a_data,
+                k,
+                n,
+                b_data,
+                c_band,
+                band * ROW_BAND,
+                epi,
+            );
         });
 }
 
@@ -397,6 +538,58 @@ mod tests {
         let mut c = Matrix::full(3, 3, 99.0);
         gemm_prealloc(&a, &b, &mut c).unwrap();
         assert!(c.max_abs_diff(&b).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn batch1_gemv_route_is_bitwise_equal_to_band_path() {
+        // m == 1 routes through the chunked GEMV kernel; outputs must be
+        // bit-equal to the generic row-band path (and hence to gemm()).
+        for n in [1usize, 7, 8, 63, 64, 257, GEMV_COL_CHUNK + 5] {
+            let a = mat(1, 40, 11);
+            let b = mat(40, n, 12);
+            let packed = PackedB::pack(&b);
+            let mut c = Matrix::zeros(1, n);
+            gemm_prepacked(&a, &packed, &mut c).unwrap();
+            let oracle = gemm(&a, &b).unwrap();
+            let got: Vec<u32> = c.as_slice().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = oracle.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_matches_unfused_passes_bitwise() {
+        // Fused bias+ReLU must equal plain GEMM followed by separate
+        // bias-add and ReLU passes, bit for bit, for both m == 1 (GEMV
+        // route) and a multi-band m.
+        for (m, n) in [(1usize, 300usize), (37, 53)] {
+            let k = 29;
+            let a = mat(m, k, 21);
+            let b = mat(k, n, 22);
+            let bias = mat(1, n, 23);
+            let packed = PackedB::pack(&b);
+
+            let mut unfused = Matrix::zeros(m, n);
+            gemm_prepacked(&a, &packed, &mut unfused).unwrap();
+            for r in 0..m {
+                for c in 0..n {
+                    let v = unfused.get(r, c) + bias.get(0, c);
+                    unfused.set(r, c, if v > 0.0 { v } else { 0.0 });
+                }
+            }
+
+            let mut fused = Matrix::zeros(m, n);
+            let epi = Epilogue {
+                bias: Some(EpiBias::PerCol(bias.as_slice())),
+                relu: true,
+            };
+            gemm_prepacked_slice_fused(a.as_slice(), m, &packed, fused.as_mut_slice(), epi)
+                .unwrap();
+
+            let got: Vec<u32> = fused.as_slice().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = unfused.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "m = {m}, n = {n}");
+        }
     }
 
     #[test]

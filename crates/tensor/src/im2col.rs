@@ -8,6 +8,7 @@
 
 use crate::dense::Matrix;
 use crate::error::{ShapeError, TensorResult};
+use crate::kernels::PANEL;
 
 /// Output spatial size of a convolution/pooling window sweep.
 ///
@@ -92,22 +93,172 @@ pub fn im2col_prealloc(
     let data = cols.as_mut_slice();
     // Row index of `cols` enumerates (channel, ky, kx); column enumerates
     // (oy, ox). We walk rows outermost for cache-friendly writes.
+    //
+    // For a fixed (ky, kx, oy) the source index is affine in ox
+    // (`ix = ox*stride + kx - pad` on input row `iy`), so instead of a
+    // bounds branch per element the valid `ox` range is computed once
+    // per output row and the body is a zero-fill of the out-of-image
+    // margins plus one contiguous `copy_from_slice` (stride 1) or a
+    // branchless strided gather. im2col is pure data movement — this
+    // changes nothing about which values land where, only how fast.
     for ci in 0..c {
         let ch = &image[ci * h * w..(ci + 1) * h * w];
         for ky in 0..kh {
             for kx in 0..kw {
                 let row = (ci * kh + ky) * kw + kx;
                 let out_row = &mut data[row * n_out..(row + 1) * n_out];
+                // ox is valid iff 0 <= ox*stride + kx - pad < w:
+                let ox_lo = if kx >= pad {
+                    0
+                } else {
+                    (pad - kx).div_ceil(stride).min(out_w)
+                };
+                let ox_hi = if w + pad <= kx {
+                    0
+                } else {
+                    ((w - 1 + pad - kx) / stride + 1).min(out_w)
+                }
+                .max(ox_lo);
                 for oy in 0..out_h {
+                    let dst = &mut out_row[oy * out_w..(oy + 1) * out_w];
                     let iy = (oy * stride + ky) as isize - pad as isize;
-                    for ox in 0..out_w {
-                        let ix = (ox * stride + kx) as isize - pad as isize;
-                        out_row[oy * out_w + ox] =
-                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                ch[iy as usize * w + ix as usize]
-                            } else {
-                                0.0
-                            };
+                    if iy < 0 || (iy as usize) >= h {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &ch[iy as usize * w..(iy as usize + 1) * w];
+                    dst[..ox_lo].fill(0.0);
+                    dst[ox_hi..].fill(0.0);
+                    // First valid source index; >= 0 by choice of ox_lo.
+                    let base = ox_lo * stride + kx - pad;
+                    if stride == 1 {
+                        dst[ox_lo..ox_hi].copy_from_slice(&src_row[base..base + (ox_hi - ox_lo)]);
+                    } else {
+                        for (i, d) in dst[ox_lo..ox_hi].iter_mut().enumerate() {
+                            *d = src_row[base + i * stride];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Visit the packed-layout segments covering columns `[c0, c1)` of
+/// logical row `row`: panel `p` stores its `k × PANEL` block at
+/// `p*k*PANEL`, row-major, so a column range maps to at most one
+/// contiguous lane run per panel. Calls `f(dst_start, len)` per run.
+#[inline]
+fn packed_row_segments(
+    c0: usize,
+    c1: usize,
+    k: usize,
+    row: usize,
+    mut f: impl FnMut(usize, usize),
+) {
+    let mut c = c0;
+    while c < c1 {
+        let lane = c % PANEL;
+        let take = (PANEL - lane).min(c1 - c);
+        f((c / PANEL) * k * PANEL + row * PANEL + lane, take);
+        c += take;
+    }
+}
+
+/// `im2col` straight into the GEMM's panel-packed `B` layout, fusing the
+/// unroll and the pack into one write pass.
+///
+/// Produces bit-for-bit the buffer `pack_b_slice_into(im2col(..))` would:
+/// `out_h*out_w` columns in `PANEL`-column panels, each panel stored
+/// `(c*kh*kw) × PANEL` row-major, tail lanes zero. The separate pack is a
+/// full read + write of the column matrix per convolution per forward;
+/// emitting packed layout directly deletes that round-trip, which is pure
+/// memory bandwidth at batch 1. Every lane of `packed` is written (valid
+/// taps, zero margins, zero tail), so no stale scratch survives reuse.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_packed_prealloc(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+    stride: usize,
+    packed: &mut Matrix,
+) -> TensorResult<()> {
+    if image.len() != c * h * w {
+        return Err(ShapeError::new(format!(
+            "im2col_packed: image length {} != {}x{}x{}",
+            image.len(),
+            c,
+            h,
+            w
+        )));
+    }
+    let (out_h, out_w) = out_spatial(h, w, kh, kw, pad, stride)?;
+    let n_out = out_h * out_w;
+    let k_rows = c * kh * kw;
+    let panels = n_out.div_ceil(PANEL);
+    packed.resize(panels.max(1), k_rows * PANEL);
+    if k_rows == 0 {
+        return Ok(());
+    }
+    let data = packed.as_mut_slice();
+    // Same row/run decomposition as `im2col_prealloc`; only the write
+    // addressing differs (panel segments instead of one contiguous row).
+    for ci in 0..c {
+        let ch = &image[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ci * kh + ky) * kw + kx;
+                // Zero the packed tail lanes past the last real column.
+                packed_row_segments(n_out, panels * PANEL, k_rows, row, |s, l| {
+                    data[s..s + l].fill(0.0)
+                });
+                let ox_lo = if kx >= pad {
+                    0
+                } else {
+                    (pad - kx).div_ceil(stride).min(out_w)
+                };
+                let ox_hi = if w + pad <= kx {
+                    0
+                } else {
+                    ((w - 1 + pad - kx) / stride + 1).min(out_w)
+                }
+                .max(ox_lo);
+                for oy in 0..out_h {
+                    let col0 = oy * out_w;
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || (iy as usize) >= h {
+                        packed_row_segments(col0, col0 + out_w, k_rows, row, |s, l| {
+                            data[s..s + l].fill(0.0)
+                        });
+                        continue;
+                    }
+                    let src_row = &ch[iy as usize * w..(iy as usize + 1) * w];
+                    packed_row_segments(col0, col0 + ox_lo, k_rows, row, |s, l| {
+                        data[s..s + l].fill(0.0)
+                    });
+                    packed_row_segments(col0 + ox_hi, col0 + out_w, k_rows, row, |s, l| {
+                        data[s..s + l].fill(0.0)
+                    });
+                    let base = ox_lo * stride + kx - pad;
+                    if stride == 1 {
+                        let mut off = 0;
+                        packed_row_segments(col0 + ox_lo, col0 + ox_hi, k_rows, row, |s, l| {
+                            data[s..s + l].copy_from_slice(&src_row[base + off..base + off + l]);
+                            off += l;
+                        });
+                    } else {
+                        let mut idx = 0;
+                        packed_row_segments(col0 + ox_lo, col0 + ox_hi, k_rows, row, |s, l| {
+                            for d in 0..l {
+                                data[s + d] = src_row[base + (idx + d) * stride];
+                            }
+                            idx += l;
+                        });
                     }
                 }
             }
@@ -235,6 +386,34 @@ mod tests {
         assert_eq!(back, vec![1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0]);
     }
 
+    /// The straightforward per-element im2col the fast-path run
+    /// decomposition must reproduce exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn im2col_reference(
+        image: &[f32],
+        c: usize,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+        pad: usize,
+        stride: usize,
+    ) -> Matrix {
+        let (out_h, out_w) = out_spatial(h, w, kh, kw, pad, stride).unwrap();
+        Matrix::from_fn(c * kh * kw, out_h * out_w, |row, col| {
+            let (ci, rem) = (row / (kh * kw), row % (kh * kw));
+            let (ky, kx) = (rem / kw, rem % kw);
+            let (oy, ox) = (col / out_w, col % out_w);
+            let iy = (oy * stride + ky) as isize - pad as isize;
+            let ix = (ox * stride + kx) as isize - pad as isize;
+            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                image[ci * h * w + iy as usize * w + ix as usize]
+            } else {
+                0.0
+            }
+        })
+    }
+
     proptest! {
         /// <x, im2col(y)> == <col2im(x), y> — adjointness of the pair,
         /// checked via the count matrix trick on random shapes.
@@ -247,6 +426,57 @@ mod tests {
                 prop_assert_eq!(cols.shape(), (c * k * k, oh * ow));
                 let back = col2im(&cols, c, h, w, k, k, pad, stride).unwrap();
                 prop_assert_eq!(back.len(), image.len());
+            }
+        }
+
+        /// The run-decomposed fast path (margin zero-fill + contiguous
+        /// copy / strided gather) is element-for-element identical to
+        /// the per-element reference on arbitrary geometry, ragged
+        /// kernels (kh != kw) and pads that exceed the kernel offset.
+        #[test]
+        fn prop_im2col_matches_reference(
+            c in 1usize..4, h in 1usize..10, w in 1usize..10,
+            kh in 1usize..5, kw in 1usize..5,
+            pad in 0usize..3, stride in 1usize..4,
+            seed in 0u64..1000,
+        ) {
+            prop_assume!(out_spatial(h, w, kh, kw, pad, stride).is_ok());
+            let image: Vec<f32> = (0..c * h * w)
+                .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32 / 100.0 - 5.0)
+                .collect();
+            let fast = im2col(&image, c, h, w, kh, kw, pad, stride).unwrap();
+            let slow = im2col_reference(&image, c, h, w, kh, kw, pad, stride);
+            prop_assert_eq!(fast.shape(), slow.shape());
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice().iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        /// The fused unroll+pack emits bit-for-bit the buffer the
+        /// two-pass `im2col` → `pack_b_slice_into` pipeline produces,
+        /// including zero margins and zero panel-tail lanes — even when
+        /// the scratch matrix starts full of stale garbage.
+        #[test]
+        fn prop_im2col_packed_matches_two_pass(
+            c in 1usize..4, h in 1usize..10, w in 1usize..10,
+            kh in 1usize..5, kw in 1usize..5,
+            pad in 0usize..3, stride in 1usize..4,
+            seed in 0u64..1000,
+        ) {
+            prop_assume!(out_spatial(h, w, kh, kw, pad, stride).is_ok());
+            let image: Vec<f32> = (0..c * h * w)
+                .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32 / 100.0 - 5.0)
+                .collect();
+            let cols = im2col(&image, c, h, w, kh, kw, pad, stride).unwrap();
+            let (k_rows, n_out) = cols.shape();
+            let mut two_pass = Matrix::zeros(1, 1);
+            crate::gemm::pack_b_slice_into(cols.as_slice(), k_rows, n_out, &mut two_pass);
+            // Poison the fused-path scratch to prove every lane is written.
+            let mut fused = Matrix::from_fn(3, 7, |_, _| f32::NAN);
+            im2col_packed_prealloc(&image, c, h, w, kh, kw, pad, stride, &mut fused).unwrap();
+            prop_assert_eq!(fused.shape(), two_pass.shape());
+            for (x, y) in fused.as_slice().iter().zip(two_pass.as_slice().iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
             }
         }
     }

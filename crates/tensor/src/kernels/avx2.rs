@@ -18,9 +18,98 @@
 
 #![allow(unsafe_op_in_unsafe_fn)]
 
-use super::{PANEL, ROW_BLOCK};
+use super::{EpiBias, Epilogue, PANEL, ROW_BLOCK};
 use crate::pool::Pool2dParams;
 use std::arch::x86_64::*;
+
+/// In-register epilogue hook applied between the final accumulate and
+/// the store. The GEMM/GEMV bodies are generic over this trait and
+/// monomorphized: the plain kernels instantiate [`NoEpi`], whose
+/// `apply` is the identity, so the unfused instruction stream is
+/// exactly what it was before fusion existed — no extra FP operations,
+/// no runtime branches.
+trait EpiApply: Copy {
+    /// Fold bias/ReLU into `acc` for output row `row_abs` (absolute
+    /// row index), columns `c0 .. c0 + width`.
+    ///
+    /// # Safety
+    /// Caller must run with AVX2 enabled (these are `#[inline(always)]`
+    /// helpers expanded inside `#[target_feature(enable = "avx2")]`
+    /// kernels) and, for [`FusedEpi`], guarantee the bias-slice bounds
+    /// checked by [`FusedEpi::from_epilogue`].
+    unsafe fn apply(self, acc: __m256, row_abs: usize, c0: usize, width: usize) -> __m256;
+}
+
+/// Identity epilogue — the plain (unfused) kernels.
+#[derive(Clone, Copy)]
+struct NoEpi;
+
+impl EpiApply for NoEpi {
+    #[inline(always)]
+    unsafe fn apply(self, acc: __m256, _row: usize, _c0: usize, _width: usize) -> __m256 {
+        acc
+    }
+}
+
+/// Bias + ReLU folded into the store. Exactly one of `row_bias` /
+/// `col_bias` may be set (both `None` means ReLU-only fusion).
+#[derive(Clone, Copy)]
+struct FusedEpi<'a> {
+    row_bias: Option<&'a [f32]>,
+    col_bias: Option<&'a [f32]>,
+    relu: bool,
+}
+
+impl<'a> FusedEpi<'a> {
+    /// Split a dispatch-layer [`Epilogue`] into the per-store form,
+    /// asserting bias bounds up front (`rows_needed` absolute rows for
+    /// a per-row bias, `n` columns for a per-column bias) so every raw
+    /// bias load in [`EpiApply::apply`] is in bounds by construction.
+    fn from_epilogue(epi: Epilogue<'a>, rows_needed: usize, n: usize) -> Self {
+        epi.check(rows_needed, n);
+        let (row_bias, col_bias) = match epi.bias {
+            Some(EpiBias::PerRow(b)) => (Some(b), None),
+            Some(EpiBias::PerCol(b)) => (None, Some(b)),
+            None => (None, None),
+        };
+        FusedEpi {
+            row_bias,
+            col_bias,
+            relu: epi.relu,
+        }
+    }
+}
+
+impl EpiApply for FusedEpi<'_> {
+    #[inline(always)]
+    unsafe fn apply(self, mut acc: __m256, row_abs: usize, c0: usize, width: usize) -> __m256 {
+        if let Some(b) = self.row_bias {
+            acc = _mm256_add_ps(acc, _mm256_set1_ps(b[row_abs]));
+        }
+        if let Some(b) = self.col_bias {
+            let bv = if width == PANEL {
+                // In bounds: width == PANEL implies c0 + PANEL <= n,
+                // and `from_epilogue` asserted b.len() >= n.
+                _mm256_loadu_ps(b.as_ptr().add(c0))
+            } else {
+                // Partial-width tail panel: an 8-lane loadu from
+                // b[c0..] could read past the bias slice, so stage
+                // the valid lanes through a stack buffer.
+                let mut tmp = [0.0f32; PANEL];
+                tmp[..width].copy_from_slice(&b[c0..c0 + width]);
+                _mm256_loadu_ps(tmp.as_ptr())
+            };
+            acc = _mm256_add_ps(acc, bv);
+        }
+        if self.relu {
+            // `forward_into` ReLU semantics: lanes where acc > 0.0
+            // keep acc; all others (negatives, -0.0, NaN) become +0.0.
+            let pos = _mm256_cmp_ps(acc, _mm256_setzero_ps(), _CMP_GT_OQ);
+            acc = _mm256_and_ps(acc, pos);
+        }
+        acc
+    }
+}
 
 /// One multiply-accumulate step: `acc + a*b`, fused iff `FMA`.
 /// With `FMA = false` this is the same two rounded operations the
@@ -61,7 +150,7 @@ pub unsafe fn gemm_packed_band(
     c_band: &mut [f32],
     row0: usize,
 ) {
-    gemm_band_body::<false>(a_data, k, n, b_data, c_band, row0)
+    gemm_band_body::<false, NoEpi>(a_data, k, n, b_data, c_band, row0, NoEpi)
 }
 
 /// [`gemm_packed_band`] with fused multiply-add (approximate parity).
@@ -77,19 +166,61 @@ pub unsafe fn gemm_packed_band_fma(
     c_band: &mut [f32],
     row0: usize,
 ) {
-    gemm_band_body::<true>(a_data, k, n, b_data, c_band, row0)
+    gemm_band_body::<true, NoEpi>(a_data, k, n, b_data, c_band, row0, NoEpi)
 }
 
-/// Shared band body; mirrors the scalar kernel's row/panel structure
-/// with `__m256` registers replacing the `[f32; PANEL]` accumulators.
-#[inline(always)]
-unsafe fn gemm_band_body<const FMA: bool>(
+/// [`gemm_packed_band`] with a fused bias/ReLU epilogue applied
+/// in-register before each store (see [`super::Epilogue`] for the
+/// bit-identity argument).
+///
+/// # Safety
+/// CPU must support AVX2 (verified by the dispatch layer).
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemm_packed_band_fused(
     a_data: &[f32],
     k: usize,
     n: usize,
     b_data: &[f32],
     c_band: &mut [f32],
     row0: usize,
+    epi: Epilogue<'_>,
+) {
+    let rows_here = c_band.len() / n.max(1);
+    let fe = FusedEpi::from_epilogue(epi, row0 + rows_here, n);
+    gemm_band_body::<false, FusedEpi>(a_data, k, n, b_data, c_band, row0, fe)
+}
+
+/// [`gemm_packed_band_fused`] with fused multiply-add (approximate
+/// parity).
+///
+/// # Safety
+/// CPU must support AVX2 and FMA (verified by the dispatch layer).
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gemm_packed_band_fused_fma(
+    a_data: &[f32],
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    c_band: &mut [f32],
+    row0: usize,
+    epi: Epilogue<'_>,
+) {
+    let rows_here = c_band.len() / n.max(1);
+    let fe = FusedEpi::from_epilogue(epi, row0 + rows_here, n);
+    gemm_band_body::<true, FusedEpi>(a_data, k, n, b_data, c_band, row0, fe)
+}
+
+/// Shared band body; mirrors the scalar kernel's row/panel structure
+/// with `__m256` registers replacing the `[f32; PANEL]` accumulators.
+#[inline(always)]
+unsafe fn gemm_band_body<const FMA: bool, E: EpiApply>(
+    a_data: &[f32],
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    c_band: &mut [f32],
+    row0: usize,
+    epi: E,
 ) {
     let panels = n.div_ceil(PANEL);
     let rows_here = c_band.len() / n.max(1);
@@ -154,8 +285,9 @@ unsafe fn gemm_band_body<const FMA: bool>(
             .enumerate()
             {
                 let row = &mut c_band[(local_r + i) * n..(local_r + i + 1) * n];
-                store_panel(lo, row, c0, PANEL);
-                store_panel(hi, row, c1, width1);
+                let r_abs = row0 + local_r + i;
+                store_panel(epi.apply(lo, r_abs, c0, PANEL), row, c0, PANEL);
+                store_panel(epi.apply(hi, r_abs, c1, width1), row, c1, width1);
             }
             p += 2;
         }
@@ -177,17 +309,56 @@ unsafe fn gemm_band_body<const FMA: bool>(
             let width = PANEL.min(n - c0);
             for (i, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
                 let row = &mut c_band[(local_r + i) * n..(local_r + i + 1) * n];
-                store_panel(acc, row, c0, width);
+                store_panel(
+                    epi.apply(acc, row0 + local_r + i, c0, width),
+                    row,
+                    c0,
+                    width,
+                );
             }
         }
         local_r += ROW_BLOCK;
     }
-    // Remaining rows one at a time, four panels per pass (32 live
-    // accumulator lanes for a lone batch-1 row).
+    // Remaining rows one at a time through the dedicated GEMV body
+    // (extracted from this loop, so the band result is unchanged).
     for local_r in local_r..rows_here {
         let r = row0 + local_r;
-        let a_row = a_data.as_ptr().add(r * k);
-        let c_row = &mut c_band[local_r * n..(local_r + 1) * n];
+        gemv_row_body::<FMA, E>(
+            a_data.as_ptr().add(r * k),
+            k,
+            n,
+            b_data,
+            &mut c_band[local_r * n..(local_r + 1) * n],
+            r,
+            epi,
+        );
+    }
+}
+
+/// One row-major matvec against the panel-packed `b_data`: the band
+/// kernel's single-row trailing path, extracted so batch-1 inference
+/// calls it directly. Four panels per pass — 32 live accumulator
+/// lanes — while B streams through once. `row_abs` is the absolute
+/// output-row index, used only by a fused per-row bias.
+///
+/// # Safety
+/// Expanded inside `#[target_feature(enable = "avx2")]` callers only;
+/// caller guarantees `a_row` points at `k` readable floats,
+/// `b_data.len() >= n.div_ceil(PANEL) * k * PANEL` and
+/// `c_row.len() >= n`.
+#[inline(always)]
+unsafe fn gemv_row_body<const FMA: bool, E: EpiApply>(
+    a_row: *const f32,
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    c_row: &mut [f32],
+    row_abs: usize,
+    epi: E,
+) {
+    let panels = n.div_ceil(PANEL);
+    let plen = k * PANEL;
+    {
         let mut p = 0;
         while p + 4 <= panels {
             let pn0 = b_data.as_ptr().add(p * plen);
@@ -208,7 +379,7 @@ unsafe fn gemm_band_body<const FMA: bool>(
             for (i, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
                 let c0 = (p + i) * PANEL;
                 let width = PANEL.min(n - c0);
-                store_panel(acc, c_row, c0, width);
+                store_panel(epi.apply(acc, row_abs, c0, width), c_row, c0, width);
             }
             p += 4;
         }
@@ -221,9 +392,75 @@ unsafe fn gemm_band_body<const FMA: bool>(
             }
             let c0 = p * PANEL;
             let width = PANEL.min(n - c0);
-            store_panel(acc, c_row, c0, width);
+            store_panel(epi.apply(acc, row_abs, c0, width), c_row, c0, width);
         }
     }
+}
+
+/// Entry checks shared by the public GEMV wrappers.
+#[inline(always)]
+fn gemv_entry_asserts(a_row: &[f32], n: usize, b_data: &[f32], c_row: &[f32]) {
+    let panels = n.div_ceil(PANEL);
+    // Entry invariants: every raw pointer in `gemv_row_body` stays
+    // inside these asserted bounds.
+    assert!(b_data.len() >= panels * a_row.len() * PANEL);
+    assert!(c_row.len() >= n);
+}
+
+/// Row-major matvec against panel-packed B (`k = a_row.len()`), AVX2
+/// mul+add — bit-identical to [`super::scalar::gemv_packed`].
+///
+/// # Safety
+/// CPU must support AVX2 (verified by the dispatch layer).
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemv_packed(a_row: &[f32], n: usize, b_data: &[f32], c_row: &mut [f32]) {
+    gemv_entry_asserts(a_row, n, b_data, c_row);
+    gemv_row_body::<false, NoEpi>(a_row.as_ptr(), a_row.len(), n, b_data, c_row, 0, NoEpi)
+}
+
+/// [`gemv_packed`] with fused multiply-add (approximate parity).
+///
+/// # Safety
+/// CPU must support AVX2 and FMA (verified by the dispatch layer).
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gemv_packed_fma(a_row: &[f32], n: usize, b_data: &[f32], c_row: &mut [f32]) {
+    gemv_entry_asserts(a_row, n, b_data, c_row);
+    gemv_row_body::<true, NoEpi>(a_row.as_ptr(), a_row.len(), n, b_data, c_row, 0, NoEpi)
+}
+
+/// [`gemv_packed`] with a fused bias/ReLU epilogue (a per-row bias
+/// indexes entry 0 — the matvec output is row 0 of a `1×n` result).
+///
+/// # Safety
+/// CPU must support AVX2 (verified by the dispatch layer).
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemv_packed_fused(
+    a_row: &[f32],
+    n: usize,
+    b_data: &[f32],
+    c_row: &mut [f32],
+    epi: Epilogue<'_>,
+) {
+    gemv_entry_asserts(a_row, n, b_data, c_row);
+    let fe = FusedEpi::from_epilogue(epi, 1, n);
+    gemv_row_body::<false, FusedEpi>(a_row.as_ptr(), a_row.len(), n, b_data, c_row, 0, fe)
+}
+
+/// [`gemv_packed_fused`] with fused multiply-add (approximate parity).
+///
+/// # Safety
+/// CPU must support AVX2 and FMA (verified by the dispatch layer).
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gemv_packed_fused_fma(
+    a_row: &[f32],
+    n: usize,
+    b_data: &[f32],
+    c_row: &mut [f32],
+    epi: Epilogue<'_>,
+) {
+    gemv_entry_asserts(a_row, n, b_data, c_row);
+    let fe = FusedEpi::from_epilogue(epi, 1, n);
+    gemv_row_body::<true, FusedEpi>(a_row.as_ptr(), a_row.len(), n, b_data, c_row, 0, fe)
 }
 
 /// One CSR row of sparse×dense, AVX2 mul+add (bit-identical to
@@ -239,7 +476,7 @@ pub unsafe fn spmm_row(
     n: usize,
     c_row: &mut [f32],
 ) {
-    spmm_row_body::<false>(values, col_idx, b_data, n, c_row)
+    spmm_row_body::<false>(values, col_idx, b_data, n, c_row, None, false)
 }
 
 /// [`spmm_row`] with fused multiply-add (approximate parity).
@@ -254,7 +491,59 @@ pub unsafe fn spmm_row_fma(
     n: usize,
     c_row: &mut [f32],
 ) {
-    spmm_row_body::<true>(values, col_idx, b_data, n, c_row)
+    spmm_row_body::<true>(values, col_idx, b_data, n, c_row, None, false)
+}
+
+/// [`spmm_row`] with a fused scalar-bias/ReLU epilogue applied
+/// in-register before each store (one CSR output row carries a single
+/// bias value; `None` fuses ReLU alone, performing no bias add at all —
+/// adding a literal `0.0` would not be bitwise neutral).
+///
+/// # Safety
+/// CPU must support AVX2 (verified by the dispatch layer).
+#[target_feature(enable = "avx2")]
+pub unsafe fn spmm_row_fused(
+    values: &[f32],
+    col_idx: &[u32],
+    b_data: &[f32],
+    n: usize,
+    c_row: &mut [f32],
+    bias: Option<f32>,
+    relu: bool,
+) {
+    spmm_row_body::<false>(values, col_idx, b_data, n, c_row, bias, relu)
+}
+
+/// [`spmm_row_fused`] with fused multiply-add (approximate parity).
+///
+/// # Safety
+/// CPU must support AVX2 and FMA (verified by the dispatch layer).
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn spmm_row_fused_fma(
+    values: &[f32],
+    col_idx: &[u32],
+    b_data: &[f32],
+    n: usize,
+    c_row: &mut [f32],
+    bias: Option<f32>,
+    relu: bool,
+) {
+    spmm_row_body::<true>(values, col_idx, b_data, n, c_row, bias, relu)
+}
+
+/// Fold a fused scalar-bias/ReLU epilogue into one SpMM output
+/// register. `(None, false)` performs no FP operations at all (the
+/// unfused kernels pass those literals, which constant-fold away).
+#[inline(always)]
+unsafe fn spmm_epi(mut acc: __m256, bias: Option<f32>, relu: bool) -> __m256 {
+    if let Some(b) = bias {
+        acc = _mm256_add_ps(acc, _mm256_set1_ps(b));
+    }
+    if relu {
+        let pos = _mm256_cmp_ps(acc, _mm256_setzero_ps(), _CMP_GT_OQ);
+        acc = _mm256_and_ps(acc, pos);
+    }
+    acc
 }
 
 /// Shared SpMM row body: column-blocked (32 → 8 → scalar tail) so the
@@ -267,6 +556,8 @@ unsafe fn spmm_row_body<const FMA: bool>(
     b_data: &[f32],
     n: usize,
     c_row: &mut [f32],
+    bias: Option<f32>,
+    relu: bool,
 ) {
     let nnz = values.len().min(col_idx.len());
     // Entry invariants for the raw loads below: every stored column
@@ -293,10 +584,10 @@ unsafe fn spmm_row_body<const FMA: bool>(
             acc3 = madd::<FMA>(v, _mm256_loadu_ps(row.add(3 * PANEL)), acc3);
         }
         let cp = c_row.as_mut_ptr().add(j);
-        _mm256_storeu_ps(cp, acc0);
-        _mm256_storeu_ps(cp.add(PANEL), acc1);
-        _mm256_storeu_ps(cp.add(2 * PANEL), acc2);
-        _mm256_storeu_ps(cp.add(3 * PANEL), acc3);
+        _mm256_storeu_ps(cp, spmm_epi(acc0, bias, relu));
+        _mm256_storeu_ps(cp.add(PANEL), spmm_epi(acc1, bias, relu));
+        _mm256_storeu_ps(cp.add(2 * PANEL), spmm_epi(acc2, bias, relu));
+        _mm256_storeu_ps(cp.add(3 * PANEL), spmm_epi(acc3, bias, relu));
         j += 4 * PANEL;
     }
     // 8-column blocks.
@@ -307,7 +598,7 @@ unsafe fn spmm_row_body<const FMA: bool>(
             let row = bp.add(*col_idx.get_unchecked(i) as usize * n + j);
             acc = madd::<FMA>(v, _mm256_loadu_ps(row), acc);
         }
-        _mm256_storeu_ps(c_row.as_mut_ptr().add(j), acc);
+        _mm256_storeu_ps(c_row.as_mut_ptr().add(j), spmm_epi(acc, bias, relu));
         j += PANEL;
     }
     // Scalar tail: same ascending-`i` per-element accumulation.
@@ -316,6 +607,12 @@ unsafe fn spmm_row_body<const FMA: bool>(
         for i in 0..nnz {
             acc += values.get_unchecked(i)
                 * b_data.get_unchecked(*col_idx.get_unchecked(i) as usize * n + jj);
+        }
+        if let Some(b) = bias {
+            acc += b;
+        }
+        if relu {
+            acc = if acc > 0.0 { acc } else { 0.0 };
         }
         *c_row.get_unchecked_mut(jj) = acc;
     }

@@ -57,6 +57,72 @@ pub const PANEL: usize = 8;
 /// enough independent multiply-add chains to cover FP latency.
 pub const ROW_BLOCK: usize = 4;
 
+/// Which axis of the output a fused bias broadcasts along.
+#[derive(Debug, Clone, Copy)]
+pub enum EpiBias<'a> {
+    /// `bias[r]` is added to every element of output row `r` — the
+    /// convolution flavor, where GEMM rows are output channels.
+    PerRow(&'a [f32]),
+    /// `bias[j]` is added to column `j` of every output row — the
+    /// fully-connected flavor (`Y = X·Wᵀ`, columns are out features).
+    PerCol(&'a [f32]),
+}
+
+/// A fused epilogue: optional bias add followed by an optional ReLU,
+/// applied between the final accumulate and the store so the output
+/// makes one memory round-trip instead of three.
+///
+/// The ReLU uses the `forward_into` semantics of [`relu_into_with`]
+/// (`v > 0.0` keeps `v`; negatives, `-0.0` and NaN become `+0.0`), and
+/// the bias add is the same single rounded `f32` addition the unfused
+/// bias pass performs — so a fused kernel is **bitwise identical** to
+/// the unfused kernel + bias pass + ReLU pass it replaces, on every
+/// [`KernelPath`]. No epilogue operation is performed for `None`/
+/// `false` fields (adding a literal `0.0` is *not* a no-op for NaN
+/// payloads and `-0.0`, so absent parts are skipped, not zero-filled).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Epilogue<'a> {
+    /// Bias to fold into the store, if any.
+    pub bias: Option<EpiBias<'a>>,
+    /// Apply ReLU after the bias add.
+    pub relu: bool,
+}
+
+impl Epilogue<'_> {
+    /// The identity epilogue: fused entry points degrade to the plain
+    /// kernel (same code path, zero extra floating-point operations).
+    pub const NONE: Epilogue<'static> = Epilogue {
+        bias: None,
+        relu: false,
+    };
+
+    /// Whether this epilogue performs no work at all.
+    pub fn is_noop(&self) -> bool {
+        self.bias.is_none() && !self.relu
+    }
+
+    /// Assert the bias slice covers the output this epilogue will be
+    /// applied to: `rows_needed` rows (absolute — `row0 + rows_here`
+    /// for a band) for [`EpiBias::PerRow`], `n` columns for
+    /// [`EpiBias::PerCol`]. Called at every fused kernel entry so the
+    /// AVX2 raw bias loads are in bounds by construction.
+    pub fn check(&self, rows_needed: usize, n: usize) {
+        match self.bias {
+            Some(EpiBias::PerRow(b)) => assert!(
+                b.len() >= rows_needed,
+                "per-row bias has {} entries, need {rows_needed}",
+                b.len()
+            ),
+            Some(EpiBias::PerCol(b)) => assert!(
+                b.len() >= n,
+                "per-col bias has {} entries, need {n}",
+                b.len()
+            ),
+            None => {}
+        }
+    }
+}
+
 /// Which microkernel implementation services the hot loops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelPath {
@@ -265,6 +331,140 @@ pub fn gemm_packed_band(
     gemm_packed_band_with(selected(), a_data, k, n, b_data, c_band, row0);
 }
 
+/// [`gemm_packed_band_with`] plus a fused [`Epilogue`] — bias add and
+/// ReLU folded into the store, so the band makes one memory round-trip
+/// instead of three. Bitwise identical to the unfused kernel followed
+/// by separate bias and ReLU passes (see [`Epilogue`]).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_packed_band_fused_with(
+    path: KernelPath,
+    a_data: &[f32],
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    c_band: &mut [f32],
+    row0: usize,
+    epi: Epilogue<'_>,
+) {
+    if epi.is_noop() {
+        // Degrade to the plain kernel: zero epilogue overhead, and
+        // trivially the same instruction stream as before fusion.
+        return gemm_packed_band_with(path, a_data, k, n, b_data, c_band, row0);
+    }
+    match path {
+        KernelPath::Scalar => {
+            scalar::gemm_packed_band_fused(a_data, k, n, b_data, c_band, row0, epi)
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx2 verified available by `selected()`/`force()`
+        // (see `gemm_packed_band_with`); slice and bias-length bounds
+        // are asserted inside the kernel before any raw load.
+        KernelPath::Avx2 => unsafe {
+            avx2::gemm_packed_band_fused(a_data, k, n, b_data, c_band, row0, epi)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, plus fma.
+        KernelPath::Avx2Fma => unsafe {
+            avx2::gemm_packed_band_fused_fma(a_data, k, n, b_data, c_band, row0, epi)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::gemm_packed_band_fused(a_data, k, n, b_data, c_band, row0, epi),
+    }
+}
+
+/// [`gemm_packed_band_fused_with`] on the process-selected path.
+#[inline]
+pub fn gemm_packed_band_fused(
+    a_data: &[f32],
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    c_band: &mut [f32],
+    row0: usize,
+    epi: Epilogue<'_>,
+) {
+    gemm_packed_band_fused_with(selected(), a_data, k, n, b_data, c_band, row0, epi);
+}
+
+/// Row-major matvec against a panel-packed B: `c_row[..n] = a_row · B`
+/// with `k = a_row.len()` and `b_data` holding `n.div_ceil(PANEL)`
+/// panels of `k × PANEL` — the batch-1 shape of the packed GEMM,
+/// streamed through a kernel built for a lone row (four panels × eight
+/// lanes of live accumulators; B read exactly once).
+///
+/// This is the band kernel's own trailing single-row path, extracted:
+/// outputs are bit-identical to [`gemm_packed_band_with`] on a 1-row
+/// band, on every path.
+#[inline]
+pub fn gemv_packed_with(
+    path: KernelPath,
+    a_row: &[f32],
+    n: usize,
+    b_data: &[f32],
+    c_row: &mut [f32],
+) {
+    match path {
+        KernelPath::Scalar => scalar::gemv_packed(a_row, n, b_data, c_row),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx2 verified available by `selected()`/`force()`;
+        // bounds asserted in the kernel.
+        KernelPath::Avx2 => unsafe { avx2::gemv_packed(a_row, n, b_data, c_row) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, plus fma.
+        KernelPath::Avx2Fma => unsafe { avx2::gemv_packed_fma(a_row, n, b_data, c_row) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::gemv_packed(a_row, n, b_data, c_row),
+    }
+}
+
+/// [`gemv_packed_with`] on the process-selected path.
+#[inline]
+pub fn gemv_packed(a_row: &[f32], n: usize, b_data: &[f32], c_row: &mut [f32]) {
+    gemv_packed_with(selected(), a_row, n, b_data, c_row);
+}
+
+/// [`gemv_packed_with`] plus a fused [`Epilogue`]. A per-row bias
+/// indexes entry 0 (the matvec result is row 0 of a `1×n` output).
+#[inline]
+pub fn gemv_packed_fused_with(
+    path: KernelPath,
+    a_row: &[f32],
+    n: usize,
+    b_data: &[f32],
+    c_row: &mut [f32],
+    epi: Epilogue<'_>,
+) {
+    if epi.is_noop() {
+        // Degrade to the plain kernel (see `gemm_packed_band_fused_with`).
+        return gemv_packed_with(path, a_row, n, b_data, c_row);
+    }
+    match path {
+        KernelPath::Scalar => scalar::gemv_packed_fused(a_row, n, b_data, c_row, epi),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx2 verified available by `selected()`/`force()`;
+        // slice and bias-length bounds asserted in the kernel.
+        KernelPath::Avx2 => unsafe { avx2::gemv_packed_fused(a_row, n, b_data, c_row, epi) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, plus fma.
+        KernelPath::Avx2Fma => unsafe { avx2::gemv_packed_fused_fma(a_row, n, b_data, c_row, epi) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::gemv_packed_fused(a_row, n, b_data, c_row, epi),
+    }
+}
+
+/// [`gemv_packed_fused_with`] on the process-selected path.
+#[inline]
+pub fn gemv_packed_fused(
+    a_row: &[f32],
+    n: usize,
+    b_data: &[f32],
+    c_row: &mut [f32],
+    epi: Epilogue<'_>,
+) {
+    gemv_packed_fused_with(selected(), a_row, n, b_data, c_row, epi);
+}
+
 /// One CSR row of sparse×dense: `c_row = Σ_i values[i] * B[col_idx[i], :]`
 /// over the `k×n` row-major `b_data`. `c_row` is overwritten (not
 /// accumulated into). Ascending-`i` accumulation per output element on
@@ -296,6 +496,86 @@ pub fn spmm_row_with(
 #[inline]
 pub fn spmm_row(values: &[f32], col_idx: &[u32], b_data: &[f32], n: usize, c_row: &mut [f32]) {
     spmm_row_with(selected(), values, col_idx, b_data, n, c_row);
+}
+
+/// [`spmm_row_with`] plus a fused scalar-bias/ReLU epilogue. One CSR
+/// output row has a single bias value (its output channel / feature),
+/// so the epilogue here is `(Option<f32>, bool)` rather than an
+/// [`Epilogue`]; `None` fuses ReLU alone without a bias add. Bias adds
+/// first, then the `forward_into`-flavor ReLU; bitwise identical to
+/// the unfused kernel + bias pass + ReLU pass.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn spmm_row_fused_with(
+    path: KernelPath,
+    values: &[f32],
+    col_idx: &[u32],
+    b_data: &[f32],
+    n: usize,
+    c_row: &mut [f32],
+    bias: Option<f32>,
+    relu: bool,
+) {
+    if bias.is_none() && !relu {
+        // Degrade to the plain kernel (see `gemm_packed_band_fused_with`).
+        return spmm_row_with(path, values, col_idx, b_data, n, c_row);
+    }
+    match path {
+        KernelPath::Scalar => scalar::spmm_row_fused(values, col_idx, b_data, n, c_row, bias, relu),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx2 verified available by `selected()`/`force()`;
+        // bounds asserted in the kernel.
+        KernelPath::Avx2 => unsafe {
+            avx2::spmm_row_fused(values, col_idx, b_data, n, c_row, bias, relu)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, plus fma.
+        KernelPath::Avx2Fma => unsafe {
+            avx2::spmm_row_fused_fma(values, col_idx, b_data, n, c_row, bias, relu)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::spmm_row_fused(values, col_idx, b_data, n, c_row, bias, relu),
+    }
+}
+
+/// [`spmm_row_fused_with`] on the process-selected path.
+#[inline]
+pub fn spmm_row_fused(
+    values: &[f32],
+    col_idx: &[u32],
+    b_data: &[f32],
+    n: usize,
+    c_row: &mut [f32],
+    bias: Option<f32>,
+    relu: bool,
+) {
+    spmm_row_fused_with(selected(), values, col_idx, b_data, n, c_row, bias, relu);
+}
+
+/// Sparse matvec dot — one CSR row against a dense vector:
+/// `Σ_i values[i] * x[col_idx[i]]`, ascending `i`.
+///
+/// Every kernel path shares the scalar body: a single ascending-order
+/// dot product cannot be lane-split without reordering the summation,
+/// which would break the bit-identity contract — and batch-1 sparse FC
+/// is bandwidth-bound, so the matvec win comes from eliminating the
+/// transpose/allocation round-trips, not from SIMD lanes.
+#[inline]
+pub fn spmv(values: &[f32], col_idx: &[u32], x: &[f32]) -> f32 {
+    scalar::spmv(values, col_idx, x)
+}
+
+/// [`spmv`] with a fused bias/ReLU epilogue (same path story; `None`
+/// skips the bias add entirely).
+#[inline]
+pub fn spmv_fused(
+    values: &[f32],
+    col_idx: &[u32],
+    x: &[f32],
+    bias: Option<f32>,
+    relu: bool,
+) -> f32 {
+    scalar::spmv_fused(values, col_idx, x, bias, relu)
 }
 
 /// `c_row[j] += a * b_row[j]` over `min(c_row.len(), b_row.len())`

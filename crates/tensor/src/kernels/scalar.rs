@@ -7,8 +7,45 @@
 //! `PANEL` accumulator loops reasonably well; the explicit AVX2 path
 //! exists to stop leaving the rest of the lanes on the table.
 
-use super::{PANEL, ROW_BLOCK};
+use super::{EpiBias, Epilogue, PANEL, ROW_BLOCK};
 use crate::pool::Pool2dParams;
+
+/// Apply a fused epilogue to the already-stored rows of a band: bias
+/// first (per-row or per-column), then the `forward_into` ReLU flavor
+/// (`v > 0.0` keeps `v`, everything else — negatives, `-0.0`, NaN —
+/// becomes `+0.0`). `row0` is the absolute index of the band's first
+/// row, used to index a per-row bias.
+///
+/// The scalar fused kernels run the plain kernel and then this pass
+/// over the cache-resident band. That is bitwise identical to applying
+/// the same operations in-register before the store (the AVX2 fused
+/// path): an `f32` round-trip through memory is exact, and the
+/// floating-point operation sequence per element is the same.
+fn apply_epilogue(c_band: &mut [f32], n: usize, row0: usize, epi: Epilogue<'_>) {
+    match epi.bias {
+        Some(EpiBias::PerRow(b)) => {
+            for (local_r, row) in c_band.chunks_mut(n.max(1)).enumerate() {
+                let bv = b[row0 + local_r];
+                for v in row {
+                    *v += bv;
+                }
+            }
+        }
+        Some(EpiBias::PerCol(b)) => {
+            for row in c_band.chunks_mut(n.max(1)) {
+                for (v, &bv) in row.iter_mut().zip(b.iter()) {
+                    *v += bv;
+                }
+            }
+        }
+        None => {}
+    }
+    if epi.relu {
+        for v in c_band {
+            *v = if *v > 0.0 { *v } else { 0.0 };
+        }
+    }
+}
 
 /// One row band of the packed-panel GEMM. See
 /// [`super::gemm_packed_band_with`] for the contract.
@@ -66,64 +103,116 @@ pub fn gemm_packed_band(
         }
         local_r += ROW_BLOCK;
     }
-    // Remaining rows one at a time, blocking four panels per pass
-    // so a lone row (batch-1 inference) still carries 32
-    // independent accumulator chains.
+    // Remaining rows one at a time through the dedicated GEMV kernel
+    // (extracted from this loop, so the band result is unchanged).
     for local_r in local_r..rows_here {
         let r = row0 + local_r;
-        let a_row = &a_data[r * k..(r + 1) * k];
-        let c_row = &mut c_band[local_r * n..(local_r + 1) * n];
-        let plen = k * PANEL;
-        let mut p = 0;
-        while p + 4 <= panels {
-            let pn0 = &b_data[p * plen..(p + 1) * plen];
-            let pn1 = &b_data[(p + 1) * plen..(p + 2) * plen];
-            let pn2 = &b_data[(p + 2) * plen..(p + 3) * plen];
-            let pn3 = &b_data[(p + 3) * plen..(p + 4) * plen];
-            let mut acc0 = [0.0f32; PANEL];
-            let mut acc1 = [0.0f32; PANEL];
-            let mut acc2 = [0.0f32; PANEL];
-            let mut acc3 = [0.0f32; PANEL];
-            for ((((&aik, p0), p1), p2), p3) in a_row
-                .iter()
-                .zip(pn0.chunks_exact(PANEL))
-                .zip(pn1.chunks_exact(PANEL))
-                .zip(pn2.chunks_exact(PANEL))
-                .zip(pn3.chunks_exact(PANEL))
-            {
-                let p0: &[f32; PANEL] = p0.try_into().unwrap();
-                let p1: &[f32; PANEL] = p1.try_into().unwrap();
-                let p2: &[f32; PANEL] = p2.try_into().unwrap();
-                let p3: &[f32; PANEL] = p3.try_into().unwrap();
-                for j in 0..PANEL {
-                    acc0[j] += aik * p0[j];
-                    acc1[j] += aik * p1[j];
-                    acc2[j] += aik * p2[j];
-                    acc3[j] += aik * p3[j];
-                }
-            }
-            for (i, accr) in [&acc0, &acc1, &acc2, &acc3].into_iter().enumerate() {
-                let c0 = (p + i) * PANEL;
-                let width = PANEL.min(n - c0);
-                c_row[c0..c0 + width].copy_from_slice(&accr[..width]);
-            }
-            p += 4;
-        }
-        for p in p..panels {
-            let base = p * plen;
-            let panel = &b_data[base..base + plen];
-            let mut acc = [0.0f32; PANEL];
-            for (&aik, prow) in a_row.iter().zip(panel.chunks_exact(PANEL)) {
-                let prow: &[f32; PANEL] = prow.try_into().unwrap();
-                for (av, pv) in acc.iter_mut().zip(prow.iter()) {
-                    *av += aik * pv;
-                }
-            }
-            let c0 = p * PANEL;
-            let width = PANEL.min(n - c0);
-            c_row[c0..c0 + width].copy_from_slice(&acc[..width]);
-        }
+        gemv_packed(
+            &a_data[r * k..(r + 1) * k],
+            n,
+            b_data,
+            &mut c_band[local_r * n..(local_r + 1) * n],
+        );
     }
+}
+
+/// One row-major matvec against the panel-packed `b_data`
+/// (`k = a_row.len()`, `n.div_ceil(PANEL)` panels of `k × PANEL`):
+/// the single-row trailing path of [`gemm_packed_band`], extracted so
+/// batch-1 inference can call it directly without pretending to be a
+/// degenerate GEMM. Blocks four panels per pass, so a lone row still
+/// carries 32 independent accumulator chains while the packed weight
+/// matrix streams through exactly once.
+///
+/// Each output element accumulates in ascending-`kk` order — panel
+/// grouping only changes which elements are *concurrent*, never the
+/// order within one element's sum — so results are bit-identical to
+/// the band kernel (this *is* that code).
+pub fn gemv_packed(a_row: &[f32], n: usize, b_data: &[f32], c_row: &mut [f32]) {
+    let k = a_row.len();
+    let panels = n.div_ceil(PANEL);
+    let plen = k * PANEL;
+    let mut p = 0;
+    while p + 4 <= panels {
+        let pn0 = &b_data[p * plen..(p + 1) * plen];
+        let pn1 = &b_data[(p + 1) * plen..(p + 2) * plen];
+        let pn2 = &b_data[(p + 2) * plen..(p + 3) * plen];
+        let pn3 = &b_data[(p + 3) * plen..(p + 4) * plen];
+        let mut acc0 = [0.0f32; PANEL];
+        let mut acc1 = [0.0f32; PANEL];
+        let mut acc2 = [0.0f32; PANEL];
+        let mut acc3 = [0.0f32; PANEL];
+        for ((((&aik, p0), p1), p2), p3) in a_row
+            .iter()
+            .zip(pn0.chunks_exact(PANEL))
+            .zip(pn1.chunks_exact(PANEL))
+            .zip(pn2.chunks_exact(PANEL))
+            .zip(pn3.chunks_exact(PANEL))
+        {
+            let p0: &[f32; PANEL] = p0.try_into().unwrap();
+            let p1: &[f32; PANEL] = p1.try_into().unwrap();
+            let p2: &[f32; PANEL] = p2.try_into().unwrap();
+            let p3: &[f32; PANEL] = p3.try_into().unwrap();
+            for j in 0..PANEL {
+                acc0[j] += aik * p0[j];
+                acc1[j] += aik * p1[j];
+                acc2[j] += aik * p2[j];
+                acc3[j] += aik * p3[j];
+            }
+        }
+        for (i, accr) in [&acc0, &acc1, &acc2, &acc3].into_iter().enumerate() {
+            let c0 = (p + i) * PANEL;
+            let width = PANEL.min(n - c0);
+            c_row[c0..c0 + width].copy_from_slice(&accr[..width]);
+        }
+        p += 4;
+    }
+    for p in p..panels {
+        let base = p * plen;
+        let panel = &b_data[base..base + plen];
+        let mut acc = [0.0f32; PANEL];
+        for (&aik, prow) in a_row.iter().zip(panel.chunks_exact(PANEL)) {
+            let prow: &[f32; PANEL] = prow.try_into().unwrap();
+            for (av, pv) in acc.iter_mut().zip(prow.iter()) {
+                *av += aik * pv;
+            }
+        }
+        let c0 = p * PANEL;
+        let width = PANEL.min(n - c0);
+        c_row[c0..c0 + width].copy_from_slice(&acc[..width]);
+    }
+}
+
+/// [`gemm_packed_band`] with a fused bias/ReLU epilogue. The scalar
+/// flavor runs the plain band kernel and applies the epilogue over the
+/// still-cache-resident band (`apply_epilogue`) — bitwise identical to
+/// the in-register AVX2 variant.
+pub fn gemm_packed_band_fused(
+    a_data: &[f32],
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    c_band: &mut [f32],
+    row0: usize,
+    epi: Epilogue<'_>,
+) {
+    epi.check(row0 + c_band.len() / n.max(1), n);
+    gemm_packed_band(a_data, k, n, b_data, c_band, row0);
+    apply_epilogue(c_band, n, row0, epi);
+}
+
+/// [`gemv_packed`] with a fused bias/ReLU epilogue. A per-row bias
+/// indexes `bias[0]` (the matvec output is row 0 of a 1×n result).
+pub fn gemv_packed_fused(
+    a_row: &[f32],
+    n: usize,
+    b_data: &[f32],
+    c_row: &mut [f32],
+    epi: Epilogue<'_>,
+) {
+    epi.check(1, n);
+    gemv_packed(a_row, n, b_data, c_row);
+    apply_epilogue(&mut c_row[..n], n, 0, epi);
 }
 
 /// One CSR row of sparse×dense. See [`super::spmm_row_with`].
@@ -135,6 +224,65 @@ pub fn spmm_row(values: &[f32], col_idx: &[u32], b_data: &[f32], n: usize, c_row
             *cv += v * bv;
         }
     }
+}
+
+/// [`spmm_row`] with a fused scalar-bias/ReLU epilogue (the bias of
+/// one CSR output row is a single value — conv output channel or FC
+/// output feature; `None` fuses ReLU alone). Bias adds first, then the
+/// `forward_into` ReLU.
+pub fn spmm_row_fused(
+    values: &[f32],
+    col_idx: &[u32],
+    b_data: &[f32],
+    n: usize,
+    c_row: &mut [f32],
+    bias: Option<f32>,
+    relu: bool,
+) {
+    spmm_row(values, col_idx, b_data, n, c_row);
+    for v in c_row.iter_mut().take(n) {
+        let mut y = *v;
+        if let Some(b) = bias {
+            y += b;
+        }
+        if relu {
+            y = if y > 0.0 { y } else { 0.0 };
+        }
+        *v = y;
+    }
+}
+
+/// Sparse dot product — one CSR row against a dense vector:
+/// `Σ_i values[i] * x[col_idx[i]]`, accumulated in ascending-`i` order.
+///
+/// This is the matvec (`n = 1`) special case of [`spmm_row`] without
+/// the output-slice plumbing; the summation order is identical, so the
+/// result is bit-equal to routing through the SpMM kernel.
+pub fn spmv(values: &[f32], col_idx: &[u32], x: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&v, &c) in values.iter().zip(col_idx.iter()) {
+        acc += v * x[c as usize];
+    }
+    acc
+}
+
+/// [`spmv`] with a fused bias/ReLU epilogue (`None` skips the bias add
+/// entirely — a literal `+0.0` is not bitwise neutral).
+pub fn spmv_fused(
+    values: &[f32],
+    col_idx: &[u32],
+    x: &[f32],
+    bias: Option<f32>,
+    relu: bool,
+) -> f32 {
+    let mut y = spmv(values, col_idx, x);
+    if let Some(b) = bias {
+        y += b;
+    }
+    if relu {
+        y = if y > 0.0 { y } else { 0.0 };
+    }
+    y
 }
 
 /// `c_row[j] += a * b_row[j]`. See [`super::axpy_with`].

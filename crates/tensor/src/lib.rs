@@ -48,17 +48,18 @@ pub mod tensor4;
 pub mod workspace;
 
 pub use conv::{
-    conv2d_direct, conv2d_gemm, conv2d_gemm_packed, conv2d_sparse, conv2d_sparse_packed,
-    Conv2dParams, PackedConvWeights, PackedSparseConvWeights,
+    conv2d_direct, conv2d_gemm, conv2d_gemm_packed, conv2d_gemm_packed_fused, conv2d_sparse,
+    conv2d_sparse_packed, conv2d_sparse_packed_fused, Conv2dParams, PackedConvWeights,
+    PackedSparseConvWeights,
 };
 pub use dense::Matrix;
 pub use error::{ShapeError, TensorResult};
 pub use gemm::{
-    gemm, gemm_packed_cols, gemm_prealloc, gemm_prepacked, gemm_prepacked_slice, pack_b_slice_into,
-    PackedB,
+    gemm, gemm_packed_cols, gemm_packed_cols_fused, gemm_prealloc, gemm_prepacked,
+    gemm_prepacked_slice, gemm_prepacked_slice_fused, pack_b_slice_into, PackedB,
 };
-pub use im2col::{col2im, im2col, im2col_prealloc};
-pub use kernels::KernelPath;
+pub use im2col::{col2im, im2col, im2col_packed_prealloc, im2col_prealloc};
+pub use kernels::{EpiBias, Epilogue, KernelPath};
 pub use pool::{
     avg_pool2d, avg_pool2d_into, max_pool2d, max_pool2d_indices, max_pool2d_into, Pool2dParams,
 };

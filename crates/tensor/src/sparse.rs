@@ -9,8 +9,39 @@
 use crate::dense::Matrix;
 use crate::error::{ShapeError, TensorResult};
 use crate::kernels;
+use crate::kernels::KernelPath;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Stored density above which the SpMM row kernel runs scalar even when
+/// AVX2 was auto-selected.
+///
+/// The AVX2 SpMM kernel wins by amortizing each stored value over eight
+/// output lanes, but its gather-free broadcast-multiply loop carries
+/// fixed per-value overhead that only pays off when zeros are actually
+/// skipped. BENCH_pr5 measured the crossover directly: at 60% sparsity
+/// AVX2 does 60.63 GFLOPS vs 41.80 scalar, while at 0% sparsity (a
+/// fully dense matrix stored as CSR) AVX2 drops to 10.11 GFLOPS vs
+/// 11.76 scalar. Above this density the scalar row kernel is the faster
+/// arm, so [`spmm_effective_path`] swaps to it.
+pub const SPMM_DENSE_FALLBACK_DENSITY: f64 = 0.75;
+
+/// Resolve the kernel path the SpMM row loop should actually run, given
+/// the matrix density.
+///
+/// Swaps `path` to [`KernelPath::Scalar`] when `density` exceeds
+/// [`SPMM_DENSE_FALLBACK_DENSITY`] — but **only** when the requested
+/// path is bit-identical to scalar ([`KernelPath::Avx2`] or scalar
+/// itself), so the swap is invisible in outputs. An explicitly forced
+/// [`KernelPath::Avx2Fma`] is honored unchanged: substituting scalar
+/// there would alter the numbers the caller opted into.
+pub fn spmm_effective_path(path: KernelPath, density: f64) -> KernelPath {
+    if density > SPMM_DENSE_FALLBACK_DENSITY && path.is_bit_identical_to_scalar() {
+        KernelPath::Scalar
+    } else {
+        path
+    }
+}
 
 /// Compressed sparse row matrix of `f32`.
 ///
@@ -177,6 +208,25 @@ impl CsrMatrix {
     /// are overwritten. The zero-allocation variant of
     /// [`CsrMatrix::matmul_dense`] for steady-state inference loops.
     pub fn matmul_dense_into(&self, b: &Matrix, c: &mut Matrix) -> TensorResult<()> {
+        self.matmul_dense_into_fused(b, c, None, false)
+    }
+
+    /// [`CsrMatrix::matmul_dense_into`] with a fused bias/ReLU epilogue.
+    ///
+    /// `row_bias`, when present, adds `row_bias[r]` to every element of
+    /// output row `r` (CSR rows are conv output channels / FC output
+    /// features), then `relu` applies the `forward_into`-flavor ReLU —
+    /// both in the same pass that stores the row, saving two full
+    /// round-trips of the output through memory. Bitwise identical to
+    /// the unfused multiply + bias pass + ReLU pass on every
+    /// bit-identical kernel path.
+    pub fn matmul_dense_into_fused(
+        &self,
+        b: &Matrix,
+        c: &mut Matrix,
+        row_bias: Option<&[f32]>,
+        relu: bool,
+    ) -> TensorResult<()> {
         if self.cols != b.rows() {
             return Err(ShapeError::new(format!(
                 "csr matmul: {}x{} * {}x{}",
@@ -194,22 +244,34 @@ impl CsrMatrix {
                 (self.rows, n)
             )));
         }
+        if let Some(bias) = row_bias {
+            if bias.len() < self.rows {
+                return Err(ShapeError::new(format!(
+                    "csr matmul: row bias has {} entries, need {}",
+                    bias.len(),
+                    self.rows
+                )));
+            }
+        }
         let b_data = b.as_slice();
         // Resolve the kernel path once, outside the parallel loop, and
-        // pass it by value into the per-row tasks.
-        let path = kernels::selected();
+        // pass it by value into the per-row tasks. Dense-stored matrices
+        // fall back to the scalar row kernel (see `spmm_effective_path`).
+        let path = spmm_effective_path(kernels::selected(), self.density());
         c.as_mut_slice()
             .par_chunks_mut(n.max(1))
             .enumerate()
             .for_each(|(r, c_row)| {
                 let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
-                kernels::spmm_row_with(
+                kernels::spmm_row_fused_with(
                     path,
                     &self.values[lo..hi],
                     &self.col_idx[lo..hi],
                     b_data,
                     n,
                     c_row,
+                    row_bias.map(|bias| bias[r]),
+                    relu,
                 );
             });
         Ok(())
@@ -250,6 +312,31 @@ impl CsrMatrix {
 
     /// Sparse matrix–vector product.
     pub fn matvec(&self, x: &[f32]) -> TensorResult<Vec<f32>> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Sparse matrix–vector product into a caller-provided slice.
+    ///
+    /// The zero-allocation variant of [`CsrMatrix::matvec`] for
+    /// steady-state inference loops; `y` must have exactly `rows`
+    /// entries and is overwritten.
+    pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) -> TensorResult<()> {
+        self.matvec_fused_into(x, y, None, false)
+    }
+
+    /// [`CsrMatrix::matvec_into`] with a fused bias/ReLU epilogue:
+    /// `y[r] = relu(Σ row_r · x + bias[r])`, each part optional and
+    /// skipped (not zero-filled) when absent. The batch-1 path of a
+    /// pruned fully-connected layer.
+    pub fn matvec_fused_into(
+        &self,
+        x: &[f32],
+        y: &mut [f32],
+        bias: Option<&[f32]>,
+        relu: bool,
+    ) -> TensorResult<()> {
         if x.len() != self.cols {
             return Err(ShapeError::new(format!(
                 "csr matvec: {}x{} * len {}",
@@ -258,15 +345,33 @@ impl CsrMatrix {
                 x.len()
             )));
         }
-        let mut y = vec![0.0; self.rows];
-        for (r, yr) in y.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
-                acc += self.values[i] * x[self.col_idx[i] as usize];
-            }
-            *yr = acc;
+        if y.len() != self.rows {
+            return Err(ShapeError::new(format!(
+                "csr matvec: output len {}, expected {}",
+                y.len(),
+                self.rows
+            )));
         }
-        Ok(y)
+        if let Some(b) = bias {
+            if b.len() < self.rows {
+                return Err(ShapeError::new(format!(
+                    "csr matvec: bias has {} entries, need {}",
+                    b.len(),
+                    self.rows
+                )));
+            }
+        }
+        for (r, yr) in y.iter_mut().enumerate() {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            *yr = kernels::spmv_fused(
+                &self.values[lo..hi],
+                &self.col_idx[lo..hi],
+                x,
+                bias.map(|b| b[r]),
+                relu,
+            );
+        }
+        Ok(())
     }
 
     /// Iterate over stored `(row, col, value)` triples in row-major order.
@@ -370,6 +475,102 @@ mod tests {
         let csr = CsrMatrix::from_dense(&Matrix::zeros(0, 0), 0.0);
         assert_eq!(csr.nnz(), 0);
         assert_eq!(csr.density(), 0.0);
+    }
+
+    #[test]
+    fn dense_fallback_heuristic_per_arm() {
+        // Sparse matrices keep whatever path was selected.
+        assert_eq!(spmm_effective_path(KernelPath::Avx2, 0.4), KernelPath::Avx2);
+        assert_eq!(
+            spmm_effective_path(KernelPath::Scalar, 0.4),
+            KernelPath::Scalar
+        );
+        // Dense-stored matrices swap bit-identical paths to scalar...
+        assert_eq!(
+            spmm_effective_path(KernelPath::Avx2, 1.0),
+            KernelPath::Scalar
+        );
+        assert_eq!(
+            spmm_effective_path(KernelPath::Scalar, 1.0),
+            KernelPath::Scalar
+        );
+        // ...but never an explicitly requested FMA path (different
+        // numerics — the caller opted into them).
+        assert_eq!(
+            spmm_effective_path(KernelPath::Avx2Fma, 1.0),
+            KernelPath::Avx2Fma
+        );
+        // Boundary: exactly at the threshold keeps the requested path.
+        assert_eq!(
+            spmm_effective_path(KernelPath::Avx2, SPMM_DENSE_FALLBACK_DENSITY),
+            KernelPath::Avx2
+        );
+    }
+
+    #[test]
+    fn dense_stored_matmul_matches_gemm_on_every_arm() {
+        // A fully dense matrix stored as CSR (density 1.0) trips the
+        // scalar fallback; a sparse one does not. Both arms must agree
+        // with the dense GEMM oracle bitwise (bit-identical paths only).
+        for keep_every in [1usize, 3] {
+            let (dense, csr) = sparse_dense_pair(9, 14, keep_every);
+            let b = Matrix::from_fn(14, 6, |r, c| ((r * 2 + c) % 9) as f32 - 4.0);
+            let s = csr.matmul_dense(&b).unwrap();
+            let d = gemm(&dense, &b).unwrap();
+            assert!(s.max_abs_diff(&d).unwrap() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_fused_matches_unfused_plus_epilogue_bitwise() {
+        let (_, csr) = sparse_dense_pair(8, 12, 2);
+        let b = Matrix::from_fn(12, 7, |r, c| ((r + 3 * c) % 5) as f32 - 2.0);
+        let bias: Vec<f32> = (0..8).map(|r| r as f32 * 0.75 - 3.0).collect();
+
+        let mut expect = csr.matmul_dense(&b).unwrap();
+        for (r, &bv) in bias.iter().enumerate() {
+            for v in expect.row_mut(r) {
+                let y = *v + bv;
+                *v = if y > 0.0 { y } else { 0.0 };
+            }
+        }
+
+        let mut fused = Matrix::zeros(8, 7);
+        csr.matmul_dense_into_fused(&b, &mut fused, Some(&bias), true)
+            .unwrap();
+        for (e, f) in expect.as_slice().iter().zip(fused.as_slice()) {
+            assert_eq!(e.to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_bitwise() {
+        let (_, csr) = sparse_dense_pair(6, 8, 3);
+        let x: Vec<f32> = (0..8).map(|i| i as f32 * 0.5 - 2.0).collect();
+        let alloc = csr.matvec(&x).unwrap();
+        let mut into = vec![f32::NAN; 6];
+        csr.matvec_into(&x, &mut into).unwrap();
+        for (a, b) in alloc.iter().zip(&into) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Shape errors on the output side too.
+        assert!(csr.matvec_into(&x, &mut [0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn matvec_fused_matches_manual_epilogue_bitwise() {
+        let (_, csr) = sparse_dense_pair(6, 8, 2);
+        let x: Vec<f32> = (0..8).map(|i| i as f32 * 0.25 - 1.0).collect();
+        let bias: Vec<f32> = (0..6).map(|r| 1.5 - r as f32).collect();
+        let plain = csr.matvec(&x).unwrap();
+        let mut fused = vec![0.0; 6];
+        csr.matvec_fused_into(&x, &mut fused, Some(&bias), true)
+            .unwrap();
+        for r in 0..6 {
+            let y = plain[r] + bias[r];
+            let y = if y > 0.0 { y } else { 0.0 };
+            assert_eq!(y.to_bits(), fused[r].to_bits());
+        }
     }
 
     proptest! {

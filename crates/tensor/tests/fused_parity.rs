@@ -1,0 +1,463 @@
+//! Fused-epilogue and matvec kernel parity suite (PR 6 companion to
+//! `kernel_parity.rs`).
+//!
+//! Contract under test: every fused entry point — packed GEMM with an
+//! [`Epilogue`], the dedicated `m == 1` gemv route, and the CSR
+//! spmm/spmv rows with a scalar bias/ReLU tail — produces output
+//! **bit-identical** to the unfused scalar kernel followed by a manual
+//! bias-add and `forward_into`-flavor ReLU (negatives, `-0.0` and NaN
+//! all flush to `+0.0`), on every bit-identical dispatch path, across
+//! ragged shapes, `k = 0`, and NaN/signed-zero operands.
+//!
+//! `kernels::force` is process-global; tests serialize on one mutex.
+//! On non-AVX2 hosts the path list degenerates to `[Scalar]` — the
+//! fused-vs-manual comparison still runs in full.
+
+use cap_tensor::kernels::{self, KernelPath};
+use cap_tensor::{CsrMatrix, EpiBias, Epilogue, Matrix, PackedB};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Global serialization for tests that call `kernels::force`.
+fn force_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(()));
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `f` with the dispatcher pinned to `path`, restoring auto after.
+fn on_path<T>(path: KernelPath, f: impl FnOnce() -> T) -> T {
+    kernels::force(Some(path));
+    let out = f();
+    kernels::force(None);
+    out
+}
+
+/// Bit-identical paths to compare against scalar (excludes `Avx2Fma`).
+fn identical_paths() -> Vec<KernelPath> {
+    kernels::available_paths()
+        .into_iter()
+        .filter(|p| p.is_bit_identical_to_scalar())
+        .collect()
+}
+
+/// Deterministic awkward-valued matrix: zeros, signed zeros, negatives.
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let h = r
+            .wrapping_mul(131)
+            .wrapping_add(c.wrapping_mul(31))
+            .wrapping_add(seed as usize);
+        match h % 11 {
+            0 => 0.0,
+            1 => -0.0,
+            v => (v as f32 - 5.0) / 7.0,
+        }
+    })
+}
+
+fn bias_vec(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| match (i + seed as usize) % 7 {
+            0 => 0.0,
+            1 => -0.0,
+            v => (v as f32 - 3.0) / 5.0,
+        })
+        .collect()
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+/// The reference epilogue, element by element in plain Rust: bias adds
+/// first, then the `forward_into`-flavor ReLU (`v > 0.0` keeps `v`;
+/// everything else — negatives, `-0.0`, NaN — becomes `+0.0`).
+fn manual_epilogue(
+    c: &mut [f32],
+    n: usize,
+    row_bias: Option<&[f32]>,
+    col_bias: Option<&[f32]>,
+    relu: bool,
+) {
+    for (idx, v) in c.iter_mut().enumerate() {
+        let (r, j) = (idx / n, idx % n);
+        let mut y = *v;
+        if let Some(b) = row_bias {
+            y += b[r];
+        }
+        if let Some(b) = col_bias {
+            y += b[j];
+        }
+        if relu {
+            y = if y > 0.0 { y } else { 0.0 };
+        }
+        *v = y;
+    }
+}
+
+/// One epilogue request: optional per-row bias, optional per-column
+/// bias, ReLU flag.
+type EpilogueCase = (Option<Vec<f32>>, Option<Vec<f32>>, bool);
+
+/// Every bias/relu combination a fused GEMM can be asked for.
+fn epilogue_cases(m: usize, n: usize, seed: u64) -> Vec<EpilogueCase> {
+    vec![
+        (Some(bias_vec(m, seed)), None, false),
+        (Some(bias_vec(m, seed)), None, true),
+        (None, Some(bias_vec(n, seed + 1)), false),
+        (None, Some(bias_vec(n, seed + 1)), true),
+        (None, None, true), // relu-only: no bias shortcut may exist
+    ]
+}
+
+fn fused_gemm_on(path: KernelPath, a: &Matrix, b: &Matrix, epi: Epilogue<'_>) -> Matrix {
+    on_path(path, || {
+        let packed = PackedB::pack(b);
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        cap_tensor::gemm_prepacked_slice_fused(
+            a.as_slice(),
+            a.rows(),
+            &packed,
+            c.as_mut_slice(),
+            epi,
+        )
+        .unwrap();
+        c
+    })
+}
+
+#[test]
+fn fused_gemm_matches_scalar_unfused_plus_manual_epilogue() {
+    let _g = force_lock();
+    // Ragged on purpose: m = 1 takes the dedicated gemv route (incl. n
+    // past the 256-column gemv chunk), k = 0 leaves pure-epilogue
+    // output, n off the 8-wide panel.
+    for (m, k, n) in [
+        (1, 1, 1),
+        (1, 7, 13),
+        (1, 24, 300), // batch-1 across multiple gemv column chunks
+        (3, 0, 5),    // k = 0: epilogue applies to an all-zero product
+        (4, 9, 8),
+        (5, 16, 31),
+        (33, 12, 17),
+    ] {
+        let a = mat(m, k, 3);
+        let b = mat(k, n, 4);
+        let reference = on_path(KernelPath::Scalar, || {
+            let packed = PackedB::pack(&b);
+            let mut c = Matrix::zeros(m, n);
+            cap_tensor::gemm_prepacked_slice(a.as_slice(), m, &packed, c.as_mut_slice()).unwrap();
+            c
+        });
+        for (row_bias, col_bias, relu) in epilogue_cases(m, n, 17) {
+            let mut want = reference.clone();
+            manual_epilogue(
+                want.as_mut_slice(),
+                n,
+                row_bias.as_deref(),
+                col_bias.as_deref(),
+                relu,
+            );
+            let epi_bias = row_bias
+                .as_deref()
+                .map(EpiBias::PerRow)
+                .or(col_bias.as_deref().map(EpiBias::PerCol));
+            for path in identical_paths() {
+                let got = fused_gemm_on(
+                    path,
+                    &a,
+                    &b,
+                    Epilogue {
+                        bias: epi_bias,
+                        relu,
+                    },
+                );
+                assert_bits_eq(
+                    want.as_slice(),
+                    got.as_slice(),
+                    &format!(
+                        "fused gemm {m}x{k}x{n} row_bias={} col_bias={} relu={relu} on {}",
+                        row_bias.is_some(),
+                        col_bias.is_some(),
+                        path.name()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gemv_kernel_bit_identical_and_fused_relu_flushes_nan_and_signed_zero() {
+    let _g = force_lock();
+    // A row with NaN and -0.0: the product picks up NaN, the fused ReLU
+    // must flush it (and any -0.0 product) to +0.0 — identically on
+    // every path. With the no-op epilogue the NaN must SURVIVE (no
+    // silent `+0.0` bias may be applied anywhere).
+    for n in [1, 7, 8, 31, 96] {
+        let k = 9;
+        let mut a = mat(1, k, 5);
+        a.as_mut_slice()[2] = f32::NAN;
+        a.as_mut_slice()[4] = -0.0;
+        let b = mat(k, n, 6);
+        let mut packed = Matrix::zeros(0, 0);
+        cap_tensor::pack_b_slice_into(b.as_slice(), k, n, &mut packed);
+
+        let reference = on_path(KernelPath::Scalar, || {
+            let mut c = vec![0.0f32; n];
+            kernels::gemv_packed(a.as_slice(), n, packed.as_slice(), &mut c);
+            c
+        });
+        assert!(
+            reference.iter().all(|v| v.is_nan()),
+            "NaN must propagate through the unfused gemv"
+        );
+        let mut want_relu = reference.clone();
+        manual_epilogue(&mut want_relu, n, None, None, true);
+        assert!(want_relu.iter().all(|v| v.to_bits() == 0));
+
+        for path in identical_paths() {
+            let got = on_path(path, || {
+                let mut c = vec![0.0f32; n];
+                kernels::gemv_packed(a.as_slice(), n, packed.as_slice(), &mut c);
+                c
+            });
+            assert_bits_eq(&reference, &got, &format!("gemv n={n} on {}", path.name()));
+
+            let got_relu = on_path(path, || {
+                let mut c = vec![0.0f32; n];
+                kernels::gemv_packed_fused(
+                    a.as_slice(),
+                    n,
+                    packed.as_slice(),
+                    &mut c,
+                    Epilogue {
+                        bias: None,
+                        relu: true,
+                    },
+                );
+                c
+            });
+            assert_bits_eq(
+                &want_relu,
+                &got_relu,
+                &format!("gemv+relu n={n} on {}", path.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_spmm_row_matches_scalar_unfused_plus_manual_epilogue() {
+    let _g = force_lock();
+    let (k, n) = (17, 29);
+    let b = mat(k, n, 9);
+    // Rows of varying density, including an empty row (bias/ReLU must
+    // still apply to the implicit zero dot products).
+    let rows: Vec<(Vec<f32>, Vec<u32>)> = vec![
+        (vec![], vec![]),
+        (vec![-1.5], vec![4]),
+        (
+            (0..k).map(|i| (i as f32 - 8.0) / 5.0).collect(),
+            (0..k as u32).collect(),
+        ),
+        (vec![0.75, -0.0, 2.0], vec![1, 8, 16]),
+    ];
+    for (values, col_idx) in &rows {
+        for (bias, relu) in [
+            (None, false),
+            (None, true),
+            (Some(0.6f32), false),
+            (Some(-0.6f32), true),
+            (Some(-0.0f32), true),
+        ] {
+            let mut want = on_path(KernelPath::Scalar, || {
+                let mut c = vec![0.0f32; n];
+                kernels::spmm_row(values, col_idx, b.as_slice(), n, &mut c);
+                c
+            });
+            for v in want.iter_mut() {
+                let mut y = *v;
+                if let Some(bv) = bias {
+                    y += bv;
+                }
+                if relu {
+                    y = if y > 0.0 { y } else { 0.0 };
+                }
+                *v = y;
+            }
+            for path in identical_paths() {
+                let got = on_path(path, || {
+                    let mut c = vec![0.0f32; n];
+                    kernels::spmm_row_fused(values, col_idx, b.as_slice(), n, &mut c, bias, relu);
+                    c
+                });
+                assert_bits_eq(
+                    &want,
+                    &got,
+                    &format!(
+                        "fused spmm row nnz={} bias={bias:?} relu={relu} on {}",
+                        values.len(),
+                        path.name()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spmv_matches_spmm_row_at_n_equals_1_bitwise() {
+    // The batch-1 sparse FC route: spmv over a CSR row must reproduce
+    // the n = 1 SpMM row exactly (same ascending stored-value order),
+    // fused tail included. Scalar-only by contract, no force needed.
+    let k = 23;
+    let x: Vec<f32> = (0..k).map(|i| ((i * 7) % 11) as f32 / 4.0 - 1.0).collect();
+    let dense = Matrix::from_fn(6, k, |r, c| {
+        if (r * k + c) % 3 == 0 {
+            (r as f32 - c as f32) / 3.0 + 0.25
+        } else {
+            0.0
+        }
+    });
+    for (bias, relu) in [(None, false), (Some(0.4f32), true), (Some(-2.0f32), true)] {
+        for r in 0..dense.rows() {
+            // Rebuild the CSR row directly: nonzeros in ascending
+            // column order, exactly as `CsrMatrix::from_dense` stores.
+            let mut values = Vec::new();
+            let mut col_idx = Vec::new();
+            for c in 0..k {
+                if dense.get(r, c) != 0.0 {
+                    values.push(dense.get(r, c));
+                    col_idx.push(c as u32);
+                }
+            }
+            let mut via_spmm = [0.0f32];
+            kernels::spmm_row_fused(&values, &col_idx, &x, 1, &mut via_spmm, bias, relu);
+            let via_spmv = kernels::spmv_fused(&values, &col_idx, &x, bias, relu);
+            assert_eq!(
+                via_spmm[0].to_bits(),
+                via_spmv.to_bits(),
+                "row {r} bias={bias:?} relu={relu}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fused packed GEMM (any epilogue flavor, any bit-identical path,
+    /// m = 1 gemv route included) equals scalar unfused + manual
+    /// epilogue, bit for bit, on arbitrary ragged shapes.
+    #[test]
+    fn prop_fused_gemm_bit_identical(
+        m in 1usize..12,
+        k in 0usize..20,
+        n in 1usize..40,
+        flavor in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        let _g = force_lock();
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed.wrapping_add(1));
+        let (row_bias, col_bias, relu) = epilogue_cases(m, n, seed)[flavor].clone();
+        let mut want = on_path(KernelPath::Scalar, || {
+            let packed = PackedB::pack(&b);
+            let mut c = Matrix::zeros(m, n);
+            cap_tensor::gemm_prepacked_slice(a.as_slice(), m, &packed, c.as_mut_slice()).unwrap();
+            c
+        });
+        manual_epilogue(want.as_mut_slice(), n, row_bias.as_deref(), col_bias.as_deref(), relu);
+        let epi_bias = row_bias
+            .as_deref()
+            .map(EpiBias::PerRow)
+            .or(col_bias.as_deref().map(EpiBias::PerCol));
+        for path in identical_paths() {
+            let got = fused_gemm_on(path, &a, &b, Epilogue { bias: epi_bias, relu });
+            for (x, y) in want.as_slice().iter().zip(got.as_slice().iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// Fused CSR SpMM (whole matrix, heuristic dispatch included)
+    /// equals scalar unfused + manual per-row epilogue on arbitrary
+    /// shapes and sparsity.
+    #[test]
+    fn prop_fused_spmm_bit_identical(
+        m in 1usize..10,
+        k in 1usize..16,
+        n in 1usize..24,
+        keep in 1usize..5,
+        relu in proptest::bool::ANY,
+        seed in 0u64..500,
+    ) {
+        let _g = force_lock();
+        let dense = Matrix::from_fn(m, k, |r, c| {
+            if (r * k + c).is_multiple_of(keep) {
+                ((r * 31 + c * 17 + seed as usize) % 13) as f32 / 6.0 - 1.0
+            } else {
+                0.0
+            }
+        });
+        let w = CsrMatrix::from_dense(&dense, 0.0);
+        let b = mat(k, n, seed.wrapping_add(2));
+        let bias = bias_vec(m, seed.wrapping_add(3));
+        let mut want = on_path(KernelPath::Scalar, || w.matmul_dense(&b).unwrap());
+        manual_epilogue(want.as_mut_slice(), n, Some(&bias), None, relu);
+        for path in identical_paths() {
+            let got = on_path(path, || {
+                let mut c = Matrix::zeros(m, n);
+                w.matmul_dense_into_fused(&b, &mut c, Some(&bias), relu).unwrap();
+                c
+            });
+            for (x, y) in want.as_slice().iter().zip(got.as_slice().iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// The batch-1 sparse matvec (fused or not) equals the scalar
+    /// matvec + manual epilogue on arbitrary sparsity patterns.
+    #[test]
+    fn prop_fused_spmv_bit_identical(
+        rows in 1usize..12,
+        k in 1usize..20,
+        keep in 1usize..4,
+        relu in proptest::bool::ANY,
+        seed in 0u64..500,
+    ) {
+        let dense = Matrix::from_fn(rows, k, |r, c| {
+            if (r + c + seed as usize).is_multiple_of(keep) {
+                ((r * 13 + c * 7) % 9) as f32 / 4.0 - 1.0
+            } else {
+                0.0
+            }
+        });
+        let w = CsrMatrix::from_dense(&dense, 0.0);
+        let x: Vec<f32> = (0..k).map(|i| ((i * 5 + seed as usize) % 7) as f32 / 3.0 - 1.0).collect();
+        let bias = bias_vec(rows, seed);
+        let mut want = w.matvec(&x).unwrap();
+        for (r, v) in want.iter_mut().enumerate() {
+            let mut y = *v + bias[r];
+            if relu {
+                y = if y > 0.0 { y } else { 0.0 };
+            }
+            *v = y;
+        }
+        let mut got = vec![0.0f32; rows];
+        w.matvec_fused_into(&x, &mut got, Some(&bias), relu).unwrap();
+        for (x, y) in want.iter().zip(got.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
