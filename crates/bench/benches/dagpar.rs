@@ -1,0 +1,58 @@
+//! Intra-network DAG-parallel ablation under Criterion: the same
+//! mini-inception batch-1 forward with the node scheduler forced off
+//! vs on, plus an explicit worker-count sweep, so Criterion isolates
+//! the schedule-overlap effect from everything else (DESIGN.md §10).
+//! Batch 1 is the arm that matters: data-parallel chunking cannot
+//! speed up a single request, only overlapping independent branches
+//! inside the pass can.
+
+use cap_bench::experiments::dagpar_exp::{mini_inception, one_image};
+use cap_cnn::dag::{self, DagMode};
+use cap_cnn::{DagExecutor, ForwardArena};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Run `body` with the DAG mode pinned, restoring the environment-driven
+/// selection afterwards.
+fn forced<T>(mode: DagMode, body: impl FnOnce() -> T) -> T {
+    dag::force(Some(mode));
+    let out = body();
+    dag::force(None);
+    out
+}
+
+fn bench_dagpar(c: &mut Criterion) {
+    let net = mini_inception();
+    let img = one_image();
+
+    let mut group = c.benchmark_group("dagpar_forward_batch1");
+    for mode in [DagMode::Off, DagMode::On] {
+        group.bench_function(BenchmarkId::from_parameter(mode.name()), |b| {
+            forced(mode, || {
+                let mut arena = ForwardArena::new();
+                // Warm once on this mode: plan build, packing, arenas.
+                net.forward_into(&img, &mut arena).unwrap();
+                b.iter(|| {
+                    net.forward_into(&img, &mut arena).unwrap();
+                })
+            })
+        });
+    }
+    for workers in [2usize, 4] {
+        group.bench_function(BenchmarkId::new("executor", workers), |b| {
+            let exec = DagExecutor::new(workers);
+            let mut arena = ForwardArena::new();
+            exec.run(&net, &img, &mut arena).unwrap();
+            b.iter(|| {
+                exec.run(&net, &img, &mut arena).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dagpar
+}
+criterion_main!(benches);

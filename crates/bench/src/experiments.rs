@@ -4,6 +4,7 @@
 mod ablation;
 mod algorithm;
 mod characterization;
+pub mod dagpar_exp;
 mod extensions;
 mod frontier;
 mod fusion_exp;
@@ -126,6 +127,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "fusion",
         "Ablation: graph-level conv/fc→relu fusion (CAP_TENSOR_FUSION) off vs on",
         fusion_exp::fusion_ablation,
+    ),
+    (
+        "dagpar",
+        "Ablation: intra-network DAG-parallel scheduler (CAP_CNN_DAG) off vs on + critical path",
+        dagpar_exp::dagpar_ablation,
     ),
     (
         "ablation-alloc",

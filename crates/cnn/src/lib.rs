@@ -23,10 +23,15 @@
 //!   sharding batched workloads with bitwise-deterministic outputs, and
 //!   the strong-scaling measurement that calibrates `cap-cloud`'s
 //!   efficiency curve.
+//! * [`dag`] — intra-network DAG-parallel execution for batch-1
+//!   latency: the `CAP_CNN_DAG` mode, the explicit [`DagExecutor`], and
+//!   the [`CriticalPathReport`] latency-floor analyzer (bitwise
+//!   identical to the sequential schedule either way).
 
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod dag;
 pub mod fusion;
 pub mod inference;
 pub mod layer;
@@ -36,6 +41,7 @@ pub mod parallel;
 pub mod train;
 
 pub use accuracy::{evaluate_topk, AccuracyReport};
+pub use dag::{CriticalPathReport, DagExecutor, DagMode};
 pub use fusion::FusionMode;
 pub use inference::{parallel_scaling, run_and_score, run_batched, ThroughputReport};
 pub use layer::{Layer, LayerKind};
@@ -44,4 +50,6 @@ pub use parallel::{strong_scaling, InferenceReport, ParallelEngine, WorkerReport
 
 // Observability vocabulary (tracers, span scopes) used by the traced
 // entry points, re-exported so callers need not name `cap_obs` directly.
-pub use cap_obs::{CollectingTracer, FlightRecorder, NoopTracer, ProfileReport, TeeTracer, Tracer};
+pub use cap_obs::{
+    CollectingTracer, DagSummary, FlightRecorder, NoopTracer, ProfileReport, TeeTracer, Tracer,
+};

@@ -7,14 +7,16 @@
 //! and frees intermediate activations as soon as their last consumer has
 //! run — Googlenet at batch 32 would otherwise hold hundreds of MB.
 
+use crate::dag::{self, DagMode};
 use crate::fusion::{self, FusionMode};
 use crate::layer::{ChwShape, Layer, LayerKind};
 use cap_obs::{NoopTracer, SpanInfo, SpanScope, Tracer};
 use cap_tensor::{Matrix, ShapeError, Tensor4, TensorResult};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Identifier of a node within a [`Network`].
@@ -51,6 +53,111 @@ struct Plan {
     /// Number of fused producer→ReLU pairs, published to the
     /// `fused_layers` gauge.
     fused_count: u64,
+    /// Step-level dependency graph: `succs[s]` lists the steps that
+    /// consume step `s`'s output (deduplicated). Drives the DAG
+    /// scheduler's indegree handoff.
+    succs: Vec<Vec<usize>>,
+    /// Initial indegree per step — the number of *distinct producer
+    /// steps* it waits on (the network input counts as always-ready).
+    indeg: Vec<u32>,
+    /// Maximum number of steps sharing a dependency depth: the branch
+    /// parallelism available to the DAG scheduler. 1 for a pure chain,
+    /// 4 inside a Googlenet inception module. `DagMode::Auto` engages
+    /// the parallel scheduler only when this exceeds 1.
+    width: usize,
+}
+
+impl Plan {
+    /// Derive the step-level dependency graph (`succs`, `indeg`,
+    /// `width`) from the chosen steps. A fused ReLU is *inside* its
+    /// producer's step, so consumers of either node depend on that one
+    /// step; duplicate edges (a concat reading one producer twice)
+    /// collapse to a single indegree count.
+    fn finalize(&mut self, nodes: &[Node]) {
+        let n_steps = self.steps.len();
+        // Node index → the step whose execution produces its output.
+        let mut step_of_node = vec![0usize; nodes.len()];
+        for (s, step) in self.steps.iter().enumerate() {
+            step_of_node[step.node] = s;
+            if let Some(r) = step.fused_relu {
+                step_of_node[r] = s;
+            }
+        }
+        self.succs = vec![Vec::new(); n_steps];
+        self.indeg = vec![0u32; n_steps];
+        let mut level = vec![0usize; n_steps];
+        let mut deps: Vec<usize> = Vec::new();
+        for (s, step) in self.steps.iter().enumerate() {
+            deps.clear();
+            for &inp in &nodes[step.node].inputs {
+                if inp != INPUT {
+                    deps.push(step_of_node[self.slot_of[inp.0]]);
+                }
+            }
+            deps.sort_unstable();
+            deps.dedup();
+            for &d in &deps {
+                self.succs[d].push(s);
+                self.indeg[s] += 1;
+                level[s] = level[s].max(level[d] + 1);
+            }
+        }
+        let mut per_level = vec![0usize; n_steps + 1];
+        let mut width = 0;
+        for &l in &level {
+            per_level[l] += 1;
+            width = width.max(per_level[l]);
+        }
+        self.width = width;
+    }
+}
+
+/// Shared mutable view of the arena's slot vector, handed to the DAG
+/// scheduler's worker threads (and, for code unity, the sequential
+/// loop).
+///
+/// Safety rests on three invariants, upheld by every user:
+/// 1. the `Vec<Tensor4>` is pre-sized before the pointer is taken and
+///    never resized while it is live (individual tensors may grow their
+///    *own* heap buffers — that never moves the outer vector);
+/// 2. each plan step is executed by exactly one thread, which is the
+///    only writer of that step's slot, ever;
+/// 3. a step runs only after all its producers' completion decrements
+///    (`AcqRel` on the indegree atomics, or the queue mutex), so
+///    producer slots are fully written and quiescent when read.
+#[derive(Clone, Copy)]
+struct SlotsPtr {
+    ptr: *mut Tensor4,
+}
+
+// SAFETY: see the struct docs — exclusive-writer and handoff-ordering
+// invariants make cross-thread sharing of the raw pointer sound.
+unsafe impl Send for SlotsPtr {}
+unsafe impl Sync for SlotsPtr {}
+
+/// Shared state of one DAG-parallel pass: the ready queue plus the
+/// indegree handoff counters.
+struct DagRun {
+    /// Steps whose dependencies are all satisfied, awaiting a worker.
+    queue: Mutex<VecDeque<usize>>,
+    /// Signalled on every push, on abort, and when the pass completes.
+    ready: Condvar,
+    /// Per-step countdown of unfinished producers; the worker that
+    /// decrements one to zero owns (or enqueues) that step.
+    indeg: Vec<AtomicU32>,
+    /// Steps not yet completed; 0 means the pass is done.
+    remaining: AtomicUsize,
+    /// Set on the first kernel error; workers drain and exit.
+    abort: AtomicBool,
+    /// The first error observed (kernel errors are all shape errors and
+    /// deterministic, so "first" is stable in practice).
+    failed: Mutex<Option<ShapeError>>,
+    /// Queue round-trips, flushed to `dag_queue_pushes` once per pass.
+    pushes: AtomicU64,
+    /// Steps run via the chained fast path (a finishing worker directly
+    /// executes the first successor it made ready), flushed to
+    /// `dag_chained_steps`.
+    chained: AtomicU64,
 }
 
 /// Span kind tag for a fused step: the producer's tag plus the ReLU it
@@ -518,7 +625,30 @@ impl Network {
         arena: &'a mut ForwardArena,
         tracer: &T,
     ) -> TensorResult<&'a Tensor4> {
-        self.forward_into_traced_impl(input, arena, tracer)
+        self.forward_into_traced_impl(input, arena, tracer, None)
+    }
+
+    /// [`crate::DagExecutor`] entry point: run the DAG-parallel
+    /// scheduler unconditionally with an explicit worker-count cap,
+    /// ignoring the process-wide [`DagMode`].
+    pub(crate) fn forward_dag_traced<'a, T: Tracer>(
+        &self,
+        input: &Tensor4,
+        arena: &'a mut ForwardArena,
+        tracer: &T,
+        workers: usize,
+    ) -> TensorResult<&'a Tensor4> {
+        self.forward_into_traced_impl(input, arena, tracer, Some(workers))
+    }
+
+    /// Input references of node `i` (possibly [`INPUT`]), in
+    /// declaration order. The critical-path analyzer walks the DAG
+    /// through this.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn inputs_of(&self, i: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[i].inputs.iter().copied()
     }
 
     /// Build the execution schedule for `mode`.
@@ -532,7 +662,7 @@ impl Network {
         let n = self.nodes.len();
         let mut slot_of: Vec<usize> = (0..n).collect();
         if !mode.enabled() {
-            return Plan {
+            let mut plan = Plan {
                 steps: (0..n)
                     .map(|i| ExecStep {
                         node: i,
@@ -541,7 +671,12 @@ impl Network {
                     .collect(),
                 slot_of,
                 fused_count: 0,
+                succs: Vec::new(),
+                indeg: Vec::new(),
+                width: 0,
             };
+            plan.finalize(&self.nodes);
+            return plan;
         }
         let mut consumers = vec![0usize; n];
         for node in &self.nodes {
@@ -578,11 +713,16 @@ impl Network {
                 i += 1;
             }
         }
-        Plan {
+        let mut plan = Plan {
             steps,
             slot_of,
             fused_count,
-        }
+            succs: Vec::new(),
+            indeg: Vec::new(),
+            width: 0,
+        };
+        plan.finalize(&self.nodes);
+        plan
     }
 
     /// Fetch (or build and cache) the plan for the current fusion mode.
@@ -597,11 +737,40 @@ impl Network {
         built
     }
 
+    /// Decide whether this pass runs on the DAG scheduler, and with how
+    /// many workers (`None` = the sequential schedule). `explicit` is
+    /// the [`crate::DagExecutor`] override, which always schedules; the
+    /// process-wide [`DagMode`] governs otherwise. Worker counts are
+    /// clamped to the plan's width — extra workers would only park on
+    /// the queue.
+    fn dag_worker_count(&self, plan: &Plan, explicit: Option<usize>) -> Option<usize> {
+        let width = plan.width.max(1);
+        if let Some(w) = explicit {
+            return Some(w.clamp(1, width));
+        }
+        match dag::selected() {
+            DagMode::Off => None,
+            DagMode::On => Some(dag::host_parallelism().clamp(1, width)),
+            DagMode::Auto => {
+                // Engage only where it can pay: real branch parallelism,
+                // more than one core, and not already inside a
+                // data-parallel engine worker (node-parallelism on top of
+                // data-parallelism would oversubscribe the host).
+                if plan.width > 1 && !dag::in_engine_worker() && dag::host_parallelism() > 1 {
+                    Some(dag::host_parallelism().min(plan.width))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     fn forward_into_traced_impl<'a, T: Tracer>(
         &self,
         input: &Tensor4,
         arena: &'a mut ForwardArena,
         tracer: &T,
+        dag_workers: Option<usize>,
     ) -> TensorResult<&'a Tensor4> {
         if input.c() != self.input_shape.0
             || input.h() != self.input_shape.1
@@ -646,63 +815,21 @@ impl Network {
         // `forward_into_fused` and their arena slot stays zero-sized.
         let plan = self.plan(fusion::selected());
         metrics.fused_layers.set(plan.fused_count);
-        for (step_idx, step) in plan.steps.iter().enumerate() {
-            let i = step.node;
-            let node = &self.nodes[i];
-            let node_start = if observing {
-                Some(Instant::now())
-            } else {
-                None
-            };
-            // Inputs are strictly earlier nodes (topological order), so
-            // splitting at `i` separates them from this node's slot.
-            // Fused ReLU outputs alias their producer's slot, which is
-            // also strictly earlier (`slot_of[id] <= id < i`).
-            let (prev, rest) = arena.slots.split_at_mut(i);
-            let out = &mut rest[0];
-            let resolve = |id: NodeId| {
-                if id == INPUT {
-                    input
-                } else {
-                    &prev[plan.slot_of[id.0]]
-                }
-            };
-            let fused = step.fused_relu.is_some();
-            match node.inputs.as_slice() {
-                // The common sequential case stays allocation-free; only
-                // multi-input joins (concat) gather refs into a Vec.
-                [only] if fused => node.layer.forward_into_fused(&[resolve(*only)], out)?,
-                [only] => node.layer.forward_into(&[resolve(*only)], out)?,
-                many => {
-                    let refs: Vec<&Tensor4> = many.iter().map(|&id| resolve(id)).collect();
-                    if fused {
-                        node.layer.forward_into_fused(&refs, out)?;
-                    } else {
-                        node.layer.forward_into(&refs, out)?;
-                    }
-                }
+        match self.dag_worker_count(&plan, dag_workers) {
+            Some(workers) => {
+                metrics.dag_parallel_passes.inc();
+                metrics.dag_workers.set(workers as u64);
+                self.run_plan_dag(&plan, input, arena, tracer, workers, observing, timing)?;
             }
-            if let Some(t0) = node_start {
-                let elapsed = t0.elapsed();
-                let (n, c, h, w) = out.shape();
-                if timing {
-                    metrics.layer_time_us.record(elapsed.as_micros() as u64);
-                }
-                if tracer.enabled() {
-                    tracer.span_exit(
-                        &SpanInfo {
-                            scope: SpanScope::Layer,
-                            name: node.layer.name(),
-                            kind: if fused {
-                                fused_kind_tag(node.layer.kind())
-                            } else {
-                                node.layer.kind().tag()
-                            },
-                            shape: [n, c, h, w],
-                            index: step_idx,
-                        },
-                        elapsed,
-                    );
+            None => {
+                metrics.dag_workers.set(0);
+                let slots = SlotsPtr {
+                    ptr: arena.slots.as_mut_ptr(),
+                };
+                for s in 0..plan.steps.len() {
+                    // Contract of `exec_plan_step` holds trivially: one
+                    // thread, steps in topological order, no resize.
+                    self.exec_plan_step(&plan, s, input, slots, tracer, observing, timing)?;
                 }
             }
         }
@@ -732,6 +859,230 @@ impl Network {
             }
         }
         Ok(&arena.slots[out_slot])
+    }
+
+    /// Execute plan step `s`: run its node's kernel (with the fused
+    /// ReLU epilogue when planned) into the step's arena slot, emitting
+    /// the layer span/timing when observability is on. Identical code
+    /// serves the sequential loop and every DAG worker — which is the
+    /// mechanical reason scheduling cannot change output bits.
+    ///
+    /// Unchecked contract (callers): exclusive access to slot
+    /// `plan.steps[s].node`, producer slots fully written and no longer
+    /// mutated, arena slot vector not resized while `slots` is live —
+    /// see [`SlotsPtr`].
+    #[allow(clippy::too_many_arguments)]
+    fn exec_plan_step<T: Tracer>(
+        &self,
+        plan: &Plan,
+        s: usize,
+        input: &Tensor4,
+        slots: SlotsPtr,
+        tracer: &T,
+        observing: bool,
+        timing: bool,
+    ) -> TensorResult<()> {
+        let step = &plan.steps[s];
+        let i = step.node;
+        let node = &self.nodes[i];
+        let node_start = if observing {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        // SAFETY: slot `i` is this step's own (exclusive by contract).
+        let out = unsafe { &mut *slots.ptr.add(i) };
+        let resolve = |id: NodeId| -> &Tensor4 {
+            if id == INPUT {
+                input
+            } else {
+                // SAFETY: producer slots are fully written, quiescent,
+                // and distinct from slot `i` (`slot_of[id] <= id < i`
+                // by topological order).
+                unsafe { &*slots.ptr.add(plan.slot_of[id.0]).cast_const() }
+            }
+        };
+        let fused = step.fused_relu.is_some();
+        match node.inputs.as_slice() {
+            // The common sequential case stays allocation-free; only
+            // multi-input joins (concat) gather refs into a Vec.
+            [only] if fused => node.layer.forward_into_fused(&[resolve(*only)], out)?,
+            [only] => node.layer.forward_into(&[resolve(*only)], out)?,
+            many => {
+                let refs: Vec<&Tensor4> = many.iter().map(|&id| resolve(id)).collect();
+                if fused {
+                    node.layer.forward_into_fused(&refs, out)?;
+                } else {
+                    node.layer.forward_into(&refs, out)?;
+                }
+            }
+        }
+        if let Some(t0) = node_start {
+            let elapsed = t0.elapsed();
+            let (n, c, h, w) = out.shape();
+            if timing {
+                cap_obs::metrics()
+                    .layer_time_us
+                    .record(elapsed.as_micros() as u64);
+            }
+            if tracer.enabled() {
+                tracer.span_exit(
+                    &SpanInfo {
+                        scope: SpanScope::Layer,
+                        name: node.layer.name(),
+                        kind: if fused {
+                            fused_kind_tag(node.layer.kind())
+                        } else {
+                            node.layer.kind().tag()
+                        },
+                        shape: [n, c, h, w],
+                        index: s,
+                    },
+                    elapsed,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the plan on the ready-queue DAG scheduler with `workers`
+    /// threads (the calling thread is one of them, so `workers == 1`
+    /// spawns nothing and degenerates to a queue-ordered sequential
+    /// pass).
+    #[allow(clippy::too_many_arguments)]
+    fn run_plan_dag<T: Tracer>(
+        &self,
+        plan: &Plan,
+        input: &Tensor4,
+        arena: &mut ForwardArena,
+        tracer: &T,
+        workers: usize,
+        observing: bool,
+        timing: bool,
+    ) -> TensorResult<()> {
+        let n_steps = plan.steps.len();
+        let run = DagRun {
+            queue: Mutex::new(VecDeque::with_capacity(n_steps)),
+            ready: Condvar::new(),
+            indeg: plan.indeg.iter().map(|&d| AtomicU32::new(d)).collect(),
+            remaining: AtomicUsize::new(n_steps),
+            abort: AtomicBool::new(false),
+            failed: Mutex::new(None),
+            pushes: AtomicU64::new(0),
+            chained: AtomicU64::new(0),
+        };
+        {
+            // Seed the queue with every dependency-free step (at minimum
+            // the first node, whose only input is the network input).
+            let mut q = run.queue.lock().unwrap();
+            for (s, &d) in plan.indeg.iter().enumerate() {
+                if d == 0 {
+                    q.push_back(s);
+                }
+            }
+            run.pushes.store(q.len() as u64, Ordering::Relaxed);
+        }
+        let slots = SlotsPtr {
+            ptr: arena.slots.as_mut_ptr(),
+        };
+        let run_ref = &run;
+        // Captures only shared refs + Copy values, so the closure is
+        // itself Copy and can seed every worker.
+        let work =
+            move || self.dag_worker_loop(plan, input, slots, tracer, run_ref, observing, timing);
+        rayon::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(work);
+            }
+            work();
+        });
+        let metrics = cap_obs::metrics();
+        metrics
+            .dag_queue_pushes
+            .add(run.pushes.load(Ordering::Relaxed));
+        metrics
+            .dag_chained_steps
+            .add(run.chained.load(Ordering::Relaxed));
+        if let Some(e) = run.failed.lock().unwrap().take() {
+            return Err(e);
+        }
+        debug_assert_eq!(run.remaining.load(Ordering::Acquire), 0);
+        Ok(())
+    }
+
+    /// One DAG worker: pop ready steps, execute, release successors.
+    /// Exits when the pass completes or aborts.
+    #[allow(clippy::too_many_arguments)]
+    fn dag_worker_loop<T: Tracer>(
+        &self,
+        plan: &Plan,
+        input: &Tensor4,
+        slots: SlotsPtr,
+        tracer: &T,
+        run: &DagRun,
+        observing: bool,
+        timing: bool,
+    ) {
+        loop {
+            // Park until a step is ready, the pass is done, or aborted.
+            let step = {
+                let mut q = run.queue.lock().unwrap();
+                loop {
+                    if run.abort.load(Ordering::Acquire)
+                        || run.remaining.load(Ordering::Acquire) == 0
+                    {
+                        return;
+                    }
+                    if let Some(s) = q.pop_front() {
+                        break s;
+                    }
+                    q = run.ready.wait(q).unwrap();
+                }
+            };
+            // Chained fast path: after finishing a step, directly run
+            // the first successor it made ready — the backbone chain of
+            // a branchy net never round-trips through the queue.
+            let mut next = Some(step);
+            while let Some(s) = next.take() {
+                if run.abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Err(e) =
+                    self.exec_plan_step(plan, s, input, slots, tracer, observing, timing)
+                {
+                    let mut failed = run.failed.lock().unwrap();
+                    if failed.is_none() {
+                        *failed = Some(e);
+                    }
+                    drop(failed);
+                    run.abort.store(true, Ordering::Release);
+                    run.ready.notify_all();
+                    return;
+                }
+                // Handoff: the slot write above happens-before any
+                // consumer via the AcqRel decrement chain (release
+                // sequence) — or the queue mutex, on the push path.
+                for &succ in &plan.succs[s] {
+                    if run.indeg[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        if next.is_none() {
+                            run.chained.fetch_add(1, Ordering::Relaxed);
+                            next = Some(succ);
+                        } else {
+                            run.queue.lock().unwrap().push_back(succ);
+                            run.pushes.fetch_add(1, Ordering::Relaxed);
+                            run.ready.notify_one();
+                        }
+                    }
+                }
+                if run.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // Last step overall: wake every parked worker. Taking
+                    // the lock orders the decrement before their re-check,
+                    // so no waiter can miss it.
+                    drop(run.queue.lock().unwrap());
+                    run.ready.notify_all();
+                }
+            }
+        }
     }
 
     /// Replace the weights of layer `name` (pruning entry point).

@@ -337,6 +337,11 @@ fn run_chunk_range<T: Tracer>(
     let n = images.n();
     let (c, h, w) = (images.c(), images.h(), images.w());
     let base = c0 * batch;
+    // Mark this thread as a data-parallel worker for the duration of
+    // its chunk loop: `DagMode::Auto` then keeps the forward passes
+    // below sequential instead of stacking node-parallel threads on
+    // top of the engine's (`CAP_CNN_DAG=on` still overrides).
+    let _dag_guard = crate::dag::EngineWorkerGuard::enter();
     let busy = Instant::now();
     let mut images_done = 0usize;
     for chunk_idx in c0..c1 {

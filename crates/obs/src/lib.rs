@@ -56,7 +56,7 @@ pub use metrics::{
     kernel_path_name, metrics, timing_enabled, Counter, Gauge, Histogram, HistogramSnapshot,
     MetricsRegistry, MetricsSnapshot, TimingGuard,
 };
-pub use report::{LayerRow, ProfileReport};
+pub use report::{DagSummary, LayerRow, ProfileReport};
 pub use span::{
     current_tid, CollectingTracer, NoopTracer, SpanInfo, SpanRecord, SpanScope, TeeTracer, Tracer,
 };

@@ -321,6 +321,29 @@ pub struct MetricsRegistry {
     /// describes what the last run did, not the process environment.
     /// Always on.
     pub fused_layers: Gauge,
+    /// Forward passes executed on the intra-network DAG-parallel
+    /// scheduler (a subset of `forward_passes`; sequential passes do
+    /// not count). Always on.
+    pub dag_parallel_passes: Counter,
+    /// Ready-queue insertions by the DAG scheduler (seed steps plus
+    /// every cross-worker handoff that went through the queue). Always
+    /// on.
+    pub dag_queue_pushes: Counter,
+    /// Steps executed via the chained fast path — a finishing worker
+    /// directly running the first successor it made ready, skipping the
+    /// queue. `dag_queue_pushes + dag_chained_steps` equals the total
+    /// steps executed by DAG-parallel passes. Always on.
+    pub dag_chained_steps: Counter,
+    /// Worker count of the most recent forward pass: 0 when it ran the
+    /// sequential schedule, `n ≥ 1` when the DAG scheduler ran with `n`
+    /// workers. A workload descriptor like `fused_layers` — overwritten
+    /// every pass and cleared by [`MetricsRegistry::reset`]. Always on.
+    pub dag_workers: Gauge,
+    /// Critical-path length in microseconds of the last network
+    /// analyzed by `cap_cnn::CriticalPathReport` — the theoretical
+    /// batch-1 latency floor no node-parallel schedule can beat.
+    /// Published on analysis, not per pass; cleared by reset.
+    pub dag_critical_path_us: Gauge,
 }
 
 static REGISTRY: MetricsRegistry = MetricsRegistry {
@@ -337,6 +360,11 @@ static REGISTRY: MetricsRegistry = MetricsRegistry {
     allocation_runs: Counter::new(),
     kernel_path: Gauge::new(),
     fused_layers: Gauge::new(),
+    dag_parallel_passes: Counter::new(),
+    dag_queue_pushes: Counter::new(),
+    dag_chained_steps: Counter::new(),
+    dag_workers: Gauge::new(),
+    dag_critical_path_us: Gauge::new(),
 };
 
 /// Human-readable name for a `kernel_path` gauge code. The codes are
@@ -381,6 +409,11 @@ impl MetricsRegistry {
             allocation_runs: self.allocation_runs.get(),
             kernel_path: self.kernel_path.get(),
             fused_layers: self.fused_layers.get(),
+            dag_parallel_passes: self.dag_parallel_passes.get(),
+            dag_queue_pushes: self.dag_queue_pushes.get(),
+            dag_chained_steps: self.dag_chained_steps.get(),
+            dag_workers: self.dag_workers.get(),
+            dag_critical_path_us: self.dag_critical_path_us.get(),
         }
     }
 
@@ -405,6 +438,11 @@ impl MetricsRegistry {
         self.grid_candidates.reset();
         self.allocation_runs.reset();
         self.fused_layers.reset();
+        self.dag_parallel_passes.reset();
+        self.dag_queue_pushes.reset();
+        self.dag_chained_steps.reset();
+        self.dag_workers.reset();
+        self.dag_critical_path_us.reset();
     }
 }
 
@@ -438,10 +476,20 @@ pub struct MetricsSnapshot {
     pub kernel_path: u64,
     /// See [`MetricsRegistry::fused_layers`].
     pub fused_layers: u64,
+    /// See [`MetricsRegistry::dag_parallel_passes`].
+    pub dag_parallel_passes: u64,
+    /// See [`MetricsRegistry::dag_queue_pushes`].
+    pub dag_queue_pushes: u64,
+    /// See [`MetricsRegistry::dag_chained_steps`].
+    pub dag_chained_steps: u64,
+    /// See [`MetricsRegistry::dag_workers`].
+    pub dag_workers: u64,
+    /// See [`MetricsRegistry::dag_critical_path_us`].
+    pub dag_critical_path_us: u64,
 }
 
 impl MetricsSnapshot {
-    fn scalars(&self) -> [(&'static str, u64); 10] {
+    fn scalars(&self) -> [(&'static str, u64); 15] {
         [
             ("forward_passes", self.forward_passes),
             ("gemm_time_ns", self.gemm_time_ns),
@@ -453,6 +501,11 @@ impl MetricsSnapshot {
             ("allocation_runs", self.allocation_runs),
             ("kernel_path", self.kernel_path),
             ("fused_layers", self.fused_layers),
+            ("dag_parallel_passes", self.dag_parallel_passes),
+            ("dag_queue_pushes", self.dag_queue_pushes),
+            ("dag_chained_steps", self.dag_chained_steps),
+            ("dag_workers", self.dag_workers),
+            ("dag_critical_path_us", self.dag_critical_path_us),
         ]
     }
 
@@ -726,6 +779,31 @@ mod tests {
         assert_eq!(snap.forward_passes, 0);
         assert_eq!(snap.kernel_path, 2, "reset must keep the kernel path");
         assert_eq!(kernel_path_name(snap.kernel_path), "avx2");
+    }
+
+    /// The DAG scheduler metrics are workload metrics (unlike
+    /// `kernel_path`): reset clears all five, and the push/chained
+    /// counters export alongside the rest.
+    #[test]
+    fn dag_metrics_are_workload_metrics() {
+        let reg = MetricsRegistry::default();
+        reg.dag_parallel_passes.inc();
+        reg.dag_queue_pushes.add(3);
+        reg.dag_chained_steps.add(4);
+        reg.dag_workers.set(2);
+        reg.dag_critical_path_us.set(1500);
+        let snap = reg.snapshot();
+        assert_eq!(snap.dag_parallel_passes, 1);
+        assert_eq!(snap.dag_queue_pushes + snap.dag_chained_steps, 7);
+        assert!(snap.to_text().contains("dag_workers 2"));
+        assert!(snap.to_json().contains("\"dag_critical_path_us\":1500"));
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.dag_parallel_passes, 0);
+        assert_eq!(snap.dag_queue_pushes, 0);
+        assert_eq!(snap.dag_chained_steps, 0);
+        assert_eq!(snap.dag_workers, 0);
+        assert_eq!(snap.dag_critical_path_us, 0);
     }
 
     #[test]
