@@ -15,6 +15,7 @@ pub mod profile;
 pub mod scaling_exp;
 mod sensitivity;
 pub mod sentinel;
+pub mod serve_exp;
 mod tables;
 
 /// An experiment: id, one-line description, generator.
@@ -132,6 +133,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "dagpar",
         "Ablation: intra-network DAG-parallel scheduler (CAP_CNN_DAG) off vs on + critical path",
         dagpar_exp::dagpar_ablation,
+    ),
+    (
+        "serve",
+        "Online serving: multi-tenant dynamic batching under open-loop load (throughput vs p50/p99 + cost/1k)",
+        serve_exp::serve,
     ),
     (
         "ablation-alloc",

@@ -1,0 +1,193 @@
+//! Online serving characterization: three tenants — the demo CNN dense
+//! and pruned to 60 % / 90 % — co-located behind the `cap-serve`
+//! dynamic-batching router, driven by seeded open-loop traces at
+//! increasing load. The table reports, per load point and tenant, the
+//! admitted/shed split, the formed batch occupancy, and the p50/p99
+//! latency against the SLO; each aggregate row prices the achieved
+//! throughput as cost per 1 000 inferences on two catalog instances.
+//!
+//! Everything scheduling-related runs on the router's virtual clock
+//! (see `cap-serve`), so this table is bit-identical on every machine
+//! and every rerun — the final line replays one load point and checks
+//! that. Real forward passes execute for every dispatched batch; their
+//! wall time is environment noise and deliberately *not* shown here.
+
+use cap_cloud::by_name;
+use cap_serve::{fleet, generate_trace, ArrivalPattern, Router, RouterConfig, ServeReport};
+use std::fmt::Write;
+
+/// The fixed trace seed. Changing it changes every number in the table;
+/// the golden-trace test in `crates/serve` pins the generator itself.
+const SEED: u64 = 4242;
+
+/// Virtual seconds of load per point — long enough for thousands of
+/// requests, short enough that the real forward passes finish in
+/// seconds on one core.
+const DURATION_S: f64 = 0.5;
+
+fn fleet_tenants() -> Vec<(cap_serve::TenantConfig, cap_cnn::Network)> {
+    vec![
+        fleet::pruned_tenant("dense", 1, 0.0),
+        fleet::pruned_tenant("pruned-60", 2, 0.6),
+        fleet::pruned_tenant("pruned-90", 3, 0.9),
+    ]
+}
+
+fn patterns(load: f64) -> Vec<ArrivalPattern> {
+    vec![
+        ArrivalPattern::Poisson {
+            rate_per_s: 800.0 * load,
+        },
+        ArrivalPattern::Diurnal {
+            base_per_s: 200.0 * load,
+            peak_per_s: 1_400.0 * load,
+            period_s: 0.25,
+        },
+        ArrivalPattern::Burst {
+            base_per_s: 400.0 * load,
+            burst_per_s: 4_000.0 * load,
+            burst_every_s: 0.25,
+            burst_len_s: 0.05,
+        },
+    ]
+}
+
+fn run_point(load: f64) -> ServeReport {
+    let mut router = Router::new(
+        RouterConfig {
+            workers: 2,
+            collect_outputs: false,
+        },
+        fleet_tenants(),
+    );
+    let trace = generate_trace(SEED, &patterns(load), DURATION_S);
+    let pool = fleet::demo_images(8);
+    router
+        .serve_trace(&trace, &[pool.clone(), pool.clone(), pool])
+        .expect("serve point")
+}
+
+/// The `serve` experiment: throughput vs latency vs cost under
+/// multi-tenant dynamic batching.
+pub fn serve() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Online serving: 3 tenants (dense / 60% / 90% pruned demo CNN), \
+         2 workers, seed {SEED}, {DURATION_S} virtual s per point"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "patterns: dense=poisson, pruned-60=diurnal, pruned-90=burst; \
+         SLO 50 ms, queue cap 64, batch deadline 5 ms, max batch 16"
+    )
+    .unwrap();
+
+    let p2 = by_name("p2.xlarge").expect("catalog");
+    let g3 = by_name("g3.4xlarge").expect("catalog");
+
+    for &load in &[0.5, 1.0, 2.0, 3.0] {
+        let report = run_point(load);
+        writeln!(out, "\n## load x{load}").unwrap();
+        writeln!(
+            out,
+            "{:<10} {:>8} {:>8} {:>6} {:>8} {:>6} {:>9} {:>9} {:>8} {:>4}",
+            "tenant",
+            "offered",
+            "admit",
+            "shed",
+            "batches",
+            "mean b",
+            "p50 ms",
+            "p99 ms",
+            "viol",
+            "cap"
+        )
+        .unwrap();
+        for t in &report.tenants {
+            writeln!(
+                out,
+                "{:<10} {:>8} {:>8} {:>6} {:>8} {:>6.2} {:>9.2} {:>9.2} {:>8} {:>4}",
+                t.name,
+                t.offered,
+                t.admitted,
+                t.shed,
+                t.batches,
+                t.mean_batch,
+                t.p50_us as f64 / 1e3,
+                t.p99_us as f64 / 1e3,
+                t.slo_violations,
+                t.final_batch_cap,
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "aggregate: {:.0} inf/s over {:.3} virtual s ({} shed of {}); \
+             cost/1k: ${:.6} on {} (${}/h), ${:.6} on {} (${}/h)",
+            report.throughput_per_s,
+            report.makespan_us as f64 / 1e6,
+            report.shed,
+            report.offered,
+            report.cost_per_1k_usd(p2.price_per_hour),
+            p2.name,
+            p2.price_per_hour,
+            report.cost_per_1k_usd(g3.price_per_hour),
+            g3.name,
+            g3.price_per_hour,
+        )
+        .unwrap();
+    }
+
+    // Determinism spot-check: replay one point and compare the counts
+    // the acceptance contract names (admitted / shed / batches).
+    let a = run_point(2.0);
+    let b = run_point(2.0);
+    let identical = a.admitted == b.admitted
+        && a.shed == b.shed
+        && a.batches == b.batches
+        && a.makespan_us == b.makespan_us;
+    writeln!(
+        out,
+        "\nreplay check (load x2): admitted/shed/batch counts identical = {identical}"
+    )
+    .unwrap();
+    assert!(identical, "virtual-clock serving must replay exactly");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The CI smoke: one low-load point end to end, plus the exact
+    /// replay property on the full report.
+    #[test]
+    fn serve_point_replays_exactly() {
+        let a = run_point(0.5);
+        let b = run_point(0.5);
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.makespan_us, b.makespan_us);
+        for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(ta.p50_us, tb.p50_us);
+            assert_eq!(ta.p99_us, tb.p99_us);
+        }
+    }
+
+    #[test]
+    fn higher_load_never_lowers_offered_or_raises_capacity() {
+        let lo = run_point(0.5);
+        let hi = run_point(3.0);
+        assert!(hi.offered > lo.offered);
+        // At 3x the fleet is past capacity: shedding must engage.
+        assert!(hi.shed > 0, "3x load should overload the two workers");
+        assert_eq!(
+            lo.shed, 0,
+            "0.5x load should be comfortably inside capacity"
+        );
+    }
+}

@@ -40,7 +40,7 @@ pub use execsim::{simulate, simulate_with, AppExecModel, Distribution, Execution
 pub use gpu::BatchModel;
 pub use instance::{by_name, catalog, GpuKind, InstanceType};
 pub use measurement::MeasurementHarness;
-pub use pricing::{cost_usd, cost_usd_with, BillingModel};
+pub use pricing::{cost_per_1k_inferences, cost_usd, cost_usd_with, BillingModel};
 pub use scaling::{
     amdahl_speedup, fixed_workload_curve, gustafson_speedup, EfficiencyCurve, GpuScaling,
     ScalingPoint, CALIBRATED_PARALLEL_FRACTION,

@@ -38,6 +38,32 @@ pub fn cost_usd_multi(prices_per_hour: &[f64], seconds: f64) -> f64 {
     prices_per_hour.iter().map(|&p| cost_usd(p, seconds)).sum()
 }
 
+/// Steady-state serving cost: USD per 1 000 inferences on an instance
+/// priced at `price_per_hour` sustaining `inferences_per_s`.
+///
+/// `$/1k = price · 1000 / (rate · 3600)` — the rental meter divided by
+/// the work meter. Unlike [`cost_usd`] this is a *rate* figure, not a
+/// billed amount, so no per-second rounding applies; it is how the
+/// serving layer prices a throughput measurement (the Perseus-style
+/// "cost per 1 000 inferences" axis). Returns `f64::INFINITY` when the
+/// throughput is zero or negative — a stalled server burns money for no
+/// work, and an infinite cost keeps it from ever winning a Pareto
+/// comparison.
+///
+/// ```
+/// use cap_cloud::cost_per_1k_inferences;
+/// // $0.90/h at 1000 inf/s → 3.6M inferences per hour → $0.00025/1k.
+/// let c = cost_per_1k_inferences(0.9, 1000.0);
+/// assert!((c - 0.00025).abs() < 1e-12);
+/// assert!(cost_per_1k_inferences(0.9, 0.0).is_infinite());
+/// ```
+pub fn cost_per_1k_inferences(price_per_hour: f64, inferences_per_s: f64) -> f64 {
+    if inferences_per_s <= 0.0 {
+        return f64::INFINITY;
+    }
+    price_per_hour * 1000.0 / (inferences_per_s * 3600.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

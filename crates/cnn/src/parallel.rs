@@ -317,6 +317,50 @@ impl ParallelEngine {
             },
         ))
     }
+
+    /// Serving hand-off: execute one already-formed batch (`chunk` is
+    /// the batch, images along `n`) and return its per-image outputs.
+    ///
+    /// This is the entry point the `cap-serve` router dispatches
+    /// through: the router owns batch formation (queues, deadlines,
+    /// admission), the engine owns execution. The call checks out one
+    /// pooled `WorkerState` — sharing the same arena pool as
+    /// [`ParallelEngine::run_batched`] — so a long-lived serving
+    /// process reaches the usual zero-allocation steady state once the
+    /// pool has seen the largest batch shape in flight.
+    ///
+    /// Outputs are bitwise-identical to running the same images through
+    /// [`crate::inference::run_batched`] in any batch grouping (the
+    /// repo-wide batching-invariance contract); the serving parity test
+    /// in `crates/serve/tests/serve_parity.rs` pins this down
+    /// end-to-end.
+    ///
+    /// ```
+    /// use cap_cnn::layer::ReluLayer;
+    /// use cap_cnn::{run_batched, Network, ParallelEngine};
+    /// use cap_tensor::Tensor4;
+    ///
+    /// let mut net = Network::new("id", (1, 3, 3));
+    /// net.add_sequential(Box::new(ReluLayer::new("r"))).unwrap();
+    /// let batch = Tensor4::from_fn(4, 1, 3, 3, |n, _, h, w| (n + h * w) as f32 - 3.5);
+    ///
+    /// let engine = ParallelEngine::new(2);
+    /// let out = engine.run_chunk(&net, &batch).unwrap();
+    /// let (seq, _) = run_batched(&net, &batch, 4).unwrap();
+    /// assert_eq!(out, seq);
+    /// ```
+    pub fn run_chunk(&self, net: &Network, chunk: &Tensor4) -> TensorResult<Vec<Vec<f32>>> {
+        let mut state = {
+            let mut pool = self.pool.lock();
+            pool.pop().unwrap_or_default()
+        };
+        let result = match net.forward_into(chunk, &mut state.arena) {
+            Ok(y) => Ok((0..chunk.n()).map(|j| y.image(j).to_vec()).collect()),
+            Err(e) => Err(e),
+        };
+        self.pool.lock().push(state);
+        result
+    }
 }
 
 /// One worker's loop: execute chunks `c0..c1`, writing per-image outputs

@@ -344,6 +344,27 @@ pub struct MetricsRegistry {
     /// batch-1 latency floor no node-parallel schedule can beat.
     /// Published on analysis, not per pass; cleared by reset.
     pub dag_critical_path_us: Gauge,
+    /// Requests offered to the `cap-serve` router (admitted + shed).
+    /// Always on.
+    pub serve_requests: Counter,
+    /// Requests admitted into a tenant queue. Always on.
+    pub serve_admitted: Counter,
+    /// Requests shed at admission because the tenant's bounded queue
+    /// was full — the counted reject path; nothing is ever dropped
+    /// silently. Always on.
+    pub serve_shed: Counter,
+    /// Batches the router dispatched to the engine. Always on.
+    pub serve_batches: Counter,
+    /// High-water mark of any tenant queue's depth. Always on.
+    pub serve_queue_depth: Gauge,
+    /// Formed batch sizes at dispatch (occupancy of the dynamic
+    /// batcher). Always on.
+    pub serve_batch_occupancy: HdrHistogram,
+    /// End-to-end request latency (queue wait + service) in *virtual*
+    /// microseconds from the router's deterministic clock — no clock
+    /// read at the recording site, so unlike `forward_latency_us` this
+    /// is always on and reproducible run-to-run. Always on.
+    pub serve_latency_us: HdrHistogram,
 }
 
 static REGISTRY: MetricsRegistry = MetricsRegistry {
@@ -365,6 +386,13 @@ static REGISTRY: MetricsRegistry = MetricsRegistry {
     dag_chained_steps: Counter::new(),
     dag_workers: Gauge::new(),
     dag_critical_path_us: Gauge::new(),
+    serve_requests: Counter::new(),
+    serve_admitted: Counter::new(),
+    serve_shed: Counter::new(),
+    serve_batches: Counter::new(),
+    serve_queue_depth: Gauge::new(),
+    serve_batch_occupancy: HdrHistogram::new(),
+    serve_latency_us: HdrHistogram::new(),
 };
 
 /// Human-readable name for a `kernel_path` gauge code. The codes are
@@ -414,6 +442,13 @@ impl MetricsRegistry {
             dag_chained_steps: self.dag_chained_steps.get(),
             dag_workers: self.dag_workers.get(),
             dag_critical_path_us: self.dag_critical_path_us.get(),
+            serve_requests: self.serve_requests.get(),
+            serve_admitted: self.serve_admitted.get(),
+            serve_shed: self.serve_shed.get(),
+            serve_batches: self.serve_batches.get(),
+            serve_queue_depth: self.serve_queue_depth.get(),
+            serve_batch_occupancy: self.serve_batch_occupancy.snapshot(),
+            serve_latency_us: self.serve_latency_us.snapshot(),
         }
     }
 
@@ -443,6 +478,13 @@ impl MetricsRegistry {
         self.dag_chained_steps.reset();
         self.dag_workers.reset();
         self.dag_critical_path_us.reset();
+        self.serve_requests.reset();
+        self.serve_admitted.reset();
+        self.serve_shed.reset();
+        self.serve_batches.reset();
+        self.serve_queue_depth.reset();
+        self.serve_batch_occupancy.reset();
+        self.serve_latency_us.reset();
     }
 }
 
@@ -486,10 +528,24 @@ pub struct MetricsSnapshot {
     pub dag_workers: u64,
     /// See [`MetricsRegistry::dag_critical_path_us`].
     pub dag_critical_path_us: u64,
+    /// See [`MetricsRegistry::serve_requests`].
+    pub serve_requests: u64,
+    /// See [`MetricsRegistry::serve_admitted`].
+    pub serve_admitted: u64,
+    /// See [`MetricsRegistry::serve_shed`].
+    pub serve_shed: u64,
+    /// See [`MetricsRegistry::serve_batches`].
+    pub serve_batches: u64,
+    /// See [`MetricsRegistry::serve_queue_depth`].
+    pub serve_queue_depth: u64,
+    /// See [`MetricsRegistry::serve_batch_occupancy`].
+    pub serve_batch_occupancy: HdrSnapshot,
+    /// See [`MetricsRegistry::serve_latency_us`].
+    pub serve_latency_us: HdrSnapshot,
 }
 
 impl MetricsSnapshot {
-    fn scalars(&self) -> [(&'static str, u64); 15] {
+    fn scalars(&self) -> [(&'static str, u64); 20] {
         [
             ("forward_passes", self.forward_passes),
             ("gemm_time_ns", self.gemm_time_ns),
@@ -506,15 +562,22 @@ impl MetricsSnapshot {
             ("dag_chained_steps", self.dag_chained_steps),
             ("dag_workers", self.dag_workers),
             ("dag_critical_path_us", self.dag_critical_path_us),
+            ("serve_requests", self.serve_requests),
+            ("serve_admitted", self.serve_admitted),
+            ("serve_shed", self.serve_shed),
+            ("serve_batches", self.serve_batches),
+            ("serve_queue_depth", self.serve_queue_depth),
         ]
     }
 
     /// The timed/size histograms by name, log-linear with quantiles.
-    pub fn histograms(&self) -> [(&'static str, &HdrSnapshot); 3] {
+    pub fn histograms(&self) -> [(&'static str, &HdrSnapshot); 5] {
         [
             ("forward_latency_us", &self.forward_latency_us),
             ("layer_time_us", &self.layer_time_us),
             ("batch_sizes", &self.batch_sizes),
+            ("serve_batch_occupancy", &self.serve_batch_occupancy),
+            ("serve_latency_us", &self.serve_latency_us),
         ]
     }
 
@@ -804,6 +867,37 @@ mod tests {
         assert_eq!(snap.dag_chained_steps, 0);
         assert_eq!(snap.dag_workers, 0);
         assert_eq!(snap.dag_critical_path_us, 0);
+    }
+
+    /// The serving metrics are workload metrics: reset clears them all,
+    /// the counters export as scalars, and the occupancy/latency
+    /// histograms ride the standard histogram exporters.
+    #[test]
+    fn serve_metrics_are_workload_metrics() {
+        let reg = MetricsRegistry::default();
+        reg.serve_requests.add(10);
+        reg.serve_admitted.add(8);
+        reg.serve_shed.add(2);
+        reg.serve_batches.add(3);
+        reg.serve_queue_depth.record_max(6);
+        reg.serve_batch_occupancy.record(4);
+        reg.serve_latency_us.record(12_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.serve_requests, snap.serve_admitted + snap.serve_shed);
+        let text = snap.to_text();
+        assert!(text.contains("serve_shed 2"));
+        assert!(text.contains("serve_queue_depth 6"));
+        assert!(text.contains("serve_batch_occupancy count 1"));
+        let json = snap.to_json();
+        assert!(json.contains("\"serve_batches\":3"));
+        assert!(json.contains("\"serve_latency_us\":{\"count\":1"));
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.serve_requests, 0);
+        assert_eq!(snap.serve_shed, 0);
+        assert_eq!(snap.serve_queue_depth, 0);
+        assert_eq!(snap.serve_batch_occupancy.count, 0);
+        assert_eq!(snap.serve_latency_us.count, 0);
     }
 
     #[test]

@@ -1,0 +1,425 @@
+//! Deterministic open-loop arrival traces.
+//!
+//! A serving experiment is only comparable across runs if the *offered
+//! load* is identical each time. The generators here produce arrival
+//! event sequences that are a pure function of `(seed, spec)` — no
+//! wall-clock reads, no thread timing, and no platform `libm` calls
+//! (the exponential sampler uses [`det_ln`], an IEEE-arithmetic-only
+//! logarithm, so the emitted microsecond timestamps are bit-identical
+//! on every host). That is the determinism contract the golden test in
+//! `tests/golden_trace.rs` pins down event-by-event.
+//!
+//! Three arrival shapes cover the load patterns a served model fleet
+//! sees:
+//!
+//! * [`ArrivalPattern::Poisson`] — memoryless steady-state traffic
+//!   (exponential inter-arrivals at a fixed rate).
+//! * [`ArrivalPattern::Diurnal`] — a day/night cycle: the rate sweeps
+//!   between a base and a peak along a triangle wave, sampled by
+//!   thinning a Poisson stream at the peak rate.
+//! * [`ArrivalPattern::Burst`] — steady base traffic with periodic
+//!   bursts at a much higher rate (flash crowds, retry storms).
+//!
+//! Multi-tenant traces draw each tenant's stream from an independent
+//! ChaCha8 keystream (`seed ⊕ tenant-salt`) and merge by timestamp, so
+//! adding a tenant never perturbs another tenant's arrivals.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One request arrival in a trace: at virtual time `t_us`, tenant
+/// `tenant` receives its `seq`-th request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalEvent {
+    /// Arrival time in virtual microseconds since trace start.
+    pub t_us: u64,
+    /// Index of the tenant this request targets.
+    pub tenant: usize,
+    /// Per-tenant sequence number, starting at 0.
+    pub seq: u64,
+}
+
+/// The arrival process shape for one tenant's request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalPattern {
+    /// Memoryless arrivals at a constant mean rate (requests/second).
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_per_s: f64,
+    },
+    /// A day/night cycle: the instantaneous rate follows a triangle
+    /// wave from `base_per_s` (trough, at phase 0 and 1) up to
+    /// `peak_per_s` (mid-period) and back, repeating every `period_s`.
+    /// A triangle — not a cosine — keeps the generator free of
+    /// platform `libm` calls, preserving bit-exact traces.
+    Diurnal {
+        /// Trough arrival rate, requests per second.
+        base_per_s: f64,
+        /// Peak arrival rate, requests per second.
+        peak_per_s: f64,
+        /// Cycle length in seconds.
+        period_s: f64,
+    },
+    /// Steady `base_per_s` traffic, except that every `burst_every_s` a
+    /// burst of `burst_len_s` seconds arrives at `burst_per_s` (the
+    /// burst occupies the start of each period).
+    Burst {
+        /// Baseline arrival rate, requests per second.
+        base_per_s: f64,
+        /// Arrival rate inside a burst, requests per second.
+        burst_per_s: f64,
+        /// Burst period in seconds.
+        burst_every_s: f64,
+        /// Burst duration in seconds (clamped to the period).
+        burst_len_s: f64,
+    },
+}
+
+impl ArrivalPattern {
+    /// The maximum instantaneous rate of this pattern — the thinning
+    /// envelope rate.
+    fn peak_rate(&self) -> f64 {
+        match *self {
+            ArrivalPattern::Poisson { rate_per_s } => rate_per_s,
+            ArrivalPattern::Diurnal {
+                base_per_s,
+                peak_per_s,
+                ..
+            } => base_per_s.max(peak_per_s),
+            ArrivalPattern::Burst {
+                base_per_s,
+                burst_per_s,
+                ..
+            } => base_per_s.max(burst_per_s),
+        }
+    }
+
+    /// Instantaneous rate at virtual time `t_us`.
+    fn rate_at(&self, t_us: u64) -> f64 {
+        match *self {
+            ArrivalPattern::Poisson { rate_per_s } => rate_per_s,
+            ArrivalPattern::Diurnal {
+                base_per_s,
+                peak_per_s,
+                period_s,
+            } => {
+                let period_us = (period_s * 1e6).max(1.0);
+                let phase = (t_us as f64 % period_us) / period_us;
+                // Triangle: 0 at the period edges, 1 at mid-period.
+                let tri = 1.0 - (2.0 * phase - 1.0).abs();
+                base_per_s + (peak_per_s - base_per_s) * tri
+            }
+            ArrivalPattern::Burst {
+                base_per_s,
+                burst_per_s,
+                burst_every_s,
+                burst_len_s,
+            } => {
+                let period_us = (burst_every_s * 1e6).max(1.0);
+                let len_us = (burst_len_s * 1e6).min(period_us);
+                if (t_us as f64 % period_us) < len_us {
+                    burst_per_s
+                } else {
+                    base_per_s
+                }
+            }
+        }
+    }
+
+    /// Mean rate over one period — what an open-loop experiment quotes
+    /// as the offered load.
+    pub fn mean_rate_per_s(&self) -> f64 {
+        match *self {
+            ArrivalPattern::Poisson { rate_per_s } => rate_per_s,
+            ArrivalPattern::Diurnal {
+                base_per_s,
+                peak_per_s,
+                ..
+            } => (base_per_s + peak_per_s) / 2.0,
+            ArrivalPattern::Burst {
+                base_per_s,
+                burst_per_s,
+                burst_every_s,
+                burst_len_s,
+            } => {
+                let frac = (burst_len_s / burst_every_s).clamp(0.0, 1.0);
+                burst_per_s * frac + base_per_s * (1.0 - frac)
+            }
+        }
+    }
+
+    /// Short label for tables (`poisson` / `diurnal` / `burst`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalPattern::Poisson { .. } => "poisson",
+            ArrivalPattern::Diurnal { .. } => "diurnal",
+            ArrivalPattern::Burst { .. } => "burst",
+        }
+    }
+}
+
+/// Natural logarithm computed with IEEE add/mul/div only — bit-exact on
+/// every platform, unlike `f64::ln` which defers to the host `libm`.
+///
+/// Decomposes `x = m · 2^e` with `m ∈ [√½, √2)` and evaluates the
+/// atanh series `ln m = 2(t + t³/3 + t⁵/5 + …)` at `t = (m−1)/(m+1)`
+/// (|t| ≤ 0.1716, so 8 odd terms reach full f64 precision). Accepts
+/// finite `x > 0`; callers feed it uniform samples from `(0, 1]`.
+///
+/// ```
+/// let x = 0.37_f64;
+/// assert!((cap_serve::trace::det_ln(x) - x.ln()).abs() < 1e-14);
+/// ```
+pub fn det_ln(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x.is_finite(), "det_ln domain: finite x > 0");
+    const LN2: f64 = core::f64::consts::LN_2;
+    // Normalize the mantissa into [√½, √2) by adjusting the exponent.
+    let bits = x.to_bits();
+    let mut e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mut m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    if x < f64::MIN_POSITIVE {
+        // Subnormal input: renormalize by scaling up 2^52 first.
+        let xs = x * (1u64 << 52) as f64;
+        let sbits = xs.to_bits();
+        e = ((sbits >> 52) & 0x7ff) as i64 - 1023 - 52;
+        m = f64::from_bits((sbits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    }
+    // The raw mantissa lies in [1, 2); fold [√2, 2) down into [√½, √2)
+    // so |t| stays ≤ 0.1716 and the series converges in 8 terms.
+    if m >= core::f64::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    // Horner over the odd series coefficients 1/1, 1/3, …, 1/15.
+    let series = t
+        * (1.0
+            + t2 * (1.0 / 3.0
+                + t2 * (1.0 / 5.0
+                    + t2 * (1.0 / 7.0
+                        + t2 * (1.0 / 9.0 + t2 * (1.0 / 11.0 + t2 * (1.0 / 13.0 + t2 / 15.0)))))));
+    2.0 * series + e as f64 * LN2
+}
+
+/// Draw one exponential inter-arrival gap (microseconds) at `rate_per_s`.
+fn exp_gap_us(rng: &mut ChaCha8Rng, rate_per_s: f64) -> u64 {
+    // u ∈ [0, 1); 1-u ∈ (0, 1] keeps det_ln in its domain, and
+    // ln(1) = 0 makes a zero gap legal (same-microsecond arrivals).
+    let u = rng.gen_range(0.0f64..1.0);
+    let gap_s = -det_ln(1.0 - u) / rate_per_s;
+    (gap_s * 1e6) as u64
+}
+
+/// Generate one tenant's arrival stream over `[0, duration_s)` by
+/// thinning a Poisson envelope at the pattern's peak rate.
+fn tenant_stream(
+    seed: u64,
+    tenant: usize,
+    pattern: &ArrivalPattern,
+    duration_s: f64,
+) -> Vec<ArrivalEvent> {
+    let peak = pattern.peak_rate();
+    let horizon_us = (duration_s * 1e6) as u64;
+    let mut events = Vec::new();
+    if peak <= 0.0 || horizon_us == 0 {
+        return events;
+    }
+    // Tenant streams must be independent: salt the seed so inserting a
+    // tenant never shifts another tenant's keystream.
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(tenant as u64 + 1)),
+    );
+    let mut t_us = 0u64;
+    let mut seq = 0u64;
+    loop {
+        t_us = t_us.saturating_add(exp_gap_us(&mut rng, peak));
+        if t_us >= horizon_us {
+            break;
+        }
+        // Thinning: accept with probability rate(t)/peak. The draw is
+        // consumed even for constant-rate patterns so switching a
+        // pattern between Poisson and Diurnal(base==peak) preserves
+        // the accept stream's alignment.
+        let accept = rng.gen_range(0.0f64..1.0);
+        if accept * peak < pattern.rate_at(t_us) {
+            events.push(ArrivalEvent { t_us, tenant, seq });
+            seq += 1;
+        }
+    }
+    events
+}
+
+/// Generate a merged multi-tenant arrival trace: one pattern per
+/// tenant, events ordered by `(t_us, tenant)`, per-tenant `seq`
+/// contiguous from 0.
+///
+/// The result is a pure function of `(seed, patterns, duration_s)`:
+/// repeat calls return identical vectors, on any platform.
+///
+/// ```
+/// use cap_serve::trace::{generate_trace, ArrivalPattern};
+/// let spec = [ArrivalPattern::Poisson { rate_per_s: 200.0 }];
+/// let a = generate_trace(7, &spec, 1.0);
+/// let b = generate_trace(7, &spec, 1.0);
+/// assert_eq!(a, b); // bit-identical replay
+/// assert!(a.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+/// ```
+pub fn generate_trace(
+    seed: u64,
+    patterns: &[ArrivalPattern],
+    duration_s: f64,
+) -> Vec<ArrivalEvent> {
+    let mut all: Vec<ArrivalEvent> = patterns
+        .iter()
+        .enumerate()
+        .flat_map(|(i, p)| tenant_stream(seed, i, p, duration_s))
+        .collect();
+    // Stable key: ties on t_us break by tenant index, then seq —
+    // fully deterministic merge order.
+    all.sort_by_key(|e| (e.t_us, e.tenant, e.seq));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_ln_matches_std_ln() {
+        for &x in &[1e-12, 1e-6, 0.1, 0.5, 0.9999, 1.0, 1.5, 2.0, 10.0, 1e9] {
+            let got = det_ln(x);
+            let want = x.ln();
+            assert!(
+                (got - want).abs() <= want.abs().max(1.0) * 1e-14,
+                "ln({x}): got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn det_ln_handles_smallest_uniform_sample() {
+        // 1 - u with u just below 1.0 → 2^-53, the smallest value the
+        // sampler can feed.
+        let x = (2.0f64).powi(-53);
+        assert!((det_ln(x) - x.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_honored() {
+        let events = generate_trace(11, &[ArrivalPattern::Poisson { rate_per_s: 1000.0 }], 4.0);
+        // 4000 expected; Poisson σ ≈ 63, allow 5σ.
+        let n = events.len() as f64;
+        assert!((n - 4000.0).abs() < 320.0, "got {n} events");
+    }
+
+    #[test]
+    fn diurnal_peaks_mid_period() {
+        let p = ArrivalPattern::Diurnal {
+            base_per_s: 100.0,
+            peak_per_s: 1100.0,
+            period_s: 2.0,
+        };
+        let events = generate_trace(3, &[p], 2.0);
+        let first_half = events.iter().filter(|e| e.t_us < 500_000).count();
+        let mid = events
+            .iter()
+            .filter(|e| (750_000..1_250_000).contains(&e.t_us))
+            .count();
+        assert!(
+            mid > first_half * 2,
+            "mid-period ({mid}) should far exceed the trough ({first_half})"
+        );
+    }
+
+    #[test]
+    fn burst_concentrates_arrivals() {
+        let p = ArrivalPattern::Burst {
+            base_per_s: 50.0,
+            burst_per_s: 2000.0,
+            burst_every_s: 1.0,
+            burst_len_s: 0.1,
+        };
+        let events = generate_trace(5, &[p], 2.0);
+        let in_burst = events
+            .iter()
+            .filter(|e| (e.t_us % 1_000_000) < 100_000)
+            .count();
+        assert!(
+            in_burst * 2 > events.len(),
+            "bursts should carry most arrivals: {in_burst}/{}",
+            events.len()
+        );
+    }
+
+    #[test]
+    fn tenant_streams_are_independent() {
+        let solo = generate_trace(9, &[ArrivalPattern::Poisson { rate_per_s: 500.0 }], 1.0);
+        let duo = generate_trace(
+            9,
+            &[
+                ArrivalPattern::Poisson { rate_per_s: 500.0 },
+                ArrivalPattern::Poisson { rate_per_s: 300.0 },
+            ],
+            1.0,
+        );
+        let tenant0: Vec<ArrivalEvent> = duo.into_iter().filter(|e| e.tenant == 0).collect();
+        assert_eq!(solo, tenant0, "adding tenant 1 must not shift tenant 0");
+    }
+
+    #[test]
+    fn per_tenant_seq_is_contiguous() {
+        let events = generate_trace(
+            21,
+            &[
+                ArrivalPattern::Poisson { rate_per_s: 400.0 },
+                ArrivalPattern::Burst {
+                    base_per_s: 100.0,
+                    burst_per_s: 900.0,
+                    burst_every_s: 0.5,
+                    burst_len_s: 0.1,
+                },
+            ],
+            1.0,
+        );
+        for tenant in 0..2 {
+            let seqs: Vec<u64> = events
+                .iter()
+                .filter(|e| e.tenant == tenant)
+                .map(|e| e.seq)
+                .collect();
+            assert!(seqs.iter().enumerate().all(|(i, &s)| s == i as u64));
+        }
+    }
+
+    #[test]
+    fn mean_rate_formulas() {
+        assert_eq!(
+            ArrivalPattern::Poisson { rate_per_s: 7.0 }.mean_rate_per_s(),
+            7.0
+        );
+        assert_eq!(
+            ArrivalPattern::Diurnal {
+                base_per_s: 10.0,
+                peak_per_s: 30.0,
+                period_s: 1.0
+            }
+            .mean_rate_per_s(),
+            20.0
+        );
+        let b = ArrivalPattern::Burst {
+            base_per_s: 10.0,
+            burst_per_s: 110.0,
+            burst_every_s: 1.0,
+            burst_len_s: 0.1,
+        };
+        assert!((b.mean_rate_per_s() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_or_duration_is_empty() {
+        assert!(generate_trace(1, &[ArrivalPattern::Poisson { rate_per_s: 0.0 }], 1.0).is_empty());
+        assert!(generate_trace(1, &[ArrivalPattern::Poisson { rate_per_s: 10.0 }], 0.0).is_empty());
+    }
+}

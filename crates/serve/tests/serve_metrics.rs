@@ -1,0 +1,73 @@
+//! The router's plumbing into the process-global metrics registry.
+//! Kept as a single test in its own binary: integration test binaries
+//! run one at a time, so no other test mutates the global counters
+//! while the deltas below are being measured.
+
+use cap_serve::{
+    fleet, generate_trace, ArrivalPattern, Router, RouterConfig, ServiceModel, TenantConfig,
+};
+
+#[test]
+fn serving_run_feeds_the_global_registry() {
+    let m = cap_obs::metrics();
+    let before = m.snapshot();
+
+    let mut cfg = TenantConfig::new(
+        "hot",
+        ServiceModel {
+            fixed_us: 600,
+            per_image_us: 400,
+        },
+    );
+    cfg.queue_cap = 16; // small bound so this trace sheds
+    let mut router = Router::new(
+        RouterConfig {
+            workers: 1,
+            collect_outputs: false,
+        },
+        vec![(cfg, fleet::demo_network(6))],
+    );
+    let trace = generate_trace(
+        31,
+        &[ArrivalPattern::Poisson {
+            rate_per_s: 6_000.0,
+        }],
+        0.3,
+    );
+    let report = router
+        .serve_trace(&trace, &[fleet::demo_images(4)])
+        .unwrap();
+    assert!(report.shed > 0, "trace must shed for this test to bite");
+
+    let after = m.snapshot();
+    assert_eq!(after.serve_requests - before.serve_requests, report.offered);
+    assert_eq!(
+        after.serve_admitted - before.serve_admitted,
+        report.admitted
+    );
+    assert_eq!(after.serve_shed - before.serve_shed, report.shed);
+    assert_eq!(after.serve_batches - before.serve_batches, report.batches);
+    assert_eq!(
+        after.serve_latency_us.count - before.serve_latency_us.count,
+        report.completed
+    );
+    assert_eq!(
+        after.serve_batch_occupancy.count - before.serve_batch_occupancy.count,
+        report.batches
+    );
+    assert!(
+        after.serve_queue_depth >= report.tenants[0].max_queue_depth as u64,
+        "queue-depth high-water mark not published"
+    );
+    // Real inference ran underneath: one engine forward pass per batch.
+    assert!(
+        after.forward_passes - before.forward_passes >= report.batches,
+        "served batches must execute real forward passes"
+    );
+
+    // The serving metrics ride the standard exporters.
+    let text = after.to_text();
+    assert!(text.contains("serve_requests "));
+    assert!(text.contains("serve_latency_us count "));
+    assert!(after.to_json().contains("\"serve_shed\":"));
+}

@@ -20,6 +20,9 @@
 //! * [`core`] ([`cap_core`]) — TAR/CAR metrics, Pareto frontiers,
 //!   Algorithm 1, exhaustive baseline, characterization.
 //! * [`data`] ([`cap_data`]) — synthetic labeled image datasets.
+//! * [`serve`] ([`cap_serve`]) — online serving: multi-tenant queues,
+//!   deadline-driven dynamic batching against latency SLOs, admission
+//!   control, deterministic open-loop load generation.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@ pub use cap_cnn as cnn;
 pub use cap_core as core;
 pub use cap_data as data;
 pub use cap_pruning as pruning;
+pub use cap_serve as serve;
 pub use cap_tensor as tensor;
 
 /// Convenient single-import surface for examples and downstream users.
@@ -74,6 +78,10 @@ pub mod prelude {
     pub use cap_pruning::{
         apply_to_network, caffenet_profile, googlenet_profile, prune_filters_l1, prune_magnitude,
         prune_structured, sweet_spot, AppProfile, PruneAlgorithm, PruneSpec, SweetSpot,
+    };
+    pub use cap_serve::{
+        generate_trace, ArrivalEvent, ArrivalPattern, Router, RouterConfig, ServeReport,
+        ServiceModel, TenantConfig,
     };
     pub use cap_tensor::{CsrMatrix, Matrix, Tensor4};
 }

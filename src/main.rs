@@ -6,6 +6,7 @@
 //! cap spec caffenet --top5 0.70        # min-time degree of pruning for a floor
 //! cap explore --w 1000000 --deadline-h 10 --budget 300
 //! cap allocate --w 1000000 --deadline-h 10 --budget 300
+//! cap serve --load 2 --workers 2 --seed 42   # multi-tenant serving demo
 //! ```
 
 use cloud_cost_accuracy::prelude::*;
@@ -18,13 +19,15 @@ fn main() {
         Some("spec") => cmd_spec(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
         Some("allocate") => cmd_allocate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: cap <characterize|sweep|spec|explore|allocate> [args]");
+            eprintln!("usage: cap <characterize|sweep|spec|explore|allocate|serve> [args]");
             eprintln!("  characterize <caffenet|googlenet>");
             eprintln!("  sweep <caffenet|googlenet> <layer>");
             eprintln!("  spec <caffenet|googlenet> --top5 <floor> | --top1 <floor>");
             eprintln!("  explore  [--w N] [--deadline-h H] [--budget USD]");
             eprintln!("  allocate [--w N] [--deadline-h H] [--budget USD]");
+            eprintln!("  serve    [--load X] [--workers N] [--seed S] [--duration S]");
             2
         }
     };
@@ -189,6 +192,80 @@ fn cmd_explore(args: &[String]) -> i32 {
             );
         }
     }
+    0
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    use cloud_cost_accuracy::serve::fleet;
+
+    let load = flag(args, "--load").unwrap_or(1.0).max(0.01);
+    let workers = flag(args, "--workers").unwrap_or(2.0).max(1.0) as usize;
+    let seed = flag(args, "--seed").unwrap_or(42.0) as u64;
+    let duration_s = flag(args, "--duration").unwrap_or(0.5).clamp(0.01, 10.0);
+
+    let tenants = vec![
+        fleet::pruned_tenant("dense", 1, 0.0),
+        fleet::pruned_tenant("pruned-60", 2, 0.6),
+    ];
+    let mut router = Router::new(
+        RouterConfig {
+            workers,
+            collect_outputs: false,
+        },
+        tenants,
+    );
+    let trace = generate_trace(
+        seed,
+        &[
+            ArrivalPattern::Poisson {
+                rate_per_s: 800.0 * load,
+            },
+            ArrivalPattern::Burst {
+                base_per_s: 300.0 * load,
+                burst_per_s: 3_000.0 * load,
+                burst_every_s: 0.25,
+                burst_len_s: 0.05,
+            },
+        ],
+        duration_s,
+    );
+    let pool = fleet::demo_images(8);
+    let report = match router.serve_trace(&trace, &[pool.clone(), pool]) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return 1;
+        }
+    };
+
+    println!(
+        "serving demo: 2 tenants, {workers} worker(s), load x{load}, seed {seed}, {duration_s} virtual s"
+    );
+    println!(
+        "{:<10} {:>8} {:>8} {:>6} {:>8} {:>7} {:>9} {:>9}",
+        "tenant", "offered", "admit", "shed", "batches", "mean b", "p50 ms", "p99 ms"
+    );
+    for t in &report.tenants {
+        println!(
+            "{:<10} {:>8} {:>8} {:>6} {:>8} {:>7.2} {:>9.2} {:>9.2}",
+            t.name,
+            t.offered,
+            t.admitted,
+            t.shed,
+            t.batches,
+            t.mean_batch,
+            t.p50_us as f64 / 1e3,
+            t.p99_us as f64 / 1e3
+        );
+    }
+    let p2 = by_name("p2.xlarge").expect("catalog");
+    println!(
+        "aggregate: {:.0} inf/s; cost/1k ${:.6} on {} (${}/h)",
+        report.throughput_per_s,
+        report.cost_per_1k_usd(p2.price_per_hour),
+        p2.name,
+        p2.price_per_hour
+    );
     0
 }
 
