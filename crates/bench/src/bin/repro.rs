@@ -8,13 +8,16 @@
 //! # Chrome trace_event timeline of the profile experiment (load in
 //! # Perfetto / chrome://tracing):
 //! cargo run --release -p cap-bench --bin repro -- --exp profile --trace-out trace.json
+//! # Virtual-clock serving timeline: one track per tenant plus router
+//! # worker tracks, bit-identical run to run:
+//! cargo run --release -p cap-bench --bin repro -- --exp serve --trace-out serve.json
 //! # Perf-regression sentinel against the checked-in baseline (exits
 //! # nonzero on a strict violation):
 //! cargo run --release -p cap-bench --bin repro -- --exp sentinel --baseline BENCH_baseline.json
 //! cargo run --release -p cap-bench --bin repro -- --exp sentinel --write-baseline BENCH_baseline.json
 //! ```
 
-use cap_bench::experiments::{profile, sentinel};
+use cap_bench::experiments::{profile, sentinel, serve_exp};
 use cap_bench::{run_experiment, EXPERIMENTS};
 use std::path::Path;
 
@@ -152,8 +155,11 @@ fn main() {
             std::process::exit(1);
         }
     }
-    if trace_out.is_some() && exp != "profile" {
-        eprintln!("--trace-out only applies to --exp profile");
+    // --trace-out works for any experiment with a span source: profile
+    // (wall-clock forward-pass spans) and serve (virtual-clock request
+    // lifecycle spans).
+    if trace_out.is_some() && !matches!(exp.as_str(), "profile" | "serve") {
+        eprintln!("--trace-out requires an experiment with a span source (profile, serve)");
         usage();
     }
     if (baseline.is_some() || write_baseline.is_some()) && exp != "sentinel" {
@@ -171,6 +177,14 @@ fn main() {
     if exp == "profile" {
         let (report, spans) = profile::profile_caffenet_with_trace();
         emit("profile", &report, out_dir.as_deref());
+        if let Some(path) = trace_out {
+            write_file(&path, &cap_obs::chrome_trace_json(&spans));
+        }
+        return;
+    }
+    if exp == "serve" && trace_out.is_some() {
+        let (report, spans) = serve_exp::serve_with_trace();
+        emit("serve", &report, out_dir.as_deref());
         if let Some(path) = trace_out {
             write_file(&path, &cap_obs::chrome_trace_json(&spans));
         }

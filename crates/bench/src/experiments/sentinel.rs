@@ -115,6 +115,15 @@ pub struct Comparison {
 /// so every strict metric is a pure function of the pipeline's code.
 pub fn run_workload() -> SentinelRun {
     let _timing = TimingGuard::enable();
+
+    // Serve advisory segment FIRST, between two registry resets, so the
+    // strict counters below cover exactly the offline workload and stay
+    // byte-identical to the pre-serving baseline. The serve quantiles
+    // are virtual-clock values — deterministic, but kept advisory so
+    // serving-policy tuning shows up as drift in CI without gating it.
+    cap_obs::metrics().reset();
+    let serve = serve_segment();
+
     // Reset BEFORE warm-up: `arena_bytes` is a high-water mark that is
     // re-reported every pass, and workspace hit/miss counters start
     // counting here — the captured numbers cover exactly this run.
@@ -214,6 +223,34 @@ pub fn run_workload() -> SentinelRun {
             MetricKind::Advisory,
             0.75,
         ),
+        // Serving quantiles from the fixed serve segment. Virtual-clock
+        // values (reproducible to the microsecond), held advisory with
+        // a tight tolerance: drift flags a serving-policy change
+        // without hard-gating it.
+        m(
+            "serve_latency_p50_us",
+            serve.lat_p50 as f64,
+            MetricKind::Advisory,
+            0.10,
+        ),
+        m(
+            "serve_latency_p99_us",
+            serve.lat_p99 as f64,
+            MetricKind::Advisory,
+            0.10,
+        ),
+        m(
+            "serve_batch_occupancy_mean",
+            serve.occupancy_mean,
+            MetricKind::Advisory,
+            0.10,
+        ),
+        m(
+            "serve_completed",
+            serve.completed as f64,
+            MetricKind::Advisory,
+            0.10,
+        ),
     ];
 
     let mut report = String::new();
@@ -222,7 +259,8 @@ pub fn run_workload() -> SentinelRun {
         report,
         "\nworkload: mini-Caffenet 32 images batch {BATCH}; {} sequential runs \
          ({WARM_RUNS} warm + {TIMED_RUNS} timed), {ENGINE_RUNS} runs on a \
-         {ENGINE_WORKERS}-worker ParallelEngine",
+         {ENGINE_WORKERS}-worker ParallelEngine; plus an isolated serve \
+         segment (1 tenant, 0.1 virtual s) for the serve_* advisories",
         WARM_RUNS + TIMED_RUNS
     )
     .unwrap();
@@ -262,6 +300,42 @@ pub fn run_workload() -> SentinelRun {
     .unwrap();
 
     SentinelRun { metrics, report }
+}
+
+/// Serving quantiles captured by [`serve_segment`].
+struct ServeSegment {
+    lat_p50: u64,
+    lat_p99: u64,
+    occupancy_mean: f64,
+    completed: u64,
+}
+
+/// A fixed, tiny serve run feeding the `serve_*` advisory metrics: one
+/// demo tenant, seeded Poisson arrivals, 0.1 virtual seconds. All
+/// captured values come off the router's virtual clock, so this
+/// segment is exactly reproducible; it runs between registry resets so
+/// the offline strict counters never see it.
+fn serve_segment() -> ServeSegment {
+    use cap_serve::{fleet, generate_trace, ArrivalPattern, Router, RouterConfig};
+
+    let mut router = Router::new(
+        RouterConfig {
+            workers: 2,
+            ..RouterConfig::default()
+        },
+        vec![fleet::pruned_tenant("sentinel", 1, 0.0)],
+    );
+    let trace = generate_trace(4242, &[ArrivalPattern::Poisson { rate_per_s: 600.0 }], 0.1);
+    let report = router
+        .serve_trace(&trace, &[fleet::demo_images(4)])
+        .expect("sentinel serve segment");
+    let snap = cap_obs::metrics().snapshot();
+    ServeSegment {
+        lat_p50: snap.serve_latency_us.quantile(0.50).unwrap_or(0),
+        lat_p99: snap.serve_latency_us.quantile(0.99).unwrap_or(0),
+        occupancy_mean: snap.serve_batch_occupancy.mean(),
+        completed: report.completed,
+    }
 }
 
 fn m(name: &'static str, value: f64, kind: MetricKind, rel_tol: f64) -> SentinelMetric {

@@ -13,6 +13,8 @@
 //! wall time is environment noise and deliberately *not* shown here.
 
 use cap_cloud::by_name;
+use cap_obs::span::{CollectingTracer, NoopTracer, Tracer};
+use cap_obs::SpanRecord;
 use cap_serve::{fleet, generate_trace, ArrivalPattern, Router, RouterConfig, ServeReport};
 use std::fmt::Write;
 
@@ -52,24 +54,37 @@ fn patterns(load: f64) -> Vec<ArrivalPattern> {
     ]
 }
 
-fn run_point(load: f64) -> ServeReport {
+fn run_point_traced<T: Tracer>(load: f64, tracer: &T) -> ServeReport {
     let mut router = Router::new(
         RouterConfig {
             workers: 2,
             collect_outputs: false,
+            ..RouterConfig::default()
         },
         fleet_tenants(),
     );
     let trace = generate_trace(SEED, &patterns(load), DURATION_S);
     let pool = fleet::demo_images(8);
     router
-        .serve_trace(&trace, &[pool.clone(), pool.clone(), pool])
+        .serve_trace_traced(&trace, &[pool.clone(), pool.clone(), pool], tracer)
         .expect("serve point")
+}
+
+fn run_point(load: f64) -> ServeReport {
+    run_point_traced(load, &NoopTracer)
 }
 
 /// The `serve` experiment: throughput vs latency vs cost under
 /// multi-tenant dynamic batching.
 pub fn serve() -> String {
+    serve_with_trace().0
+}
+
+/// [`serve`] plus the request-lifecycle span list from the replay-check
+/// run (load ×2) — the span source `repro --exp serve --trace-out`
+/// renders into a Perfetto timeline. The spans are virtual-clock
+/// placed, so the trace file is bit-identical run to run.
+pub fn serve_with_trace() -> (String, Vec<SpanRecord>) {
     let mut out = String::new();
     writeln!(
         out,
@@ -122,6 +137,15 @@ pub fn serve() -> String {
             )
             .unwrap();
         }
+        for t in &report.tenants {
+            writeln!(
+                out,
+                "slo {:<10} error budget consumed {:>7.3} (target 99%), \
+                 burn alerts: {} fast, {} slow",
+                t.name, t.budget_consumed, t.fast_burn_alerts, t.slow_burn_alerts,
+            )
+            .unwrap();
+        }
         writeln!(
             out,
             "aggregate: {:.0} inf/s over {:.3} virtual s ({} shed of {}); \
@@ -141,8 +165,12 @@ pub fn serve() -> String {
     }
 
     // Determinism spot-check: replay one point and compare the counts
-    // the acceptance contract names (admitted / shed / batches).
-    let a = run_point(2.0);
+    // the acceptance contract names (admitted / shed / batches). The
+    // first replay also collects the lifecycle spans for --trace-out
+    // (tracing must not perturb scheduling — pinned by
+    // `crates/serve/tests/determinism.rs`).
+    let tracer = CollectingTracer::new();
+    let a = run_point_traced(2.0, &tracer);
     let b = run_point(2.0);
     let identical = a.admitted == b.admitted
         && a.shed == b.shed
@@ -154,7 +182,7 @@ pub fn serve() -> String {
     )
     .unwrap();
     assert!(identical, "virtual-clock serving must replay exactly");
-    out
+    (out, tracer.take_spans())
 }
 
 #[cfg(test)]

@@ -184,3 +184,102 @@ fn parallel_trace_round_trips_with_nesting_by_tid() {
     worker_tids.dedup();
     assert_eq!(worker_tids.len(), 3, "each worker on its own tid track");
 }
+
+/// Serve-trace round trip: virtual-timestamp lifecycle spans from a
+/// real router run re-parse into a timeline with one labelled track
+/// per tenant (plus the router worker tracks), and virtual timestamps
+/// are exact — compute spans on one worker track tile without overlap,
+/// and every span's end stays within the run's makespan.
+#[test]
+fn serve_trace_round_trips_with_per_tenant_tracks() {
+    use cap_serve::{fleet, generate_trace, ArrivalPattern, Router, RouterConfig};
+
+    let tenants = vec![
+        fleet::pruned_tenant("dense", 1, 0.0),
+        fleet::pruned_tenant("pruned-60", 2, 0.6),
+    ];
+    let n_tenants = tenants.len();
+    let mut router = Router::new(
+        RouterConfig {
+            workers: 2,
+            ..RouterConfig::default()
+        },
+        tenants,
+    );
+    let trace = generate_trace(
+        77,
+        &[
+            ArrivalPattern::Poisson { rate_per_s: 700.0 },
+            ArrivalPattern::Poisson { rate_per_s: 900.0 },
+        ],
+        0.25,
+    );
+    let pool = fleet::demo_images(6);
+    let tracer = CollectingTracer::new();
+    let report = router
+        .serve_trace_traced(&trace, &[pool.clone(), pool], &tracer)
+        .expect("traced serve run");
+    let spans = tracer.take_spans();
+    let json = chrome_trace_json(&spans);
+
+    let (events, tracks) = parse_events(&json);
+    assert_eq!(events.len(), spans.len());
+
+    // One labelled track per tenant, plus serve-worker tracks.
+    for t in &report.tenants {
+        assert!(
+            tracks.values().any(|l| l == &format!("tenant-{}", t.name)),
+            "missing tenant track for {:?}, have {tracks:?}",
+            t.name
+        );
+    }
+    assert!(
+        tracks.values().any(|l| l == "serve-worker-0"),
+        "missing serve-worker-0 track, have {tracks:?}"
+    );
+    let tenant_tracks = tracks.values().filter(|l| l.starts_with("tenant-")).count();
+    assert_eq!(tenant_tracks, n_tenants, "exactly one track per tenant");
+
+    // Span census matches the report.
+    let count = |cat: &str| events.iter().filter(|e| e.cat == cat).count() as u64;
+    assert_eq!(count("request"), report.completed);
+    assert_eq!(count("queue_wait"), report.completed);
+    assert_eq!(count("batch_assembly"), report.batches);
+    assert_eq!(count("serve_compute"), report.batches);
+
+    // Virtual timestamps are exact (no clock skew): per worker track,
+    // compute spans sorted by ts are strictly sequential — each batch
+    // starts at or after the previous one finishes — i.e. per-track
+    // timestamps are monotonic and non-overlapping.
+    for (tid, label) in &tracks {
+        if !label.starts_with("serve-worker-") {
+            continue;
+        }
+        let mut compute: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.cat == "serve_compute" && e.tid == *tid)
+            .collect();
+        assert!(!compute.is_empty(), "idle worker track {label}");
+        compute.sort_by(|a, b| a.ts.partial_cmp(&b.ts).unwrap());
+        for pair in compute.windows(2) {
+            assert!(
+                pair[0].ts + pair[0].dur <= pair[1].ts + 1e-9,
+                "overlapping compute spans on {label}: {} + {} > {}",
+                pair[0].ts,
+                pair[0].dur,
+                pair[1].ts
+            );
+        }
+    }
+
+    // Every span ends within the virtual makespan.
+    let makespan = report.makespan_us as f64;
+    for e in &events {
+        assert!(
+            e.ts + e.dur <= makespan + 1e-6,
+            "span {:?} ends at {} past makespan {makespan}",
+            e.name,
+            e.ts + e.dur
+        );
+    }
+}

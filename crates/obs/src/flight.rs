@@ -67,6 +67,10 @@ fn scope_code(s: SpanScope) -> u64 {
         SpanScope::Worker => 2,
         SpanScope::GridEval => 3,
         SpanScope::Allocation => 4,
+        SpanScope::Request => 5,
+        SpanScope::QueueWait => 6,
+        SpanScope::BatchAssembly => 7,
+        SpanScope::ServeCompute => 8,
     }
 }
 
@@ -76,6 +80,10 @@ fn scope_from_code(c: u64) -> SpanScope {
         1 => SpanScope::Layer,
         2 => SpanScope::Worker,
         3 => SpanScope::GridEval,
+        5 => SpanScope::Request,
+        6 => SpanScope::QueueWait,
+        7 => SpanScope::BatchAssembly,
+        8 => SpanScope::ServeCompute,
         _ => SpanScope::Allocation,
     }
 }

@@ -46,8 +46,11 @@ pub mod flight;
 pub mod hdr;
 mod jsonutil;
 pub mod metrics;
+pub mod prom;
 pub mod report;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
 pub mod trace_export;
 
 pub use flight::FlightRecorder;
@@ -56,8 +59,14 @@ pub use metrics::{
     kernel_path_name, metrics, timing_enabled, Counter, Gauge, Histogram, HistogramSnapshot,
     MetricsRegistry, MetricsSnapshot, TimingGuard,
 };
+pub use prom::{
+    append_registry, prometheus_text, spawn_exporter, validate as validate_prometheus, PromStats,
+    PromWriter,
+};
 pub use report::{DagSummary, LayerRow, ProfileReport};
+pub use slo::{BurnAlert, BurnKind, SloPolicy, SloStanding, SloTracker};
 pub use span::{
     current_tid, CollectingTracer, NoopTracer, SpanInfo, SpanRecord, SpanScope, TeeTracer, Tracer,
 };
+pub use timeseries::{TimeSeries, Window};
 pub use trace_export::chrome_trace_json;

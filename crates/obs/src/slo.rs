@@ -1,0 +1,364 @@
+//! SLO error budgets and multi-window burn-rate alerting.
+//!
+//! Implements the standard SRE construction: an availability-style SLO
+//! target (e.g. "99 % of requests meet their deadline") defines an
+//! error budget of `1 - target`; the *burn rate* over a lookback of
+//! recent windows is the observed bad fraction divided by that budget
+//! (burn 1.0 = consuming the budget exactly as fast as allowed). Two
+//! lookbacks fire alerts: a short fast-burn window that catches
+//! outages, and a long slow-burn window that catches sustained
+//! degradation. Alerts are edge-triggered — one [`BurnAlert`] per
+//! excursion above the threshold, not one per window.
+//!
+//! The tracker is fed window-by-window from a
+//! [`TimeSeries`](crate::TimeSeries) (good/bad counter deltas in
+//! ascending window order), so its entire output — budget consumption
+//! and the alert sequence — is a pure function of the windowed series
+//! and therefore exactly reproducible under the virtual clock.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An SLO target plus the two burn-rate alert rules evaluated over it.
+///
+/// The default mirrors the canonical SRE-workbook pairing scaled to
+/// this codebase's short traces: target 99 %, fast-burn over 1 window
+/// at 14.4×, slow-burn over 12 windows at 3×.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Fraction of events that must be good (`0.0 < target < 1.0`);
+    /// the error budget is `1.0 - target`.
+    pub target: f64,
+    /// Lookback length of the fast-burn rule, in windows.
+    pub fast_windows: usize,
+    /// Burn-rate threshold of the fast-burn rule.
+    pub fast_burn: f64,
+    /// Lookback length of the slow-burn rule, in windows.
+    pub slow_windows: usize,
+    /// Burn-rate threshold of the slow-burn rule.
+    pub slow_burn: f64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        Self {
+            target: 0.99,
+            fast_windows: 1,
+            fast_burn: 14.4,
+            slow_windows: 12,
+            slow_burn: 3.0,
+        }
+    }
+}
+
+/// Which burn-rate rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BurnKind {
+    /// The short-lookback, high-threshold rule (outage detector).
+    Fast,
+    /// The long-lookback, low-threshold rule (sustained degradation).
+    Slow,
+}
+
+impl fmt::Display for BurnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BurnKind::Fast => write!(f, "fast"),
+            BurnKind::Slow => write!(f, "slow"),
+        }
+    }
+}
+
+/// One edge-triggered burn-rate alert: the rule crossed its threshold
+/// at `window_index` with the given burn rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnAlert {
+    /// Which rule fired.
+    pub kind: BurnKind,
+    /// The window whose rollup pushed the rate over the threshold.
+    pub window_index: u64,
+    /// The burn rate at the moment of firing.
+    pub burn_rate: f64,
+}
+
+/// Point-in-time summary of a tracker, for reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloStanding {
+    /// The SLO target the tracker enforces.
+    pub target: f64,
+    /// Total good events observed.
+    pub good: u64,
+    /// Total bad events observed.
+    pub bad: u64,
+    /// Fraction of the run-wide error budget consumed (1.0 = spent
+    /// exactly; > 1.0 = SLO violated over the run).
+    pub budget_consumed: f64,
+    /// Fast-burn alerts fired so far.
+    pub fast_alerts: usize,
+    /// Slow-burn alerts fired so far.
+    pub slow_alerts: usize,
+}
+
+/// Per-SLO error-budget accounting and burn-rate alerting, fed
+/// window-by-window.
+///
+/// ```
+/// use cap_obs::{SloPolicy, SloTracker};
+///
+/// let mut slo = SloTracker::new(SloPolicy::default());
+/// slo.record_window(0, 990, 10); // 1% bad = burn 1.0: no alert
+/// slo.record_window(1, 800, 200); // 20% bad = burn 20: both rules fire
+/// assert_eq!(slo.alerts().len(), 2);
+/// assert!(slo.standing().budget_consumed > 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    policy: SloPolicy,
+    /// Recent `(window_index, good, bad)` rollups, newest at the back,
+    /// trimmed to the slow-burn lookback.
+    recent: VecDeque<(u64, u64, u64)>,
+    good: u64,
+    bad: u64,
+    alerts: Vec<BurnAlert>,
+    fast_active: bool,
+    slow_active: bool,
+}
+
+impl SloTracker {
+    /// A fresh tracker for `policy`.
+    ///
+    /// # Panics
+    ///
+    /// If the target is outside `(0, 1)` or a lookback is 0.
+    pub fn new(policy: SloPolicy) -> Self {
+        assert!(
+            policy.target > 0.0 && policy.target < 1.0,
+            "SLO target must be in (0, 1)"
+        );
+        assert!(
+            policy.fast_windows > 0 && policy.slow_windows > 0,
+            "burn lookbacks must be positive"
+        );
+        Self {
+            policy,
+            recent: VecDeque::new(),
+            good: 0,
+            bad: 0,
+            alerts: Vec::new(),
+            fast_active: false,
+            slow_active: false,
+        }
+    }
+
+    /// The policy this tracker evaluates.
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Burn rate over the trailing `lookback` window *indexes* ending
+    /// at `upto` (absent windows contribute nothing — no traffic burns
+    /// no budget). Returns 0 when no events fall in the lookback.
+    fn burn_over(&self, upto: u64, lookback: usize) -> f64 {
+        let lo = upto.saturating_sub(lookback as u64 - 1);
+        let (mut g, mut b) = (0u64, 0u64);
+        for &(idx, good, bad) in self.recent.iter().rev() {
+            if idx < lo {
+                break;
+            }
+            g += good;
+            b += bad;
+        }
+        let total = g + b;
+        if total == 0 {
+            return 0.0;
+        }
+        (b as f64 / total as f64) / (1.0 - self.policy.target)
+    }
+
+    /// Feed one window's good/bad deltas. Windows must arrive in
+    /// ascending index order (the order a
+    /// [`TimeSeries`](crate::TimeSeries) retains them); both rules are
+    /// re-evaluated and edge-triggered alerts appended.
+    pub fn record_window(&mut self, index: u64, good: u64, bad: u64) {
+        debug_assert!(
+            self.recent.back().is_none_or(|&(i, _, _)| i < index),
+            "windows must be fed in ascending order"
+        );
+        self.good += good;
+        self.bad += bad;
+        self.recent.push_back((index, good, bad));
+        let keep_from = index.saturating_sub(self.policy.slow_windows as u64 - 1);
+        while self.recent.front().is_some_and(|&(i, _, _)| i < keep_from) {
+            self.recent.pop_front();
+        }
+
+        let fast = self.burn_over(index, self.policy.fast_windows);
+        if fast >= self.policy.fast_burn {
+            if !self.fast_active {
+                self.fast_active = true;
+                self.alerts.push(BurnAlert {
+                    kind: BurnKind::Fast,
+                    window_index: index,
+                    burn_rate: fast,
+                });
+            }
+        } else {
+            self.fast_active = false;
+        }
+
+        let slow = self.burn_over(index, self.policy.slow_windows);
+        if slow >= self.policy.slow_burn {
+            if !self.slow_active {
+                self.slow_active = true;
+                self.alerts.push(BurnAlert {
+                    kind: BurnKind::Slow,
+                    window_index: index,
+                    burn_rate: slow,
+                });
+            }
+        } else {
+            self.slow_active = false;
+        }
+    }
+
+    /// Every alert fired so far, in firing order.
+    pub fn alerts(&self) -> &[BurnAlert] {
+        &self.alerts
+    }
+
+    /// Current summary: totals, budget consumption, alert counts.
+    pub fn standing(&self) -> SloStanding {
+        let total = self.good + self.bad;
+        let budget_consumed = if total == 0 {
+            0.0
+        } else {
+            (self.bad as f64 / total as f64) / (1.0 - self.policy.target)
+        };
+        SloStanding {
+            target: self.policy.target,
+            good: self.good,
+            bad: self.bad,
+            budget_consumed,
+            fast_alerts: self
+                .alerts
+                .iter()
+                .filter(|a| a.kind == BurnKind::Fast)
+                .count(),
+            slow_alerts: self
+                .alerts
+                .iter()
+                .filter(|a| a.kind == BurnKind::Slow)
+                .count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> SloPolicy {
+        SloPolicy {
+            target: 0.99,
+            fast_windows: 1,
+            fast_burn: 14.4,
+            slow_windows: 12,
+            slow_burn: 3.0,
+        }
+    }
+
+    #[test]
+    fn clean_windows_consume_no_budget_and_fire_nothing() {
+        let mut slo = SloTracker::new(policy());
+        for w in 0..20 {
+            slo.record_window(w, 1_000, 0);
+        }
+        let s = slo.standing();
+        assert_eq!(s.budget_consumed, 0.0);
+        assert!(slo.alerts().is_empty());
+    }
+
+    #[test]
+    fn fast_burn_is_edge_triggered() {
+        let mut slo = SloTracker::new(policy());
+        // 20% bad = burn 20 ≥ 14.4 for three consecutive windows: one
+        // alert at the rising edge, not three.
+        for w in 0..3 {
+            slo.record_window(w, 800, 200);
+        }
+        let fast: Vec<_> = slo
+            .alerts()
+            .iter()
+            .filter(|a| a.kind == BurnKind::Fast)
+            .collect();
+        assert_eq!(fast.len(), 1);
+        assert_eq!(fast[0].window_index, 0);
+        assert!((fast[0].burn_rate - 20.0).abs() < 1e-9);
+        // Recovery then relapse re-arms the rule.
+        slo.record_window(3, 1_000, 0);
+        slo.record_window(4, 800, 200);
+        assert_eq!(
+            slo.alerts()
+                .iter()
+                .filter(|a| a.kind == BurnKind::Fast)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn slow_burn_needs_sustained_degradation() {
+        let mut slo = SloTracker::new(policy());
+        // 5% bad = burn 5: above slow threshold 3, below fast 14.4.
+        // The slow rule's lookback dilutes a single bad window…
+        slo.record_window(0, 950, 50);
+        let slow_alerts = |s: &SloTracker| {
+            s.alerts()
+                .iter()
+                .filter(|a| a.kind == BurnKind::Slow)
+                .count()
+        };
+        assert_eq!(slow_alerts(&slo), 1, "first window IS the lookback");
+        // …but sustained clean traffic clears it and it stays clear.
+        for w in 1..13 {
+            slo.record_window(w, 1_000, 0);
+        }
+        assert_eq!(slow_alerts(&slo), 1);
+        assert!(!slo.slow_active);
+    }
+
+    #[test]
+    fn budget_consumption_tracks_totals() {
+        let mut slo = SloTracker::new(policy());
+        slo.record_window(0, 990, 10); // exactly 1% bad = budget spent 1.0
+        let s = slo.standing();
+        assert!((s.budget_consumed - 1.0).abs() < 1e-9);
+        assert_eq!(s.good, 990);
+        assert_eq!(s.bad, 10);
+    }
+
+    #[test]
+    fn absent_windows_burn_nothing() {
+        let mut slo = SloTracker::new(policy());
+        slo.record_window(0, 800, 200);
+        // A large index gap: the bad window leaves every lookback.
+        slo.record_window(100, 1_000, 0);
+        assert!(!slo.fast_active && !slo.slow_active);
+    }
+
+    #[test]
+    fn identical_feeds_yield_identical_alert_sequences() {
+        let feed = |slo: &mut SloTracker| {
+            for w in 0..30u64 {
+                let bad = if w % 7 == 0 { 300 } else { 5 };
+                slo.record_window(w, 1_000 - bad, bad);
+            }
+        };
+        let mut a = SloTracker::new(policy());
+        let mut b = SloTracker::new(policy());
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a.alerts(), b.alerts());
+        assert_eq!(a.standing(), b.standing());
+    }
+}

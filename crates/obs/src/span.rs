@@ -55,6 +55,18 @@ pub enum SpanScope {
     GridEval,
     /// One run of Algorithm 1 (greedy TAR/CAR allocation).
     Allocation,
+    /// One served request's whole lifecycle (enqueue → completion) on
+    /// its tenant's track; virtual-clock timestamped by the router.
+    Request,
+    /// The queue-wait portion of a served request (enqueue → dispatch),
+    /// nested inside its [`SpanScope::Request`] span.
+    QueueWait,
+    /// One batch's assembly window (head-of-line arrival → dispatch) on
+    /// the tenant's track.
+    BatchAssembly,
+    /// One dispatched batch's virtual service time on a router worker
+    /// slot (dispatch → completion).
+    ServeCompute,
 }
 
 impl SpanScope {
@@ -66,6 +78,10 @@ impl SpanScope {
             SpanScope::Worker => "worker",
             SpanScope::GridEval => "grid_eval",
             SpanScope::Allocation => "allocation",
+            SpanScope::Request => "request",
+            SpanScope::QueueWait => "queue_wait",
+            SpanScope::BatchAssembly => "batch_assembly",
+            SpanScope::ServeCompute => "serve_compute",
         }
     }
 }
@@ -128,6 +144,24 @@ pub trait Tracer: Send + Sync {
 
     /// A span finished after `elapsed`.
     fn span_exit(&self, info: &SpanInfo<'_>, elapsed: Duration);
+
+    /// A span with an *externally supplied* timeline position: `start`
+    /// is an offset on the caller's own epoch and `track` is the
+    /// caller's track id (in place of the recording thread's
+    /// [`current_tid`]). This is how the `cap-serve` router reports
+    /// virtual-clock request-lifecycle spans — the router's clock, not
+    /// the wall clock, owns both coordinates, so same seed ⇒ identical
+    /// spans.
+    ///
+    /// The default forwards to [`Tracer::span_exit`], discarding the
+    /// placement — correct for aggregating tracers that only care about
+    /// durations; timeline-retaining tracers ([`CollectingTracer`])
+    /// override it to keep `start`/`track` verbatim.
+    #[inline]
+    fn span_at(&self, info: &SpanInfo<'_>, start: Duration, elapsed: Duration, track: u64) {
+        let _ = (start, track);
+        self.span_exit(info, elapsed);
+    }
 }
 
 /// Blanket impl so instrumented generics accept `&T` as well as `T`.
@@ -145,6 +179,11 @@ impl<T: Tracer + ?Sized> Tracer for &T {
     #[inline]
     fn span_exit(&self, info: &SpanInfo<'_>, elapsed: Duration) {
         (**self).span_exit(info, elapsed)
+    }
+
+    #[inline]
+    fn span_at(&self, info: &SpanInfo<'_>, start: Duration, elapsed: Duration, track: u64) {
+        (**self).span_at(info, start, elapsed, track)
     }
 }
 
@@ -270,6 +309,13 @@ impl Tracer for CollectingTracer {
         // saturating guards spans reported before the tracer's epoch
         // (possible only if a tracer is created mid-span).
         let start = self.epoch.elapsed().saturating_sub(elapsed);
+        self.span_at(info, start, elapsed, current_tid());
+    }
+
+    /// Retains the caller's `start` offset and `track` id verbatim —
+    /// the hook virtual-clock instrumentation (the `cap-serve` router)
+    /// relies on for reproducible timelines.
+    fn span_at(&self, info: &SpanInfo<'_>, start: Duration, elapsed: Duration, track: u64) {
         let record = SpanRecord {
             scope: info.scope,
             name: info.name.to_string(),
@@ -278,7 +324,7 @@ impl Tracer for CollectingTracer {
             index: info.index,
             elapsed,
             start,
-            tid: current_tid(),
+            tid: track,
         };
         self.spans.lock().expect("span lock poisoned").push(record);
     }
@@ -334,6 +380,15 @@ impl<A: Tracer, B: Tracer> Tracer for TeeTracer<A, B> {
         }
         if self.1.enabled() {
             self.1.span_exit(info, elapsed);
+        }
+    }
+
+    fn span_at(&self, info: &SpanInfo<'_>, start: Duration, elapsed: Duration, track: u64) {
+        if self.0.enabled() {
+            self.0.span_at(info, start, elapsed, track);
+        }
+        if self.1.enabled() {
+            self.1.span_at(info, start, elapsed, track);
         }
     }
 }

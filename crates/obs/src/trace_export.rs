@@ -55,28 +55,57 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
 
-    // Track labels: tids that carried a Worker span are labelled by the
-    // worker index; everything else is a plain thread.
-    let mut tids: Vec<(u64, Option<usize>)> = Vec::new();
+    // Track labels, by decreasing precedence: a tid that carried a
+    // `Worker` span is an engine worker ("worker-<index>"); one that
+    // carried `ServeCompute` spans is a router worker slot
+    // ("serve-worker-<index>"); one that carried request-lifecycle
+    // spans is a tenant track ("tenant-<name>"); anything else is a
+    // plain thread.
+    #[derive(Clone, PartialEq)]
+    enum TrackLabel {
+        Plain,
+        Tenant(String),
+        ServeWorker(usize),
+        Worker(usize),
+    }
+    fn rank(l: &TrackLabel) -> u8 {
+        match l {
+            TrackLabel::Plain => 0,
+            TrackLabel::Tenant(_) => 1,
+            TrackLabel::ServeWorker(_) => 2,
+            TrackLabel::Worker(_) => 3,
+        }
+    }
+    let mut tids: Vec<(u64, TrackLabel)> = Vec::new();
     for s in spans {
+        let candidate = match s.scope {
+            SpanScope::Worker => TrackLabel::Worker(s.index),
+            SpanScope::ServeCompute => TrackLabel::ServeWorker(s.index),
+            SpanScope::Request | SpanScope::QueueWait | SpanScope::BatchAssembly => {
+                TrackLabel::Tenant(s.name.clone())
+            }
+            _ => TrackLabel::Plain,
+        };
         match tids.iter_mut().find(|(t, _)| *t == s.tid) {
-            Some((_, worker)) => {
-                if s.scope == SpanScope::Worker {
-                    *worker = Some(s.index);
+            Some((_, label)) => {
+                if rank(&candidate) > rank(label) {
+                    *label = candidate;
                 }
             }
-            None => tids.push((s.tid, (s.scope == SpanScope::Worker).then_some(s.index))),
+            None => tids.push((s.tid, candidate)),
         }
     }
     tids.sort_by_key(|&(t, _)| t);
-    for (tid, worker) in &tids {
+    for (tid, track) in &tids {
         if !first {
             out.push(',');
         }
         first = false;
-        let label = match worker {
-            Some(w) => format!("worker-{w}"),
-            None => format!("thread-{tid}"),
+        let label = match track {
+            TrackLabel::Worker(w) => format!("worker-{w}"),
+            TrackLabel::ServeWorker(w) => format!("serve-worker-{w}"),
+            TrackLabel::Tenant(name) => format!("tenant-{name}"),
+            TrackLabel::Plain => format!("thread-{tid}"),
         };
         write!(
             out,
@@ -151,6 +180,19 @@ mod tests {
         assert!(json.contains("\"name\":\"worker-3\""), "{json}");
         assert!(json.contains("\"name\":\"thread-1\""), "{json}");
         assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn serve_spans_label_tenant_and_serve_worker_tracks() {
+        let spans = vec![
+            record(SpanScope::Request, "pruned-60", 1001, 0, 900),
+            record(SpanScope::QueueWait, "pruned-60", 1001, 0, 400),
+            record(SpanScope::ServeCompute, "pruned-60", 2000, 400, 500),
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.contains("\"name\":\"tenant-pruned-60\""), "{json}");
+        assert!(json.contains("\"name\":\"serve-worker-3\""), "{json}");
+        assert!(!json.contains("thread-1001"), "{json}");
     }
 
     #[test]

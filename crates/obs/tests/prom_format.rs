@@ -1,0 +1,45 @@
+//! Prometheus exposition format checks — including the CI smoke hook.
+//!
+//! The CI workflow generates a metrics file with
+//! `cap serve --metrics-out metrics.prom`, then runs this test with
+//! `CAP_PROM_VALIDATE_FILE=metrics.prom`: the on-disk exposition must
+//! pass the strict [`cap_obs::validate_prometheus`] checker (`# TYPE`
+//! lines, no duplicate families, every sample parseable). Without the
+//! env var the test validates the in-process registry exposition, so
+//! it is meaningful in a plain `cargo test` too.
+
+use cap_obs::{metrics, prometheus_text, validate_prometheus};
+
+#[test]
+fn exposition_is_valid_prometheus_text() {
+    let (text, source) = match std::env::var("CAP_PROM_VALIDATE_FILE") {
+        Ok(path) => (
+            std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("CAP_PROM_VALIDATE_FILE {path:?}: {e}")),
+            path,
+        ),
+        Err(_) => (prometheus_text(&metrics().snapshot()), "registry".into()),
+    };
+    let stats = validate_prometheus(&text)
+        .unwrap_or_else(|e| panic!("invalid exposition from {source}: {e}"));
+    assert!(
+        stats.families >= 25,
+        "{source}: expected at least the 25 registry families, got {}",
+        stats.families
+    );
+    assert!(
+        stats.samples >= stats.families,
+        "{source}: every family needs at least one sample"
+    );
+    // The registry counters must be present whichever source we read.
+    for family in [
+        "cap_forward_passes_total",
+        "cap_serve_requests_total",
+        "cap_serve_latency_us",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "{source}: missing family {family}"
+        );
+    }
+}

@@ -62,11 +62,15 @@
 
 pub mod fleet;
 pub mod router;
+pub mod telemetry;
 pub mod tenant;
 pub mod trace;
 
 pub use router::{
     apply_env_overrides, Router, RouterConfig, ServeReport, ServedOutput, TenantReport,
+};
+pub use telemetry::{
+    append_serve_prometheus, TenantTelemetry, TENANT_TRACK_BASE, WORKER_TRACK_BASE,
 };
 pub use tenant::{ServiceModel, TenantConfig};
 pub use trace::{det_ln, generate_trace, ArrivalEvent, ArrivalPattern};

@@ -35,9 +35,15 @@
 //! `shedding_bounds_queue` test drives the system at many times its
 //! capacity and asserts both.
 
+use crate::telemetry::{
+    self, TenantTelemetry, C_ADMITTED, C_BATCHES, C_COMPLETED, C_OFFERED, C_SHED, C_VIOLATIONS,
+    H_BATCH_OCCUPANCY, H_LATENCY_US,
+};
 use crate::tenant::TenantConfig;
 use crate::trace::ArrivalEvent;
 use cap_cnn::{Network, ParallelEngine};
+use cap_obs::span::{NoopTracer, Tracer};
+use cap_obs::{SloPolicy, SloTracker, TimeSeries};
 use cap_tensor::{ShapeError, Tensor4, TensorResult};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -52,6 +58,17 @@ pub struct RouterConfig {
     /// Keep every request's output logits in the report (serving parity
     /// tests); off for load sweeps where only counts matter.
     pub collect_outputs: bool,
+    /// Telemetry rollup window, virtual µs (see
+    /// [`TenantTelemetry`]). Overridden by `CAP_SERVE_WINDOW_US`.
+    pub window_us: u64,
+    /// Retained telemetry windows per tenant (older windows are
+    /// evicted, keeping memory bounded on long traces).
+    pub series_windows: usize,
+    /// SLO availability target for error-budget accounting: the
+    /// fraction of requests that must complete within the tenant's
+    /// latency SLO without being shed. Burn-rate thresholds follow
+    /// [`SloPolicy::default`].
+    pub slo_target: f64,
 }
 
 impl Default for RouterConfig {
@@ -59,6 +76,9 @@ impl Default for RouterConfig {
         Self {
             workers: 2,
             collect_outputs: false,
+            window_us: 50_000,
+            series_windows: 256,
+            slo_target: 0.99,
         }
     }
 }
@@ -76,6 +96,9 @@ impl RouterConfig {
         let mut c = Self::default();
         if let Some(w) = env_u64("CAP_SERVE_WORKERS") {
             c.workers = (w as usize).max(1);
+        }
+        if let Some(w) = env_u64("CAP_SERVE_WINDOW_US") {
+            c.window_us = w.max(1);
         }
         c
     }
@@ -113,6 +136,7 @@ struct Pending {
 #[derive(Debug)]
 struct InFlight {
     finish_us: u64,
+    dispatch_us: u64,
     tenant: usize,
     reqs: Vec<Pending>,
 }
@@ -163,6 +187,16 @@ pub struct TenantReport {
     /// Adaptive batch cap at end of run (starts at 1, grows toward
     /// [`TenantConfig::target_batch`], backs off on SLO violations).
     pub final_batch_cap: usize,
+    /// Fraction of the run's SLO error budget consumed (1.0 = spent
+    /// exactly, > 1.0 = availability target missed). Bad events are
+    /// SLO-violating completions plus shed requests; the budget is
+    /// `1 - RouterConfig::slo_target`.
+    pub budget_consumed: f64,
+    /// Fast-burn (short-lookback) burn-rate alerts fired during the
+    /// run. Edge-triggered: one alert per excursion.
+    pub fast_burn_alerts: u64,
+    /// Slow-burn (long-lookback) burn-rate alerts fired during the run.
+    pub slow_burn_alerts: u64,
 }
 
 /// Whole-run serving outcome: per-tenant breakdowns plus the aggregate
@@ -256,6 +290,7 @@ impl TenantState {
 pub struct Router {
     config: RouterConfig,
     tenants: Vec<TenantState>,
+    telemetry: Vec<TenantTelemetry>,
     engine: ParallelEngine,
 }
 
@@ -265,6 +300,14 @@ impl Router {
     /// overrides (see [`apply_env_overrides`]) to every tenant.
     pub fn new(config: RouterConfig, tenants: Vec<(TenantConfig, Network)>) -> Self {
         let engine = ParallelEngine::new(config.workers);
+        let policy = SloPolicy {
+            target: config.slo_target,
+            ..SloPolicy::default()
+        };
+        let n_tenants = tenants.len();
+        let telemetry = (0..n_tenants)
+            .map(|_| TenantTelemetry::new(config.window_us, config.series_windows, policy))
+            .collect();
         let tenants = tenants
             .into_iter()
             .map(|(mut c, net)| {
@@ -291,6 +334,7 @@ impl Router {
         Self {
             config,
             tenants,
+            telemetry,
             engine,
         }
     }
@@ -298,6 +342,18 @@ impl Router {
     /// Tenant count.
     pub fn tenant_count(&self) -> usize {
         self.tenants.len()
+    }
+
+    /// Tenant `t`'s windowed time-series from the most recent
+    /// [`serve_trace`](Self::serve_trace) run.
+    pub fn tenant_series(&self, t: usize) -> Option<&TimeSeries> {
+        self.telemetry.get(t).map(|tt| &tt.series)
+    }
+
+    /// Tenant `t`'s SLO tracker (budget consumption, burn alerts) from
+    /// the most recent run.
+    pub fn tenant_slo(&self, t: usize) -> Option<&SloTracker> {
+        self.telemetry.get(t).map(|tt| &tt.slo)
     }
 
     /// Replay an arrival trace against the tenants and return the
@@ -315,6 +371,27 @@ impl Router {
         &mut self,
         events: &[ArrivalEvent],
         image_pools: &[Tensor4],
+    ) -> TensorResult<ServeReport> {
+        self.serve_trace_traced(events, image_pools, &NoopTracer)
+    }
+
+    /// [`serve_trace`](Self::serve_trace) with request-lifecycle span
+    /// emission: every completed request contributes a `Request` and a
+    /// nested `QueueWait` span on its tenant's track, and every
+    /// dispatched batch a `BatchAssembly` (tenant track) plus
+    /// `ServeCompute` (worker-slot track) span — all placed by the
+    /// virtual clock via [`Tracer::span_at`], so
+    /// [`cap_obs::chrome_trace_json`] renders the run as a Perfetto
+    /// timeline with one track per tenant plus worker tracks.
+    ///
+    /// Span emission is guarded by [`Tracer::enabled`]; with
+    /// [`NoopTracer`] this is exactly [`serve_trace`](Self::serve_trace)
+    /// (which delegates here).
+    pub fn serve_trace_traced<T: Tracer>(
+        &mut self,
+        events: &[ArrivalEvent],
+        image_pools: &[Tensor4],
+        tracer: &T,
     ) -> TensorResult<ServeReport> {
         if image_pools.len() != self.tenants.len() {
             return Err(ShapeError::new(format!(
@@ -338,6 +415,9 @@ impl Router {
             )));
         }
 
+        for tt in &mut self.telemetry {
+            tt.reset();
+        }
         let metrics = cap_obs::metrics();
         let mut outputs: Vec<ServedOutput> = Vec::new();
         let mut in_flight: Vec<Option<InFlight>> =
@@ -384,15 +464,31 @@ impl Router {
                     let f = slot.take().expect("checked occupied");
                     last_completion = last_completion.max(f.finish_us);
                     let tenant = &mut self.tenants[f.tenant];
+                    let tel = &mut self.telemetry[f.tenant];
+                    let traced = tracer.enabled();
                     let mut worst = 0u64;
                     for req in &f.reqs {
                         let lat = f.finish_us - req.arrival_us;
                         worst = worst.max(lat);
                         if lat > tenant.config.slo_us {
                             tenant.slo_violations += 1;
+                            tel.series.add(f.finish_us, C_VIOLATIONS, 1);
                         }
                         tenant.latencies.push(lat);
                         metrics.serve_latency_us.record(lat);
+                        tel.series.add(f.finish_us, C_COMPLETED, 1);
+                        tel.series.observe(f.finish_us, H_LATENCY_US, lat);
+                        if traced {
+                            telemetry::emit_request_spans(
+                                tracer,
+                                &tenant.config.name,
+                                f.tenant,
+                                req.seq,
+                                req.arrival_us,
+                                f.dispatch_us,
+                                f.finish_us,
+                            );
+                        }
                     }
                     // Adaptive batch sizing, AIMD: grow additively
                     // while compliant; back off ×¾ on a violation —
@@ -416,14 +512,18 @@ impl Router {
                 let e = events[ei];
                 ei += 1;
                 let tenant = &mut self.tenants[e.tenant];
+                let tel = &mut self.telemetry[e.tenant];
                 tenant.offered += 1;
                 metrics.serve_requests.inc();
+                tel.series.add(e.t_us, C_OFFERED, 1);
                 if tenant.queue.len() >= tenant.config.queue_cap {
                     tenant.shed += 1;
                     metrics.serve_shed.inc();
+                    tel.series.add(e.t_us, C_SHED, 1);
                 } else {
                     tenant.admitted += 1;
                     metrics.serve_admitted.inc();
+                    tel.series.add(e.t_us, C_ADMITTED, 1);
                     tenant.queue.push_back(Pending {
                         seq: e.seq,
                         arrival_us: e.t_us,
@@ -460,7 +560,24 @@ impl Router {
                 }
                 let logits = self.engine.run_chunk(&tenant.net, &tenant.chunk)?;
 
-                let finish_us = now + tenant.config.service.service_us(take);
+                let service_us = tenant.config.service.service_us(take);
+                let finish_us = now + service_us;
+                let tel = &mut self.telemetry[tidx];
+                tel.series.add(now, C_BATCHES, 1);
+                tel.series.observe(now, H_BATCH_OCCUPANCY, take as u64);
+                if tracer.enabled() {
+                    telemetry::emit_batch_spans(
+                        tracer,
+                        &tenant.config.name,
+                        tidx,
+                        tenant.batches,
+                        take,
+                        reqs[0].arrival_us,
+                        now,
+                        service_us,
+                        widx,
+                    );
+                }
                 tenant.batches += 1;
                 tenant.batch_images += take as u64;
                 metrics.serve_batches.inc();
@@ -478,6 +595,7 @@ impl Router {
                 }
                 in_flight[widx] = Some(InFlight {
                     finish_us,
+                    dispatch_us: now,
                     tenant: tidx,
                     reqs,
                 });
@@ -496,8 +614,10 @@ impl Router {
             throughput_per_s: 0.0,
             outputs,
         };
-        for t in &mut self.tenants {
+        for (t, tel) in self.tenants.iter_mut().zip(&mut self.telemetry) {
             t.latencies.sort_unstable();
+            tel.finalize_slo();
+            let standing = tel.standing();
             report.offered += t.offered;
             report.admitted += t.admitted;
             report.shed += t.shed;
@@ -521,6 +641,9 @@ impl Router {
                 slo_us: t.config.slo_us,
                 slo_violations: t.slo_violations,
                 final_batch_cap: t.batch_cap,
+                budget_consumed: standing.budget_consumed,
+                fast_burn_alerts: standing.fast_alerts as u64,
+                slow_burn_alerts: standing.slow_alerts as u64,
             });
         }
         if makespan_us > 0 {

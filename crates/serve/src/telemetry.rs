@@ -1,0 +1,323 @@
+//! Serving-side telemetry: the per-tenant windowed time-series schema,
+//! SLO error-budget tracking, request-lifecycle span emission, and the
+//! per-tenant Prometheus section.
+//!
+//! Everything here is driven by the router's virtual clock — window
+//! boundaries, span timestamps, burn-rate alerts — so the whole
+//! telemetry surface replays bit-identically with the scheduling it
+//! observes (pinned by `crates/serve/tests/determinism.rs`).
+
+use crate::router::{ServeReport, TenantReport};
+use cap_obs::span::{SpanInfo, SpanScope, Tracer};
+use cap_obs::{PromWriter, SloPolicy, SloStanding, SloTracker, TimeSeries};
+use std::time::Duration;
+
+/// Chrome-trace track id of tenant `t`'s request-lifecycle track
+/// (`tenant-<name>` in Perfetto): `TENANT_TRACK_BASE + t`.
+pub const TENANT_TRACK_BASE: u64 = 1_000;
+
+/// Chrome-trace track id of router worker slot `w`'s compute track
+/// (`serve-worker-<w>` in Perfetto): `WORKER_TRACK_BASE + w`.
+pub const WORKER_TRACK_BASE: u64 = 2_000;
+
+/// Column order of the per-tenant series counters.
+pub const SERIES_COUNTERS: [&str; 6] = [
+    "offered",
+    "admitted",
+    "shed",
+    "completed",
+    "violations",
+    "batches",
+];
+
+/// Column order of the per-tenant series histograms.
+pub const SERIES_HISTS: [&str; 2] = ["latency_us", "batch_occupancy"];
+
+/// Counter column indexes into [`SERIES_COUNTERS`].
+pub const C_OFFERED: usize = 0;
+/// See [`C_OFFERED`].
+pub const C_ADMITTED: usize = 1;
+/// See [`C_OFFERED`].
+pub const C_SHED: usize = 2;
+/// See [`C_OFFERED`].
+pub const C_COMPLETED: usize = 3;
+/// See [`C_OFFERED`].
+pub const C_VIOLATIONS: usize = 4;
+/// See [`C_OFFERED`].
+pub const C_BATCHES: usize = 5;
+
+/// Histogram column indexes into [`SERIES_HISTS`].
+pub const H_LATENCY_US: usize = 0;
+/// See [`H_LATENCY_US`].
+pub const H_BATCH_OCCUPANCY: usize = 1;
+
+/// One tenant's telemetry for one serve run: the windowed series the
+/// router feeds event by event, and the SLO tracker derived from it at
+/// the end of the run.
+#[derive(Debug, Clone)]
+pub struct TenantTelemetry {
+    /// Windowed rollups of the [`SERIES_COUNTERS`]/[`SERIES_HISTS`]
+    /// schema, keyed by the router's virtual clock.
+    pub series: TimeSeries,
+    /// Error-budget accounting fed from the series by
+    /// [`finalize_slo`](Self::finalize_slo).
+    pub slo: SloTracker,
+    window_us: u64,
+    capacity: usize,
+    policy: SloPolicy,
+}
+
+impl TenantTelemetry {
+    /// Fresh telemetry: `capacity` retained windows of `window_us`
+    /// virtual microseconds, SLO policy `policy`.
+    pub fn new(window_us: u64, capacity: usize, policy: SloPolicy) -> Self {
+        Self {
+            series: TimeSeries::new(window_us, capacity, &SERIES_COUNTERS, &SERIES_HISTS),
+            slo: SloTracker::new(policy),
+            window_us,
+            capacity,
+            policy,
+        }
+    }
+
+    /// Clear all state for a new serve run (each run gets a fresh
+    /// series so repeat calls on one router stay independent).
+    pub fn reset(&mut self) {
+        self.series = TimeSeries::new(
+            self.window_us,
+            self.capacity,
+            &SERIES_COUNTERS,
+            &SERIES_HISTS,
+        );
+        self.slo = SloTracker::new(self.policy);
+    }
+
+    /// Feed the finished series into the SLO tracker, window by window
+    /// in ascending order: `bad` = SLO violations + shed requests,
+    /// `good` = compliant completions. Pure function of the series, so
+    /// the alert sequence replays exactly.
+    pub fn finalize_slo(&mut self) {
+        let windows: Vec<(u64, u64, u64)> = self
+            .series
+            .windows()
+            .iter()
+            .map(|w| {
+                let bad = w.counters[C_VIOLATIONS] + w.counters[C_SHED];
+                let good = w.counters[C_COMPLETED].saturating_sub(w.counters[C_VIOLATIONS]);
+                (w.index, good, bad)
+            })
+            .collect();
+        for (index, good, bad) in windows {
+            self.slo.record_window(index, good, bad);
+        }
+    }
+
+    /// Current SLO standing (call after
+    /// [`finalize_slo`](Self::finalize_slo)).
+    pub fn standing(&self) -> SloStanding {
+        self.slo.standing()
+    }
+}
+
+/// Emit one request's lifecycle spans at completion: the whole-life
+/// `Request` span plus its nested `QueueWait`, both on the tenant's
+/// track with virtual-clock placement.
+#[inline]
+pub(crate) fn emit_request_spans<T: Tracer>(
+    tracer: &T,
+    tenant_name: &str,
+    tenant_idx: usize,
+    seq: u64,
+    arrival_us: u64,
+    dispatch_us: u64,
+    finish_us: u64,
+) {
+    let track = TENANT_TRACK_BASE + tenant_idx as u64;
+    let info = SpanInfo {
+        scope: SpanScope::Request,
+        name: tenant_name,
+        kind: "request",
+        shape: [1, 0, 0, 0],
+        index: seq as usize,
+    };
+    tracer.span_at(
+        &info,
+        Duration::from_micros(arrival_us),
+        Duration::from_micros(finish_us - arrival_us),
+        track,
+    );
+    let info = SpanInfo {
+        scope: SpanScope::QueueWait,
+        name: tenant_name,
+        kind: "queue_wait",
+        shape: [1, 0, 0, 0],
+        index: seq as usize,
+    };
+    tracer.span_at(
+        &info,
+        Duration::from_micros(arrival_us),
+        Duration::from_micros(dispatch_us - arrival_us),
+        track,
+    );
+}
+
+/// Emit one dispatched batch's spans: the `BatchAssembly` window
+/// (head-of-line arrival → dispatch) on the tenant track, and the
+/// `ServeCompute` service span on the worker slot's track.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_batch_spans<T: Tracer>(
+    tracer: &T,
+    tenant_name: &str,
+    tenant_idx: usize,
+    batch_seq: u64,
+    batch_size: usize,
+    head_arrival_us: u64,
+    dispatch_us: u64,
+    service_us: u64,
+    worker_slot: usize,
+) {
+    let info = SpanInfo {
+        scope: SpanScope::BatchAssembly,
+        name: tenant_name,
+        kind: "batch_assembly",
+        shape: [batch_size, 0, 0, 0],
+        index: batch_seq as usize,
+    };
+    tracer.span_at(
+        &info,
+        Duration::from_micros(head_arrival_us),
+        Duration::from_micros(dispatch_us - head_arrival_us),
+        TENANT_TRACK_BASE + tenant_idx as u64,
+    );
+    let info = SpanInfo {
+        scope: SpanScope::ServeCompute,
+        name: tenant_name,
+        kind: "serve_compute",
+        shape: [batch_size, 0, 0, 0],
+        index: worker_slot,
+    };
+    tracer.span_at(
+        &info,
+        Duration::from_micros(dispatch_us),
+        Duration::from_micros(service_us),
+        WORKER_TRACK_BASE + worker_slot as u64,
+    );
+}
+
+/// Append the per-tenant serving section to a Prometheus exposition:
+/// labeled admission/violation counters, latency-quantile gauges, and
+/// the SLO standing (budget consumed, burn alerts) from a finished
+/// [`ServeReport`].
+pub fn append_serve_prometheus(w: &mut PromWriter, report: &ServeReport) {
+    let tenant_counter =
+        |w: &mut PromWriter, name: &str, help: &str, f: &dyn Fn(&TenantReport) -> u64| {
+            for t in &report.tenants {
+                w.counter(name, help, &[("tenant", &t.name)], f(t));
+            }
+        };
+    tenant_counter(
+        w,
+        "cap_tenant_offered_total",
+        "Requests offered to the tenant.",
+        &|t| t.offered,
+    );
+    tenant_counter(w, "cap_tenant_admitted_total", "Requests admitted.", &|t| {
+        t.admitted
+    });
+    tenant_counter(
+        w,
+        "cap_tenant_shed_total",
+        "Requests shed at admission.",
+        &|t| t.shed,
+    );
+    tenant_counter(
+        w,
+        "cap_tenant_completed_total",
+        "Requests completed.",
+        &|t| t.completed,
+    );
+    tenant_counter(
+        w,
+        "cap_tenant_slo_violations_total",
+        "Completions over the latency SLO.",
+        &|t| t.slo_violations,
+    );
+    tenant_counter(w, "cap_tenant_batches_total", "Batches dispatched.", &|t| {
+        t.batches
+    });
+    for t in &report.tenants {
+        let l = [("tenant", t.name.as_str())];
+        w.gauge(
+            "cap_tenant_latency_p50_us",
+            "Median end-to-end latency, virtual us.",
+            &l,
+            t.p50_us as f64,
+        );
+        w.gauge(
+            "cap_tenant_latency_p99_us",
+            "p99 end-to-end latency, virtual us.",
+            &l,
+            t.p99_us as f64,
+        );
+        w.gauge(
+            "cap_tenant_error_budget_consumed",
+            "Fraction of the SLO error budget consumed (1.0 = spent).",
+            &l,
+            t.budget_consumed,
+        );
+        w.gauge(
+            "cap_tenant_burn_alerts",
+            "Burn-rate alerts fired during the run, by rule.",
+            &[("tenant", t.name.as_str()), ("rule", "fast")],
+            t.fast_burn_alerts as f64,
+        );
+        w.gauge(
+            "cap_tenant_burn_alerts",
+            "Burn-rate alerts fired during the run, by rule.",
+            &[("tenant", t.name.as_str()), ("rule", "slow")],
+            t.slow_burn_alerts as f64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_indexes_match_names() {
+        assert_eq!(SERIES_COUNTERS[C_OFFERED], "offered");
+        assert_eq!(SERIES_COUNTERS[C_ADMITTED], "admitted");
+        assert_eq!(SERIES_COUNTERS[C_SHED], "shed");
+        assert_eq!(SERIES_COUNTERS[C_COMPLETED], "completed");
+        assert_eq!(SERIES_COUNTERS[C_VIOLATIONS], "violations");
+        assert_eq!(SERIES_COUNTERS[C_BATCHES], "batches");
+        assert_eq!(SERIES_HISTS[H_LATENCY_US], "latency_us");
+        assert_eq!(SERIES_HISTS[H_BATCH_OCCUPANCY], "batch_occupancy");
+    }
+
+    #[test]
+    fn finalize_slo_derives_good_bad_from_series() {
+        let mut tt = TenantTelemetry::new(1_000, 64, SloPolicy::default());
+        // Window 0: 10 completions, 2 violations, 1 shed → good 8, bad 3.
+        tt.series.add(500, C_COMPLETED, 10);
+        tt.series.add(500, C_VIOLATIONS, 2);
+        tt.series.add(500, C_SHED, 1);
+        tt.finalize_slo();
+        let s = tt.standing();
+        assert_eq!(s.good, 8);
+        assert_eq!(s.bad, 3);
+        assert!(s.budget_consumed > 1.0, "3/11 bad blows a 1% budget");
+    }
+
+    #[test]
+    fn reset_clears_between_runs() {
+        let mut tt = TenantTelemetry::new(1_000, 64, SloPolicy::default());
+        tt.series.add(0, C_OFFERED, 5);
+        tt.finalize_slo();
+        tt.reset();
+        assert!(tt.series.windows().is_empty());
+        assert_eq!(tt.standing().good + tt.standing().bad, 0);
+    }
+}

@@ -38,6 +38,7 @@ fn overload_sheds_bounded_and_counted() {
         RouterConfig {
             workers: 1,
             collect_outputs: false,
+            ..RouterConfig::default()
         },
         vec![(slow_tenant("hot"), fleet::demo_network(4))],
     );
@@ -85,6 +86,7 @@ fn shed_counts_are_deterministic() {
             RouterConfig {
                 workers: 2,
                 collect_outputs: false,
+                ..RouterConfig::default()
             },
             vec![(slow_tenant("hot"), fleet::demo_network(4))],
         );
@@ -115,6 +117,7 @@ fn underload_sheds_nothing() {
         RouterConfig {
             workers: 1,
             collect_outputs: false,
+            ..RouterConfig::default()
         },
         vec![(slow_tenant("cool"), fleet::demo_network(4))],
     );
@@ -143,6 +146,7 @@ fn overload_on_one_tenant_leaves_the_other_clean() {
         RouterConfig {
             workers: 2,
             collect_outputs: false,
+            ..RouterConfig::default()
         },
         vec![
             (slow_tenant("hot"), fleet::demo_network(4)),

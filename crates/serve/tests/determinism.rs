@@ -1,0 +1,189 @@
+//! The telemetry determinism contract: two serve runs with the same
+//! seed produce byte-identical time-series JSON, identical burn-rate
+//! alert sequences, and identical lifecycle span lists — because every
+//! telemetry value derives from the router's virtual clock, never a
+//! wall clock.
+
+use cap_obs::{chrome_trace_json, CollectingTracer, SpanScope};
+use cap_serve::{
+    fleet, generate_trace, ArrivalPattern, Router, RouterConfig, TENANT_TRACK_BASE,
+    WORKER_TRACK_BASE,
+};
+
+const SEED: u64 = 909;
+
+fn config() -> RouterConfig {
+    RouterConfig {
+        workers: 2,
+        // Small windows so a 0.3 s trace spans many of them.
+        window_us: 10_000,
+        ..RouterConfig::default()
+    }
+}
+
+fn tenants() -> Vec<(cap_serve::TenantConfig, cap_cnn::Network)> {
+    vec![
+        fleet::pruned_tenant("dense", 1, 0.0),
+        fleet::pruned_tenant("pruned-60", 2, 0.6),
+    ]
+}
+
+fn patterns() -> Vec<ArrivalPattern> {
+    vec![
+        ArrivalPattern::Poisson { rate_per_s: 900.0 },
+        ArrivalPattern::Burst {
+            base_per_s: 300.0,
+            burst_per_s: 5_000.0,
+            burst_every_s: 0.1,
+            burst_len_s: 0.03,
+        },
+    ]
+}
+
+/// Per-run telemetry artifacts: per-tenant series JSON, per-tenant
+/// alert tuples (kind, window, burn rate), and the chrome trace JSON.
+type RunArtifacts = (Vec<String>, Vec<Vec<(String, u64, f64)>>, String);
+
+fn run() -> RunArtifacts {
+    let mut router = Router::new(config(), tenants());
+    let trace = generate_trace(SEED, &patterns(), 0.3);
+    let pool = fleet::demo_images(6);
+    let tracer = CollectingTracer::new();
+    router
+        .serve_trace_traced(&trace, &[pool.clone(), pool], &tracer)
+        .expect("serve");
+    let series_json: Vec<String> = (0..router.tenant_count())
+        .map(|t| router.tenant_series(t).unwrap().to_json())
+        .collect();
+    let alerts: Vec<Vec<(String, u64, f64)>> = (0..router.tenant_count())
+        .map(|t| {
+            router
+                .tenant_slo(t)
+                .unwrap()
+                .alerts()
+                .iter()
+                .map(|a| (a.kind.to_string(), a.window_index, a.burn_rate))
+                .collect()
+        })
+        .collect();
+    let trace_json = chrome_trace_json(&tracer.take_spans());
+    (series_json, alerts, trace_json)
+}
+
+/// The headline contract: series JSON byte-identical, alert sequences
+/// identical, and even the rendered Chrome trace byte-identical.
+#[test]
+fn same_seed_replays_telemetry_byte_identically() {
+    let (series_a, alerts_a, trace_a) = run();
+    let (series_b, alerts_b, trace_b) = run();
+    assert_eq!(
+        series_a, series_b,
+        "time-series JSON must be byte-identical"
+    );
+    assert_eq!(alerts_a, alerts_b, "alert sequences must replay exactly");
+    assert_eq!(trace_a, trace_b, "span timelines must replay exactly");
+    // And the run actually produced telemetry worth comparing.
+    assert!(series_a.iter().all(|s| s.contains("\"windows\":[{")));
+}
+
+/// The series is internally consistent with the report: per-tenant
+/// counter totals equal the report's admission counts.
+#[test]
+fn series_totals_match_report_counts() {
+    let mut router = Router::new(config(), tenants());
+    let trace = generate_trace(SEED, &patterns(), 0.3);
+    let pool = fleet::demo_images(6);
+    let report = router
+        .serve_trace(&trace, &[pool.clone(), pool])
+        .expect("serve");
+    for (t, tr) in report.tenants.iter().enumerate() {
+        let series = router.tenant_series(t).unwrap();
+        let total = |name: &str| series.counter_total(series.counter_idx(name).unwrap());
+        assert_eq!(total("offered"), tr.offered, "tenant {t} offered");
+        assert_eq!(total("admitted"), tr.admitted, "tenant {t} admitted");
+        assert_eq!(total("shed"), tr.shed, "tenant {t} shed");
+        assert_eq!(total("completed"), tr.completed, "tenant {t} completed");
+        assert_eq!(
+            total("violations"),
+            tr.slo_violations,
+            "tenant {t} violations"
+        );
+        assert_eq!(total("batches"), tr.batches, "tenant {t} batches");
+        let lat = series.hist_merged(series.hist_idx("latency_us").unwrap());
+        assert_eq!(lat.count, tr.completed, "tenant {t} latency samples");
+    }
+}
+
+/// Lifecycle spans land on the planned tracks: request/queue-wait and
+/// batch-assembly on `TENANT_TRACK_BASE + t`, compute on
+/// `WORKER_TRACK_BASE + slot`, and each request's spans nest (queue
+/// wait within the request, request within the run).
+#[test]
+fn lifecycle_spans_use_tenant_and_worker_tracks() {
+    let mut router = Router::new(config(), tenants());
+    let trace = generate_trace(SEED, &patterns(), 0.3);
+    let pool = fleet::demo_images(6);
+    let tracer = CollectingTracer::new();
+    let report = router
+        .serve_trace_traced(&trace, &[pool.clone(), pool], &tracer)
+        .expect("serve");
+    let spans = tracer.take_spans();
+    let count = |scope: SpanScope| spans.iter().filter(|s| s.scope == scope).count() as u64;
+    assert_eq!(count(SpanScope::Request), report.completed);
+    assert_eq!(count(SpanScope::QueueWait), report.completed);
+    assert_eq!(count(SpanScope::BatchAssembly), report.batches);
+    assert_eq!(count(SpanScope::ServeCompute), report.batches);
+    for s in &spans {
+        match s.scope {
+            SpanScope::Request | SpanScope::QueueWait | SpanScope::BatchAssembly => {
+                let t = s.tid - TENANT_TRACK_BASE;
+                assert!(t < report.tenants.len() as u64, "tid {} off-track", s.tid);
+                assert_eq!(s.name, report.tenants[t as usize].name);
+            }
+            SpanScope::ServeCompute => {
+                let w = s.tid - WORKER_TRACK_BASE;
+                assert!(w < 2, "compute span on unknown worker slot {w}");
+            }
+            other => panic!("unexpected scope {other:?} from a serve run"),
+        }
+    }
+    // Per-request nesting: the queue-wait span shares its start with
+    // the request span and never outlives it.
+    for q in spans.iter().filter(|s| s.scope == SpanScope::QueueWait) {
+        let r = spans
+            .iter()
+            .find(|s| s.scope == SpanScope::Request && s.index == q.index && s.tid == q.tid)
+            .expect("matching request span");
+        assert_eq!(q.start, r.start);
+        assert!(q.elapsed <= r.elapsed);
+    }
+}
+
+/// `serve_trace` (untraced) and `serve_trace_traced` with a collecting
+/// tracer must agree on every scheduling outcome — tracing observes,
+/// never perturbs.
+#[test]
+fn tracing_does_not_perturb_scheduling() {
+    let trace = generate_trace(SEED, &patterns(), 0.3);
+    let pool = fleet::demo_images(6);
+    let mut quiet = Router::new(config(), tenants());
+    let a = quiet
+        .serve_trace(&trace, &[pool.clone(), pool.clone()])
+        .expect("serve");
+    let mut traced = Router::new(config(), tenants());
+    let tracer = CollectingTracer::new();
+    let b = traced
+        .serve_trace_traced(&trace, &[pool.clone(), pool], &tracer)
+        .expect("serve");
+    assert_eq!(a.admitted, b.admitted);
+    assert_eq!(a.shed, b.shed);
+    assert_eq!(a.batches, b.batches);
+    assert_eq!(a.makespan_us, b.makespan_us);
+    for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
+        assert_eq!(ta.p50_us, tb.p50_us);
+        assert_eq!(ta.p99_us, tb.p99_us);
+        assert_eq!(ta.budget_consumed, tb.budget_consumed);
+        assert_eq!(ta.fast_burn_alerts, tb.fast_burn_alerts);
+        assert_eq!(ta.slow_burn_alerts, tb.slow_burn_alerts);
+    }
+}

@@ -24,6 +24,7 @@ fn serving_run_feeds_the_global_registry() {
         RouterConfig {
             workers: 1,
             collect_outputs: false,
+            ..RouterConfig::default()
         },
         vec![(cfg, fleet::demo_network(6))],
     );

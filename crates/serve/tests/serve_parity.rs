@@ -36,6 +36,7 @@ fn served_logits_equal_offline_run_batched_bitwise() {
         RouterConfig {
             workers: 2,
             collect_outputs: true,
+            ..RouterConfig::default()
         },
         tenants,
     );
@@ -96,6 +97,7 @@ fn parity_holds_for_pruned_tenants() {
         RouterConfig {
             workers: 1,
             collect_outputs: true,
+            ..RouterConfig::default()
         },
         vec![(cfg, net)],
     );

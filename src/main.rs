@@ -7,6 +7,8 @@
 //! cap explore --w 1000000 --deadline-h 10 --budget 300
 //! cap allocate --w 1000000 --deadline-h 10 --budget 300
 //! cap serve --load 2 --workers 2 --seed 42   # multi-tenant serving demo
+//! cap serve --metrics-out metrics.prom       # + Prometheus exposition
+//! CAP_OBS_PROM_ADDR=127.0.0.1:9464 cap serve --duration 5  # live scrape endpoint
 //! ```
 
 use cloud_cost_accuracy::prelude::*;
@@ -27,7 +29,9 @@ fn main() {
             eprintln!("  spec <caffenet|googlenet> --top5 <floor> | --top1 <floor>");
             eprintln!("  explore  [--w N] [--deadline-h H] [--budget USD]");
             eprintln!("  allocate [--w N] [--deadline-h H] [--budget USD]");
-            eprintln!("  serve    [--load X] [--workers N] [--seed S] [--duration S]");
+            eprintln!(
+                "  serve    [--load X] [--workers N] [--seed S] [--duration S] [--metrics-out FILE]"
+            );
             2
         }
     };
@@ -46,6 +50,13 @@ fn flag(args: &[String], name: &str) -> Option<f64> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+fn flag_str<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn cmd_characterize(args: &[String]) -> i32 {
@@ -202,6 +213,20 @@ fn cmd_serve(args: &[String]) -> i32 {
     let workers = flag(args, "--workers").unwrap_or(2.0).max(1.0) as usize;
     let seed = flag(args, "--seed").unwrap_or(42.0) as u64;
     let duration_s = flag(args, "--duration").unwrap_or(0.5).clamp(0.01, 10.0);
+    let metrics_out = flag_str(args, "--metrics-out");
+
+    // Live scrape endpoint: serve the registry exposition over plain
+    // HTTP while the run executes. Opt-in via env so the default CLI
+    // path never opens a socket.
+    if let Ok(addr) = std::env::var("CAP_OBS_PROM_ADDR") {
+        match cap_obs::spawn_exporter(&addr) {
+            Ok(bound) => eprintln!("prometheus exporter listening on http://{bound}/metrics"),
+            Err(e) => {
+                eprintln!("serve: CAP_OBS_PROM_ADDR {addr}: {e}");
+                return 1;
+            }
+        }
+    }
 
     let tenants = vec![
         fleet::pruned_tenant("dense", 1, 0.0),
@@ -211,6 +236,7 @@ fn cmd_serve(args: &[String]) -> i32 {
         RouterConfig {
             workers,
             collect_outputs: false,
+            ..RouterConfig::default()
         },
         tenants,
     );
@@ -266,6 +292,26 @@ fn cmd_serve(args: &[String]) -> i32 {
         p2.name,
         p2.price_per_hour
     );
+
+    // Prometheus exposition of the finished run: the registry families
+    // plus the per-tenant serving section (admission counters, latency
+    // quantiles, error-budget standing). The file passes the strict
+    // cap_obs checker — CI smoke-validates it via CAP_PROM_VALIDATE_FILE.
+    if let Some(path) = metrics_out {
+        let mut w = cap_obs::PromWriter::new();
+        cap_obs::append_registry(&mut w, &cap_obs::metrics().snapshot());
+        cloud_cost_accuracy::serve::append_serve_prometheus(&mut w, &report);
+        let text = w.finish();
+        if let Err(e) = cap_obs::validate_prometheus(&text) {
+            eprintln!("serve: generated exposition failed validation: {e}");
+            return 1;
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("serve: failed writing {path}: {e}");
+            return 1;
+        }
+        println!("wrote {path}");
+    }
     0
 }
 
