@@ -1,0 +1,81 @@
+//! Int8 quantized-kernel ablation: f32 packed GEMM vs the int8 path
+//! (runtime activation quantize + int8 GEMM) under each dispatch path,
+//! plus the bare activation-quantize overhead that separates the two
+//! (DESIGN.md §12 int8 execution model).
+
+use cap_tensor::kernels::{self, Epilogue, KernelPath};
+use cap_tensor::{
+    gemm_i8, gemm_prepacked, quantize_rows_into, symmetric_scale, Matrix, PackedB, PackedBI8,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn mat(rows: usize, cols: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        (((r * 31 + c * 17 + salt) % 29) as f32 - 14.0) / 15.0
+    })
+}
+
+/// Run `body` with the dispatcher pinned to `path`, restoring auto
+/// selection afterwards so benches don't leak state into each other.
+fn forced<T>(path: KernelPath, body: impl FnOnce() -> T) -> T {
+    kernels::force(Some(path));
+    let out = body();
+    kernels::force(None);
+    out
+}
+
+fn bench_shape(c: &mut Criterion, group_name: &str, m: usize, k: usize, n: usize) {
+    let a = mat(m, k, 1);
+    let b = mat(k, n, 2);
+    let pb_f32 = PackedB::pack(&b);
+    let pb_i8 = PackedBI8::pack(&b, symmetric_scale(b.as_slice()));
+    let a_scale = symmetric_scale(a.as_slice());
+    let mut c_out = Matrix::zeros(m, n);
+    let mut group = c.benchmark_group(group_name);
+    for path in kernels::available_paths() {
+        group.bench_function(BenchmarkId::new("f32", path.name()), |bch| {
+            forced(path, || {
+                bch.iter(|| gemm_prepacked(&a, &pb_f32, &mut c_out).unwrap())
+            })
+        });
+        let mut qa: Vec<i8> = Vec::new();
+        group.bench_function(BenchmarkId::new("int8", path.name()), |bch| {
+            forced(path, || {
+                bch.iter(|| {
+                    let kp = quantize_rows_into(a.as_slice(), m, k, 1.0 / a_scale, &mut qa);
+                    gemm_i8(
+                        &qa,
+                        m,
+                        kp,
+                        n,
+                        pb_i8.data(),
+                        c_out.as_mut_slice(),
+                        pb_i8.scale() * a_scale,
+                        Epilogue::NONE,
+                    )
+                    .unwrap()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantize_paths(c: &mut Criterion) {
+    // Caffenet conv2-like GEMM (the band kernel) and a batch-1 FC
+    // slice (the GEMV route).
+    bench_shape(c, "quantize_gemm_256x1200x729", 256, 1200, 729);
+    bench_shape(c, "quantize_gemv_1x4096x1000", 1, 4096, 1000);
+
+    // The activation quantize alone: the per-call overhead the int8 arm
+    // pays before its GEMM starts.
+    let a = mat(256, 1200, 1);
+    let inv = 1.0 / symmetric_scale(a.as_slice());
+    let mut qa: Vec<i8> = Vec::new();
+    c.bench_function("quantize_rows_256x1200", |bch| {
+        bch.iter(|| quantize_rows_into(a.as_slice(), 256, 1200, inv, &mut qa))
+    });
+}
+
+criterion_group!(benches, bench_quantize_paths);
+criterion_main!(benches);

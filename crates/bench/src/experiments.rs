@@ -12,6 +12,7 @@ mod kernels_exp;
 mod measured;
 mod metrics_exp;
 pub mod profile;
+mod quantize_exp;
 pub mod scaling_exp;
 mod sensitivity;
 pub mod sentinel;
@@ -138,6 +139,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         "serve",
         "Online serving: multi-tenant dynamic batching under open-loop load (throughput vs p50/p99 + cost/1k)",
         serve_exp::serve,
+    ),
+    (
+        "quantize",
+        "Ablation: int8 quantized kernels vs f32 (CAP_TENSOR_PRECISION) + joint prune x quantize frontier",
+        quantize_exp::quantize_ablation,
     ),
     (
         "ablation-alloc",

@@ -9,7 +9,7 @@ use cap_pruning::prune_magnitude;
 use std::fmt::Write;
 use std::time::Instant;
 
-fn train(data: &SyntheticImageNet, seed: u64) -> TinyNet {
+pub(crate) fn train(data: &SyntheticImageNet, seed: u64) -> TinyNet {
     let mut net = TinyNet::new(data.image_shape, 8, 12, data.classes, seed).expect("shape ok");
     let mut sgd = Sgd::new(0.03, 0.9);
     for _epoch in 0..5 {

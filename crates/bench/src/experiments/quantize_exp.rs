@@ -1,0 +1,280 @@
+//! Int8 quantization ablation: the *executed* member of the paper's
+//! §2.1 quantization knob family (`cap_pruning::quantize` is the
+//! simulated one). Three sections:
+//!
+//! 1. **Kernel arm** — f32 packed GEMM vs int8 packed GEMM on
+//!    conv-shaped problems, per dispatch path. The int8 timing
+//!    includes the runtime activation quantize (weights are pre-packed
+//!    in both arms), so the ratio is what a conv layer actually sees.
+//! 2. **Network arm** — a really-trained TinyNet converted to a layer
+//!    [`cap_cnn::network::Network`] and run twice through the *same*
+//!    code path: `CAP_TENSOR_PRECISION` f32 vs int8 (forced via
+//!    `precision::force`). Measured top-1/top-5 delta and throughput.
+//! 3. **Joint frontier** — a [`PrecisionModel`] built from the TinyNet
+//!    accuracy drops and the conv2-like kernel speedup (TinyNet's toy
+//!    GEMMs are quantize-overhead-bound, so its throughput ratio is
+//!    not representative of paper-scale layers); crossing it with the
+//!    calibrated Caffenet 60-version grid yields the 120-cell joint
+//!    prune × precision space, its Pareto frontier, and the
+//!    accuracy-floor sweet-spot map (`cap_core::joint`).
+//!
+//! Numbers are measured on this host, min-of-repeats; on a non-AVX2
+//! host the kernel table degenerates to the scalar arm only.
+
+use super::kernels_exp::best_secs;
+use super::measured::train;
+use cap_cnn::{evaluate_topk, run_batched};
+use cap_core::{caffenet_version_grid, joint_frontier, joint_grid, sweet_spots, PrecisionModel};
+use cap_data::SyntheticImageNet;
+use cap_pruning::profile::caffenet_profile;
+use cap_tensor::kernels::{self, Epilogue};
+use cap_tensor::{
+    gemm_i8, gemm_prepacked, precision, quantize_rows_into, symmetric_scale, CalibrationMethod,
+    Matrix, PackedB, PackedBI8, Precision,
+};
+use std::fmt::Write;
+use std::time::Instant;
+
+/// Conv-shaped GEMM problems, `(label, m, k, n)`: Caffenet's conv2 /
+/// conv3 im2col shapes plus a batch-1 FC slice (GEMV route).
+const SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("conv2-like 256x1200x729", 256, 1200, 729),
+    ("conv3-like 384x2304x169", 384, 2304, 169),
+    ("fc batch-1 1x4096x1000", 1, 4096, 1000),
+];
+
+fn deterministic_matrix(rows: usize, cols: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        (((r * 31 + c * 17 + salt) % 29) as f32 - 14.0) / 15.0
+    })
+}
+
+fn scores_matrix(outputs: &[Vec<f32>]) -> Matrix {
+    let classes = outputs.first().map_or(0, Vec::len);
+    let flat: Vec<f32> = outputs.iter().flatten().copied().collect();
+    Matrix::from_vec(outputs.len(), classes, flat).expect("rectangular logits")
+}
+
+/// The `quantize` registry entry.
+pub fn quantize_ablation() -> String {
+    let mut out = String::new();
+    writeln!(out, "# Int8 ablation: quantized kernels + joint frontier").unwrap();
+
+    // --- 1. Kernel arm -----------------------------------------------------
+    let paths = kernels::available_paths();
+    let dispatched = kernels::selected();
+    // int8/f32 ratio on the conv2-like shape under the dispatched path:
+    // the speedup a Caffenet-scale conv layer sees, fed to the joint
+    // model below (TinyNet's toy GEMMs are quantize-overhead-bound).
+    let mut conv_speedup = 1.0_f64;
+    writeln!(
+        out,
+        "\n## Packed GEMM, f32 vs int8 (GOP/s, best of repeated runs)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<26} {:>9} {:>10} {:>10} {:>8}",
+        "shape", "path", "f32", "int8", "int8/f32"
+    )
+    .unwrap();
+    for &(label, m, k, n) in SHAPES {
+        let a = deterministic_matrix(m, k, 1);
+        let b = deterministic_matrix(k, n, 2);
+        let pb_f32 = PackedB::pack(&b);
+        let w_scale = symmetric_scale(b.as_slice());
+        let pb_i8 = PackedBI8::pack(&b, w_scale);
+        let a_scale = symmetric_scale(a.as_slice());
+        let mut c = Matrix::zeros(m, n);
+        let ops = 2.0 * m as f64 * k as f64 * n as f64;
+        for &p in &paths {
+            kernels::force(Some(p));
+            let f32_secs = best_secs(|| gemm_prepacked(&a, &pb_f32, &mut c).unwrap());
+            let mut qa: Vec<i8> = Vec::new();
+            let int8_secs = best_secs(|| {
+                let kp = quantize_rows_into(a.as_slice(), m, k, 1.0 / a_scale, &mut qa);
+                gemm_i8(
+                    &qa,
+                    m,
+                    kp,
+                    n,
+                    pb_i8.data(),
+                    c.as_mut_slice(),
+                    pb_i8.scale() * a_scale,
+                    Epilogue::NONE,
+                )
+                .unwrap();
+            });
+            kernels::force(None);
+            if label.starts_with("conv2") && p == dispatched {
+                conv_speedup = f32_secs / int8_secs;
+            }
+            writeln!(
+                out,
+                "{label:<26} {:>9} {:>10.2} {:>10.2} {:>7.2}x",
+                p.name(),
+                ops / f32_secs / 1e9,
+                ops / int8_secs / 1e9,
+                f32_secs / int8_secs
+            )
+            .unwrap();
+        }
+    }
+
+    // --- 2. Network arm ----------------------------------------------------
+    writeln!(out, "\n## TinyNet end-to-end: f32 vs int8 (same weights)").unwrap();
+    let data = SyntheticImageNet::tiny(2026);
+    let tiny = train(&data, 7);
+    let net = tiny.to_network().expect("tinynet as layer network");
+    let (test_x, test_labels) = data.batch(10_000, 256);
+    let (cal_x, _) = data.batch(30_000, 64);
+    net.calibrate(&cal_x, CalibrationMethod::MaxAbs)
+        .expect("calibration pass");
+
+    let mut arms = Vec::new();
+    for (name, prec) in [("f32", None), ("int8", Some(Precision::Int8))] {
+        precision::force(prec);
+        let (outputs, _) = run_batched(&net, &test_x, 64).unwrap(); // warm
+        let mut secs = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            run_batched(&net, &test_x, 64).unwrap();
+            secs = secs.min(t.elapsed().as_secs_f64());
+        }
+        precision::force(None);
+        let acc = evaluate_topk(&scores_matrix(&outputs), &test_labels).unwrap();
+        let s_per_img = secs / test_x.shape().0 as f64;
+        writeln!(
+            out,
+            "{name:<6} top1 {:>5.1}%  top5 {:>5.1}%  {:>8.1} img/s  ({:.1} us/img)",
+            acc.top1 * 100.0,
+            acc.top5 * 100.0,
+            1.0 / s_per_img,
+            s_per_img * 1e6
+        )
+        .unwrap();
+        arms.push((acc.top1, acc.top5, s_per_img));
+    }
+    let net_model = PrecisionModel::from_measured(arms[0], arms[1]);
+    writeln!(
+        out,
+        "tinynet arms: int8/f32 throughput {:.2}x, top1 drop {:+.2} pp, top5 drop {:+.2} pp",
+        net_model.speedup,
+        net_model.top1_drop * 100.0,
+        net_model.top5_drop * 100.0
+    )
+    .unwrap();
+    // TinyNet's GEMMs are far below the size where int8 pays for its
+    // runtime activation quantize, so its throughput ratio is not
+    // representative of a Caffenet-scale layer. The joint model takes
+    // the accuracy drops from the TinyNet arms (really executed, same
+    // weights) and the speedup from the conv2-like kernel measurement —
+    // the same reference-machine scaling the paper uses for its grid.
+    let model = PrecisionModel {
+        speedup: conv_speedup,
+        ..net_model
+    };
+    writeln!(
+        out,
+        "joint model: speedup {:.2}x (conv2-like kernel, {} path), drops from tinynet arms",
+        model.speedup,
+        dispatched.name()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "precision_path gauge now reads: {}",
+        cap_obs::metrics::precision_path_name(cap_obs::metrics().precision_path.get())
+    )
+    .unwrap();
+
+    // --- 3. Joint frontier -------------------------------------------------
+    writeln!(
+        out,
+        "\n## Joint prune x precision space (Caffenet profile x measured model)"
+    )
+    .unwrap();
+    let profile = caffenet_profile();
+    let versions = caffenet_version_grid(&profile);
+    let grid = joint_grid(&versions, &model);
+    let frontier = joint_frontier(&grid);
+    let int8_on_frontier = frontier
+        .indices()
+        .iter()
+        .filter(|&&i| grid[i].precision == "int8")
+        .count();
+    writeln!(
+        out,
+        "{} cells ({} versions x 2 precisions); frontier keeps {} ({} int8, {} f32)",
+        grid.len(),
+        versions.len(),
+        frontier.len(),
+        int8_on_frontier,
+        frontier.len() - int8_on_frontier
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "\n{:<34} {:>7} {:>7} {:>12}",
+        "frontier cell", "top1", "top5", "s/img (ref)"
+    )
+    .unwrap();
+    for &i in frontier.indices().iter().take(12) {
+        let p = &grid[i];
+        writeln!(
+            out,
+            "{:<34} {:>6.1}% {:>6.1}% {:>12.5}",
+            p.label(),
+            p.top1 * 100.0,
+            p.top5 * 100.0,
+            p.s_per_image
+        )
+        .unwrap();
+    }
+    if frontier.len() > 12 {
+        writeln!(out, "... ({} more frontier cells)", frontier.len() - 12).unwrap();
+    }
+
+    let top = grid.iter().map(|p| p.top1).fold(0.0f64, f64::max);
+    let floors = [top, top - 0.05, top - 0.10, top - 0.15];
+    writeln!(out, "\nsweet spots (fastest cell above each top-1 floor):").unwrap();
+    for (floor, pick) in sweet_spots(&grid, &floors) {
+        match pick {
+            Some(i) => writeln!(
+                out,
+                "  top1 >= {:>5.1}%  ->  {}  ({:.5} s/img)",
+                floor * 100.0,
+                grid[i].label(),
+                grid[i].s_per_image
+            )
+            .unwrap(),
+            None => writeln!(out, "  top1 >= {:>5.1}%  ->  unreachable", floor * 100.0).unwrap(),
+        }
+    }
+    writeln!(
+        out,
+        "\nreading: int8 cells join the frontier wherever the measured quantization drop\n\
+         costs less accuracy than the extra pruning a pure-f32 configuration would need\n\
+         to match the speedup; with a near-zero measured drop the int8 arm dominates\n\
+         every f32 cell outright."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "several seconds of training + timing; run with --ignored"]
+    fn quantize_ablation_runs() {
+        let out = super::quantize_ablation();
+        assert!(out.contains("int8/f32"), "{out}");
+        assert!(out.contains("frontier keeps"), "{out}");
+        assert!(out.contains("sweet spots"), "{out}");
+        // Force must be restored for later tests in this process.
+        assert_eq!(
+            cap_tensor::precision::selected(),
+            cap_tensor::Precision::F32
+        );
+    }
+}

@@ -124,6 +124,14 @@ pub fn run_workload() -> SentinelRun {
     cap_obs::metrics().reset();
     let serve = serve_segment();
 
+    // Int8 fidelity probe, also between resets: the same workload under
+    // both precisions, reduced to agreement/delta advisories. Kernel
+    // parity makes the int8 logits host-independent, but the f32
+    // reference differs slightly across dispatch paths (FMA), so these
+    // stay advisory rather than strict.
+    cap_obs::metrics().reset();
+    let int8 = int8_segment();
+
     // Reset BEFORE warm-up: `arena_bytes` is a high-water mark that is
     // re-reported every pass, and workspace hit/miss counters start
     // counting here — the captured numbers cover exactly this run.
@@ -251,6 +259,20 @@ pub fn run_workload() -> SentinelRun {
             MetricKind::Advisory,
             0.10,
         ),
+        // Int8 fidelity advisories from the precision probe: drift here
+        // means the quantized path's numerics moved relative to f32.
+        m(
+            "int8_top1_agreement",
+            int8.top1_agreement,
+            MetricKind::Advisory,
+            0.10,
+        ),
+        m(
+            "int8_logit_rel_delta",
+            int8.logit_rel_delta,
+            MetricKind::Advisory,
+            0.75,
+        ),
     ];
 
     let mut report = String::new();
@@ -259,8 +281,9 @@ pub fn run_workload() -> SentinelRun {
         report,
         "\nworkload: mini-Caffenet 32 images batch {BATCH}; {} sequential runs \
          ({WARM_RUNS} warm + {TIMED_RUNS} timed), {ENGINE_RUNS} runs on a \
-         {ENGINE_WORKERS}-worker ParallelEngine; plus an isolated serve \
-         segment (1 tenant, 0.1 virtual s) for the serve_* advisories",
+         {ENGINE_WORKERS}-worker ParallelEngine; plus isolated serve \
+         (1 tenant, 0.1 virtual s) and int8-fidelity segments for the \
+         serve_* / int8_* advisories",
         WARM_RUNS + TIMED_RUNS
     )
     .unwrap();
@@ -335,6 +358,56 @@ fn serve_segment() -> ServeSegment {
         lat_p99: snap.serve_latency_us.quantile(0.99).unwrap_or(0),
         occupancy_mean: snap.serve_batch_occupancy.mean(),
         completed: report.completed,
+    }
+}
+
+/// Int8 fidelity advisories captured by [`int8_segment`].
+struct Int8Segment {
+    /// Fraction of workload images whose argmax class agrees between
+    /// the f32 and int8 runs.
+    top1_agreement: f64,
+    /// Max absolute logit delta, relative to the largest f32 logit
+    /// magnitude.
+    logit_rel_delta: f64,
+}
+
+/// Run the sentinel workload once under each precision
+/// (`cap_tensor::precision::force`) and reduce the two logit sets to
+/// agreement/delta advisories. Uncalibrated, so activation scales come
+/// from the per-batch max-abs fallback — deterministic for the fixed
+/// image set.
+fn int8_segment() -> Int8Segment {
+    use cap_tensor::{precision, Precision};
+
+    let net = mini_caffenet();
+    let imgs = workload();
+    precision::force(Some(Precision::F32));
+    let (ref_out, _) = run_batched(&net, &imgs, BATCH).expect("f32 fidelity probe");
+    precision::force(Some(Precision::Int8));
+    let (q_out, _) = run_batched(&net, &imgs, BATCH).expect("int8 fidelity probe");
+    precision::force(None);
+
+    let argmax = |row: &[f32]| {
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+    };
+    let mut agree = 0usize;
+    let mut max_delta = 0f32;
+    let mut max_mag = 0f32;
+    for (r, q) in ref_out.iter().zip(&q_out) {
+        if argmax(r) == argmax(q) {
+            agree += 1;
+        }
+        for (&rv, &qv) in r.iter().zip(q) {
+            max_delta = max_delta.max((rv - qv).abs());
+            max_mag = max_mag.max(rv.abs());
+        }
+    }
+    Int8Segment {
+        top1_agreement: agree as f64 / ref_out.len().max(1) as f64,
+        logit_rel_delta: (max_delta / max_mag.max(1e-12)) as f64,
     }
 }
 

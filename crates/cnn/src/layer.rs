@@ -25,7 +25,7 @@ pub use pool::{PoolLayer, PoolMode};
 pub use relu::ReluLayer;
 pub use softmax::SoftmaxLayer;
 
-use cap_tensor::{Matrix, Tensor4, TensorResult};
+use cap_tensor::{CalibrationMethod, Matrix, Tensor4, TensorResult};
 use serde::{Deserialize, Serialize};
 
 /// Per-image shape `(channels, height, width)` flowing between layers.
@@ -145,6 +145,14 @@ pub trait Layer: Send + Sync {
     fn weight_sparsity(&self) -> f64 {
         self.weights().map_or(0.0, |w| w.sparsity(0.0))
     }
+
+    /// Activation-range calibration hook: observe the tensors this
+    /// layer is about to consume and record whatever state the int8
+    /// path needs (conv/fc store a per-layer activation scale derived
+    /// via `method`). Called by [`crate::Network::calibrate`] on every
+    /// node of a calibration forward pass; the default is a no-op —
+    /// layers without quantizable inputs ignore it.
+    fn observe_input(&self, _inputs: &[&Tensor4], _method: CalibrationMethod) {}
 }
 
 /// FLOPs per image = 2 × MACs (one multiply + one add), the convention

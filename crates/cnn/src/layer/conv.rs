@@ -2,10 +2,13 @@
 
 use super::{ChwShape, Layer, LayerKind};
 use cap_tensor::{
-    conv2d_gemm_packed_fused, conv2d_sparse_packed_fused, Conv2dParams, CsrMatrix, Matrix,
-    PackedConvWeights, PackedSparseConvWeights, ShapeError, Tensor4, TensorResult, WorkspacePool,
+    conv2d_gemm_packed_fused, conv2d_i8_packed_fused, conv2d_i8_sparse_fused,
+    conv2d_sparse_packed_fused, precision, symmetric_scale, CalibrationMethod, Conv2dParams,
+    CsrMatrix, Matrix, PackedConvWeights, PackedSparseConvWeights, Precision, QuantizedConvWeights,
+    QuantizedSparseConvWeights, ShapeError, Tensor4, TensorResult, WorkspacePool,
 };
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Weight sparsity above which the CSR kernel beats dense GEMM. The
@@ -34,6 +37,17 @@ pub struct ConvLayer {
     /// Lazily built per-group CSR split of `weights`; invalidated by
     /// `set_weights`. `Arc` so forwards clone a pointer, not the data.
     sparse_cache: RwLock<Option<Arc<PackedSparseConvWeights>>>,
+    /// Lazily built int8 quantization of `weights` (dense form);
+    /// invalidated by `set_weights`. Built only when the process runs
+    /// with `CAP_TENSOR_PRECISION=int8`.
+    quant_cache: RwLock<Option<Arc<QuantizedConvWeights>>>,
+    /// Lazily built int8 quantization of the CSR split, for pruned
+    /// weights on the int8 path; invalidated by `set_weights`.
+    quant_sparse_cache: RwLock<Option<Arc<QuantizedSparseConvWeights>>>,
+    /// Calibrated input-activation scale as f32 bits; 0 (= 0.0) means
+    /// uncalibrated, in which case the int8 path falls back to a
+    /// per-call max-abs estimate over the whole input tensor.
+    act_scale: AtomicU32,
     /// Reusable im2col/product scratch shared across forward calls.
     pool: WorkspacePool,
 }
@@ -74,6 +88,9 @@ impl ConvLayer {
             bias,
             packed,
             sparse_cache: RwLock::new(None),
+            quant_cache: RwLock::new(None),
+            quant_sparse_cache: RwLock::new(None),
+            act_scale: AtomicU32::new(0),
             pool: WorkspacePool::new(),
         })
     }
@@ -98,12 +115,72 @@ impl ConvLayer {
         Ok(built)
     }
 
+    fn quant(&self) -> TensorResult<Arc<QuantizedConvWeights>> {
+        if let Some(cached) = self.quant_cache.read().as_ref() {
+            return Ok(Arc::clone(cached));
+        }
+        let built = Arc::new(QuantizedConvWeights::pack(&self.weights, &self.params)?);
+        *self.quant_cache.write() = Some(Arc::clone(&built));
+        Ok(built)
+    }
+
+    fn quant_sparse(&self) -> TensorResult<Arc<QuantizedSparseConvWeights>> {
+        if let Some(cached) = self.quant_sparse_cache.read().as_ref() {
+            return Ok(Arc::clone(cached));
+        }
+        let csr = CsrMatrix::from_dense(&self.weights, 0.0);
+        let built = Arc::new(QuantizedSparseConvWeights::pack(&csr, &self.params)?);
+        *self.quant_sparse_cache.write() = Some(Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// Calibrated activation scale, or a deterministic per-call max-abs
+    /// estimate when no calibration pass has run. The fallback scans
+    /// the whole input tensor once, before any parallel fan-out, so
+    /// results do not depend on worker count or image order.
+    fn act_scale_for(&self, input: &Tensor4) -> f32 {
+        let s = f32::from_bits(self.act_scale.load(Ordering::Relaxed));
+        if s > 0.0 {
+            s
+        } else {
+            symmetric_scale(input.as_slice())
+        }
+    }
+
     /// Shared body of [`Layer::forward_into`] / [`Layer::forward_into_fused`]:
     /// the only difference is whether a ReLU rides the kernel epilogue.
     fn run(&self, inputs: &[&Tensor4], out: &mut Tensor4, relu: bool) -> TensorResult<()> {
         let [input] = inputs else {
             return Err(ShapeError::new("conv: expected exactly one input"));
         };
+        if precision::selected() == Precision::Int8 {
+            let act_scale = self.act_scale_for(input);
+            return if self.weights.sparsity(0.0) > SPARSE_THRESHOLD {
+                let qw = self.quant_sparse()?;
+                conv2d_i8_sparse_fused(
+                    input,
+                    &qw,
+                    Some(&self.bias),
+                    &self.params,
+                    &self.pool,
+                    out,
+                    relu,
+                    act_scale,
+                )
+            } else {
+                let qw = self.quant()?;
+                conv2d_i8_packed_fused(
+                    input,
+                    &qw,
+                    Some(&self.bias),
+                    &self.params,
+                    &self.pool,
+                    out,
+                    relu,
+                    act_scale,
+                )
+            };
+        }
         if self.weights.sparsity(0.0) > SPARSE_THRESHOLD {
             let sparse = self.sparse()?;
             conv2d_sparse_packed_fused(
@@ -197,7 +274,16 @@ impl Layer for ConvLayer {
         self.packed = PackedConvWeights::pack(&weights, &self.params)?;
         self.weights = weights;
         *self.sparse_cache.write() = None;
+        *self.quant_cache.write() = None;
+        *self.quant_sparse_cache.write() = None;
         Ok(())
+    }
+
+    fn observe_input(&self, inputs: &[&Tensor4], method: CalibrationMethod) {
+        if let [input] = inputs {
+            let s = method.scale_for(input.as_slice());
+            self.act_scale.store(s.to_bits(), Ordering::Relaxed);
+        }
     }
 }
 
@@ -235,8 +321,13 @@ mod tests {
 
         let input = Tensor4::from_fn(2, 3, 5, 5, |n, c, h, w| ((n + c + h + w) % 5) as f32 - 2.0);
         // Force both paths on the same weights: sparse via the layer (its
-        // sparsity > threshold), dense via direct kernel call.
+        // sparsity > threshold), dense via direct kernel call. The layer
+        // route is pinned to f32 — the dense reference is the exact f32
+        // kernel, so an int8 precision leg would route `forward` through
+        // the quantized path and break the tight tolerance.
+        cap_tensor::precision::force(Some(cap_tensor::Precision::F32));
         let via_layer = zeroed_dense.forward(&[&input]).unwrap();
+        cap_tensor::precision::force(None);
         let via_dense = conv2d_gemm(
             &input,
             zeroed_dense.weights().unwrap(),

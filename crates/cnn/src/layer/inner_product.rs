@@ -2,10 +2,12 @@
 
 use super::{ChwShape, Layer, LayerKind};
 use cap_tensor::{
-    gemm_prepacked_slice_fused, CsrMatrix, EpiBias, Epilogue, Matrix, PackedB, ShapeError, Tensor4,
-    TensorResult,
+    gemm_i8, gemm_prepacked_slice_fused, precision, quant::quantize_rows_into, symmetric_scale,
+    CalibrationMethod, CsrMatrix, EpiBias, Epilogue, Matrix, PackedB, PackedBI8, Precision,
+    ShapeError, Tensor4, TensorResult, WorkspacePool,
 };
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use super::conv::SPARSE_THRESHOLD;
@@ -30,6 +32,16 @@ pub struct InnerProductLayer {
     /// Lazily built CSR view of `weights`; invalidated by `set_weights`.
     /// `Arc` so forwards clone a pointer, not the data.
     sparse_cache: RwLock<Option<Arc<CsrMatrix>>>,
+    /// Lazily built int8 quantization of the packed transpose, built
+    /// only on the `CAP_TENSOR_PRECISION=int8` path; invalidated by
+    /// `set_weights`.
+    quant_cache: RwLock<Option<Arc<PackedBI8>>>,
+    /// Calibrated input-activation scale as f32 bits; 0 (= 0.0) means
+    /// uncalibrated (per-call max-abs fallback).
+    act_scale: AtomicU32,
+    /// Scratch pool for the per-call quantized activation buffer on the
+    /// int8 path.
+    pool: WorkspacePool,
 }
 
 impl InnerProductLayer {
@@ -52,6 +64,9 @@ impl InnerProductLayer {
             packed_t,
             bias,
             sparse_cache: RwLock::new(None),
+            quant_cache: RwLock::new(None),
+            act_scale: AtomicU32::new(0),
+            pool: WorkspacePool::new(),
         })
     }
 
@@ -77,6 +92,29 @@ impl InnerProductLayer {
         let built = Arc::new(CsrMatrix::from_dense(&self.weights, 0.0));
         *self.sparse_cache.write() = Some(Arc::clone(&built));
         built
+    }
+
+    fn quant_t(&self) -> Arc<PackedBI8> {
+        if let Some(cached) = self.quant_cache.read().as_ref() {
+            return Arc::clone(cached);
+        }
+        // Wᵀ holds the same values as W, so the per-tensor scale can be
+        // taken from the untransposed weights without a second pass.
+        let scale = symmetric_scale(self.weights.as_slice());
+        let built = Arc::new(PackedBI8::pack(&self.weights.transpose(), scale));
+        *self.quant_cache.write() = Some(Arc::clone(&built));
+        built
+    }
+
+    /// Calibrated activation scale, or a deterministic per-call max-abs
+    /// estimate over the whole input when no calibration pass has run.
+    fn act_scale_for(&self, input: &Tensor4) -> f32 {
+        let s = f32::from_bits(self.act_scale.load(Ordering::Relaxed));
+        if s > 0.0 {
+            s
+        } else {
+            symmetric_scale(input.as_slice())
+        }
     }
 
     /// Shared body of [`Layer::forward_into`] / [`Layer::forward_into_fused`]:
@@ -122,6 +160,39 @@ impl InnerProductLayer {
                     o[b * self.out_features + of] = y.get(of, b);
                 }
             }
+        } else if precision::selected() == Precision::Int8 {
+            // Int8 dense path: quantize the flattened activations into
+            // pooled scratch with the calibrated (or fallback) scale,
+            // then run the integer GEMM against the pre-quantized Wᵀ,
+            // dequantizing by the combined scale in the store epilogue.
+            // The sparse branches above deliberately stay f32: CSR
+            // row-skipping is bandwidth-bound, so int8 buys little
+            // there, and SpMV keeps its scalar-by-contract guarantee.
+            let qw = self.quant_t();
+            let act_scale = self.act_scale_for(input);
+            let mut ws = self.pool.checkout();
+            let qb = ws.qbuf_slot();
+            let kp = quantize_rows_into(
+                input.as_slice(),
+                batch,
+                self.in_features,
+                1.0 / act_scale,
+                qb,
+            );
+            debug_assert_eq!(kp, qw.kp());
+            gemm_i8(
+                qb,
+                batch,
+                kp,
+                self.out_features,
+                qw.data(),
+                out.as_mut_slice(),
+                qw.scale() * act_scale,
+                Epilogue {
+                    bias: Some(EpiBias::PerCol(&self.bias)),
+                    relu,
+                },
+            )?;
         } else {
             // Dense path: Y = X · Wᵀ, vectorizable at any batch size. A
             // `(n, c, 1, 1)` tensor's flat data IS the `n × c` row-major
@@ -211,7 +282,15 @@ impl Layer for InnerProductLayer {
         self.packed_t = PackedB::pack(&weights.transpose());
         self.weights = weights;
         *self.sparse_cache.write() = None;
+        *self.quant_cache.write() = None;
         Ok(())
+    }
+
+    fn observe_input(&self, inputs: &[&Tensor4], method: CalibrationMethod) {
+        if let [input] = inputs {
+            let s = method.scale_for(input.as_slice());
+            self.act_scale.store(s.to_bits(), Ordering::Relaxed);
+        }
     }
 }
 
@@ -226,7 +305,11 @@ mod tests {
         let w = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 2.0, 1.0, 1.0]).unwrap();
         let fc = InnerProductLayer::new("fc_t", w, vec![0.5, -0.5, 0.0]).unwrap();
         let x = Tensor4::from_vec(2, 2, 1, 1, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        // Exact-equality oracle: pin f32 so an int8 precision leg does
+        // not route this forward through the quantized path.
+        cap_tensor::precision::force(Some(cap_tensor::Precision::F32));
         let y = fc.forward(&[&x]).unwrap();
+        cap_tensor::precision::force(None);
         assert_eq!(y.shape(), (2, 3, 1, 1));
         assert_eq!(y.image(0), &[1.5, 3.5, 3.0]);
         assert_eq!(y.image(1), &[3.5, 7.5, 7.0]);

@@ -7,6 +7,8 @@
 //! kernel speedup instead of modelling them.
 
 use crate::accuracy::{evaluate_topk, AccuracyReport};
+use crate::layer::{ConvLayer, InnerProductLayer, PoolLayer, PoolMode, ReluLayer};
+use crate::network::Network;
 use crate::train::{
     conv_backward, fc_backward, maxpool_backward, relu_backward, softmax_cross_entropy, Sgd,
 };
@@ -229,6 +231,39 @@ impl TinyNet {
     /// Restore a model saved with [`Self::to_json`].
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
+    }
+
+    /// Express this TinyNet as a [`Network`] of packed layer executors —
+    /// the bridge from the trainable model to the measured inference
+    /// path (fused kernels, sparse dispatch, and the
+    /// `CAP_TENSOR_PRECISION` f32/int8 switch all apply). Weights are
+    /// cloned into the layers; retrain-then-rebuild to refresh. Logits
+    /// match [`Self::logits`] up to float-association differences in
+    /// the packed kernels (same math, different loop order).
+    pub fn to_network(&self) -> TensorResult<Network> {
+        let mut net = Network::new("tinynet", self.in_shape);
+        net.add_sequential(Box::new(ConvLayer::new(
+            "conv1",
+            self.conv1,
+            self.conv1_w.clone(),
+            self.conv1_b.clone(),
+        )?))?;
+        net.add_sequential(Box::new(ReluLayer::new("relu1")))?;
+        net.add_sequential(Box::new(PoolLayer::new("pool1", PoolMode::Max, 2, 0, 2)))?;
+        net.add_sequential(Box::new(ConvLayer::new(
+            "conv2",
+            self.conv2,
+            self.conv2_w.clone(),
+            self.conv2_b.clone(),
+        )?))?;
+        net.add_sequential(Box::new(ReluLayer::new("relu2")))?;
+        net.add_sequential(Box::new(PoolLayer::new("pool2", PoolMode::Max, 2, 0, 2)))?;
+        net.add_sequential(Box::new(InnerProductLayer::new(
+            "fc",
+            self.fc_w.clone(),
+            self.fc_b.clone(),
+        )?))?;
+        Ok(net)
     }
 
     /// Overall weight sparsity of the two convolution layers.

@@ -11,7 +11,7 @@ use crate::dag::{self, DagMode};
 use crate::fusion::{self, FusionMode};
 use crate::layer::{ChwShape, Layer, LayerKind};
 use cap_obs::{NoopTracer, SpanInfo, SpanScope, Tracer};
-use cap_tensor::{Matrix, ShapeError, Tensor4, TensorResult};
+use cap_tensor::{CalibrationMethod, Matrix, ShapeError, Tensor4, TensorResult};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -1083,6 +1083,75 @@ impl Network {
                 }
             }
         }
+    }
+
+    /// Activation-range calibration pass for the int8 execution path.
+    ///
+    /// Runs one forward pass over `input` (a representative calibration
+    /// batch), handing every layer the activations it is about to
+    /// consume via [`Layer::observe_input`] so weighted layers can
+    /// derive and store their input-activation scale with `method`.
+    /// Returns the pass's output tensor, so the caller can reuse it
+    /// (e.g. to score the calibration batch).
+    ///
+    /// Call this while the process precision is f32: the observed
+    /// ranges are then exact. Calibrating under int8 still works — the
+    /// layers observe the (approximate) int8-path activations — but
+    /// adds quantization noise to the scales for no benefit. A network
+    /// that is never calibrated remains correct on the int8 path; each
+    /// weighted layer just falls back to a per-call max-abs estimate,
+    /// trading a scan of its input for the missing calibration.
+    pub fn calibrate(&self, input: &Tensor4, method: CalibrationMethod) -> TensorResult<Tensor4> {
+        if input.c() != self.input_shape.0
+            || input.h() != self.input_shape.1
+            || input.w() != self.input_shape.2
+        {
+            return Err(ShapeError::new(format!(
+                "network {}: calibration input shape {:?}, expected {:?}",
+                self.name,
+                (input.c(), input.h(), input.w()),
+                self.input_shape
+            )));
+        }
+        if self.nodes.is_empty() {
+            return Ok(input.clone());
+        }
+        let mut last_use = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &inp in &node.inputs {
+                if inp != INPUT {
+                    last_use[inp.0] = i;
+                }
+            }
+        }
+        let mut activations: Vec<Option<Tensor4>> = (0..self.nodes.len()).map(|_| None).collect();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let input_refs: Vec<&Tensor4> = node
+                .inputs
+                .iter()
+                .map(|&id| {
+                    if id == INPUT {
+                        input
+                    } else {
+                        activations[id.0]
+                            .as_ref()
+                            .expect("topological order guarantees producer ran and is retained")
+                    }
+                })
+                .collect();
+            node.layer.observe_input(&input_refs, method);
+            let out = node.layer.forward(&input_refs)?;
+            activations[i] = Some(out);
+            for (j, slot) in activations.iter_mut().enumerate().take(i) {
+                if last_use[j] <= i && j != self.nodes.len() - 1 {
+                    *slot = None;
+                }
+            }
+        }
+        Ok(activations
+            .pop()
+            .flatten()
+            .expect("last node output retained"))
     }
 
     /// Replace the weights of layer `name` (pruning entry point).

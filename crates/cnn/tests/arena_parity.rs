@@ -125,7 +125,11 @@ fn sparse_layer_path_matches_dense_kernel() {
     let p1 = Conv2dParams::grouped(4, 6, 3, 1, 1, 2);
     let bias = vec![0.05f32; 6];
     let ref_out = cap_tensor::conv2d_gemm(&x, &w, Some(&bias), &p1).unwrap();
+    // Pin f32 for this comparison: the reference is the exact f32 dense
+    // kernel, so an int8 precision leg would break the tight tolerance.
+    cap_tensor::precision::force(Some(cap_tensor::Precision::F32));
     let via_layer = sparse_net.layer("c1").unwrap().forward(&[&x]).unwrap();
+    cap_tensor::precision::force(None);
     assert!(via_layer.max_abs_diff(&ref_out).unwrap() < 1e-4);
     // End-to-end, the arena path and the allocating path agree bitwise
     // even with the sparse conv in the pipeline.

@@ -1,0 +1,254 @@
+//! Joint prune × quantize exploration — the 2-D accuracy-knob grid.
+//!
+//! PR 10 makes precision a *second* accuracy knob next to pruning: every
+//! pruned version of the application can now run on the f32 kernels or
+//! on the int8 path (`CAP_TENSOR_PRECISION=int8`, see
+//! `cap_tensor::precision`). This module sweeps the cross product. The
+//! pruning axis comes from the calibrated [`AppProfile`] exactly as in
+//! [`crate::version`]; the precision axis is a measured
+//! [`PrecisionModel`] — a throughput ratio and an accuracy delta taken
+//! from real f32-vs-int8 runs (the `quantize` ablation experiment in
+//! `cap-bench` takes the accuracy drops from TinyNet arms and the
+//! speedup from a Caffenet-conv-shaped kernel timing; paper-scale
+//! models substitute their own measurements). Applying a measured
+//! ratio to a calibrated profile mirrors how the paper scales its
+//! reference-GPU timings across machine types.
+//!
+//! Outputs: the full [`JointPoint`] grid, its Pareto frontier in the
+//! (top-1 ↑, time ↓) plane, and a sweet-spot map — for each accuracy
+//! floor, the fastest (prune, precision) combination still above it.
+
+use crate::pareto::{ParetoFrontier, ParetoPoint};
+use crate::version::AppVersion;
+use cap_pruning::{AppProfile, PruneSpec};
+use cap_tensor::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Measured effect of switching the weighted layers from f32 to int8,
+/// relative to the f32 baseline at the same pruning level.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PrecisionModel {
+    /// Batched-throughput speedup of int8 over f32 (> 1 when int8 is
+    /// faster). Applied as a divisor to profile times.
+    pub speedup: f64,
+    /// Absolute top-1 accuracy drop caused by quantization (≥ 0 in the
+    /// typical case; negative values — int8 scoring higher on a small
+    /// eval set — are accepted and simply credit the int8 arm).
+    pub top1_drop: f64,
+    /// Absolute top-5 accuracy drop caused by quantization.
+    pub top5_drop: f64,
+}
+
+impl PrecisionModel {
+    /// Build from two measured arms of the same workload:
+    /// `(top1, top5, s_per_image)` under f32 and under int8.
+    pub fn from_measured(f32_arm: (f64, f64, f64), int8_arm: (f64, f64, f64)) -> Self {
+        let (a1, a5, t_f32) = f32_arm;
+        let (b1, b5, t_int8) = int8_arm;
+        Self {
+            speedup: if t_int8 > 0.0 { t_f32 / t_int8 } else { 1.0 },
+            top1_drop: a1 - b1,
+            top5_drop: a5 - b5,
+        }
+    }
+
+    /// The identity model: int8 behaves exactly like f32. Useful as the
+    /// no-measurement baseline arm of a what-if sweep.
+    pub fn identity() -> Self {
+        Self {
+            speedup: 1.0,
+            top1_drop: 0.0,
+            top5_drop: 0.0,
+        }
+    }
+}
+
+/// One cell of the joint grid: a pruning degree × a precision, resolved
+/// into accuracy and batched time per image.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JointPoint {
+    /// The pruning degree of this cell.
+    pub spec: PruneSpec,
+    /// `"f32"` or `"int8"` (the [`Precision`] name).
+    pub precision: String,
+    /// Top-1 accuracy in `[0, 1]` after pruning and (for int8) the
+    /// measured quantization drop.
+    pub top1: f64,
+    /// Top-5 accuracy in `[0, 1]`.
+    pub top5: f64,
+    /// Batched seconds per image on the reference machine.
+    pub s_per_image: f64,
+}
+
+impl JointPoint {
+    /// Display label: the prune spec's label plus the precision.
+    pub fn label(&self) -> String {
+        format!("{}@{}", self.spec.label(), self.precision)
+    }
+}
+
+/// Cross a pruned version set with both precisions: each [`AppVersion`]
+/// contributes its f32 cell verbatim and an int8 cell with the model's
+/// speedup and accuracy drops applied. Accuracies clamp to `[0, 1]`.
+pub fn joint_grid(versions: &[AppVersion], model: &PrecisionModel) -> Vec<JointPoint> {
+    let mut out = Vec::with_capacity(versions.len() * 2);
+    for v in versions {
+        out.push(JointPoint {
+            spec: v.spec.clone(),
+            precision: Precision::F32.name().to_string(),
+            top1: v.top1,
+            top5: v.top5,
+            s_per_image: v.exec.s_per_image_batched_ref,
+        });
+        out.push(JointPoint {
+            spec: v.spec.clone(),
+            precision: Precision::Int8.name().to_string(),
+            top1: (v.top1 - model.top1_drop).clamp(0.0, 1.0),
+            top5: (v.top5 - model.top5_drop).clamp(0.0, 1.0),
+            s_per_image: v.exec.s_per_image_batched_ref / model.speedup.max(f64::MIN_POSITIVE),
+        });
+    }
+    out
+}
+
+/// Convenience: resolve a version grid from `profile` via
+/// [`AppVersion::from_profile`] and cross it with both precisions.
+pub fn joint_grid_from_profile(
+    profile: &AppProfile,
+    specs: &[PruneSpec],
+    model: &PrecisionModel,
+) -> Vec<JointPoint> {
+    let versions: Vec<AppVersion> = specs
+        .iter()
+        .map(|s| AppVersion::from_profile(profile, s.clone()))
+        .collect();
+    joint_grid(&versions, model)
+}
+
+/// Pareto frontier of a joint grid in the (top-1 ↑, time ↓) plane.
+/// Indices in the returned frontier refer to positions in `points`.
+pub fn joint_frontier(points: &[JointPoint]) -> ParetoFrontier {
+    let candidates: Vec<ParetoPoint> = points
+        .iter()
+        .map(|p| ParetoPoint {
+            accuracy: p.top1,
+            objective: p.s_per_image,
+        })
+        .collect();
+    ParetoFrontier::of(&candidates)
+}
+
+/// Sweet-spot map: for each accuracy floor, the index (into `points`)
+/// of the *fastest* joint cell whose top-1 still clears the floor, or
+/// `None` when no cell does. Floors are reported back alongside the
+/// picks so the map serializes as a self-describing table.
+///
+/// This is the joint-knob analogue of the paper's "what is the cheapest
+/// configuration at accuracy ≥ A?" query: it answers whether the floor
+/// is best met by pruning harder in f32 or pruning lighter in int8.
+pub fn sweet_spots(points: &[JointPoint], floors: &[f64]) -> Vec<(f64, Option<usize>)> {
+    floors
+        .iter()
+        .map(|&floor| {
+            let pick = points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.top1 >= floor)
+                .min_by(|(_, a), (_, b)| {
+                    a.s_per_image
+                        .partial_cmp(&b.s_per_image)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i);
+            (floor, pick)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_pruning::profile::caffenet_profile;
+
+    fn model() -> PrecisionModel {
+        PrecisionModel {
+            speedup: 1.8,
+            top1_drop: 0.004,
+            top5_drop: 0.002,
+        }
+    }
+
+    fn small_grid() -> Vec<JointPoint> {
+        let profile = caffenet_profile();
+        let mut specs = Vec::new();
+        for &r in &[0.0, 0.3, 0.6] {
+            let mut s = PruneSpec::none();
+            s.set("conv1", r);
+            s.set("conv2", r);
+            specs.push(s);
+        }
+        joint_grid_from_profile(&profile, &specs, &model())
+    }
+
+    #[test]
+    fn grid_doubles_versions_and_applies_model() {
+        let grid = small_grid();
+        assert_eq!(grid.len(), 6);
+        // Cells alternate f32 / int8 per spec.
+        let (f, q) = (&grid[0], &grid[1]);
+        assert_eq!(f.precision, "f32");
+        assert_eq!(q.precision, "int8");
+        assert!((f.top1 - q.top1 - 0.004).abs() < 1e-12);
+        assert!((f.s_per_image / q.s_per_image - 1.8).abs() < 1e-9);
+        assert!(q.label().ends_with("@int8"));
+    }
+
+    #[test]
+    fn from_measured_recovers_speedup_and_drop() {
+        let m = PrecisionModel::from_measured((0.80, 0.95, 0.010), (0.79, 0.945, 0.005));
+        assert!((m.speedup - 2.0).abs() < 1e-12);
+        assert!((m.top1_drop - 0.01).abs() < 1e-12);
+        assert!((m.top5_drop - 0.005).abs() < 1e-12);
+        let id = PrecisionModel::identity();
+        assert_eq!(id.speedup, 1.0);
+    }
+
+    #[test]
+    fn frontier_mixes_precisions_when_int8_is_cheap() {
+        let grid = small_grid();
+        let frontier = joint_frontier(&grid);
+        assert!(!frontier.is_empty());
+        // With a small accuracy drop and a large speedup, at least one
+        // int8 cell must survive on the frontier (the unpruned int8
+        // cell beats every slower f32 cell at nearly the same top-1).
+        let any_int8 = frontier
+            .indices()
+            .iter()
+            .any(|&i| grid[i].precision == "int8");
+        assert!(any_int8, "frontier is all-f32: {:?}", frontier.indices());
+        // Frontier objectives strictly decrease along descending accuracy.
+        for w in frontier.points().windows(2) {
+            assert!(w[1].objective < w[0].objective);
+        }
+    }
+
+    #[test]
+    fn sweet_spots_prefer_int8_at_relaxed_floors() {
+        let grid = small_grid();
+        let top = grid.iter().map(|p| p.top1).fold(0.0f64, f64::max);
+        let spots = sweet_spots(&grid, &[top, top - 0.02, 0.0, 2.0]);
+        assert_eq!(spots.len(), 4);
+        // An unreachable floor yields no pick.
+        assert_eq!(spots[3].1, None);
+        // At a floor everyone clears, the pick is the global fastest —
+        // which must be an int8 cell (1.8× faster at every prune level).
+        let all = spots[2].1.expect("floor 0.0 is satisfiable");
+        assert_eq!(grid[all].precision, "int8");
+        // Picks never violate their floor.
+        for (floor, pick) in &spots {
+            if let Some(i) = pick {
+                assert!(grid[*i].top1 >= *floor);
+            }
+        }
+    }
+}

@@ -15,6 +15,9 @@
 //!   filters for deadline `T′` and budget `C′`.
 //! * [`pareto`] — Pareto filtering of (accuracy ↑, time/cost ↓) point
 //!   sets and frontier extraction.
+//! * [`joint`] — the 2-D prune × quantize knob grid: cross every pruned
+//!   version with the f32 and int8 execution paths (PR 10), extract the
+//!   joint Pareto frontier and accuracy-floor sweet spots.
 //! * [`allocation`] — **Algorithm 1**: greedy TAR/CAR-guided resource
 //!   allocation in `O(|P|·|G| log |G|)`.
 //! * [`exhaustive`] — the exponential `O(2^|G|)` baseline the paper
@@ -30,6 +33,7 @@ pub mod allocation;
 pub mod characterize;
 pub mod exhaustive;
 pub mod explorer;
+pub mod joint;
 pub mod metrics;
 pub mod pareto;
 pub mod pareto3;
@@ -45,6 +49,9 @@ pub use exhaustive::{exhaustive_search, ExhaustiveResult};
 pub use explorer::{
     evaluate_all, evaluate_grid, evaluate_grid_traced, evaluate_grid_with, feasible_by_budget,
     feasible_by_deadline, frontier_indices, savings_at_best_accuracy, EvaluatedConfig, Objective,
+};
+pub use joint::{
+    joint_frontier, joint_grid, joint_grid_from_profile, sweet_spots, JointPoint, PrecisionModel,
 };
 pub use metrics::{car, tar, AccuracyMetric};
 pub use pareto::{pareto_front, pareto_indices, ParetoFrontier, ParetoPoint};

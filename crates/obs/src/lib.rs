@@ -56,8 +56,8 @@ pub mod trace_export;
 pub use flight::FlightRecorder;
 pub use hdr::{HdrHistogram, HdrSnapshot};
 pub use metrics::{
-    kernel_path_name, metrics, timing_enabled, Counter, Gauge, Histogram, HistogramSnapshot,
-    MetricsRegistry, MetricsSnapshot, TimingGuard,
+    kernel_path_name, metrics, precision_path_name, timing_enabled, Counter, Gauge, Histogram,
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, TimingGuard,
 };
 pub use prom::{
     append_registry, prometheus_text, spawn_exporter, validate as validate_prometheus, PromStats,

@@ -314,6 +314,13 @@ pub struct MetricsRegistry {
     /// counter: [`MetricsRegistry::reset`] deliberately leaves it alone
     /// so experiment boundaries don't erase which backend is running.
     pub kernel_path: Gauge,
+    /// Which numeric precision `cap-tensor` resolved for the weighted
+    /// layers, as a code decoded by [`precision_path_name`] (0 until
+    /// the precision knob first resolves). Like `kernel_path` an
+    /// environment descriptor, not a workload counter:
+    /// [`MetricsRegistry::reset`] deliberately leaves it alone so
+    /// experiment boundaries don't erase which precision is running.
+    pub precision_path: Gauge,
     /// Number of fused producer→ReLU steps in the network most recently
     /// executed by `Network::forward_into*` (0 when fusion is off or
     /// nothing matched). Overwritten by every traced forward pass and,
@@ -380,6 +387,7 @@ static REGISTRY: MetricsRegistry = MetricsRegistry {
     grid_candidates: Counter::new(),
     allocation_runs: Counter::new(),
     kernel_path: Gauge::new(),
+    precision_path: Gauge::new(),
     fused_layers: Gauge::new(),
     dag_parallel_passes: Counter::new(),
     dag_queue_pushes: Counter::new(),
@@ -404,6 +412,18 @@ pub fn kernel_path_name(code: u64) -> &'static str {
         1 => "scalar",
         2 => "avx2",
         3 => "avx2-fma",
+        _ => "unknown",
+    }
+}
+
+/// Human-readable name for a `precision_path` gauge code. The codes
+/// are published by `cap_tensor::precision` (`Precision::code`); the
+/// two tables are cross-checked by a test in that crate.
+pub fn precision_path_name(code: u64) -> &'static str {
+    match code {
+        0 => "unset",
+        1 => "f32",
+        2 => "int8",
         _ => "unknown",
     }
 }
@@ -436,6 +456,7 @@ impl MetricsRegistry {
             grid_candidates: self.grid_candidates.get(),
             allocation_runs: self.allocation_runs.get(),
             kernel_path: self.kernel_path.get(),
+            precision_path: self.precision_path.get(),
             fused_layers: self.fused_layers.get(),
             dag_parallel_passes: self.dag_parallel_passes.get(),
             dag_queue_pushes: self.dag_queue_pushes.get(),
@@ -455,10 +476,11 @@ impl MetricsRegistry {
     /// Reset every workload metric to zero (tests and between-experiment
     /// boundaries; concurrent recorders may interleave).
     ///
-    /// `kernel_path` is *not* reset: it describes the process
-    /// environment (which SIMD backend dispatch selected), not work
-    /// done, and the dispatch layer publishes it only once — a reset
-    /// would erase it for every later snapshot. Tested by
+    /// `kernel_path` and `precision_path` are *not* reset: they
+    /// describe the process environment (which SIMD backend and which
+    /// numeric precision dispatch selected), not work done, and the
+    /// dispatch layer publishes them only once — a reset would erase
+    /// them for every later snapshot. Tested by
     /// `reset_preserves_kernel_path` below.
     pub fn reset(&self) {
         self.forward_passes.reset();
@@ -516,6 +538,9 @@ pub struct MetricsSnapshot {
     /// See [`MetricsRegistry::kernel_path`]; decode with
     /// [`kernel_path_name`].
     pub kernel_path: u64,
+    /// See [`MetricsRegistry::precision_path`]; decode with
+    /// [`precision_path_name`].
+    pub precision_path: u64,
     /// See [`MetricsRegistry::fused_layers`].
     pub fused_layers: u64,
     /// See [`MetricsRegistry::dag_parallel_passes`].
@@ -545,7 +570,7 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    fn scalars(&self) -> [(&'static str, u64); 20] {
+    fn scalars(&self) -> [(&'static str, u64); 21] {
         [
             ("forward_passes", self.forward_passes),
             ("gemm_time_ns", self.gemm_time_ns),
@@ -556,6 +581,7 @@ impl MetricsSnapshot {
             ("grid_candidates", self.grid_candidates),
             ("allocation_runs", self.allocation_runs),
             ("kernel_path", self.kernel_path),
+            ("precision_path", self.precision_path),
             ("fused_layers", self.fused_layers),
             ("dag_parallel_passes", self.dag_parallel_passes),
             ("dag_queue_pushes", self.dag_queue_pushes),
@@ -832,16 +858,20 @@ mod tests {
 
     /// `kernel_path` is an environment descriptor published once by the
     /// dispatch layer; a between-experiment reset must not erase it.
+    /// `precision_path` follows the same contract.
     #[test]
     fn reset_preserves_kernel_path() {
         let reg = MetricsRegistry::default();
         reg.kernel_path.set(2);
+        reg.precision_path.set(2);
         reg.forward_passes.inc();
         reg.reset();
         let snap = reg.snapshot();
         assert_eq!(snap.forward_passes, 0);
         assert_eq!(snap.kernel_path, 2, "reset must keep the kernel path");
         assert_eq!(kernel_path_name(snap.kernel_path), "avx2");
+        assert_eq!(snap.precision_path, 2, "reset must keep the precision path");
+        assert_eq!(precision_path_name(snap.precision_path), "int8");
     }
 
     /// The DAG scheduler metrics are workload metrics (unlike
@@ -907,5 +937,13 @@ mod tests {
         assert_eq!(kernel_path_name(2), "avx2");
         assert_eq!(kernel_path_name(3), "avx2-fma");
         assert_eq!(kernel_path_name(99), "unknown");
+    }
+
+    #[test]
+    fn precision_path_names_decode() {
+        assert_eq!(precision_path_name(0), "unset");
+        assert_eq!(precision_path_name(1), "f32");
+        assert_eq!(precision_path_name(2), "int8");
+        assert_eq!(precision_path_name(99), "unknown");
     }
 }

@@ -287,6 +287,12 @@ pub fn append_registry(w: &mut PromWriter, snap: &MetricsSnapshot) {
     );
     g(
         w,
+        "precision_path",
+        "Resolved inference precision for weighted layers (code).",
+        snap.precision_path,
+    );
+    g(
+        w,
         "fused_layers",
         "Fused producer-ReLU steps in the last network.",
         snap.fused_layers,
@@ -554,9 +560,10 @@ mod tests {
     fn registry_exposition_validates_and_covers_scalars() {
         let text = prometheus_text(&metrics().snapshot());
         let stats = validate(&text).expect("registry exposition must validate");
-        // 20 scalar families + 5 histogram summaries.
-        assert_eq!(stats.families, 25);
+        // 21 scalar families + 5 histogram summaries.
+        assert_eq!(stats.families, 26);
         assert!(text.contains("cap_forward_passes_total"));
+        assert!(text.contains("cap_precision_path"));
         assert!(text.contains("cap_serve_queue_depth"));
         assert!(text.contains("# TYPE cap_serve_latency_us summary"));
     }

@@ -24,6 +24,11 @@ pub struct LayerRow {
     /// `+relu` suffix — the executor absorbed the following ReLU into
     /// this layer's kernel epilogue).
     pub fused: bool,
+    /// Whether this row executed on the quantized int8 path: the
+    /// process precision resolved to int8 at report-build time *and*
+    /// the row is a weighted (conv/fc) layer — pooling, softmax and the
+    /// other shape/activation layers stay f32 even under int8.
+    pub quantized: bool,
 }
 
 impl LayerRow {
@@ -94,6 +99,10 @@ pub struct ProfileReport {
     /// Microkernel backend name captured from the `kernel_path` metrics
     /// gauge at build time — which SIMD path produced these numbers.
     kernel: &'static str,
+    /// Numeric precision name captured from the `precision_path`
+    /// metrics gauge at build time (`"unset"` when no weighted layer
+    /// has resolved the precision knob yet).
+    precision: &'static str,
     /// Optional critical-path context (floor vs. achieved latency).
     dag: Option<DagSummary>,
 }
@@ -106,6 +115,8 @@ impl ProfileReport {
     /// rendered table and JSON record which microkernel backend
     /// (`scalar` / `avx2` / …) the profiled run dispatched to.
     pub fn from_spans(label: impl Into<String>, spans: &[SpanRecord]) -> Self {
+        let precision = crate::metrics::precision_path_name(crate::metrics().precision_path.get());
+        let int8 = precision == "int8";
         let mut index: HashMap<&str, usize> = HashMap::new();
         let mut layers: Vec<LayerRow> = Vec::new();
         for s in spans.iter().filter(|s| s.scope == SpanScope::Layer) {
@@ -123,6 +134,7 @@ impl ProfileReport {
                         calls: 1,
                         total: s.elapsed,
                         fused: s.kind.contains("+relu"),
+                        quantized: int8 && (s.kind.starts_with("conv") || s.kind.starts_with("fc")),
                     });
                 }
             }
@@ -131,6 +143,7 @@ impl ProfileReport {
             label: label.into(),
             layers,
             kernel: crate::metrics::kernel_path_name(crate::metrics().kernel_path.get()),
+            precision,
             dag: None,
         }
     }
@@ -172,6 +185,12 @@ impl ProfileReport {
         self.kernel
     }
 
+    /// Numeric precision the profiled process resolved for weighted
+    /// layers (`"unset"` if the knob had not resolved at build time).
+    pub fn precision(&self) -> &'static str {
+        self.precision
+    }
+
     /// Aggregated rows in execution order.
     pub fn layers(&self) -> &[LayerRow] {
         &self.layers
@@ -199,7 +218,12 @@ impl ProfileReport {
         use std::fmt::Write;
         let total = self.total_time().as_secs_f64();
         let mut out = String::new();
-        writeln!(out, "# profile: {} (kernel: {})", self.label, self.kernel).unwrap();
+        writeln!(
+            out,
+            "# profile: {} (kernel: {}, precision: {})",
+            self.label, self.kernel, self.precision
+        )
+        .unwrap();
         writeln!(
             out,
             "{:<12} {:<6} {:>18} {:>6} {:>12} {:>7}",
@@ -264,6 +288,8 @@ impl ProfileReport {
         write_json_str(&mut out, &self.label);
         out.push_str(",\"kernel\":");
         write_json_str(&mut out, self.kernel);
+        out.push_str(",\"precision\":");
+        write_json_str(&mut out, self.precision);
         write!(out, ",\"total_ms\":{:.6},\"layers\":[", total * 1000.0).unwrap();
         for (i, l) in self.layers.iter().enumerate() {
             if i > 0 {
@@ -281,9 +307,10 @@ impl ProfileReport {
             write_json_str(&mut out, &l.kind);
             write!(
                 out,
-                ",\"shape\":[{n},{c},{h},{w}],\"fused\":{},\
+                ",\"shape\":[{n},{c},{h},{w}],\"fused\":{},\"quantized\":{},\
                  \"calls\":{},\"total_ms\":{:.6},\"mean_ms\":{:.6},\"share\":{:.6}}}",
                 l.fused,
+                l.quantized,
                 l.calls,
                 l.total.as_secs_f64() * 1000.0,
                 l.mean().as_secs_f64() * 1000.0,
@@ -423,9 +450,38 @@ mod tests {
         crate::metrics().kernel_path.set(1);
         let r = ProfileReport::from_spans("k", &[span("conv1", "conv", 10)]);
         assert_eq!(r.kernel(), "scalar");
-        assert!(r.to_text_table().contains("(kernel: scalar)"));
+        assert!(r.to_text_table().contains("(kernel: scalar,"));
         assert!(r.to_json().contains("\"kernel\":\"scalar\""));
         crate::metrics().kernel_path.set(0);
+    }
+
+    #[test]
+    fn report_records_precision_and_flags_quantized_rows() {
+        crate::metrics().precision_path.set(2);
+        let r = ProfileReport::from_spans(
+            "q",
+            &[
+                span("conv1", "conv+relu", 100),
+                span("pool1", "pool", 20),
+                span("fc", "fc", 40),
+            ],
+        );
+        assert_eq!(r.precision(), "int8");
+        assert!(r.to_text_table().contains("precision: int8"));
+        let json = r.to_json();
+        assert!(json.contains("\"precision\":\"int8\""), "{json}");
+        // Weighted layers (conv, fc) are flagged; pooling stays f32.
+        assert!(r.layers()[0].quantized && r.layers()[2].quantized);
+        assert!(!r.layers()[1].quantized);
+        assert!(json.contains("\"quantized\":true"), "{json}");
+        assert!(json.contains("\"quantized\":false"), "{json}");
+
+        // Back to f32: nothing is flagged.
+        crate::metrics().precision_path.set(1);
+        let r = ProfileReport::from_spans("f", &[span("conv1", "conv", 10)]);
+        assert_eq!(r.precision(), "f32");
+        assert!(!r.layers()[0].quantized);
+        crate::metrics().precision_path.set(0);
     }
 
     #[test]

@@ -3,6 +3,16 @@
 //! mainly buys memory (and time only with hardware support), which is
 //! why the paper picks pruning for the cloud; implementing it lets the
 //! explorer compare the two knobs.
+//!
+//! This module is the **simulated** knob: it rounds f32 weights onto a
+//! `bits`-level grid in place and reports the storage/error trade-off
+//! at any width from 1 to 32 bits, while execution stays on the f32
+//! kernels. The *executed* 8-bit member of the family lives in
+//! `cap_tensor::quant`: symmetric int8 weights and activations run on
+//! integer GEMM/SpMM kernels, selected by `CAP_TENSOR_PRECISION=int8`
+//! (see `cap_tensor::precision`). Use this module to sweep bit widths
+//! analytically; use the real path to measure what int8 actually costs
+//! and saves.
 
 use cap_tensor::{Matrix, ShapeError, TensorResult};
 use serde::{Deserialize, Serialize};
@@ -40,7 +50,10 @@ pub fn quantize_uniform(weights: &mut Matrix, bits: u8) -> TensorResult<Quantiza
             max_error: 0.0,
         });
     }
-    let levels = ((1u64 << bits.min(31)) - 1) as f32;
+    // `bits` is validated ≤ 32, so the u64 shift cannot overflow; the
+    // old `bits.min(31)` clamp silently gave 32-bit requests a 2^31−1
+    // grid (double the intended step at full width).
+    let levels = ((1u64 << bits) - 1) as f32;
     let step = 2.0 * max_abs / levels;
     let mut sq_err = 0.0_f64;
     let mut max_err = 0.0_f64;
@@ -127,6 +140,21 @@ mod tests {
         let r = quantize_uniform(&mut q, 4).unwrap();
         assert_eq!(r.rms_error, 0.0);
         assert!(q.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn thirty_two_bit_grid_is_full_width() {
+        // The former `bits.min(31)` clamp silently halved the level
+        // count at 32 bits. At f32 resolution both grids reconstruct
+        // essentially losslessly, so the observable contract is: 32 is
+        // accepted, reports 1.0× compression, and is no worse than the
+        // 31-bit grid.
+        let mut q31 = sample();
+        let r31 = quantize_uniform(&mut q31, 31).unwrap();
+        let mut q32 = sample();
+        let r32 = quantize_uniform(&mut q32, 32).unwrap();
+        assert_eq!(r32.compression, 1.0);
+        assert!(r32.rms_error <= r31.rms_error + 1e-12);
     }
 
     #[test]

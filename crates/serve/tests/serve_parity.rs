@@ -6,9 +6,16 @@
 //! the repo-wide batching-invariance contract (outputs independent of
 //! batch grouping, worker count, kernel path, fusion and DAG modes)
 //! across the serving layer; CI runs it under the full
-//! kernel × fusion × DAG matrix.
+//! kernel × fusion × DAG × precision matrix.
+//!
+//! Every network is **calibrated** on the image pool first: under
+//! `CAP_TENSOR_PRECISION=int8` an uncalibrated network falls back to
+//! per-batch max-abs activation scales, which would make logits depend
+//! on batch composition and break bitwise parity by construction.
+//! Calibration freezes the scales, restoring batch invariance.
 
 use cap_serve::{fleet, generate_trace, ArrivalPattern, Router, RouterConfig};
+use cap_tensor::CalibrationMethod;
 
 #[test]
 fn served_logits_equal_offline_run_batched_bitwise() {
@@ -18,20 +25,21 @@ fn served_logits_equal_offline_run_batched_bitwise() {
     // driver (batch size irrelevant by the batching-invariance
     // contract — use an awkward one on purpose).
     let reference_net = fleet::demo_network(11);
+    reference_net
+        .calibrate(&pool, CalibrationMethod::MaxAbs)
+        .unwrap();
     let (reference, _) = cap_cnn::run_batched(&reference_net, &pool, 5).unwrap();
 
     // Served run: same weights (the constructor is deterministic), a
     // bursty two-tenant trace so batches form at many sizes.
-    let tenants = vec![
-        (
-            fleet::pruned_tenant("a", 11, 0.0).0,
-            fleet::demo_network(11),
-        ),
-        (
-            fleet::pruned_tenant("b", 11, 0.0).0,
-            fleet::demo_network(11),
-        ),
-    ];
+    let tenants: Vec<_> = [("a", 11), ("b", 11)]
+        .into_iter()
+        .map(|(name, seed)| {
+            let net = fleet::demo_network(seed);
+            net.calibrate(&pool, CalibrationMethod::MaxAbs).unwrap();
+            (fleet::pruned_tenant(name, seed, 0.0).0, net)
+        })
+        .collect();
     let mut router = Router::new(
         RouterConfig {
             workers: 2,
@@ -91,6 +99,8 @@ fn parity_holds_for_pruned_tenants() {
     let (cfg, net) = fleet::pruned_tenant("p60", 5, 0.6);
     let (cfg2, net2) = fleet::pruned_tenant("p60-ref", 5, 0.6);
     assert_eq!(cfg.service, cfg2.service);
+    net.calibrate(&pool, CalibrationMethod::MaxAbs).unwrap();
+    net2.calibrate(&pool, CalibrationMethod::MaxAbs).unwrap();
     let (reference, _) = cap_cnn::run_batched(&net2, &pool, 4).unwrap();
 
     let mut router = Router::new(

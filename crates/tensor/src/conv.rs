@@ -16,7 +16,7 @@ use std::time::Instant;
 /// Start a clock for the GEMM/im2col time split, only when timed
 /// metrics are on (`timing` is hoisted out of the parallel image loop).
 #[inline]
-fn split_clock(timing: bool) -> Option<Instant> {
+pub(crate) fn split_clock(timing: bool) -> Option<Instant> {
     if timing {
         Some(Instant::now())
     } else {
@@ -26,7 +26,7 @@ fn split_clock(timing: bool) -> Option<Instant> {
 
 /// Credit elapsed time since `t0` to `counter` (no-op when timing off).
 #[inline]
-fn credit_ns(t0: Option<Instant>, counter: &cap_obs::Counter) {
+pub(crate) fn credit_ns(t0: Option<Instant>, counter: &cap_obs::Counter) {
     if let Some(t0) = t0 {
         counter.add(t0.elapsed().as_nanos() as u64);
     }

@@ -38,6 +38,7 @@
 //! it, each with a safety comment tying the call to the CPU-feature
 //! check that makes it sound.
 
+pub mod int8;
 pub mod scalar;
 
 #[cfg(target_arch = "x86_64")]

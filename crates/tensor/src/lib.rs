@@ -43,6 +43,8 @@ pub mod init;
 pub mod kernels;
 pub mod ops;
 pub mod pool;
+pub mod precision;
+pub mod quant;
 pub mod sparse;
 pub mod tensor4;
 pub mod workspace;
@@ -62,6 +64,12 @@ pub use im2col::{col2im, im2col, im2col_packed_prealloc, im2col_prealloc};
 pub use kernels::{EpiBias, Epilogue, KernelPath};
 pub use pool::{
     avg_pool2d, avg_pool2d_into, max_pool2d, max_pool2d_indices, max_pool2d_into, Pool2dParams,
+};
+pub use precision::Precision;
+pub use quant::{
+    conv2d_i8_packed_fused, conv2d_i8_sparse_fused, gemm_i8, pack_b_i8_into, percentile_scale,
+    quantize_i8, quantize_rows_into, symmetric_scale, CalibrationMethod, PackedBI8, QuantizedA,
+    QuantizedConvWeights, QuantizedCsr, QuantizedSparseConvWeights,
 };
 pub use sparse::CsrMatrix;
 pub use tensor4::Tensor4;

@@ -1,0 +1,162 @@
+//! Numeric-precision selection for the weighted-layer inference path.
+//!
+//! PR 10 adds a real int8 execution path (symmetric per-tensor weight
+//! quantization, calibrated activation scales, integer GEMM/GEMV/SpMM
+//! microkernels in [`crate::kernels::int8`]) alongside the default f32
+//! path. This module is the knob that picks between them, mirroring the
+//! kernel-path machinery in [`crate::kernels`]: the `CAP_TENSOR_PRECISION`
+//! environment variable is read once per process — `f32`, `int8`, or
+//! `auto` (the default; f32). Unknown values behave as `auto`, never an
+//! error: a typo must not silently change numerics.
+//!
+//! Unlike the kernel path, *both* precisions are available on every CPU
+//! (the int8 kernels have a scalar reference path), so there is no
+//! availability probe and [`force`] never panics. The resolved selection
+//! is published to the `precision_path` metrics gauge the first time a
+//! weighted layer asks for it, exactly as kernel resolution publishes
+//! `kernel_path`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Numeric precision used by conv/fc (weighted) layers.
+///
+/// Pooling, softmax and the other shape/activation layers always run in
+/// f32 regardless of this knob — int8 applies only where there are
+/// weights to quantize, and activations are dequantized back to f32 at
+/// each layer boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Full-precision f32 kernels — the default and the baseline arm of
+    /// the `quantize` ablation experiment.
+    F32,
+    /// Symmetric int8 kernels with i32 accumulation and
+    /// dequantize-in-epilogue (see [`crate::quant`]).
+    Int8,
+}
+
+impl Precision {
+    /// Stable lower-case name as accepted by `CAP_TENSOR_PRECISION`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Stable numeric code published to the `precision_path` gauge
+    /// (0 is "unset"). Must stay in sync with
+    /// `cap_obs::precision_path_name`; a test below cross-checks.
+    pub fn code(self) -> u8 {
+        match self {
+            Precision::F32 => 1,
+            Precision::Int8 => 2,
+        }
+    }
+}
+
+/// Process-wide forced precision: 0 = none, else `Precision::code()`.
+/// Test/ablation hook only — see [`force`].
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Cached resolution of `CAP_TENSOR_PRECISION`.
+static SELECTED: OnceLock<Precision> = OnceLock::new();
+
+/// Force every subsequent weighted-layer dispatch to `precision` (or
+/// back to the environment-driven selection with `None`).
+///
+/// This is a **test and ablation hook**, process-global like
+/// [`crate::kernels::force`]: the `quantize` experiment and the int8
+/// parity suites use it to run both arms inside one process. Unlike the
+/// kernel override it can never panic — both precisions exist on every
+/// CPU. Concurrent tests asserting on a *specific* precision must
+/// serialize around it. The override also re-publishes the
+/// `precision_path` gauge so reports stay truthful.
+pub fn force(precision: Option<Precision>) {
+    FORCED.store(precision.map_or(0, |p| p.code()), Ordering::Relaxed);
+    if let Some(p) = precision {
+        cap_obs::metrics().precision_path.set(p.code() as u64);
+    } else {
+        // Restore the gauge to the environment-driven selection so a
+        // report built after the override is lifted reads correctly.
+        cap_obs::metrics()
+            .precision_path
+            .set(SELECTED.get_or_init(resolve).code() as u64);
+    }
+}
+
+/// Parse a `CAP_TENSOR_PRECISION` value. Unknown strings behave as
+/// `auto` (= f32): a typo must never silently quantize a model.
+fn parse_env(value: &str) -> Precision {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "int8" => Precision::Int8,
+        _ => Precision::F32, // "", "auto", "f32", or anything unrecognized
+    }
+}
+
+/// Resolve the startup selection from `CAP_TENSOR_PRECISION` and publish
+/// it to the `precision_path` gauge.
+fn resolve() -> Precision {
+    let p = std::env::var("CAP_TENSOR_PRECISION")
+        .map(|v| parse_env(&v))
+        .unwrap_or(Precision::F32);
+    cap_obs::metrics().precision_path.set(p.code() as u64);
+    p
+}
+
+/// The precision governing this process's weighted layers.
+///
+/// Resolved once from `CAP_TENSOR_PRECISION` (default f32); after that a
+/// single relaxed atomic load plus a cached read. The [`force`]
+/// override, when set, wins without touching the cache.
+#[inline]
+pub fn selected() -> Precision {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => Precision::F32,
+        2 => Precision::Int8,
+        _ => *SELECTED.get_or_init(resolve),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_codes_are_stable() {
+        // The gauge codes are decoded by cap-obs for reports and the
+        // Prometheus exporter; this is the cross-check the two crates
+        // rely on.
+        for p in [Precision::F32, Precision::Int8] {
+            assert_eq!(cap_obs::precision_path_name(p.code() as u64), p.name());
+        }
+        assert_eq!(cap_obs::precision_path_name(0), "unset");
+    }
+
+    #[test]
+    fn parse_env_accepts_known_values_and_defaults_to_f32() {
+        assert_eq!(parse_env("int8"), Precision::Int8);
+        assert_eq!(parse_env(" INT8 "), Precision::Int8);
+        assert_eq!(parse_env("f32"), Precision::F32);
+        assert_eq!(parse_env("auto"), Precision::F32);
+        assert_eq!(parse_env(""), Precision::F32);
+        assert_eq!(parse_env("bf16"), Precision::F32);
+    }
+
+    #[test]
+    fn force_overrides_and_clears() {
+        force(Some(Precision::Int8));
+        assert_eq!(selected(), Precision::Int8);
+        assert_eq!(cap_obs::metrics().precision_path.get(), 2);
+        force(Some(Precision::F32));
+        assert_eq!(selected(), Precision::F32);
+        force(None);
+        // Back to env-driven; whatever it is, it must be stable and
+        // reflected in the gauge.
+        assert_eq!(selected(), selected());
+        assert_eq!(
+            cap_obs::metrics().precision_path.get(),
+            selected().code() as u64
+        );
+    }
+}

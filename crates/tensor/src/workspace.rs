@@ -27,6 +27,7 @@ pub struct Workspace {
     cols: Matrix,
     packed: Matrix,
     prod: Matrix,
+    qbuf: Vec<i8>,
 }
 
 impl Default for Workspace {
@@ -42,6 +43,7 @@ impl Workspace {
             cols: Matrix::zeros(0, 0),
             packed: Matrix::zeros(0, 0),
             prod: Matrix::zeros(0, 0),
+            qbuf: Vec::new(),
         }
     }
 
@@ -83,10 +85,34 @@ impl Workspace {
         (&mut self.cols, &mut self.packed, &mut self.prod)
     }
 
+    /// The quantized-operand scratch slot: a bare byte vector the int8
+    /// quantizers (`quantize_rows_into`, `pack_b_i8_into`) clear and
+    /// refill, retaining capacity across checkouts like every other
+    /// slot.
+    pub fn qbuf_slot(&mut self) -> &mut Vec<i8> {
+        &mut self.qbuf
+    }
+
+    /// The int8 conv scratch trio: f32 im2col cols, the quantized i8
+    /// copy (packed or row-major, kernel's choice — the slot is a bare
+    /// byte vector the quantizers resize), and the per-group product.
+    /// `prod` may be `(0, 0)` when the kernel writes the output buffer
+    /// directly.
+    pub fn conv_quant_slots(
+        &mut self,
+        cols_shape: (usize, usize),
+        prod_shape: (usize, usize),
+    ) -> (&mut Matrix, &mut Vec<i8>, &mut Matrix) {
+        self.cols.resize(cols_shape.0, cols_shape.1);
+        self.prod.resize(prod_shape.0, prod_shape.1);
+        (&mut self.cols, &mut self.qbuf, &mut self.prod)
+    }
+
     /// Bytes currently live across all slots (lengths, not capacities —
     /// `Matrix` does not expose its backing capacity).
     pub fn reserved_bytes(&self) -> usize {
         (self.cols.len() + self.packed.len() + self.prod.len()) * std::mem::size_of::<f32>()
+            + self.qbuf.len()
     }
 }
 

@@ -53,6 +53,11 @@ fn batched_inference_runner_on_tinynet_matches_direct_logits() {
         noise: 0.2,
     };
     let (imgs, _) = data.batch(0, 13);
+    // Calibrate so the batching-invariance contract holds under an
+    // int8 precision leg too: uncalibrated int8 falls back to
+    // per-batch activation scales, which depend on chunk composition.
+    net.calibrate(&imgs, cap_tensor::CalibrationMethod::MaxAbs)
+        .unwrap();
     let (chunked, report) = run_batched(&net, &imgs, 4).unwrap();
     let whole = net.forward(&imgs).unwrap();
     assert_eq!(chunked.len(), 13);
